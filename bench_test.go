@@ -1,0 +1,434 @@
+package repro
+
+// One benchmark per experiment in DESIGN.md §4. Each benchmark runs the
+// measurement kernel of its experiment (the per-table sweep logic lives in
+// internal/experiments; here we benchmark the representative workload so
+// `go test -bench=.` regenerates timing for every E-row).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/binomial"
+	"repro/internal/btree"
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/experiments"
+	"repro/internal/heapsim"
+	"repro/internal/hypercube"
+	"repro/internal/labeltree"
+	"repro/internal/lowerbound"
+	"repro/internal/pms"
+	"repro/internal/qary"
+	"repro/internal/rangequery"
+	"repro/internal/scheduler"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+func mustColor(b *testing.B, levels, m int) *coloring.ArrayMapping {
+	b.Helper()
+	p, err := colormap.Canonical(levels, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := colormap.Color(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return arr
+}
+
+func familyCost(b *testing.B, m coloring.Mapping, kind template.Kind, size int64) int {
+	b.Helper()
+	f, err := template.NewFamily(m.Tree(), kind, size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost, _ := coloring.FamilyCost(m, f)
+	return cost
+}
+
+// BenchmarkE1ConflictFreeSP regenerates E1 (Theorems 1, 3): exhaustive
+// conflict-freeness of COLOR on S(K) and P(N).
+func BenchmarkE1ConflictFreeSP(b *testing.B) {
+	arr := mustColor(b, 14, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c := familyCost(b, arr, template.Subtree, 3); c != 0 {
+			b.Fatalf("S cost %d", c)
+		}
+		if c := familyCost(b, arr, template.Path, 6); c != 0 {
+			b.Fatalf("P cost %d", c)
+		}
+	}
+}
+
+// BenchmarkE2LowerBound regenerates E2 (Theorem 2): the exhaustive search
+// proving N+K-k modules are necessary.
+func BenchmarkE2LowerBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := lowerbound.Search(4, 2, 4)
+		if err != nil || res.Feasible {
+			b.Fatalf("search: feasible=%v err=%v", res.Feasible, err)
+		}
+		res, err = lowerbound.Search(4, 2, 5)
+		if err != nil || !res.Feasible {
+			b.Fatalf("search at bound: feasible=%v err=%v", res.Feasible, err)
+		}
+	}
+}
+
+// BenchmarkE3LevelCost regenerates E3 (Lemma 2): L(K) cost ≤ 1.
+func BenchmarkE3LevelCost(b *testing.B) {
+	arr := mustColor(b, 14, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c := familyCost(b, arr, template.Level, 3); c > 1 {
+			b.Fatalf("L cost %d", c)
+		}
+	}
+}
+
+// BenchmarkE4FullParallelism regenerates E4 (Theorems 4, 5): at most one
+// conflict on S(M) and P(M).
+func BenchmarkE4FullParallelism(b *testing.B) {
+	arr := mustColor(b, 14, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c := familyCost(b, arr, template.Subtree, 7); c > 1 {
+			b.Fatalf("S(M) cost %d", c)
+		}
+		if c := familyCost(b, arr, template.Path, 7); c > 1 {
+			b.Fatalf("P(M) cost %d", c)
+		}
+	}
+}
+
+// BenchmarkE5CompositeColor regenerates E5 (Theorem 6): COLOR on random
+// composite templates against the 4D/M + c bound.
+func BenchmarkE5CompositeColor(b *testing.B) {
+	arr := mustColor(b, 13, 3)
+	M := int64(arr.Modules())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 50; trial++ {
+			comp, err := template.RandomComposite(rng, arr.Tree(), 4*M, 4)
+			if err != nil {
+				continue
+			}
+			got := coloring.CompositeConflicts(arr, comp)
+			if float64(got) > 4.0*float64(4*M)/float64(M)+4 {
+				b.Fatalf("bound violated: %d", got)
+			}
+		}
+	}
+}
+
+// BenchmarkE6CompositeLabelTree regenerates E6 (Theorem 8): LABEL-TREE on
+// random composite templates.
+func BenchmarkE6CompositeLabelTree(b *testing.B) {
+	lt, err := labeltree.New(13, 63)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr := lt.Materialize()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(43))
+		for trial := 0; trial < 50; trial++ {
+			comp, err := template.RandomComposite(rng, arr.Tree(), 4*63, 4)
+			if err != nil {
+				continue
+			}
+			_ = coloring.CompositeConflicts(arr, comp)
+		}
+	}
+}
+
+// BenchmarkE7RetrievalColorNoTable times COLOR's O(H) per-node retrieval.
+func BenchmarkE7RetrievalColorNoTable(b *testing.B) {
+	p, err := colormap.Canonical(40, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tree.V(123456789, 39)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := colormap.Retrieve(p, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7RetrievalColorTable times the table-assisted O(H/(N-k))
+// retriever.
+func BenchmarkE7RetrievalColorTable(b *testing.B) {
+	p, err := colormap.Canonical(40, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := colormap.NewRetriever(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tree.V(123456789, 39)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Color(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7RetrievalLabelTreeO1 times LABEL-TREE's O(1) retrieval.
+func BenchmarkE7RetrievalLabelTreeO1(b *testing.B) {
+	lt, err := labeltree.New(40, 1023)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tree.V(123456789, 39)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = lt.Color(n)
+	}
+}
+
+// BenchmarkE7RetrievalLabelTreeNoTable times the O(log M) no-table path.
+func BenchmarkE7RetrievalLabelTreeNoTable(b *testing.B) {
+	lt, err := labeltree.New(40, 1023)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tree.V(123456789, 39)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = lt.SlowColor(n)
+	}
+}
+
+// BenchmarkE8Applications regenerates E8: heap workload plus range queries
+// under COLOR.
+func BenchmarkE8Applications(b *testing.B) {
+	arr := mustColor(b, 14, 3)
+	rng := rand.New(rand.NewSource(44))
+	var ops []heapsim.Op
+	for i := 0; i < 1000; i++ {
+		if rng.Intn(2) == 0 {
+			ops = append(ops, heapsim.Op{Kind: heapsim.OpInsert, Key: rng.Int63n(1 << 20)})
+		} else {
+			ops = append(ops, heapsim.Op{Kind: heapsim.OpDeleteMin})
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := heapsim.Run(pms.NewSystem(arr), ops); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rangequery.Run(pms.NewSystem(arr), 100, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9TradeoffTable regenerates E9: the conclusions head-to-head
+// costs for all mappings.
+func BenchmarkE9TradeoffTable(b *testing.B) {
+	levels := 12
+	arr := mustColor(b, levels, 3)
+	lt, err := labeltree.New(levels, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := baseline.Modulo(tree.New(levels), 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, m := range []coloring.Mapping{arr, lt, mod} {
+			familyCost(b, m, template.Subtree, 7)
+			familyCost(b, m, template.Path, 7)
+			familyCost(b, m, template.Level, 7)
+		}
+	}
+}
+
+// BenchmarkExperimentSuiteQuick times the full quick-scale experiment
+// sweep end to end.
+func BenchmarkExperimentSuiteQuick(b *testing.B) {
+	s := experiments.Quick()
+	s.MaxLevels = 10
+	s.CompositeTrials = 10
+	s.HeapOps = 100
+	s.QueryTrials = 5
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10QaryColor regenerates E10: the q-ary COLOR generalization's
+// conflict-freeness on a ternary tree.
+func BenchmarkE10QaryColor(b *testing.B) {
+	p := qary.Params{Arity: 3, Levels: 8, BandLevels: 4, SubtreeLevels: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := qary.Color(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.SubtreeConflicts(2) != 0 || m.PathConflicts(4) != 0 {
+			b.Fatal("conflict-freeness violated")
+		}
+	}
+}
+
+// BenchmarkE11Ablations regenerates E11a: LABEL-TREE with and without
+// ROTATE on wide level templates.
+func BenchmarkE11Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, disable := range []bool{false, true} {
+			lt, err := labeltree.NewWithOptions(13, 63, labeltree.Options{
+				Macro:         labeltree.Balanced,
+				DisableRotate: disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			arr := lt.Materialize()
+			familyCost(b, arr, template.Level, 4*63)
+		}
+	}
+}
+
+// BenchmarkE12CrossoverPoint regenerates one point of the E12 crossover
+// series: composite conflicts at M = 63 under both algorithms.
+func BenchmarkE12CrossoverPoint(b *testing.B) {
+	arr := mustColor(b, 14, 6)
+	lt, err := labeltree.New(14, 63)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ltArr := lt.Materialize()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(45))
+		for trial := 0; trial < 20; trial++ {
+			comp, err := template.RandomComposite(rng, arr.Tree(), 4*63, 4)
+			if err != nil {
+				continue
+			}
+			coloring.CompositeConflicts(arr, comp)
+			coloring.CompositeConflicts(ltArr, comp)
+		}
+	}
+}
+
+// BenchmarkE13BinomialHypercube regenerates E13's verification kernels.
+func BenchmarkE13BinomialHypercube(b *testing.B) {
+	tr, err := binomial.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cube, err := hypercube.Minimal(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if binomial.SubtreeConflicts(tr, binomial.SubtreeColoring(2), 2) != 0 {
+			b.Fatal("binomial conflicts")
+		}
+		if hypercube.WorstConflicts(cube) != 0 {
+			b.Fatal("cube conflicts")
+		}
+	}
+}
+
+// BenchmarkE14Distribution regenerates E14a's kernel: the exhaustive
+// conflict distribution of COLOR over S(M).
+func BenchmarkE14Distribution(b *testing.B) {
+	arr := mustColor(b, 13, 3)
+	f, err := template.NewFamily(arr.Tree(), template.Subtree, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := analysis.FamilyDistribution(arr, f)
+		if d.Max > 1 {
+			b.Fatalf("distribution max %d", d.Max)
+		}
+	}
+}
+
+// BenchmarkE15Scheduler regenerates E15's kernel: pipelined makespan with
+// 4 processors over a mixed stream.
+func BenchmarkE15Scheduler(b *testing.B) {
+	arr := mustColor(b, 12, 3)
+	rng := rand.New(rand.NewSource(46))
+	var stream []scheduler.Access
+	for i := 0; i < 200; i++ {
+		j := 6 + rng.Intn(5)
+		n := tree.V(rng.Int63n(tree.New(12).LevelWidth(j)), j)
+		stream = append(stream, scheduler.Access{Nodes: tree.PathNodes(n, 6)})
+	}
+	queues, err := scheduler.SplitRoundRobin(stream, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheduler.Run(arr, queues); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE16BTreeQuery regenerates E16's kernel: one range query over a
+// fanout-4 B-tree.
+func BenchmarkE16BTreeQuery(b *testing.B) {
+	bt, err := btree.New(4, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := qary.Color(qary.Params{Arity: 4, Levels: 6, BandLevels: 4, SubtreeLevels: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := bt.QueryCost(m, 1000, 1199); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE17ScaleSample regenerates E17's kernel: checking one sampled
+// S(M) instance on a 2^40-node tree through table-free retrieval.
+func BenchmarkE17ScaleSample(b *testing.B) {
+	p, err := colormap.Canonical(40, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchor := tree.V(12345678901, 35)
+	inst := template.Instance{Kind: template.Subtree, Anchor: anchor, Size: 31}
+	counter := coloring.NewCounter(31)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		counter.Reset()
+		inst.Walk(func(n tree.Node) bool {
+			c, err := colormap.Retrieve(p, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			counter.Add(c)
+			return true
+		})
+		if counter.Conflicts() > 1 {
+			b.Fatal("guarantee violated")
+		}
+	}
+}

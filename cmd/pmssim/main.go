@@ -1,0 +1,194 @@
+// Command pmssim replays application workloads (binary-heap operations or
+// BST range queries) on the parallel memory system simulator under a
+// chosen mapping and reports the memory cost.
+//
+// Usage:
+//
+//	pmssim -workload heap -ops 10000 -alg color -levels 14 -m 3
+//	pmssim -workload range -queries 500 -span 64 -alg mod -modules 7
+//	pmssim -workload dict -queries 200 -batch 64 -alg labeltree -levels 14 -modules 31
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dictionary"
+	"repro/internal/heapsim"
+	"repro/internal/pms"
+	"repro/internal/rangequery"
+	"repro/internal/trace"
+	wl "repro/internal/workload"
+)
+
+func main() {
+	workload := flag.String("workload", "heap", "workload: heap|range")
+	alg := flag.String("alg", "color", "mapping: color|labeltree|mod|random")
+	levels := flag.Int("levels", 14, "tree levels")
+	mExp := flag.Int("m", 3, "canonical COLOR exponent (M = 2^m - 1)")
+	modules := flag.Int("modules", 7, "modules for labeltree/mod/random")
+	seed := flag.Int64("seed", 1, "workload seed")
+	ops := flag.Int("ops", 10000, "heap operations")
+	queries := flag.Int("queries", 200, "range queries / dictionary batches")
+	dist := flag.String("dist", "uniform", "key distribution: uniform|zipf|sequential")
+	span := flag.Int64("span", 64, "range query span (keys)")
+	batch := flag.Int("batch", 64, "dictionary lookups per batch")
+	traceOut := flag.String("trace-out", "", "record the memory trace to this file")
+	traceIn := flag.String("trace-in", "", "replay a recorded trace instead of generating a workload")
+	flag.Parse()
+
+	mapping, err := build(*alg, *levels, *mExp, *modules, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(core.Describe(mapping))
+	rng := rand.New(rand.NewSource(*seed))
+
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err := trace.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := trace.Replay(mapping, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d batches, %d items, %d cycles (%.3f cycles/batch)\n",
+			res.Batches, res.Items, res.Cycles, float64(res.Cycles)/float64(res.Batches))
+		return
+	}
+
+	var recorder *trace.Recorder
+	if *traceOut != "" {
+		recorder = trace.NewRecorder(mapping.Tree().Levels())
+	}
+	attach := func(sys *pms.System) *pms.System {
+		if recorder != nil {
+			sys.SetObserver(recorder.Record)
+		}
+		return sys
+	}
+
+	var distribution wl.Distribution
+	switch *dist {
+	case "uniform":
+		distribution = wl.Uniform
+	case "zipf":
+		distribution = wl.Zipf
+	case "sequential":
+		distribution = wl.Sequential
+	default:
+		fmt.Fprintf(os.Stderr, "unknown distribution %q\n", *dist)
+		os.Exit(1)
+	}
+
+	switch *workload {
+	case "heap":
+		keys, err := wl.NewKeyStream(distribution, 1<<30, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opList, err := wl.HeapOps(wl.DefaultHeapMix(), *ops, keys, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := heapsim.Run(attach(pms.NewSystem(mapping)), opList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("heap: %d ops, %d cycles, %.3f cycles/op, utilization %.3f\n",
+			res.Ops, res.TotalCycles, res.CyclesPerOp(), res.Stats.Utilization(mapping.Modules()))
+	case "range":
+		var total, max int64
+		nodes := mapping.Tree().Nodes()
+		if *span >= nodes {
+			fmt.Fprintf(os.Stderr, "span %d exceeds key space %d\n", *span, nodes)
+			os.Exit(1)
+		}
+		for q := 0; q < *queries; q++ {
+			lo := rng.Int63n(nodes - *span)
+			res, err := rangequery.Run(attach(pms.NewSystem(mapping)), lo, lo+*span-1)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			total += res.Cycles
+			if res.Cycles > max {
+				max = res.Cycles
+			}
+		}
+		fmt.Printf("range: %d queries of span %d, mean %.2f cycles, max %d cycles\n",
+			*queries, *span, float64(total)/float64(*queries), max)
+	case "dict":
+		d := dictionary.New(attach(pms.NewSystem(mapping)))
+		stream, err := wl.NewKeyStream(distribution, d.KeySpace(), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var total int64
+		var steps int
+		for q := 0; q < *queries; q++ {
+			keys := stream.Keys(*batch)
+			res, err := d.BatchLookup(keys)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			total += res.Cycles
+			steps = res.Steps
+		}
+		fmt.Printf("dict: %d batches of %d lookups (%d lock-steps each), mean %.2f cycles/batch\n",
+			*queries, *batch, steps, float64(total)/float64(*queries))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+
+	if recorder != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := recorder.Trace().Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+}
+
+func build(alg string, levels, mExp, modules int, seed int64) (core.Mapping, error) {
+	switch alg {
+	case "color":
+		return core.NewColor(levels, mExp)
+	case "labeltree":
+		return core.NewLabelTree(levels, modules)
+	case "mod":
+		return core.NewModulo(levels, modules), nil
+	case "random":
+		return core.NewRandom(levels, modules, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", alg)
+	}
+}

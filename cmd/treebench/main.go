@@ -1,0 +1,70 @@
+// Command treebench runs the paper-reproduction experiment suite and
+// prints each result table (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	treebench [-quick] [-markdown] [-run E4,E5] [-list]
+//
+// Flags:
+//
+//	-quick     use the reduced test-scale parameters
+//	-markdown  emit GitHub-flavored markdown (for EXPERIMENTS.md)
+//	-run       comma-separated experiment IDs to run (default: all)
+//	-list      list the experiments and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced test-scale parameters")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	run := flag.String("run", "", "comma-separated experiment IDs (default all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	specs := experiments.All()
+	if *list {
+		for _, s := range specs {
+			fmt.Printf("%-3s %-26s %s\n", s.ID, s.Source, s.Claim)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	scale := experiments.Default()
+	if *quick {
+		scale = experiments.Quick()
+	}
+
+	for _, s := range specs {
+		if len(want) > 0 && !want[s.ID] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.ID, s.Source)
+		tables, err := s.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", s.ID, err)
+			os.Exit(1)
+		}
+		for _, tb := range tables {
+			if *markdown {
+				fmt.Println(tb.Markdown())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+	}
+}

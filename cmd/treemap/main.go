@@ -1,0 +1,142 @@
+// Command treemap answers node-to-module queries for any of the mapping
+// algorithms, and can dump whole levels — a small interactive window into
+// the colorings.
+//
+// Usage:
+//
+//	treemap -alg color -levels 12 -m 3 -node 5,3      # color of v(5,3)
+//	treemap -alg labeltree -levels 12 -modules 31 -level 4   # dump level 4
+//	treemap -alg mod -levels 10 -modules 7 -node 0,0
+//
+// Algorithms: color (canonical COLOR, module count 2^m-1 from -m),
+// labeltree (-modules), mod (-modules), random (-modules -seed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/viz"
+)
+
+func main() {
+	alg := flag.String("alg", "color", "mapping algorithm: color|labeltree|mod|random")
+	levels := flag.Int("levels", 12, "tree levels (height)")
+	mExp := flag.Int("m", 3, "canonical COLOR exponent: M = 2^m - 1")
+	modules := flag.Int("modules", 7, "module count for labeltree/mod/random")
+	seed := flag.Int64("seed", 1, "seed for the random mapping")
+	nodeSpec := flag.String("node", "", "node to query as index,level")
+	level := flag.Int("level", -1, "dump all colors of one level")
+	saveTo := flag.String("save", "", "write the materialized mapping to this file")
+	draw := flag.Bool("draw", false, "draw the top levels of the coloring as ASCII art")
+	histogram := flag.Bool("histogram", false, "print the per-module load histogram")
+	loadFrom := flag.String("load", "", "load a previously saved mapping instead of building one")
+	flag.Parse()
+
+	var mapping core.Mapping
+	var err error
+	if *loadFrom != "" {
+		f, ferr := os.Open(*loadFrom)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		mapping, err = core.LoadMap(f)
+		f.Close()
+	} else {
+		mapping, err = build(*alg, *levels, *mExp, *modules, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(core.Describe(mapping))
+
+	if *saveTo != "" {
+		f, ferr := os.Create(*saveTo)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		if err := core.Save(f, mapping); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved to %s\n", *saveTo)
+	}
+
+	if *nodeSpec != "" {
+		n, err := parseNode(*nodeSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !mapping.Tree().Contains(n) {
+			fmt.Fprintf(os.Stderr, "node %v outside the tree\n", n)
+			os.Exit(1)
+		}
+		fmt.Printf("%v -> module %d\n", n, mapping.Color(n))
+	}
+
+	if *draw {
+		fmt.Print(viz.Render(mapping, viz.MaxLevels))
+	}
+	if *histogram {
+		fmt.Print(viz.LevelHistogram(mapping, 50))
+	}
+
+	if *level >= 0 {
+		if *level >= mapping.Tree().Levels() {
+			fmt.Fprintf(os.Stderr, "level %d outside the tree\n", *level)
+			os.Exit(1)
+		}
+		width := mapping.Tree().LevelWidth(*level)
+		const cap = 64
+		for i := int64(0); i < width && i < cap; i++ {
+			fmt.Printf("%d ", mapping.Color(core.V(i, *level)))
+		}
+		if width > cap {
+			fmt.Printf("... (%d more)", width-cap)
+		}
+		fmt.Println()
+	}
+}
+
+func build(alg string, levels, mExp, modules int, seed int64) (core.Mapping, error) {
+	switch alg {
+	case "color":
+		return core.NewColor(levels, mExp)
+	case "labeltree":
+		return core.NewLabelTree(levels, modules)
+	case "mod":
+		return core.NewModulo(levels, modules), nil
+	case "random":
+		return core.NewRandom(levels, modules, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", alg)
+	}
+}
+
+func parseNode(spec string) (core.Node, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return core.Node{}, fmt.Errorf("node spec %q: want index,level", spec)
+	}
+	idx, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return core.Node{}, fmt.Errorf("node spec %q: %v", spec, err)
+	}
+	lvl, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return core.Node{}, fmt.Errorf("node spec %q: %v", spec, err)
+	}
+	return core.V(idx, lvl), nil
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "Optimal Tree Access by Elementary and
+// Composite Templates in Parallel Memory Systems" (Auletta, Das, De Vivo,
+// Pinotti, Scarano; IPDPS 2001 / IEEE TPDS): algorithms for mapping
+// complete binary trees onto parallel memory systems so that subtree,
+// path, level and composite templates are accessed with few or no memory
+// conflicts.
+//
+// The library lives under internal/ (see internal/core for the facade),
+// runnable examples under examples/, command-line tools under cmd/, and
+// the per-theorem benchmark harness in bench_test.go. DESIGN.md maps every
+// paper result to the module and experiment that reproduces it;
+// EXPERIMENTS.md records claimed-versus-measured numbers.
+package repro

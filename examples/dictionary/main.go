@@ -1,0 +1,64 @@
+// Dictionary example: batched lock-step lookups in a complete BST — the
+// second data structure the paper's introduction motivates. Each lock-step
+// round accesses one frontier node per active search, so both the path
+// behaviour and the per-level spreading of the mapping matter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dictionary"
+	"repro/internal/pms"
+)
+
+func main() {
+	const levels = 14
+	const mExp = 3
+	M := core.ColorModules(mExp)
+
+	color, err := core.NewColor(levels, mExp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labelTree, err := core.NewLabelTree(levels, M)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mappings := []core.Mapping{
+		color,
+		labelTree,
+		core.NewModulo(levels, M),
+		core.NewRandom(levels, M, 123),
+	}
+
+	keySpace := core.NewTree(levels).Nodes()
+	const batches = 200
+	const batchSize = 64
+
+	fmt.Printf("%-40s %16s %16s\n", "mapping", "cycles/batch", "cycles/lookup")
+	for _, m := range mappings {
+		d := dictionary.New(pms.NewSystem(m))
+		krng := rand.New(rand.NewSource(77)) // identical key sequence for every mapping
+		var total int64
+		for b := 0; b < batches; b++ {
+			keys := make([]int64, batchSize)
+			for i := range keys {
+				keys[i] = krng.Int63n(keySpace)
+			}
+			res, err := d.BatchLookup(keys)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += res.Cycles
+		}
+		perBatch := float64(total) / batches
+		fmt.Printf("%-40s %16.2f %16.3f\n", core.Name(m), perBatch, perBatch/batchSize)
+	}
+	fmt.Println("\neach batch runs", batchSize, "searches in lock-step over", levels, "levels on", M, "modules")
+	fmt.Println("note: scattered per-level frontiers reward even module loads, so here the")
+	fmt.Println("load-balanced mappings win — the flip side of COLOR's module overloading")
+	fmt.Println("that the paper points out in Section 5 (see EXPERIMENTS.md E9).")
+}

@@ -1,0 +1,62 @@
+// Heap example: the data structure the paper's introduction motivates.
+// Binary-heap operations touch leaf-to-root paths, so a path-conflict-free
+// mapping serves each operation's memory traffic in (nearly) one cycle
+// while naive interleaving serializes. This example replays the same
+// operation sequence under four mappings and compares cycles per
+// operation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/heapsim"
+	"repro/internal/pms"
+)
+
+func main() {
+	const levels = 14
+	const mExp = 3 // M = 7 modules
+
+	color, err := core.NewColor(levels, mExp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labelTree, err := core.NewLabelTree(levels, core.ColorModules(mExp))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mappings := []core.Mapping{
+		color,
+		labelTree,
+		core.NewModulo(levels, core.ColorModules(mExp)),
+		core.NewRandom(levels, core.ColorModules(mExp), 99),
+	}
+
+	// A mixed workload: 50% inserts, 25% delete-mins, 25% decrease-keys.
+	rng := rand.New(rand.NewSource(2024))
+	var ops []heapsim.Op
+	for i := 0; i < 20000; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			ops = append(ops, heapsim.Op{Kind: heapsim.OpInsert, Key: rng.Int63n(1 << 30)})
+		case 2:
+			ops = append(ops, heapsim.Op{Kind: heapsim.OpDeleteMin})
+		default:
+			ops = append(ops, heapsim.Op{Kind: heapsim.OpDecreaseKey, Slot: rng.Int63(), Key: rng.Int63n(1 << 16)})
+		}
+	}
+
+	fmt.Printf("%-40s %12s %12s %12s\n", "mapping", "ops", "cycles", "cycles/op")
+	for _, m := range mappings {
+		res, err := heapsim.Run(pms.NewSystem(m), ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s %12d %12d %12.3f\n", core.Name(m), res.Ops, res.TotalCycles, res.CyclesPerOp())
+	}
+	fmt.Println("\npath-shaped heap traffic is where the structured mappings win:")
+	fmt.Println("COLOR keeps every root path of length ≤ N conflict-free (Theorem 3).")
+}

@@ -1,0 +1,48 @@
+// Quickstart: build the paper's COLOR mapping, ask where nodes live, and
+// measure conflicts on the templates the mapping was designed for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A complete binary tree with 14 levels (2^14 - 1 nodes) mapped onto
+	// M = 2^3 - 1 = 7 memory modules with the canonical COLOR parameters.
+	mapping, err := core.NewColor(14, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.Describe(mapping))
+
+	// Where does an individual node live?
+	n := core.V(100, 10)
+	fmt.Printf("node %v is stored on module %d\n", n, mapping.Color(n))
+
+	// COLOR is conflict-free on subtrees of size K = 3 and paths of size
+	// N = 6 (m=3 canonical parameters), and costs at most 1 conflict on
+	// subtree/path templates of full size M = 7.
+	for _, q := range []struct {
+		kind core.Kind
+		size int64
+	}{
+		{core.Subtree, 3}, {core.Path, 6}, // conflict-free by Theorem 3
+		{core.Subtree, 7}, {core.Path, 7}, // at most 1 by Theorem 4
+	} {
+		cost, witness, err := core.TemplateCost(mapping, q.kind, q.size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("worst case on %v-template of size %d: %d conflicts (e.g. %v)\n",
+			q.kind, q.size, cost, witness)
+	}
+
+	// One parallel access through the memory system: a path of 6 nodes is
+	// served in a single cycle because every node lands on its own module.
+	path := core.Instance{Kind: core.Path, Anchor: core.V(5000, 13), Size: 6}
+	res := core.AccessCost(mapping, path.Nodes())
+	fmt.Printf("accessing %v: %d items in %d cycle(s)\n", path, res.Items, res.Cycles)
+}

@@ -1,0 +1,89 @@
+// Package analysis computes distributional conflict statistics over
+// template families: where the theorems bound the worst case, the
+// experiments also want to know how typical instances behave (mean,
+// percentiles, full histogram). This feeds the E14 experiment.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// Distribution summarizes the conflicts of every instance of a family.
+type Distribution struct {
+	Instances int64
+	Min, Max  int
+	Mean      float64
+	// Histogram[c] = number of instances with exactly c conflicts.
+	Histogram []int64
+}
+
+// Percentile returns the smallest conflict count c such that at least
+// p (0 < p ≤ 1) of the instances have ≤ c conflicts.
+func (d Distribution) Percentile(p float64) int {
+	if d.Instances == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return d.Min
+	}
+	if p > 1 {
+		p = 1
+	}
+	threshold := int64(p * float64(d.Instances))
+	if threshold < 1 {
+		threshold = 1
+	}
+	var cum int64
+	for c, n := range d.Histogram {
+		cum += n
+		if cum >= threshold {
+			return c
+		}
+	}
+	return d.Max
+}
+
+// String renders a compact summary.
+func (d Distribution) String() string {
+	return fmt.Sprintf("n=%d min=%d mean=%.3f p50=%d p99=%d max=%d",
+		d.Instances, d.Min, d.Mean, d.Percentile(0.5), d.Percentile(0.99), d.Max)
+}
+
+// FamilyDistribution computes the conflict distribution of a mapping over
+// every instance of an elementary family (exhaustive).
+func FamilyDistribution(m coloring.Mapping, f template.Family) Distribution {
+	c := coloring.NewCounter(m.Modules())
+	d := Distribution{Min: -1}
+	var sum int64
+	f.WalkInstances(func(in template.Instance) bool {
+		c.Reset()
+		in.Walk(func(n tree.Node) bool {
+			c.Add(m.Color(n))
+			return true
+		})
+		conf := c.Conflicts()
+		d.Instances++
+		sum += int64(conf)
+		if d.Min < 0 || conf < d.Min {
+			d.Min = conf
+		}
+		if conf > d.Max {
+			d.Max = conf
+		}
+		for conf >= len(d.Histogram) {
+			d.Histogram = append(d.Histogram, 0)
+		}
+		d.Histogram[conf]++
+		return true
+	})
+	if d.Instances > 0 {
+		d.Mean = float64(sum) / float64(d.Instances)
+	} else {
+		d.Min = 0
+	}
+	return d
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+func modMap(levels, m int) coloring.Mapping {
+	return coloring.FuncMapping{
+		T: tree.New(levels), M: m, AlgName: "mod",
+		Fn: func(n tree.Node) int { return int(n.HeapIndex() % int64(m)) },
+	}
+}
+
+func TestFamilyDistributionBasics(t *testing.T) {
+	m := modMap(8, 7)
+	f, err := template.NewFamily(m.Tree(), template.Path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := FamilyDistribution(m, f)
+	if d.Instances != f.Count() {
+		t.Fatalf("instances %d, want %d", d.Instances, f.Count())
+	}
+	// Histogram mass equals instance count.
+	var mass int64
+	for _, n := range d.Histogram {
+		mass += n
+	}
+	if mass != d.Instances {
+		t.Errorf("histogram mass %d", mass)
+	}
+	// Max must equal the exhaustive family cost.
+	cost, _ := coloring.FamilyCost(m, f)
+	if d.Max != cost {
+		t.Errorf("Max %d, family cost %d", d.Max, cost)
+	}
+	if d.Min < 0 || d.Mean < float64(d.Min) || d.Mean > float64(d.Max) {
+		t.Errorf("inconsistent stats %+v", d)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	m := modMap(9, 5)
+	f, err := template.NewFamily(m.Tree(), template.Subtree, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := FamilyDistribution(m, f)
+	prev := d.Min
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		got := d.Percentile(p)
+		if got < prev {
+			t.Errorf("percentile %.2f = %d below previous %d", p, got, prev)
+		}
+		prev = got
+	}
+	if d.Percentile(0) != d.Min {
+		t.Error("p0 should be min")
+	}
+	if d.Percentile(2) != d.Percentile(1) {
+		t.Error("p>1 should clamp")
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if (Distribution{}).Percentile(0.5) != 0 {
+		t.Error("empty distribution percentile should be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	m := modMap(6, 3)
+	f, err := template.NewFamily(m.Tree(), template.Level, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FamilyDistribution(m, f).String()
+	for _, want := range []string{"n=", "mean=", "p99="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %s", s, want)
+		}
+	}
+}
+
+// COLOR's distribution on P(N) must be the point mass at zero (Theorem 3),
+// and on P(M) concentrated on {0, 1} (Theorem 4).
+func TestColorDistributionMatchesTheorems(t *testing.T) {
+	p, err := colormap.Canonical(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := colormap.Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fN, err := template.NewFamily(arr.Tree(), template.Path, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := FamilyDistribution(arr, fN)
+	if d.Max != 0 {
+		t.Errorf("P(N) distribution %v not a point mass at 0", d)
+	}
+	fM, err := template.NewFamily(arr.Tree(), template.Path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = FamilyDistribution(arr, fM)
+	if d.Max > 1 {
+		t.Errorf("P(M) max %d exceeds 1", d.Max)
+	}
+	if d.Percentile(0.99) > 1 {
+		t.Errorf("p99 %d", d.Percentile(0.99))
+	}
+}

@@ -1,0 +1,81 @@
+// Package baseline provides the naive mapping strategies the structured
+// algorithms are compared against in the experiments:
+//
+//   - Modulo: color = BFS (heap) index mod M, the classic interleaved
+//     storage scheme for linear arrays applied to the tree's level order;
+//   - LevelCyclic: color = (level offset + index) mod M, which restarts the
+//     interleave at every level so that level runs are perfectly spread;
+//   - Random: a seeded uniform random color per node, the unstructured
+//     reference point for expected conflicts;
+//   - BitReversal: color = bit-reversed within-level index mod M, a classic
+//     trick for spreading strided accesses.
+//
+// All of them retrieve a node's module in O(1) with no preprocessing and
+// have perfectly or near-perfectly balanced load — but none gives
+// conflict-freeness guarantees on tree templates, which is exactly the
+// trade-off the paper's Section 1.3 criteria highlight.
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// Modulo returns the BFS-index-mod-M mapping.
+func Modulo(t tree.Tree, modules int) coloring.Mapping {
+	mustModules(modules)
+	return coloring.FuncMapping{
+		T: t, M: modules, AlgName: fmt.Sprintf("MOD(M=%d)", modules),
+		Fn: func(n tree.Node) int { return int(n.HeapIndex() % int64(modules)) },
+	}
+}
+
+// LevelCyclic returns the per-level cyclic mapping: within level j colors
+// cycle starting at offset j, so vertically adjacent nodes differ.
+func LevelCyclic(t tree.Tree, modules int) coloring.Mapping {
+	mustModules(modules)
+	return coloring.FuncMapping{
+		T: t, M: modules, AlgName: fmt.Sprintf("LEVEL-CYCLIC(M=%d)", modules),
+		Fn: func(n tree.Node) int {
+			return int((int64(n.Level) + n.Index) % int64(modules))
+		},
+	}
+}
+
+// Random returns a materialized uniformly random mapping with the given
+// seed. It is materialized so repeated Color calls are consistent.
+func Random(t tree.Tree, modules int, seed int64) coloring.Mapping {
+	mustModules(modules)
+	rng := rand.New(rand.NewSource(seed))
+	arr := coloring.NewArrayMapping(t, modules, fmt.Sprintf("RANDOM(M=%d,seed=%d)", modules, seed))
+	for h := range arr.Colors {
+		arr.Colors[h] = int32(rng.Intn(modules))
+	}
+	return arr
+}
+
+// BitReversal returns the mapping that bit-reverses the within-level index
+// (over the level's width) before taking it modulo M.
+func BitReversal(t tree.Tree, modules int) coloring.Mapping {
+	mustModules(modules)
+	return coloring.FuncMapping{
+		T: t, M: modules, AlgName: fmt.Sprintf("BIT-REVERSAL(M=%d)", modules),
+		Fn: func(n tree.Node) int {
+			rev := bits.Reverse64(uint64(n.Index)) >> uint(64-n.Level)
+			if n.Level == 0 {
+				rev = 0
+			}
+			return int((int64(rev) + int64(n.Level)) % int64(modules))
+		},
+	}
+}
+
+func mustModules(modules int) {
+	if modules < 1 {
+		panic(fmt.Sprintf("baseline: %d modules", modules))
+	}
+}

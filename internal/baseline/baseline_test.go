@@ -1,0 +1,135 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+func allBaselines(t tree.Tree, m int) []coloring.Mapping {
+	return []coloring.Mapping{
+		Modulo(t, m),
+		LevelCyclic(t, m),
+		Random(t, m, 1),
+		BitReversal(t, m),
+	}
+}
+
+func TestColorsInRange(t *testing.T) {
+	tr := tree.New(10)
+	for _, m := range allBaselines(tr, 7) {
+		arr := coloring.Materialize(m)
+		if err := arr.Validate(); err != nil {
+			t.Errorf("%s: %v", coloring.NameOf(m), err)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	tr := tree.New(4)
+	names := map[string]bool{}
+	for _, m := range allBaselines(tr, 5) {
+		name := coloring.NameOf(m)
+		if name == "" || names[name] {
+			t.Errorf("missing or duplicate name %q", name)
+		}
+		names[name] = true
+	}
+}
+
+func TestModuloKnownValues(t *testing.T) {
+	tr := tree.New(4)
+	m := Modulo(tr, 3)
+	// Heap indices 0..6 → 0,1,2,0,1,2,0.
+	wants := []int{0, 1, 2, 0, 1, 2, 0}
+	for h, want := range wants {
+		if got := m.Color(tree.FromHeapIndex(int64(h))); got != want {
+			t.Errorf("heap %d: color %d, want %d", h, got, want)
+		}
+	}
+}
+
+func TestLevelCyclicSpreadsLevels(t *testing.T) {
+	tr := tree.New(8)
+	m := LevelCyclic(tr, 8)
+	// A run of 8 nodes within a level must be conflict-free.
+	f, err := template.NewFamily(tr, template.Level, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost, _ := coloring.FamilyCost(m, f); cost != 0 {
+		t.Errorf("level runs of M have cost %d, want 0", cost)
+	}
+}
+
+func TestModuloPathsConflictHeavily(t *testing.T) {
+	// The classic failure: ancestors of heap index 0 are heap indices
+	// 0,1,3,7,15..., and mod small M those collide often — this is the
+	// motivation for the paper's algorithms.
+	tr := tree.New(8)
+	m := Modulo(tr, 7)
+	f, err := template.NewFamily(tr, template.Path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, _ := coloring.FamilyCost(m, f)
+	if cost < 2 {
+		t.Errorf("expected heavy path conflicts under MOD, got %d", cost)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	tr := tree.New(6)
+	a := Random(tr, 5, 42)
+	b := Random(tr, 5, 42)
+	if ok, n := coloring.Equal(a, b); !ok {
+		t.Errorf("same seed differs at %v", n)
+	}
+	c := Random(tr, 5, 43)
+	if ok, _ := coloring.Equal(a, c); ok {
+		t.Error("different seeds produced identical mapping (suspicious)")
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	tr := tree.New(12)
+	for _, m := range []coloring.Mapping{Modulo(tr, 7), LevelCyclic(tr, 7)} {
+		stats := coloring.Load(m)
+		if !stats.Balanced || stats.Ratio > 1.01 {
+			t.Errorf("%s: load %+v, want near-perfect balance", coloring.NameOf(m), stats)
+		}
+	}
+}
+
+func TestBitReversalRootAndRange(t *testing.T) {
+	tr := tree.New(10)
+	m := BitReversal(tr, 9)
+	if c := m.Color(tree.V(0, 0)); c < 0 || c >= 9 {
+		t.Errorf("root color %d out of range", c)
+	}
+	arr := coloring.Materialize(m)
+	if err := arr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroModulesPanics(t *testing.T) {
+	tr := tree.New(3)
+	for _, construct := range []func(){
+		func() { Modulo(tr, 0) },
+		func() { LevelCyclic(tr, 0) },
+		func() { Random(tr, 0, 1) },
+		func() { BitReversal(tr, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for 0 modules")
+				}
+			}()
+			construct()
+		}()
+	}
+}

@@ -1,0 +1,243 @@
+// Package basiccolor implements the paper's BASIC-COLOR algorithm
+// (Section 3.1, Fig. 2): coloring a complete binary tree B of N levels
+// with N + K - k colors, where K = 2^k - 1, so that every complete subtree
+// of size K and every leaf-to-root path (of N nodes) is accessed without
+// memory conflicts (Theorem 1), with at most one conflict on any run of K
+// consecutive nodes within a level (Lemma 2). Theorem 2 shows N + K - k
+// colors is optimal.
+//
+// The color set {0, …, N+K-k-1} is split into
+//
+//	Σ = {0, …, K-1}          assigned bijectively to the top k levels, and
+//	Γ = {K, …, N+K-k-1}      one fresh color per remaining level.
+//
+// Each level j ≥ k is partitioned into blocks of 2^(k-1) nodes — the leaves
+// of the size-K subtree rooted at the block's (k-1)-st ancestor v1. The
+// first 2^(k-1)-1 nodes of a block copy, in level order, the colors of the
+// interior of the size-K subtree rooted at v1's sibling v2; the last node
+// of the block takes the fresh per-level Γ color.
+//
+// Note on the paper text: Fig. 2's prose restates the block rule with an
+// index formula, v(2^r(h+(-1)^(h mod 2))+s, j-k+r+1), that is off by one
+// level relative to both the "(i+1)-st node of S_2 in level order" rule of
+// line 7 and the bijection required by the proof of Lemma 1. This package
+// implements the level-order rule; the exhaustive tests in this package
+// and the E1 experiment verify the claimed conflict-freeness.
+package basiccolor
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// Params carries the (N, K) parameterization of BASIC-COLOR.
+type Params struct {
+	Levels        int // N: number of levels of the tree being colored
+	SubtreeLevels int // k: subtree template has K = 2^k - 1 nodes
+}
+
+// Validate checks the constraint N ≥ k required by the algorithm.
+func (p Params) Validate() error {
+	if p.SubtreeLevels < 1 {
+		return fmt.Errorf("basiccolor: k = %d must be at least 1", p.SubtreeLevels)
+	}
+	if p.Levels < p.SubtreeLevels {
+		return fmt.Errorf("basiccolor: N = %d must be at least k = %d", p.Levels, p.SubtreeLevels)
+	}
+	if p.Levels > 62 {
+		return fmt.Errorf("basiccolor: N = %d too large", p.Levels)
+	}
+	return nil
+}
+
+// K returns the subtree template size 2^k - 1.
+func (p Params) K() int64 { return tree.SubtreeSize(p.SubtreeLevels) }
+
+// Colors returns the number of colors used: N + K - k.
+func (p Params) Colors() int {
+	return p.Levels + int(p.K()) - p.SubtreeLevels
+}
+
+// Color runs BASIC-COLOR(B, N, K) over a full N-level tree and returns the
+// materialized mapping. Time and space are O(2^N), matching the paper.
+func Color(p Params) (*coloring.ArrayMapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := tree.New(p.Levels)
+	arr := coloring.NewArrayMapping(t, p.Colors(), fmt.Sprintf("BASIC-COLOR(N=%d,k=%d)", p.Levels, p.SubtreeLevels))
+	k := p.SubtreeLevels
+
+	// Phase 1: top k levels get distinct colors of Σ: v(i,j) ↦ 2^j + i - 1.
+	top := k
+	if top > t.Levels() {
+		top = t.Levels()
+	}
+	for j := 0; j < top; j++ {
+		for i := int64(0); i < t.LevelWidth(j); i++ {
+			arr.Set(tree.V(i, j), int(tree.Pow2(j)-1+i))
+		}
+	}
+
+	// Phase 2 (BOTTOM): levels k..N-1, blockwise, with the fresh Γ color
+	// K + (j-k) for the last node of every block of level j.
+	gamma := make([]int, p.Levels-k)
+	for idx := range gamma {
+		gamma[idx] = int(p.K()) + idx
+	}
+	Bottom(arr, tree.V(0, 0), p, gamma)
+	return arr, nil
+}
+
+// Bottom colors levels root.Level+k … root.Level+p.Levels-1 of the N-level
+// subtree rooted at root inside arr, assuming the subtree's top k levels
+// are already colored. gamma supplies the per-level list Z of Fig. 2: the
+// last node of every block at subtree-relative level ℓ receives
+// gamma[ℓ-k]. gamma must have length p.Levels - p.SubtreeLevels.
+//
+// Bottom is shared by BASIC-COLOR (fresh Γ colors) and by the COLOR
+// algorithm of Section 3.2 (Γ(i,j) lists drawn from ancestor path colors).
+// Levels that fall outside arr's tree are skipped, which implements the
+// paper's "dummy levels" truncation.
+func Bottom(arr *coloring.ArrayMapping, root tree.Node, p Params, gamma []int) {
+	k := p.SubtreeLevels
+	if len(gamma) != p.Levels-k {
+		panic(fmt.Sprintf("basiccolor: gamma has %d colors, want %d", len(gamma), p.Levels-k))
+	}
+	t := arr.Tree()
+	width := tree.Pow2(k - 1) // block width 2^(k-1)
+	for ell := k; ell < p.Levels; ell++ {
+		level := root.Level + ell
+		if level >= t.Levels() {
+			return
+		}
+		firstIdx, count := root.DescendantsAt(ell)
+		blocks := count / width
+		for h := int64(0); h < blocks; h++ {
+			blockFirst := firstIdx + h*width
+			// v1 is the (k-1)-st ancestor of the block; v2 its sibling; the
+			// block's interior colors copy S2 = subtree(v2, k) in level
+			// order.
+			v1 := tree.V(blockFirst, level).Ancestor(k - 1)
+			v2 := v1.Sibling()
+			pos := int64(0) // level-order position within S2
+			for d := 0; d < k-1 && pos < width-1; d++ {
+				srcFirst, srcCount := v2.DescendantsAt(d)
+				for q := int64(0); q < srcCount && pos < width-1; q++ {
+					src := tree.V(srcFirst+q, v2.Level+d)
+					arr.Colors[tree.V(blockFirst+pos, level).HeapIndex()] = arr.Colors[src.HeapIndex()]
+					pos++
+				}
+			}
+			arr.Set(tree.V(blockFirst+width-1, level), gamma[ell-k])
+		}
+	}
+}
+
+// Retrieve computes the color of a single node without materializing the
+// whole tree, in O(N - k) time (the paper's RETRIEVING cost without the UP
+// table): it follows the inheritance chain up the tree until reaching a
+// directly colored node.
+func Retrieve(p Params, n tree.Node) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if !n.Valid() || n.Level >= p.Levels {
+		return 0, fmt.Errorf("basiccolor: node %v outside %d-level tree", n, p.Levels)
+	}
+	k := p.SubtreeLevels
+	for {
+		if n.Level < k {
+			return int(tree.Pow2(n.Level) - 1 + n.Index), nil
+		}
+		var last bool
+		n, last = InheritanceSource(k, n)
+		if last {
+			return int(tree.SubtreeSize(k)) + n.Level - k, nil
+		}
+	}
+}
+
+// InheritanceSource returns, for a node at level ≥ k, either the node it
+// inherits its color from (last=false) or, when the node is the final node
+// of its block, the node itself with last=true (the caller then applies
+// the Γ rule).
+func InheritanceSource(k int, n tree.Node) (src tree.Node, last bool) {
+	width := tree.Pow2(k - 1)
+	posInBlock := n.Index % width
+	if posInBlock == width-1 {
+		return n, true
+	}
+	// Level-order position posInBlock within S2 (0 = the root v2).
+	v2 := n.Ancestor(k - 1).Sibling()
+	return tree.LevelOrderNode(v2, posInBlock), false
+}
+
+// UPEntry is one entry of the paper's UP table: the node a given node
+// inherits its color from, or a direct-color marker.
+type UPEntry struct {
+	// Direct is true when the node is colored directly (top k levels or
+	// block-last Γ rule), i.e. the paper's '*' mark.
+	Direct bool
+	// Source is the inheritance source when Direct is false.
+	Source tree.Node
+}
+
+// UPTable is the PREBASIC-COLOR preprocessing result: for each node, where
+// its color comes from. With it, one inheritance step is a table lookup
+// and full retrieval is O(1) amortized per step chain... the paper uses it
+// to cut single-node retrieval to constant time by storing, for every
+// node, its ultimate source; UPTable stores both the single-step table
+// (Steps) and the fully resolved colors (Resolved) so RetrieveFast is O(1).
+type UPTable struct {
+	p        Params
+	steps    []UPEntry
+	resolved []int32
+}
+
+// Preprocess builds the UP table for the given parameters in O(2^N) time
+// and space (the paper's PREBASIC-COLOR).
+func Preprocess(p Params) (*UPTable, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := tree.New(p.Levels)
+	up := &UPTable{
+		p:        p,
+		steps:    make([]UPEntry, t.Nodes()),
+		resolved: make([]int32, t.Nodes()),
+	}
+	k := p.SubtreeLevels
+	for j := 0; j < t.Levels(); j++ {
+		for i := int64(0); i < t.LevelWidth(j); i++ {
+			n := tree.V(i, j)
+			h := n.HeapIndex()
+			if j < k {
+				up.steps[h] = UPEntry{Direct: true}
+				up.resolved[h] = int32(tree.Pow2(j) - 1 + i)
+				continue
+			}
+			src, isLast := InheritanceSource(k, n)
+			if isLast {
+				up.steps[h] = UPEntry{Direct: true}
+				up.resolved[h] = int32(int(tree.SubtreeSize(k)) + j - k)
+				continue
+			}
+			up.steps[h] = UPEntry{Source: src}
+			up.resolved[h] = up.resolved[src.HeapIndex()]
+		}
+	}
+	return up, nil
+}
+
+// Step returns the single-step UP entry for n (the paper's UP[v]).
+func (u *UPTable) Step(n tree.Node) UPEntry { return u.steps[n.HeapIndex()] }
+
+// RetrieveFast returns the color of n in O(1) using the preprocessed
+// table.
+func (u *UPTable) RetrieveFast(n tree.Node) int { return int(u.resolved[n.HeapIndex()]) }
+
+// Params returns the parameters the table was built for.
+func (u *UPTable) Params() Params { return u.p }

@@ -1,0 +1,352 @@
+package basiccolor
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// sweep enumerates the (k, N) parameter grid used by the exhaustive tests.
+// Trees up to 2^14 nodes keep the full-family enumeration fast.
+func sweep() []Params {
+	var ps []Params
+	for k := 1; k <= 5; k++ {
+		for N := k; N <= 14; N++ {
+			ps = append(ps, Params{Levels: N, SubtreeLevels: k})
+		}
+	}
+	return ps
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Levels: 3, SubtreeLevels: 0},
+		{Levels: 2, SubtreeLevels: 3},
+		{Levels: 63, SubtreeLevels: 2},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", p)
+		}
+	}
+	if err := (Params{Levels: 5, SubtreeLevels: 3}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestParamsDerived(t *testing.T) {
+	p := Params{Levels: 7, SubtreeLevels: 3}
+	if p.K() != 7 {
+		t.Errorf("K = %d", p.K())
+	}
+	if p.Colors() != 7+7-3 {
+		t.Errorf("Colors = %d", p.Colors())
+	}
+}
+
+func TestColorRejectsBadParams(t *testing.T) {
+	if _, err := Color(Params{Levels: 1, SubtreeLevels: 2}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// Worked example from the design review: k=2, K=3, N=3 over a 3-level tree.
+func TestColorSmallKnownValues(t *testing.T) {
+	arr, err := Color(Params{Levels: 3, SubtreeLevels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[tree.Node]int{
+		tree.V(0, 0): 0,
+		tree.V(0, 1): 1, tree.V(1, 1): 2,
+		tree.V(0, 2): 2, tree.V(1, 2): 3, tree.V(2, 2): 1, tree.V(3, 2): 3,
+	}
+	for n, c := range want {
+		if got := arr.Color(n); got != c {
+			t.Errorf("color(%v) = %d, want %d", n, got, c)
+		}
+	}
+}
+
+// Theorem 1: BASIC-COLOR is (N+K-k)-CF on S(K) and P(N). Exhaustive over
+// the sweep grid.
+func TestTheorem1ConflictFree(t *testing.T) {
+	for _, p := range sweep() {
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arr.Modules() != p.Colors() {
+			t.Fatalf("%+v: modules %d, want %d", p, arr.Modules(), p.Colors())
+		}
+		sf, err := template.NewFamily(arr.Tree(), template.Subtree, p.K())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost, witness := coloring.FamilyCost(arr, sf); cost != 0 {
+			t.Errorf("%+v: S(K) cost %d at %v, want 0", p, cost, witness)
+		}
+		pf, err := template.NewFamily(arr.Tree(), template.Path, int64(p.Levels))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost, witness := coloring.FamilyCost(arr, pf); cost != 0 {
+			t.Errorf("%+v: P(N) cost %d at %v, want 0", p, cost, witness)
+		}
+	}
+}
+
+// Lemma 1: the larger TP(K, j) families are conflict-free for every j.
+func TestLemma1TPConflictFree(t *testing.T) {
+	for _, p := range sweep() {
+		if p.Levels > 11 { // TP check is per anchor level; keep it fast
+			continue
+		}
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := arr.Tree()
+		c := coloring.NewCounter(arr.Modules())
+		for anchor := 0; anchor < tr.Levels(); anchor++ {
+			fam, err := template.TPFamily(tr, p.SubtreeLevels, anchor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tp := range fam {
+				c.Reset()
+				for _, n := range tp.Nodes(tr) {
+					c.Add(arr.Color(n))
+				}
+				if c.Conflicts() != 0 {
+					t.Fatalf("%+v: TP at %v has %d conflicts", p, tp.Root, c.Conflicts())
+				}
+			}
+		}
+	}
+}
+
+// Lemma 2: cost at most 1 on L(K).
+func TestLemma2LevelCostAtMostOne(t *testing.T) {
+	for _, p := range sweep() {
+		if p.K() > tree.New(p.Levels).LevelWidth(p.Levels-1) {
+			continue // no L(K) instance fits
+		}
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lf, err := template.NewFamily(arr.Tree(), template.Level, p.K())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost, witness := coloring.FamilyCost(arr, lf); cost > 1 {
+			t.Errorf("%+v: L(K) cost %d at %v, want ≤ 1", p, cost, witness)
+		}
+	}
+}
+
+// The mapping must use exactly N+K-k colors, all of them.
+func TestAllColorsUsed(t *testing.T) {
+	for _, p := range sweep() {
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := make([]bool, arr.Modules())
+		for _, c := range arr.Colors {
+			used[c] = true
+		}
+		for col, ok := range used {
+			if !ok && p.Levels > p.SubtreeLevels {
+				t.Errorf("%+v: color %d never used", p, col)
+			}
+		}
+		if err := arr.Validate(); err != nil {
+			t.Errorf("%+v: %v", p, err)
+		}
+	}
+}
+
+// Retrieve must agree with the forward coloring on every node.
+func TestRetrieveMatchesForward(t *testing.T) {
+	for _, p := range sweep() {
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := arr.Tree()
+		for j := 0; j < tr.Levels(); j++ {
+			for i := int64(0); i < tr.LevelWidth(j); i++ {
+				n := tree.V(i, j)
+				got, err := Retrieve(p, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := arr.Color(n); got != want {
+					t.Fatalf("%+v: Retrieve(%v) = %d, forward %d", p, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRetrieveErrors(t *testing.T) {
+	p := Params{Levels: 4, SubtreeLevels: 2}
+	if _, err := Retrieve(p, tree.V(0, 4)); err == nil {
+		t.Error("node outside tree should fail")
+	}
+	if _, err := Retrieve(p, tree.V(-1, 2)); err == nil {
+		t.Error("invalid node should fail")
+	}
+	if _, err := Retrieve(Params{Levels: 1, SubtreeLevels: 2}, tree.V(0, 0)); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+// The UP table's resolved colors and single-step entries must agree with
+// forward coloring and the chain structure.
+func TestUPTableMatchesForward(t *testing.T) {
+	for _, p := range sweep() {
+		if p.Levels > 12 {
+			continue
+		}
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		up, err := Preprocess(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Params() != p {
+			t.Fatal("Params accessor wrong")
+		}
+		tr := arr.Tree()
+		for j := 0; j < tr.Levels(); j++ {
+			for i := int64(0); i < tr.LevelWidth(j); i++ {
+				n := tree.V(i, j)
+				if got, want := up.RetrieveFast(n), arr.Color(n); got != want {
+					t.Fatalf("%+v: RetrieveFast(%v) = %d, want %d", p, n, got, want)
+				}
+				step := up.Step(n)
+				if !step.Direct {
+					// The source must be strictly higher and hold the same color.
+					if step.Source.Level >= n.Level {
+						t.Fatalf("%+v: UP[%v] = %v does not climb", p, n, step.Source)
+					}
+					if arr.Color(step.Source) != arr.Color(n) {
+						t.Fatalf("%+v: UP[%v] = %v has different color", p, n, step.Source)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPreprocessRejectsBadParams(t *testing.T) {
+	if _, err := Preprocess(Params{Levels: 0, SubtreeLevels: 1}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// Degenerate parameterizations: k = 1 blocks have width 1, so every node
+// below the root takes a Γ color; k = N means no BOTTOM phase at all.
+func TestDegenerateParams(t *testing.T) {
+	// k = 1: levels below the root each use one fresh color; paths are CF.
+	arr, err := Color(Params{Levels: 6, SubtreeLevels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := template.NewFamily(arr.Tree(), template.Path, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost, _ := coloring.FamilyCost(arr, pf); cost != 0 {
+		t.Errorf("k=1 path cost = %d", cost)
+	}
+
+	// k = N: phase 1 colors everything distinctly.
+	arr, err = Color(Params{Levels: 4, SubtreeLevels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range arr.Colors {
+		if seen[int(c)] {
+			t.Fatal("k=N coloring must be a bijection")
+		}
+		seen[int(c)] = true
+	}
+}
+
+// Theorem 2 (upper-bound side sanity): TP(K, N-k) instances have exactly
+// N+K-k nodes and are conflict-free, i.e. BASIC-COLOR uses each of its
+// N+K-k colors exactly once on them.
+func TestTPAtCriticalLevelIsRainbow(t *testing.T) {
+	for _, p := range sweep() {
+		if p.Levels < 2*p.SubtreeLevels || p.Levels > 12 {
+			continue
+		}
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := arr.Tree()
+		anchor := p.Levels - p.SubtreeLevels
+		fam, err := template.TPFamily(tr, p.SubtreeLevels, anchor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range fam {
+			nodes := tp.Nodes(tr)
+			if len(nodes) != p.Colors() {
+				t.Fatalf("%+v: TP size %d != colors %d", p, len(nodes), p.Colors())
+			}
+			seen := map[int]bool{}
+			for _, n := range nodes {
+				c := arr.Color(n)
+				if seen[c] {
+					t.Fatalf("%+v: TP at %v repeats color %d", p, tp.Root, c)
+				}
+				seen[c] = true
+			}
+		}
+	}
+}
+
+func BenchmarkColorN14K3(b *testing.B) {
+	p := Params{Levels: 14, SubtreeLevels: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Color(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrieve(b *testing.B) {
+	p := Params{Levels: 20, SubtreeLevels: 4}
+	n := tree.V(123456, 19)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Retrieve(p, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrieveFast(b *testing.B) {
+	p := Params{Levels: 16, SubtreeLevels: 4}
+	up, err := Preprocess(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tree.V(12345, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		up.RetrieveFast(n)
+	}
+}

@@ -1,0 +1,318 @@
+// Package binomial implements conflict-free template access for binomial
+// trees, the companion direction of the paper's references [7] and [9]
+// (Das and Pinotti, "Conflict-Free Template Access in k-Ary and Binomial
+// Trees", ICS 1997): mapping the 2^n nodes of a binomial tree B_n onto
+// parallel memory modules so that
+//
+//   - every B_k-subtree instance (SubtreeColoring, 2^k modules — optimal,
+//     since instances have 2^k nodes), and/or
+//   - every ascending path of K nodes (PathColoring, K modules — optimal),
+//   - or both at once (CombinedColoring, K·2^k modules)
+//
+// is accessed without conflicts. Conflict-freeness is verified
+// exhaustively by the package tests; the exact minimum for the combined
+// template on small trees is explored by the E13 experiment through the
+// same kind of backtracking search the binary lower bound uses.
+//
+// Node encoding: B_n's nodes are the integers 0..2^n-1; the parent of
+// v ≠ 0 clears v's lowest set bit, so the children of v are v | 2^i for
+// every i below v's lowest set bit (the root 0 has children 2^i for all
+// i < n). The B_k subtree "hanging at" a node v with lsb(v) ≥ k is
+// {v | mask : mask ⊆ low k bits}.
+package binomial
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Tree describes a binomial tree B_n with 2^n nodes.
+type Tree struct {
+	n int
+}
+
+// New returns B_n. n must be in [1, 30].
+func New(n int) (Tree, error) {
+	if n < 1 || n > 30 {
+		return Tree{}, fmt.Errorf("binomial: order %d out of range [1,30]", n)
+	}
+	return Tree{n: n}, nil
+}
+
+// Order returns n.
+func (t Tree) Order() int { return t.n }
+
+// Nodes returns 2^n.
+func (t Tree) Nodes() int64 { return 1 << uint(t.n) }
+
+// Contains reports whether v is a node of the tree.
+func (t Tree) Contains(v int64) bool { return v >= 0 && v < t.Nodes() }
+
+// Parent returns the parent of v (clear the lowest set bit); v must not be
+// the root.
+func Parent(v int64) int64 {
+	if v == 0 {
+		panic("binomial: Parent of root")
+	}
+	return v & (v - 1)
+}
+
+// Depth returns the number of edges from v to the root: popcount(v).
+func Depth(v int64) int { return bits.OnesCount64(uint64(v)) }
+
+// SubtreeRoots returns every node at which a B_k subtree hangs: the nodes
+// whose lowest set bit is at position ≥ k (including the root).
+func (t Tree) SubtreeRoots(k int) []int64 {
+	if k < 0 || k > t.n {
+		panic(fmt.Sprintf("binomial: subtree order %d out of range", k))
+	}
+	var roots []int64
+	for v := int64(0); v < t.Nodes(); v++ {
+		if v&((1<<uint(k))-1) == 0 {
+			roots = append(roots, v)
+		}
+	}
+	return roots
+}
+
+// SubtreeNodes returns the 2^k nodes of the B_k subtree hanging at root;
+// root's low k bits must be zero.
+func SubtreeNodes(root int64, k int) []int64 {
+	if root&((1<<uint(k))-1) != 0 {
+		panic(fmt.Sprintf("binomial: %d is not a B_%d subtree root", root, k))
+	}
+	size := int64(1) << uint(k)
+	nodes := make([]int64, size)
+	for mask := int64(0); mask < size; mask++ {
+		nodes[mask] = root | mask
+	}
+	return nodes
+}
+
+// PathNodes returns the ascending path of exactly size nodes starting at
+// v; v's depth must be at least size-1.
+func PathNodes(v int64, size int) []int64 {
+	if size < 1 || Depth(v) < size-1 {
+		panic(fmt.Sprintf("binomial: path of %d from depth-%d node", size, Depth(v)))
+	}
+	path := make([]int64, size)
+	for s := 0; s < size; s++ {
+		path[s] = v
+		if s+1 < size {
+			v = Parent(v)
+		}
+	}
+	return path
+}
+
+// Coloring maps binomial tree nodes to modules.
+type Coloring struct {
+	Name    string
+	Modules int
+	Fn      func(v int64) int
+}
+
+// SubtreeColoring is conflict-free on every B_k subtree instance using the
+// minimum possible 2^k modules: the module is the node's low k bits, which
+// enumerate exactly the subtree masks.
+func SubtreeColoring(k int) Coloring {
+	if k < 0 || k > 30 {
+		panic("binomial: subtree order out of range")
+	}
+	m := 1 << uint(k)
+	return Coloring{
+		Name:    fmt.Sprintf("BIN-SUBTREE(k=%d)", k),
+		Modules: m,
+		Fn:      func(v int64) int { return int(v & int64(m-1)) },
+	}
+}
+
+// PathColoring is conflict-free on every ascending path of K nodes using
+// the minimum possible K modules: the module is the node depth mod K,
+// which steps by exactly one along any ascent.
+func PathColoring(K int) Coloring {
+	if K < 1 {
+		panic("binomial: path size must be positive")
+	}
+	return Coloring{
+		Name:    fmt.Sprintf("BIN-PATH(K=%d)", K),
+		Modules: K,
+		Fn:      func(v int64) int { return Depth(v) % K },
+	}
+}
+
+// CombinedColoring is conflict-free on both B_k subtrees and K-node paths
+// simultaneously, using K·2^k modules: the low k bits separate subtree
+// members, and the depth of the remaining high part (mod K) separates the
+// low-bits-exhausted tail of any ascent. (E13 compares this against the
+// exact minimum found by search on small trees.)
+func CombinedColoring(k, K int) Coloring {
+	if k < 0 || k > 20 || K < 1 {
+		panic("binomial: bad combined parameters")
+	}
+	low := 1 << uint(k)
+	return Coloring{
+		Name:    fmt.Sprintf("BIN-COMBINED(k=%d,K=%d)", k, K),
+		Modules: K * low,
+		Fn: func(v int64) int {
+			return int(v&int64(low-1)) + low*(Depth(v>>uint(k))%K)
+		},
+	}
+}
+
+// SubtreeConflicts returns the worst conflicts over every B_k subtree
+// instance of t under c.
+func SubtreeConflicts(t Tree, c Coloring, k int) int {
+	worst := 0
+	counts := make([]int, c.Modules)
+	for _, root := range t.SubtreeRoots(k) {
+		var touched []int
+		max := 0
+		for _, v := range SubtreeNodes(root, k) {
+			col := c.Fn(v)
+			if counts[col] == 0 {
+				touched = append(touched, col)
+			}
+			counts[col]++
+			if counts[col] > max {
+				max = counts[col]
+			}
+		}
+		for _, col := range touched {
+			counts[col] = 0
+		}
+		if max-1 > worst {
+			worst = max - 1
+		}
+	}
+	return worst
+}
+
+// PathConflicts returns the worst conflicts over every ascending path of
+// exactly size nodes in t under c.
+func PathConflicts(t Tree, c Coloring, size int) int {
+	worst := 0
+	counts := make([]int, c.Modules)
+	for v := int64(0); v < t.Nodes(); v++ {
+		if Depth(v) < size-1 {
+			continue
+		}
+		var touched []int
+		max := 0
+		for _, u := range PathNodes(v, size) {
+			col := c.Fn(u)
+			if counts[col] == 0 {
+				touched = append(touched, col)
+			}
+			counts[col]++
+			if counts[col] > max {
+				max = counts[col]
+			}
+		}
+		for _, col := range touched {
+			counts[col] = 0
+		}
+		if max-1 > worst {
+			worst = max - 1
+		}
+	}
+	return worst
+}
+
+// MinModulesCombined searches exhaustively (with canonical-color symmetry
+// breaking) for the smallest module count that admits a coloring of B_n
+// conflict-free on both B_k subtrees and K-node paths. It returns the
+// minimum and a witness coloring. Intended for the small trees of E13
+// (n ≤ 5).
+func MinModulesCombined(n, k, K int) (int, []int8, error) {
+	t, err := New(n)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > 5 {
+		return 0, nil, fmt.Errorf("binomial: exhaustive search capped at n = 5, got %d", n)
+	}
+	if k > n || K > n+1 {
+		return 0, nil, fmt.Errorf("binomial: template larger than the tree")
+	}
+	// Build constraint sets.
+	var constraints [][]int64
+	for _, root := range t.SubtreeRoots(k) {
+		constraints = append(constraints, SubtreeNodes(root, k))
+	}
+	for v := int64(0); v < t.Nodes(); v++ {
+		if Depth(v) >= K-1 {
+			constraints = append(constraints, PathNodes(v, K))
+		}
+	}
+	memberOf := make([][]int32, t.Nodes())
+	for ci, nodes := range constraints {
+		for _, v := range nodes {
+			memberOf[v] = append(memberOf[v], int32(ci))
+		}
+	}
+	lower := 1 << uint(k)
+	if K > lower {
+		lower = K
+	}
+	for modules := lower; ; modules++ {
+		if witness, ok := searchColoring(t.Nodes(), constraints, memberOf, modules); ok {
+			return modules, witness, nil
+		}
+		if modules > lower+16 {
+			return 0, nil, fmt.Errorf("binomial: search runaway past %d modules", modules)
+		}
+	}
+}
+
+// searchColoring is the same canonical backtracking as lowerbound.Search,
+// over arbitrary rainbow constraints.
+func searchColoring(nodes int64, constraints [][]int64, memberOf [][]int32, colors int) ([]int8, bool) {
+	if colors > 64 {
+		return nil, false
+	}
+	usedMask := make([]uint64, len(constraints))
+	assignment := make([]int8, nodes)
+	var assign func(v int64, maxUsed int) bool
+	assign = func(v int64, maxUsed int) bool {
+		if v == nodes {
+			return true
+		}
+		limit := maxUsed + 1
+		if limit >= colors {
+			limit = colors - 1
+		}
+		for c := 0; c <= limit; c++ {
+			bit := uint64(1) << uint(c)
+			ok := true
+			for _, ci := range memberOf[v] {
+				if usedMask[ci]&bit != 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, ci := range memberOf[v] {
+				usedMask[ci] |= bit
+			}
+			assignment[v] = int8(c)
+			next := maxUsed
+			if c > maxUsed {
+				next = c
+			}
+			if assign(v+1, next) {
+				return true
+			}
+			for _, ci := range memberOf[v] {
+				usedMask[ci] &^= bit
+			}
+		}
+		return false
+	}
+	if assign(0, -1) {
+		return assignment, true
+	}
+	return nil, false
+}

@@ -1,0 +1,237 @@
+// Package btree implements the introduction's B-tree scenario faithfully:
+// a B-tree "implemented as a complete tree" is a complete q-ary tree whose
+// every page holds q-1 keys in search-tree order. A range query must fetch
+// every page owning a key in [lo, hi]; that page set decomposes into
+// complete q-ary subtrees plus boundary pages grouped into ascending
+// paths — a composite template over the q-ary tree, whose parallel access
+// cost is governed by the q-ary COLOR mapping (internal/qary).
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/qary"
+)
+
+// Tree is a complete q-ary B-tree: every page stores q-1 keys; keys are
+// the in-order positions 0 … (q-1)·pages - 1.
+type Tree struct {
+	T qary.Tree
+}
+
+// New builds a B-tree over a complete q-ary tree with the given levels.
+func New(arity, levels int) (Tree, error) {
+	t, err := qary.New(arity, levels)
+	if err != nil {
+		return Tree{}, err
+	}
+	return Tree{T: t}, nil
+}
+
+// Keys returns the total number of keys: (q-1) · pages.
+func (b Tree) Keys() int64 { return int64(b.T.Arity()-1) * b.T.Nodes() }
+
+// subtreeKeys returns the number of keys stored in the complete subtree
+// rooted at a page at the given level.
+func (b Tree) subtreeKeys(level int) int64 {
+	return int64(b.T.Arity()-1) * qary.SubtreeSize(b.T.Arity(), b.T.Levels()-level)
+}
+
+// keyStart returns the first in-order key of the subtree rooted at page
+// n. Unlike a plain index product, it must account for the ancestor keys
+// that interleave between sibling subtrees: descending into child c at
+// level lvl skips c whole subtrees plus the c ancestor keys separating
+// them, so each step contributes c · (subtreeKeys(lvl) + 1).
+func (b Tree) keyStart(n qary.Node) int64 {
+	q := int64(b.T.Arity())
+	start := int64(0)
+	for lvl := 1; lvl <= n.Level; lvl++ {
+		anc := b.T.Ancestor(n, n.Level-lvl)
+		start += (anc.Index % q) * (b.subtreeKeys(lvl) + 1)
+	}
+	return start
+}
+
+// PageKey returns the t-th key (0 ≤ t < q-1) stored in page n: the keys of
+// a page interleave between its children's subtree ranges.
+func (b Tree) PageKey(n qary.Node, t int) int64 {
+	q := b.T.Arity()
+	if t < 0 || t >= q-1 {
+		panic(fmt.Sprintf("btree: key slot %d out of range [0,%d)", t, q-1))
+	}
+	childKeys := int64(0)
+	if n.Level+1 < b.T.Levels() {
+		childKeys = b.subtreeKeys(n.Level + 1)
+	}
+	return b.keyStart(n) + int64(t+1)*childKeys + int64(t)
+}
+
+// PageForKey returns the page owning the key and its slot within the page.
+func (b Tree) PageForKey(key int64) (qary.Node, int, error) {
+	if key < 0 || key >= b.Keys() {
+		return qary.Node{}, 0, fmt.Errorf("btree: key %d outside [0,%d)", key, b.Keys())
+	}
+	n := qary.V(0, 0)
+	for {
+		if n.Level >= b.T.Levels() {
+			// Unreachable for valid keys; guards against silent loops.
+			return qary.Node{}, 0, fmt.Errorf("btree: descent for key %d escaped the tree", key)
+		}
+		for t := 0; t < b.T.Arity()-1; t++ {
+			if b.PageKey(n, t) == key {
+				return n, t, nil
+			}
+		}
+		// Descend into the child whose range contains the key.
+		childKeys := b.subtreeKeys(n.Level + 1)
+		offset := key - b.keyStart(n)
+		c := int(offset / (childKeys + 1))
+		if c >= b.T.Arity() {
+			c = b.T.Arity() - 1
+		}
+		n = b.T.Child(n, c)
+	}
+}
+
+// Part is one elementary piece of a range decomposition over the q-ary
+// tree: either a complete subtree (Levels > 0) rooted at Anchor, or an
+// ascending path of Size pages starting at Anchor (Levels == 0).
+type Part struct {
+	Anchor qary.Node
+	Levels int   // subtree levels when > 0
+	Size   int64 // path length when Levels == 0
+}
+
+// Decomposition is the page set of one range query.
+type Decomposition struct {
+	Parts []Part
+}
+
+// Pages enumerates every page of the decomposition.
+func (d Decomposition) Pages(t qary.Tree) []qary.Node {
+	var pages []qary.Node
+	for _, p := range d.Parts {
+		if p.Levels > 0 {
+			t.WalkSubtree(p.Anchor, p.Levels, func(n qary.Node) bool {
+				pages = append(pages, n)
+				return true
+			})
+			continue
+		}
+		pages = append(pages, t.PathNodes(p.Anchor, int(p.Size))...)
+	}
+	return pages
+}
+
+// Decompose returns the composite decomposition of the pages owning keys
+// in [lo, hi]: maximal fully-covered subtrees plus boundary pages grouped
+// into maximal ascending paths.
+func (b Tree) Decompose(lo, hi int64) (Decomposition, error) {
+	if lo < 0 || hi >= b.Keys() || lo > hi {
+		return Decomposition{}, fmt.Errorf("btree: bad range [%d,%d] over %d keys", lo, hi, b.Keys())
+	}
+	var d Decomposition
+	singles := make(map[[2]int64]qary.Node) // key: (level, index)
+
+	var walk func(n qary.Node)
+	walk = func(n qary.Node) {
+		first := b.keyStart(n)
+		last := first + b.subtreeKeys(n.Level) - 1
+		if first > hi || last < lo {
+			return
+		}
+		if lo <= first && last <= hi {
+			d.Parts = append(d.Parts, Part{Anchor: n, Levels: b.T.Levels() - n.Level})
+			return
+		}
+		// Page accessed iff one of its own keys is in range.
+		owns := false
+		for t := 0; t < b.T.Arity()-1; t++ {
+			if k := b.PageKey(n, t); k >= lo && k <= hi {
+				owns = true
+				break
+			}
+		}
+		if owns {
+			singles[[2]int64{int64(n.Level), n.Index}] = n
+		}
+		if n.Level+1 < b.T.Levels() {
+			for c := 0; c < b.T.Arity(); c++ {
+				walk(b.T.Child(n, c))
+			}
+		}
+	}
+	walk(qary.V(0, 0))
+
+	d.Parts = append(d.Parts, b.groupPaths(singles)...)
+	return d, nil
+}
+
+// groupPaths merges boundary pages into maximal ascending paths.
+func (b Tree) groupPaths(singles map[[2]int64]qary.Node) []Part {
+	if len(singles) == 0 {
+		return nil
+	}
+	nodes := make([]qary.Node, 0, len(singles))
+	for _, n := range singles {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Level != nodes[j].Level {
+			return nodes[i].Level > nodes[j].Level
+		}
+		return nodes[i].Index > nodes[j].Index
+	})
+	used := make(map[[2]int64]bool, len(singles))
+	var parts []Part
+	for _, n := range nodes { // deepest first
+		key := [2]int64{int64(n.Level), n.Index}
+		if used[key] {
+			continue
+		}
+		size := int64(0)
+		cur := n
+		for {
+			used[[2]int64{int64(cur.Level), cur.Index}] = true
+			size++
+			if cur.Level == 0 {
+				break
+			}
+			parent := b.T.Parent(cur)
+			pk := [2]int64{int64(parent.Level), parent.Index}
+			if _, ok := singles[pk]; !ok || used[pk] {
+				break
+			}
+			cur = parent
+		}
+		parts = append(parts, Part{Anchor: n, Size: size})
+	}
+	return parts
+}
+
+// QueryCost answers a range query against the q-ary mapping and returns
+// the pages touched, part count, and the parallel access conflicts.
+func (b Tree) QueryCost(m *qary.Mapping, lo, hi int64) (pages int, parts int, conflicts int, err error) {
+	if m.T.Arity() != b.T.Arity() || m.T.Levels() != b.T.Levels() {
+		return 0, 0, 0, fmt.Errorf("btree: mapping tree mismatch")
+	}
+	d, err := b.Decompose(lo, hi)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	all := d.Pages(b.T)
+	counts := make([]int, m.Modules())
+	max := 0
+	for _, p := range all {
+		c := m.Color(p)
+		counts[c]++
+		if counts[c] > max {
+			max = counts[c]
+		}
+	}
+	if max > 0 {
+		conflicts = max - 1
+	}
+	return len(all), len(d.Parts), conflicts, nil
+}

@@ -1,0 +1,190 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qary"
+)
+
+func TestKeysCount(t *testing.T) {
+	b, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Keys() != 2*40 { // 40 pages, 2 keys each
+		t.Errorf("Keys = %d", b.Keys())
+	}
+	if _, err := New(1, 3); err == nil {
+		t.Error("arity 1 should fail")
+	}
+}
+
+// The page keys, read in generalized in-order, must be 0..Keys()-1.
+func TestPageKeysInOrder(t *testing.T) {
+	for _, q := range []int{2, 3, 4} {
+		b, err := New(q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []int64
+		var visit func(n qary.Node)
+		visit = func(n qary.Node) {
+			leaf := n.Level+1 >= b.T.Levels()
+			for c := 0; c < q; c++ {
+				if !leaf {
+					visit(b.T.Child(n, c))
+				}
+				if c < q-1 {
+					keys = append(keys, b.PageKey(n, c))
+				}
+			}
+		}
+		visit(qary.V(0, 0))
+		if int64(len(keys)) != b.Keys() {
+			t.Fatalf("q=%d: visited %d keys, want %d", q, len(keys), b.Keys())
+		}
+		for i, k := range keys {
+			if k != int64(i) {
+				t.Fatalf("q=%d: in-order position %d holds key %d", q, i, k)
+			}
+		}
+	}
+}
+
+func TestPageForKeyRoundTrip(t *testing.T) {
+	b, err := New(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := int64(0); key < b.Keys(); key++ {
+		page, slot, err := b.PageForKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.PageKey(page, slot); got != key {
+			t.Fatalf("PageForKey(%d) = %v slot %d holding %d", key, page, slot, got)
+		}
+	}
+	if _, _, err := b.PageForKey(-1); err == nil {
+		t.Error("negative key should fail")
+	}
+	if _, _, err := b.PageForKey(b.Keys()); err == nil {
+		t.Error("key past end should fail")
+	}
+}
+
+func TestPageKeyPanics(t *testing.T) {
+	b, _ := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.PageKey(qary.V(0, 0), 2)
+}
+
+// Decompose must cover exactly the pages owning keys in range, with
+// disjoint parts.
+func TestDecomposeExactCoverage(t *testing.T) {
+	for _, q := range []int{2, 3, 4} {
+		b, err := New(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(q)))
+		for trial := 0; trial < 100; trial++ {
+			lo := rng.Int63n(b.Keys())
+			hi := lo + rng.Int63n(b.Keys()-lo)
+			d, err := b.Decompose(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[[2]int64]bool{}
+			for _, p := range d.Pages(b.T) {
+				key := [2]int64{int64(p.Level), p.Index}
+				if got[key] {
+					t.Fatalf("q=%d [%d,%d]: page %v duplicated", q, lo, hi, p)
+				}
+				got[key] = true
+			}
+			// Brute force: a page is needed iff one of its keys is in range.
+			for j := 0; j < b.T.Levels(); j++ {
+				for i := int64(0); i < b.T.LevelWidth(j); i++ {
+					page := qary.V(i, j)
+					want := false
+					for s := 0; s < q-1; s++ {
+						if k := b.PageKey(page, s); k >= lo && k <= hi {
+							want = true
+						}
+					}
+					if want != got[[2]int64{int64(j), i}] {
+						t.Fatalf("q=%d [%d,%d]: page %v coverage %v, want %v", q, lo, hi, page, got[[2]int64{int64(j), i}], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	b, _ := New(3, 4)
+	for _, r := range [][2]int64{{-1, 3}, {5, 2}, {0, b.Keys()}} {
+		if _, err := b.Decompose(r[0], r[1]); err == nil {
+			t.Errorf("range %v should fail", r)
+		}
+	}
+}
+
+func TestFullRangeIsOneSubtree(t *testing.T) {
+	b, _ := New(3, 4)
+	d, err := b.Decompose(0, b.Keys()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Parts) != 1 || d.Parts[0].Levels != 4 {
+		t.Errorf("full range parts %v", d.Parts)
+	}
+}
+
+// Query costs through the q-ary COLOR mapping: positive, and within the
+// generic pigeonhole-plus-parts envelope.
+func TestQueryCost(t *testing.T) {
+	b, err := New(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := qary.Params{Arity: 3, Levels: 6, BandLevels: 4, SubtreeLevels: 2}
+	m, err := qary.Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		span := 1 + rng.Int63n(200)
+		lo := rng.Int63n(b.Keys() - span)
+		pages, parts, conflicts, err := b.QueryCost(m, lo, lo+span-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pages < 1 || parts < 1 {
+			t.Fatalf("pages %d parts %d", pages, parts)
+		}
+		floor := (pages+m.Modules()-1)/m.Modules() - 1
+		if conflicts < floor {
+			t.Errorf("conflicts %d below pigeonhole %d", conflicts, floor)
+		}
+	}
+}
+
+func TestQueryCostMismatchedMapping(t *testing.T) {
+	b, _ := New(3, 6)
+	p := qary.Params{Arity: 3, Levels: 5, BandLevels: 4, SubtreeLevels: 2}
+	m, err := qary.Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := b.QueryCost(m, 0, 5); err == nil {
+		t.Error("mismatched tree should fail")
+	}
+}

@@ -1,0 +1,289 @@
+// Package coloring defines the mapping abstraction shared by every
+// algorithm in this repository and the conflict-cost machinery of the
+// paper's Section 2.
+//
+// A mapping of a tree T onto an M-module parallel memory system is an
+// M-coloring of T's nodes. For a template instance I the cost of a mapping
+// U is
+//
+//	C_U(T, I, M) = max_r |{u ∈ I : color(u) = r}| - 1,
+//
+// i.e. the number of conflicts (serialized extra accesses) on the most
+// loaded module. Family and template-set costs maximize over instances and
+// templates respectively.
+package coloring
+
+import (
+	"fmt"
+
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// Mapping assigns every node of a tree to one of Modules() memory modules.
+// Implementations must be deterministic and safe for concurrent readers.
+type Mapping interface {
+	// Color returns the module (color) of the node, in [0, Modules()).
+	Color(n tree.Node) int
+	// Modules returns the number of memory modules (colors) used.
+	Modules() int
+	// Tree returns the tree the mapping covers.
+	Tree() tree.Tree
+}
+
+// Named is implemented by mappings that can report a human-readable
+// algorithm name for tables and reports.
+type Named interface {
+	Name() string
+}
+
+// NameOf returns the mapping's name, falling back to a %T description.
+func NameOf(m Mapping) string {
+	if n, ok := m.(Named); ok {
+		return n.Name()
+	}
+	return fmt.Sprintf("%T", m)
+}
+
+// ArrayMapping is a dense materialized mapping: one color per node, indexed
+// by heap index. It is the common output format of the forward coloring
+// algorithms and the reference against which retrieval functions are
+// verified.
+type ArrayMapping struct {
+	T       tree.Tree
+	Colors  []int32
+	M       int
+	AlgName string
+}
+
+// NewArrayMapping allocates a zeroed mapping for t with m modules.
+func NewArrayMapping(t tree.Tree, m int, name string) *ArrayMapping {
+	if m < 1 {
+		panic(fmt.Sprintf("coloring: %d modules", m))
+	}
+	return &ArrayMapping{T: t, Colors: make([]int32, t.Nodes()), M: m, AlgName: name}
+}
+
+// Color implements Mapping.
+func (a *ArrayMapping) Color(n tree.Node) int { return int(a.Colors[n.HeapIndex()]) }
+
+// Modules implements Mapping.
+func (a *ArrayMapping) Modules() int { return a.M }
+
+// Tree implements Mapping.
+func (a *ArrayMapping) Tree() tree.Tree { return a.T }
+
+// Name implements Named.
+func (a *ArrayMapping) Name() string { return a.AlgName }
+
+// Set assigns the color of node n.
+func (a *ArrayMapping) Set(n tree.Node, color int) {
+	if color < 0 || color >= a.M {
+		panic(fmt.Sprintf("coloring: color %d out of range [0,%d)", color, a.M))
+	}
+	a.Colors[n.HeapIndex()] = int32(color)
+}
+
+// Validate checks that every stored color is inside [0, M).
+func (a *ArrayMapping) Validate() error {
+	for h, c := range a.Colors {
+		if c < 0 || int(c) >= a.M {
+			return fmt.Errorf("coloring: node %v has color %d outside [0,%d)", tree.FromHeapIndex(int64(h)), c, a.M)
+		}
+	}
+	return nil
+}
+
+// FuncMapping adapts a pure function to the Mapping interface.
+type FuncMapping struct {
+	T       tree.Tree
+	M       int
+	AlgName string
+	Fn      func(tree.Node) int
+}
+
+// Color implements Mapping.
+func (f FuncMapping) Color(n tree.Node) int { return f.Fn(n) }
+
+// Modules implements Mapping.
+func (f FuncMapping) Modules() int { return f.M }
+
+// Tree implements Mapping.
+func (f FuncMapping) Tree() tree.Tree { return f.T }
+
+// Name implements Named.
+func (f FuncMapping) Name() string { return f.AlgName }
+
+// Materialize evaluates m on every node into an ArrayMapping, which makes
+// repeated cost evaluation O(1) per node lookup.
+func Materialize(m Mapping) *ArrayMapping {
+	t := m.Tree()
+	arr := NewArrayMapping(t, m.Modules(), NameOf(m))
+	for j := 0; j < t.Levels(); j++ {
+		width := t.LevelWidth(j)
+		for i := int64(0); i < width; i++ {
+			n := tree.V(i, j)
+			arr.Colors[n.HeapIndex()] = int32(m.Color(n))
+		}
+	}
+	return arr
+}
+
+// Counter tallies per-color node counts for one template instance and
+// reports the conflict count. It is reused across instances to avoid
+// allocation in the hot enumeration loops.
+type Counter struct {
+	counts  []int32
+	touched []int32
+}
+
+// NewCounter returns a counter for mappings with m modules.
+func NewCounter(m int) *Counter {
+	return &Counter{counts: make([]int32, m), touched: make([]int32, 0, 64)}
+}
+
+// Reset clears only the colors touched since the previous Reset, keeping
+// Reset O(instance size) rather than O(M).
+func (c *Counter) Reset() {
+	for _, col := range c.touched {
+		c.counts[col] = 0
+	}
+	c.touched = c.touched[:0]
+}
+
+// Add records one access to the given color and returns the new count.
+func (c *Counter) Add(color int) int {
+	if c.counts[color] == 0 {
+		c.touched = append(c.touched, int32(color))
+	}
+	c.counts[color]++
+	return int(c.counts[color])
+}
+
+// Conflicts returns max count - 1 (0 for an empty counter).
+func (c *Counter) Conflicts() int {
+	max := int32(0)
+	for _, col := range c.touched {
+		if c.counts[col] > max {
+			max = c.counts[col]
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return int(max) - 1
+}
+
+// InstanceConflicts computes C_U(T, I, M) for one elementary instance.
+func InstanceConflicts(m Mapping, in template.Instance) int {
+	c := NewCounter(m.Modules())
+	return instanceConflictsWith(m, in, c)
+}
+
+func instanceConflictsWith(m Mapping, in template.Instance, c *Counter) int {
+	c.Reset()
+	in.Walk(func(n tree.Node) bool {
+		c.Add(m.Color(n))
+		return true
+	})
+	return c.Conflicts()
+}
+
+// CompositeConflicts computes C_U(T, C, M) for a composite instance. Note
+// that conflicts are counted over the union of all parts, matching the
+// paper's definition of a single parallel access to the whole template.
+func CompositeConflicts(m Mapping, comp template.Composite) int {
+	c := NewCounter(m.Modules())
+	c.Reset()
+	comp.Walk(func(n tree.Node) bool {
+		c.Add(m.Color(n))
+		return true
+	})
+	return c.Conflicts()
+}
+
+// FamilyCost computes the exact worst case Cost(T, U, 𝓘, M) over every
+// instance of the family by exhaustive enumeration, returning the cost and
+// one witness instance achieving it.
+func FamilyCost(m Mapping, f template.Family) (int, template.Instance) {
+	c := NewCounter(m.Modules())
+	worst := -1
+	var witness template.Instance
+	f.WalkInstances(func(in template.Instance) bool {
+		if got := instanceConflictsWith(m, in, c); got > worst {
+			worst = got
+			witness = in
+		}
+		return true
+	})
+	if worst < 0 {
+		worst = 0
+	}
+	return worst, witness
+}
+
+// IsConflictFree reports whether the mapping has zero conflicts on every
+// instance of the family.
+func IsConflictFree(m Mapping, f template.Family) bool {
+	cost, _ := FamilyCost(m, f)
+	return cost == 0
+}
+
+// LoadStats describes how evenly a mapping spreads nodes over modules; the
+// paper's "memory load" criterion. Ratio is max/min; a perfectly balanced
+// mapping has Ratio 1. Min counts only modules that received at least one
+// node when every module is used; if some module is unused Min is 0 and
+// Ratio is +Inf, reported via Balanced=false.
+type LoadStats struct {
+	Min, Max int64
+	Mean     float64
+	Ratio    float64
+	Balanced bool // every module used at least once
+}
+
+// Load computes the per-module load statistics of the mapping.
+func Load(m Mapping) LoadStats {
+	counts := make([]int64, m.Modules())
+	t := m.Tree()
+	for j := 0; j < t.Levels(); j++ {
+		for i := int64(0); i < t.LevelWidth(j); i++ {
+			counts[m.Color(tree.V(i, j))]++
+		}
+	}
+	stats := LoadStats{Min: counts[0], Max: counts[0]}
+	var sum int64
+	for _, c := range counts {
+		if c < stats.Min {
+			stats.Min = c
+		}
+		if c > stats.Max {
+			stats.Max = c
+		}
+		sum += c
+	}
+	stats.Mean = float64(sum) / float64(len(counts))
+	stats.Balanced = stats.Min > 0
+	if stats.Min > 0 {
+		stats.Ratio = float64(stats.Max) / float64(stats.Min)
+	}
+	return stats
+}
+
+// Equal reports whether two mappings assign identical colors to every node
+// of the same tree. Used to verify retrieval functions against forward
+// colorings.
+func Equal(a, b Mapping) (bool, tree.Node) {
+	if a.Tree() != b.Tree() {
+		return false, tree.Node{}
+	}
+	t := a.Tree()
+	for j := 0; j < t.Levels(); j++ {
+		for i := int64(0); i < t.LevelWidth(j); i++ {
+			n := tree.V(i, j)
+			if a.Color(n) != b.Color(n) {
+				return false, n
+			}
+		}
+	}
+	return true, tree.Node{}
+}

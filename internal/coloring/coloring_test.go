@@ -1,0 +1,306 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// modMapping colors by heap index mod M, the simplest deterministic scheme.
+func modMapping(t tree.Tree, m int) FuncMapping {
+	return FuncMapping{
+		T: t, M: m, AlgName: "mod",
+		Fn: func(n tree.Node) int { return int(n.HeapIndex() % int64(m)) },
+	}
+}
+
+func TestArrayMappingBasics(t *testing.T) {
+	tr := tree.New(4)
+	a := NewArrayMapping(tr, 5, "test")
+	if a.Modules() != 5 || a.Tree() != tr || a.Name() != "test" {
+		t.Fatal("accessors wrong")
+	}
+	a.Set(tree.V(3, 3), 4)
+	if a.Color(tree.V(3, 3)) != 4 {
+		t.Error("Set/Color mismatch")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestArrayMappingSetPanics(t *testing.T) {
+	a := NewArrayMapping(tree.New(3), 2, "test")
+	for _, c := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set color %d should panic", c)
+				}
+			}()
+			a.Set(tree.V(0, 0), c)
+		}()
+	}
+}
+
+func TestArrayMappingValidateCatchesCorruption(t *testing.T) {
+	a := NewArrayMapping(tree.New(3), 2, "test")
+	a.Colors[3] = 7 // bypass Set
+	if err := a.Validate(); err == nil {
+		t.Error("Validate should catch out-of-range color")
+	}
+}
+
+func TestNewArrayMappingZeroModulesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewArrayMapping(tree.New(2), 0, "bad")
+}
+
+func TestMaterializeAgrees(t *testing.T) {
+	tr := tree.New(6)
+	fm := modMapping(tr, 7)
+	arr := Materialize(fm)
+	if ok, bad := Equal(fm, arr); !ok {
+		t.Fatalf("materialized mapping differs at %v", bad)
+	}
+	if arr.Name() != "mod" {
+		t.Errorf("name = %q", arr.Name())
+	}
+}
+
+func TestNameOfFallback(t *testing.T) {
+	tr := tree.New(2)
+	anon := struct{ Mapping }{modMapping(tr, 2)}
+	if NameOf(anon) == "" {
+		t.Error("fallback name empty")
+	}
+	if NameOf(modMapping(tr, 2)) != "mod" {
+		t.Error("named mapping should use Name()")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter(4)
+	if c.Conflicts() != 0 {
+		t.Error("empty counter should have 0 conflicts")
+	}
+	c.Add(1)
+	c.Add(2)
+	c.Add(1)
+	c.Add(1)
+	if got := c.Conflicts(); got != 2 {
+		t.Errorf("Conflicts = %d, want 2", got)
+	}
+	c.Reset()
+	if c.Conflicts() != 0 {
+		t.Error("after Reset conflicts should be 0")
+	}
+	c.Add(3)
+	if got := c.Conflicts(); got != 0 {
+		t.Errorf("single access conflicts = %d", got)
+	}
+}
+
+func TestInstanceConflictsKnownValues(t *testing.T) {
+	tr := tree.New(4)
+	// All nodes to module 0: an instance of size s has s-1 conflicts.
+	all0 := FuncMapping{T: tr, M: 3, Fn: func(tree.Node) int { return 0 }}
+	in := template.Instance{Kind: template.Subtree, Anchor: tree.V(0, 0), Size: 7}
+	if got := InstanceConflicts(all0, in); got != 6 {
+		t.Errorf("all-0 conflicts = %d, want 6", got)
+	}
+	// Heap-index mod 7 colors the first 7 nodes distinctly.
+	mod7 := modMapping(tr, 7)
+	if got := InstanceConflicts(mod7, in); got != 0 {
+		t.Errorf("mod-7 conflicts on first subtree = %d, want 0", got)
+	}
+	// A path hits heap indices 0,1,3,7 under mod 2: colors 0,1,1,1 → 2 conflicts.
+	p := template.Instance{Kind: template.Path, Anchor: tree.V(0, 3), Size: 4}
+	mod2 := modMapping(tr, 2)
+	if got := InstanceConflicts(mod2, p); got != 2 {
+		t.Errorf("mod-2 path conflicts = %d, want 2", got)
+	}
+}
+
+func TestCompositeConflictsCountsUnion(t *testing.T) {
+	tr := tree.New(5)
+	all0 := FuncMapping{T: tr, M: 2, Fn: func(tree.Node) int { return 0 }}
+	comp := template.Composite{Parts: []template.Instance{
+		{Kind: template.Path, Anchor: tree.V(0, 4), Size: 2},
+		{Kind: template.Level, Anchor: tree.V(4, 4), Size: 3},
+	}}
+	// 5 nodes total on one module → 4 conflicts; per-part sums would be 1+2.
+	if got := CompositeConflicts(all0, comp); got != 4 {
+		t.Errorf("composite conflicts = %d, want 4", got)
+	}
+}
+
+func TestFamilyCostLowerBoundKOverM(t *testing.T) {
+	// Section 2: any mapping has cost ≥ ⌈K/M⌉ - 1 on templates of size K.
+	tr := tree.New(8)
+	rng := rand.New(rand.NewSource(5))
+	m := 5
+	randMap := Materialize(FuncMapping{T: tr, M: m, Fn: func(n tree.Node) int {
+		_ = n
+		return rng.Intn(m)
+	}})
+	for _, size := range []int64{7, 15} {
+		f, err := template.NewFamily(tr, template.Subtree, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, _ := FamilyCost(randMap, f)
+		min := int((size+int64(m)-1)/int64(m)) - 1
+		if cost < min {
+			t.Errorf("S(%d) cost %d below pigeonhole bound %d", size, cost, min)
+		}
+	}
+}
+
+func TestFamilyCostWitness(t *testing.T) {
+	tr := tree.New(5)
+	// Color everything 0 except one level-4 node pair to force a known witness.
+	arr := NewArrayMapping(tr, 2, "w")
+	for h := range arr.Colors {
+		arr.Colors[h] = int32(h % 2)
+	}
+	f, err := template.NewFamily(tr, template.Path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, witness := FamilyCost(arr, f)
+	if cost < 0 || witness.Size != 3 {
+		t.Errorf("cost %d witness %v", cost, witness)
+	}
+	// The witness must actually achieve the cost.
+	if got := InstanceConflicts(arr, witness); got != cost {
+		t.Errorf("witness conflicts %d != cost %d", got, cost)
+	}
+}
+
+func TestIsConflictFree(t *testing.T) {
+	tr := tree.New(3)
+	// 7 modules, identity: trivially conflict-free on everything.
+	ident := FuncMapping{T: tr, M: 7, Fn: func(n tree.Node) int { return int(n.HeapIndex()) }}
+	f, err := template.NewFamily(tr, template.Subtree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConflictFree(ident, f) {
+		t.Error("identity mapping should be conflict-free")
+	}
+	all0 := FuncMapping{T: tr, M: 7, Fn: func(tree.Node) int { return 0 }}
+	if IsConflictFree(all0, f) {
+		t.Error("constant mapping cannot be conflict-free")
+	}
+}
+
+func TestLoadStats(t *testing.T) {
+	tr := tree.New(4) // 15 nodes
+	mod := modMapping(tr, 5)
+	stats := Load(mod)
+	if !stats.Balanced {
+		t.Error("mod mapping should use every module")
+	}
+	if stats.Min != 3 || stats.Max != 3 || stats.Ratio != 1 {
+		t.Errorf("stats = %+v, want min=max=3", stats)
+	}
+	if stats.Mean != 3 {
+		t.Errorf("mean = %f", stats.Mean)
+	}
+
+	all0 := FuncMapping{T: tr, M: 3, Fn: func(tree.Node) int { return 0 }}
+	stats = Load(all0)
+	if stats.Balanced || stats.Min != 0 || stats.Max != 15 || stats.Ratio != 0 {
+		t.Errorf("constant mapping stats = %+v", stats)
+	}
+}
+
+func TestEqualDetectsDifference(t *testing.T) {
+	tr := tree.New(4)
+	a := Materialize(modMapping(tr, 3))
+	b := Materialize(modMapping(tr, 3))
+	if ok, _ := Equal(a, b); !ok {
+		t.Fatal("identical mappings reported unequal")
+	}
+	b.Colors[7] = (b.Colors[7] + 1) % 3
+	ok, bad := Equal(a, b)
+	if ok {
+		t.Fatal("differing mappings reported equal")
+	}
+	if bad.HeapIndex() != 7 {
+		t.Errorf("difference reported at %v, want heap index 7", bad)
+	}
+	// Different trees are never equal.
+	c := Materialize(modMapping(tree.New(3), 3))
+	if ok, _ := Equal(a, c); ok {
+		t.Error("mappings over different trees reported equal")
+	}
+}
+
+// Property: counter conflicts equal a naive map-based recount for random
+// access sequences.
+func TestCounterMatchesNaiveProperty(t *testing.T) {
+	f := func(seq []uint8) bool {
+		const m = 16
+		c := NewCounter(m)
+		naive := map[int]int{}
+		for _, raw := range seq {
+			col := int(raw) % m
+			c.Add(col)
+			naive[col]++
+		}
+		max := 0
+		for _, cnt := range naive {
+			if cnt > max {
+				max = cnt
+			}
+		}
+		want := 0
+		if max > 0 {
+			want = max - 1
+		}
+		return c.Conflicts() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any family and mapping, FamilyCost is ≥ the conflicts of
+// any sampled instance (max property).
+func TestFamilyCostIsMaxProperty(t *testing.T) {
+	tr := tree.New(7)
+	m := Materialize(modMapping(tr, 6))
+	fams := []template.Family{}
+	for _, kind := range []template.Kind{template.Subtree, template.Level, template.Path} {
+		f, err := template.NewFamily(tr, kind, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fams = append(fams, f)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, f := range fams {
+		cost, _ := FamilyCost(m, f)
+		// Sample 32 random instances by walking with random skips.
+		var all []template.Instance
+		f.WalkInstances(func(in template.Instance) bool {
+			all = append(all, in)
+			return true
+		})
+		for trial := 0; trial < 32; trial++ {
+			in := all[rng.Intn(len(all))]
+			if got := InstanceConflicts(m, in); got > cost {
+				t.Fatalf("%v: instance %v conflicts %d exceed family cost %d", f.Kind, in, got, cost)
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package coloring
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// FuzzLoadMapping must never panic on arbitrary input, and anything it
+// accepts must be a valid mapping.
+func FuzzLoadMapping(f *testing.F) {
+	var good bytes.Buffer
+	orig := Materialize(modMapping(tree.New(4), 3))
+	if err := orig.Save(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TREEMAP1garbage"))
+	f.Add(good.Bytes()[:10])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := LoadMapping(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("accepted invalid mapping: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package coloring
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/template"
+)
+
+// FamilyCostParallel computes the same exact worst case as FamilyCost but
+// fans the instance enumeration out over workers goroutines (default:
+// GOMAXPROCS when workers ≤ 0). Family enumeration order is deterministic,
+// so the returned cost is identical to FamilyCost; the witness is one
+// instance attaining it (ties may resolve to a different witness than the
+// sequential version). Use it for the large sweeps in the experiment
+// drivers; the sequential version remains the reference.
+func FamilyCostParallel(m Mapping, f template.Family, workers int) (int, template.Instance) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return FamilyCost(m, f)
+	}
+
+	const chunkSize = 1024
+	chunks := make(chan []template.Instance, workers)
+	type result struct {
+		cost    int
+		witness template.Instance
+	}
+	results := make(chan result, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewCounter(m.Modules())
+			best := result{cost: -1}
+			for chunk := range chunks {
+				for _, in := range chunk {
+					if got := instanceConflictsWith(m, in, c); got > best.cost {
+						best = result{cost: got, witness: in}
+					}
+				}
+			}
+			results <- best
+		}()
+	}
+
+	buf := make([]template.Instance, 0, chunkSize)
+	f.WalkInstances(func(in template.Instance) bool {
+		buf = append(buf, in)
+		if len(buf) == chunkSize {
+			chunks <- buf
+			buf = make([]template.Instance, 0, chunkSize)
+		}
+		return true
+	})
+	if len(buf) > 0 {
+		chunks <- buf
+	}
+	close(chunks)
+	wg.Wait()
+	close(results)
+
+	best := result{cost: -1}
+	for r := range results {
+		if r.cost > best.cost {
+			best = r
+		}
+	}
+	if best.cost < 0 {
+		best.cost = 0
+	}
+	return best.cost, best.witness
+}

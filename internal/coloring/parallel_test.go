@@ -1,0 +1,140 @@
+package coloring
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+func TestFamilyCostParallelMatchesSequential(t *testing.T) {
+	tr := tree.New(12)
+	m := Materialize(modMapping(tr, 11))
+	for _, kind := range []template.Kind{template.Subtree, template.Level, template.Path} {
+		size := int64(7)
+		f, err := template.NewFamily(tr, kind, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqCost, _ := FamilyCost(m, f)
+		for _, workers := range []int{0, 1, 2, 8} {
+			parCost, witness := FamilyCostParallel(m, f, workers)
+			if parCost != seqCost {
+				t.Errorf("%v workers=%d: parallel %d vs sequential %d", kind, workers, parCost, seqCost)
+			}
+			if got := InstanceConflicts(m, witness); got != parCost {
+				t.Errorf("%v workers=%d: witness %v achieves %d, not %d", kind, workers, witness, got, parCost)
+			}
+		}
+	}
+}
+
+func TestFamilyCostParallelSmallFamily(t *testing.T) {
+	// Fewer instances than one chunk: the tail flush path.
+	tr := tree.New(4)
+	m := Materialize(modMapping(tr, 3))
+	f, err := template.NewFamily(tr, template.Subtree, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := FamilyCost(m, f)
+	par, _ := FamilyCostParallel(m, f, 4)
+	if seq != par {
+		t.Errorf("parallel %d vs sequential %d", par, seq)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := tree.New(8)
+	orig := Materialize(modMapping(tr, 5))
+	orig.AlgName = "round-trip"
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMapping(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.AlgName != "round-trip" || loaded.M != 5 || loaded.T.Levels() != 8 {
+		t.Fatalf("header mismatch: %+v", loaded)
+	}
+	if ok, bad := Equal(orig, loaded); !ok {
+		t.Errorf("colors differ at %v", bad)
+	}
+}
+
+func TestLoadMappingRejectsCorruption(t *testing.T) {
+	tr := tree.New(5)
+	orig := Materialize(modMapping(tr, 3))
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string]func([]byte) []byte{
+		"empty":     func([]byte) []byte { return nil },
+		"bad magic": func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = 'X'; return c },
+		"truncated": func(b []byte) []byte { return b[:len(b)-4] },
+		"bad color": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-4] = 0xFF // color becomes huge
+			c[len(c)-1] = 0x7F
+			return c
+		},
+	}
+	for name, mutate := range cases {
+		if _, err := LoadMapping(bytes.NewReader(mutate(good))); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadMappingRejectsBadHeaderValues(t *testing.T) {
+	// Hand-craft a header with levels = 0.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write([]byte{0, 0, 0, 0}) // levels = 0
+	buf.Write([]byte{1, 0, 0, 0}) // modules = 1
+	buf.Write([]byte{0, 0, 0, 0}) // nameLen = 0
+	if _, err := LoadMapping(&buf); err == nil {
+		t.Error("levels 0 should fail")
+	}
+	// Excessive name length.
+	buf.Reset()
+	buf.Write(magic[:])
+	buf.Write([]byte{2, 0, 0, 0})
+	buf.Write([]byte{1, 0, 0, 0})
+	buf.Write([]byte{255, 255, 0, 0})
+	if _, err := LoadMapping(&buf); err == nil {
+		t.Error("giant name should fail")
+	}
+}
+
+func BenchmarkFamilyCostSequential(b *testing.B) {
+	tr := tree.New(14)
+	m := Materialize(modMapping(tr, 15))
+	f, err := template.NewFamily(tr, template.Subtree, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FamilyCost(m, f)
+	}
+}
+
+func BenchmarkFamilyCostParallel(b *testing.B) {
+	tr := tree.New(14)
+	m := Materialize(modMapping(tr, 15))
+	f, err := template.NewFamily(tr, template.Subtree, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FamilyCostParallel(m, f, 0)
+	}
+}

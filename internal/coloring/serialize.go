@@ -1,0 +1,108 @@
+package coloring
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tree"
+)
+
+// Serialization of materialized mappings, so that an expensive coloring
+// (or one that must be byte-identical across runs) can be computed once
+// and shipped to the machines that will address the memory system.
+//
+// Format (little endian):
+//
+//	magic   [8]byte  "TREEMAP1"
+//	levels  uint32
+//	modules uint32
+//	nameLen uint32, name [nameLen]byte
+//	colors  [2^levels - 1]int32
+
+var magic = [8]byte{'T', 'R', 'E', 'E', 'M', 'A', 'P', '1'}
+
+// Save writes the mapping in the binary format above.
+func (a *ArrayMapping) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	name := []byte(a.AlgName)
+	for _, v := range []uint32{uint32(a.T.Levels()), uint32(a.M), uint32(len(name))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, a.Colors); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadMapping reads a mapping previously written by Save, validating the
+// header and every color.
+func LoadMapping(r io.Reader) (*ArrayMapping, error) {
+	br := bufio.NewReader(r)
+	var gotMagic [8]byte
+	if _, err := io.ReadFull(br, gotMagic[:]); err != nil {
+		return nil, fmt.Errorf("coloring: reading magic: %w", err)
+	}
+	if gotMagic != magic {
+		return nil, fmt.Errorf("coloring: bad magic %q", gotMagic)
+	}
+	var levels, modules, nameLen uint32
+	for _, p := range []*uint32{&levels, &modules, &nameLen} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("coloring: reading header: %w", err)
+		}
+	}
+	// Materialized mappings are capped at 2^28-1 nodes; larger trees should
+	// use the algorithmic retrievers rather than dense arrays.
+	const maxLevels = 28
+	if levels < 1 || levels > maxLevels {
+		return nil, fmt.Errorf("coloring: levels %d out of range [1,%d]", levels, maxLevels)
+	}
+	if modules < 1 || modules > 1<<30 {
+		return nil, fmt.Errorf("coloring: modules %d out of range", modules)
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("coloring: name length %d too large", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("coloring: reading name: %w", err)
+	}
+	// Read colors in bounded chunks so a truncated or lying header fails
+	// after at most one chunk, not after allocating the whole array.
+	t := tree.New(int(levels))
+	total := t.Nodes()
+	colors := make([]int32, 0, minInt64(total, 1<<16))
+	chunk := make([]int32, 1<<16)
+	for int64(len(colors)) < total {
+		want := total - int64(len(colors))
+		if want > int64(len(chunk)) {
+			want = int64(len(chunk))
+		}
+		if err := binary.Read(br, binary.LittleEndian, chunk[:want]); err != nil {
+			return nil, fmt.Errorf("coloring: reading colors: %w", err)
+		}
+		colors = append(colors, chunk[:want]...)
+	}
+	a := &ArrayMapping{T: t, Colors: colors, M: int(modules), AlgName: string(name)}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

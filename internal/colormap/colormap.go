@@ -1,0 +1,289 @@
+// Package colormap implements the paper's COLOR algorithm (Section 3.2,
+// Fig. 7): coloring a complete binary tree of any height with N + K - k
+// colors so that subtree templates S(K) and path templates P(N) are
+// conflict-free (Theorem 3), where K = 2^k - 1.
+//
+// COLOR covers the tree with the overlapping family 𝓑(N) of N-level
+// subtrees rooted every N-k levels; consecutive bands share k levels. The
+// root subtree B(0,0) is colored by BASIC-COLOR; every other family
+// subtree keeps its (already colored) top k levels and colors its bottom
+// N-k levels with BOTTOM, feeding as the Γ list the colors of the path
+// from its parent subtree's root down to (excluding) its own root.
+//
+// With the canonical parameters of Section 4 — K = 2^(m-1)-1,
+// N = 2^(m-1)+m-1, M = 2^m-1 — the mapping accesses S(M) and P(M) with at
+// most one conflict (Theorem 4), which is optimal (Theorem 5), and
+// composite templates C(D,c) with at most 4⌈D/M⌉+c conflicts (Theorem 6).
+//
+// This package requires N ≥ 2k so that every tree level lies in the bottom
+// region of exactly one family subtree; the canonical parameters always
+// satisfy this.
+package colormap
+
+import (
+	"fmt"
+
+	"repro/internal/basiccolor"
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// Params parameterizes COLOR(T, N, K) for a tree of Levels levels.
+type Params struct {
+	Levels        int // H: levels of the whole tree
+	BandLevels    int // N: levels of each family subtree (and the CF path size)
+	SubtreeLevels int // k: CF subtree template has K = 2^k - 1 nodes
+}
+
+// Validate checks 1 ≤ 2k ≤ N and H ≥ 1.
+func (p Params) Validate() error {
+	if p.SubtreeLevels < 1 {
+		return fmt.Errorf("colormap: k = %d must be at least 1", p.SubtreeLevels)
+	}
+	if p.BandLevels < 2*p.SubtreeLevels {
+		return fmt.Errorf("colormap: N = %d must be at least 2k = %d", p.BandLevels, 2*p.SubtreeLevels)
+	}
+	if p.Levels < 1 || p.Levels > 62 {
+		return fmt.Errorf("colormap: H = %d out of range [1,62]", p.Levels)
+	}
+	return nil
+}
+
+// K returns the subtree template size 2^k - 1.
+func (p Params) K() int64 { return tree.SubtreeSize(p.SubtreeLevels) }
+
+// Colors returns the number of memory modules used: N + K - k.
+func (p Params) Colors() int { return p.BandLevels + int(p.K()) - p.SubtreeLevels }
+
+// Step returns the band stride N - k: family subtrees are rooted every
+// Step levels and consecutive bands share k levels.
+func (p Params) Step() int { return p.BandLevels - p.SubtreeLevels }
+
+// Canonical returns the Section 4 parameterization for a memory system of
+// M = 2^m - 1 modules: K = 2^(m-1)-1, N = 2^(m-1)+m-1. It requires m ≥ 2.
+func Canonical(levels, m int) (Params, error) {
+	if m < 2 {
+		return Params{}, fmt.Errorf("colormap: canonical parameters need m ≥ 2, got %d", m)
+	}
+	p := Params{
+		Levels:        levels,
+		BandLevels:    int(tree.Pow2(m-1)) + m - 1,
+		SubtreeLevels: m - 1,
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// CanonicalModules returns M = 2^m - 1, the module count of the canonical
+// parameterization — equal to Canonical(levels, m).Colors().
+func CanonicalModules(m int) int { return int(tree.Pow2(m)) - 1 }
+
+// bandOf locates the unique family subtree whose bottom region contains a
+// node at the given global level ≥ k: it returns the band index jj and the
+// node's level ℓ within that subtree (k ≤ ℓ ≤ N-1). For levels < k the
+// caller uses the direct top-of-tree rule instead.
+func (p Params) bandOf(level int) (jj, ell int) {
+	step := p.Step()
+	jj = level / step
+	ell = level % step
+	if ell < p.SubtreeLevels {
+		// Shared region: these levels belong to the bottom of the previous
+		// band (ℓ in [step, step+k-1] ⊂ [k, N-1] since step ≥ k).
+		jj--
+		ell += step
+	}
+	return jj, ell
+}
+
+// Color runs COLOR(T, N, K) over a Levels-level tree and returns the
+// materialized mapping, in O(2^H) time.
+func Color(p Params) (*coloring.ArrayMapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := tree.New(p.Levels)
+	arr := coloring.NewArrayMapping(t, p.Colors(),
+		fmt.Sprintf("COLOR(H=%d,N=%d,k=%d)", p.Levels, p.BandLevels, p.SubtreeLevels))
+	k := p.SubtreeLevels
+	K := int(p.K())
+	step := p.Step()
+	bp := basiccolor.Params{Levels: p.BandLevels, SubtreeLevels: k}
+
+	// Band 0 = BASIC-COLOR(B(0,0)): top k levels take Σ directly, bottom
+	// levels take the fresh Γ list {K, …, N+K-k-1}.
+	top := k
+	if top > t.Levels() {
+		top = t.Levels()
+	}
+	for j := 0; j < top; j++ {
+		for i := int64(0); i < t.LevelWidth(j); i++ {
+			arr.Set(tree.V(i, j), int(tree.Pow2(j)-1+i))
+		}
+	}
+	gamma0 := make([]int, step)
+	for d := range gamma0 {
+		gamma0[d] = K + d
+	}
+	basiccolor.Bottom(arr, t.Root(), bp, gamma0)
+
+	// Bands jj ≥ 1: each family subtree root r at level jj·step takes
+	// Γ(r) = colors of r's ancestors at levels (jj-1)·step … jj·step - 1,
+	// top-down (the path from the parent subtree's root down to, and
+	// excluding, r).
+	gamma := make([]int, step)
+	for rootLevel := step; rootLevel+k < t.Levels(); rootLevel += step {
+		for i := int64(0); i < t.LevelWidth(rootLevel); i++ {
+			root := tree.V(i, rootLevel)
+			for d := 0; d < step; d++ {
+				gamma[d] = arr.Color(root.Ancestor(step - d))
+			}
+			basiccolor.Bottom(arr, root, bp, gamma)
+		}
+	}
+	return arr, nil
+}
+
+// Retrieve computes the color of one node in O(H) time without any
+// preprocessing, following inheritance chains within bands and Γ jumps
+// (exactly N levels up) across bands.
+func Retrieve(p Params, n tree.Node) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if !n.Valid() || n.Level >= p.Levels {
+		return 0, fmt.Errorf("colormap: node %v outside %d-level tree", n, p.Levels)
+	}
+	k := p.SubtreeLevels
+	K := int(p.K())
+	for {
+		if n.Level < k {
+			return int(tree.Pow2(n.Level) - 1 + n.Index), nil
+		}
+		src, last := basiccolor.InheritanceSource(k, n)
+		if !last {
+			n = src
+			continue
+		}
+		// Block-last node: Γ rule. Band 0 uses the fresh color K + ℓ - k;
+		// deeper bands take the color of the node's ancestor N levels up.
+		jj, ell := p.bandOf(n.Level)
+		if jj == 0 {
+			return K + ell - k, nil
+		}
+		n = n.Ancestor(p.BandLevels)
+	}
+}
+
+// localClass classifies the resolution of a subtree-local position.
+type localClass uint8
+
+const (
+	classTop   localClass = iota // resolves to a node in the band's top k levels
+	classGamma                   // resolves to a block-last node (Γ rule)
+)
+
+// localResolution is a precomputed, band-independent resolution of one
+// position inside an N-level family subtree: following inheritance
+// sources, the position's color comes either from a top-k node of the same
+// subtree (classTop) or from the Γ entry of a block-last node (classGamma).
+// Local coordinates: level within the subtree and index within that level.
+type localResolution struct {
+	class localClass
+	level int   // resolved local level
+	index int64 // resolved local index
+}
+
+// Retriever answers single-node color queries in O(H / (N-k)) time after an
+// O(2^N)-space preprocessing pass, the complexity the paper obtains with
+// the PREBASIC-COLOR and PRE-COLOR tables combined.
+type Retriever struct {
+	p     Params
+	local []localResolution // indexed by local heap index within a band subtree
+}
+
+// NewRetriever preprocesses the band-local inheritance structure.
+func NewRetriever(p Params) (*Retriever, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := p.SubtreeLevels
+	N := p.BandLevels
+	local := make([]localResolution, tree.SubtreeSize(N))
+	// Top k levels resolve to themselves.
+	for lvl := 0; lvl < k; lvl++ {
+		for i := int64(0); i < tree.Pow2(lvl); i++ {
+			local[tree.V(i, lvl).HeapIndex()] = localResolution{class: classTop, level: lvl, index: i}
+		}
+	}
+	// Deeper levels resolve through one inheritance step into an
+	// already-resolved shallower position, or terminate at a block-last.
+	for lvl := k; lvl < N; lvl++ {
+		for i := int64(0); i < tree.Pow2(lvl); i++ {
+			n := tree.V(i, lvl)
+			src, last := basiccolor.InheritanceSource(k, n)
+			if last {
+				local[n.HeapIndex()] = localResolution{class: classGamma, level: lvl, index: i}
+				continue
+			}
+			local[n.HeapIndex()] = local[src.HeapIndex()]
+		}
+	}
+	return &Retriever{p: p, local: local}, nil
+}
+
+// Params returns the parameters the retriever was built for.
+func (r *Retriever) Params() Params { return r.p }
+
+// Color returns the color of n, or an error if n is outside the tree.
+func (r *Retriever) Color(n tree.Node) (int, error) {
+	if !n.Valid() || n.Level >= r.p.Levels {
+		return 0, fmt.Errorf("colormap: node %v outside %d-level tree", n, r.p.Levels)
+	}
+	p := r.p
+	k := p.SubtreeLevels
+	K := int(p.K())
+	step := p.Step()
+	for {
+		if n.Level < k {
+			return int(tree.Pow2(n.Level) - 1 + n.Index), nil
+		}
+		jj, ell := p.bandOf(n.Level)
+		rootLevel := jj * step
+		rootIndex := n.Index >> uint(ell)
+		li := n.Index - rootIndex<<uint(ell)
+		res := r.local[tree.V(li, ell).HeapIndex()]
+		switch res.class {
+		case classTop:
+			// Shared with the parent band (or the global top when jj == 0):
+			// continue resolving from the global position of the top-k node.
+			n = tree.V(rootIndex<<uint(res.level)|res.index, rootLevel+res.level)
+			if jj == 0 { // now strictly inside the global top k levels
+				return int(tree.Pow2(n.Level) - 1 + n.Index), nil
+			}
+		case classGamma:
+			if jj == 0 {
+				return K + res.level - k, nil
+			}
+			b := tree.V(rootIndex<<uint(res.level)|res.index, rootLevel+res.level)
+			n = b.Ancestor(p.BandLevels)
+		}
+	}
+}
+
+// Mapping wraps the retriever as a coloring.Mapping for a given tree view.
+func (r *Retriever) Mapping() coloring.Mapping {
+	return coloring.FuncMapping{
+		T:       tree.New(r.p.Levels),
+		M:       r.p.Colors(),
+		AlgName: fmt.Sprintf("COLOR-retriever(H=%d,N=%d,k=%d)", r.p.Levels, r.p.BandLevels, r.p.SubtreeLevels),
+		Fn: func(n tree.Node) int {
+			c, err := r.Color(n)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		},
+	}
+}

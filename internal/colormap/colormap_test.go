@@ -1,0 +1,369 @@
+package colormap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// sweep enumerates (k, N, H) combinations covering several bands and
+// non-aligned tree heights.
+func sweep() []Params {
+	var ps []Params
+	for k := 1; k <= 3; k++ {
+		for N := 2 * k; N <= 2*k+4 && N <= 8; N++ {
+			step := N - k
+			for _, extra := range []int{0, 1, step - 1, step, 2*step + 1} {
+				H := N + extra
+				if H > 14 {
+					continue
+				}
+				ps = append(ps, Params{Levels: H, BandLevels: N, SubtreeLevels: k})
+			}
+		}
+	}
+	return ps
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Levels: 5, BandLevels: 4, SubtreeLevels: 0},
+		{Levels: 5, BandLevels: 3, SubtreeLevels: 2}, // N < 2k
+		{Levels: 0, BandLevels: 4, SubtreeLevels: 2},
+		{Levels: 63, BandLevels: 4, SubtreeLevels: 2},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", p)
+		}
+	}
+	good := Params{Levels: 10, BandLevels: 6, SubtreeLevels: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	if good.K() != 3 || good.Colors() != 7 || good.Step() != 4 {
+		t.Errorf("derived values wrong: K=%d Colors=%d Step=%d", good.K(), good.Colors(), good.Step())
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	for m := 2; m <= 6; m++ {
+		p, err := Canonical(20, m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if got, want := p.Colors(), CanonicalModules(m); got != want {
+			t.Errorf("m=%d: colors %d, want M=%d", m, got, want)
+		}
+		if p.BandLevels != int(tree.Pow2(m-1))+m-1 || p.SubtreeLevels != m-1 {
+			t.Errorf("m=%d: params %+v", m, p)
+		}
+	}
+	if _, err := Canonical(10, 1); err == nil {
+		t.Error("m=1 should fail")
+	}
+}
+
+func TestColorRejectsBadParams(t *testing.T) {
+	if _, err := Color(Params{Levels: 5, BandLevels: 3, SubtreeLevels: 2}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// Theorem 3: COLOR is (N+K-k)-CF on S(K) and P(N) for trees of any height.
+func TestTheorem3ConflictFree(t *testing.T) {
+	for _, p := range sweep() {
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arr.Modules() != p.Colors() {
+			t.Fatalf("%+v: modules %d, want %d", p, arr.Modules(), p.Colors())
+		}
+		if err := arr.Validate(); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		sf, err := template.NewFamily(arr.Tree(), template.Subtree, p.K())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost, witness := coloring.FamilyCost(arr, sf); cost != 0 {
+			t.Errorf("%+v: S(K) cost %d at %v, want 0", p, cost, witness)
+		}
+		pathLen := p.BandLevels
+		if pathLen > p.Levels {
+			pathLen = p.Levels
+		}
+		pf, err := template.NewFamily(arr.Tree(), template.Path, int64(pathLen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost, witness := coloring.FamilyCost(arr, pf); cost != 0 {
+			t.Errorf("%+v: P(N) cost %d at %v, want 0", p, cost, witness)
+		}
+	}
+}
+
+// Theorem 4: canonical COLOR has cost ≤ 1 on S(M) and P(M).
+func TestTheorem4AtMostOneConflict(t *testing.T) {
+	for m := 2; m <= 4; m++ {
+		M := int64(CanonicalModules(m))
+		H := 14
+		if int64(H) <= M {
+			H = int(M) + 1
+		}
+		p, err := Canonical(H, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, err := template.NewFamily(arr.Tree(), template.Subtree, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost, witness := coloring.FamilyCost(arr, sf); cost > 1 {
+			t.Errorf("m=%d: S(M) cost %d at %v, want ≤ 1", m, cost, witness)
+		}
+		pf, err := template.NewFamily(arr.Tree(), template.Path, M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost, witness := coloring.FamilyCost(arr, pf); cost > 1 {
+			t.Errorf("m=%d: P(M) cost %d at %v, want ≤ 1", m, cost, witness)
+		}
+	}
+}
+
+// Lemmas 3-5: elementary templates of size D ≥ M under canonical COLOR.
+func TestLemmas345ElementaryBounds(t *testing.T) {
+	m := 3
+	M := int64(CanonicalModules(m))
+	p, err := Canonical(13, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceil := func(a, b int64) int64 { return (a + b - 1) / b }
+	// Lemma 3: P(D) ≤ 2⌈D/M⌉ - 1.
+	for _, D := range []int64{7, 9, 13} {
+		pf, err := template.NewFamily(arr.Tree(), template.Path, D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, witness := coloring.FamilyCost(arr, pf)
+		if int64(cost) > 2*ceil(D, M)-1 {
+			t.Errorf("P(%d) cost %d at %v exceeds 2⌈D/M⌉-1 = %d", D, cost, witness, 2*ceil(D, M)-1)
+		}
+	}
+	// Lemma 4: L(D) ≤ 4⌈D/M⌉.
+	for _, D := range []int64{7, 16, 30, 64} {
+		lf, err := template.NewFamily(arr.Tree(), template.Level, D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, witness := coloring.FamilyCost(arr, lf)
+		if int64(cost) > 4*ceil(D, M) {
+			t.Errorf("L(%d) cost %d at %v exceeds 4⌈D/M⌉ = %d", D, cost, witness, 4*ceil(D, M))
+		}
+	}
+	// Lemma 5: S(D) ≤ 4⌈D/M⌉ - 1 for D = 2^d - 1 ≥ M.
+	for _, D := range []int64{7, 15, 31, 63, 127} {
+		sf, err := template.NewFamily(arr.Tree(), template.Subtree, D)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, witness := coloring.FamilyCost(arr, sf)
+		if int64(cost) > 4*ceil(D, M)-1 {
+			t.Errorf("S(%d) cost %d at %v exceeds 4⌈D/M⌉-1 = %d", D, cost, witness, 4*ceil(D, M)-1)
+		}
+	}
+}
+
+// Theorem 6: composite templates C(D, c) cost at most 4(D/M) + c.
+func TestTheorem6CompositeBound(t *testing.T) {
+	m := 3
+	M := CanonicalModules(m)
+	p, err := Canonical(12, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		D := int64(M) + rng.Int63n(6*int64(M))
+		c := 1 + rng.Intn(6)
+		comp, err := template.RandomComposite(rng, arr.Tree(), D, c)
+		if err != nil {
+			continue // occasionally unplaceable; fine
+		}
+		cost := coloring.CompositeConflicts(arr, comp)
+		bound := 4.0*float64(D)/float64(M) + float64(c)
+		if float64(cost) > bound {
+			t.Errorf("C(%d,%d) cost %d exceeds 4D/M+c = %.1f", D, c, cost, bound)
+		}
+	}
+}
+
+// Retrieve must agree with the forward coloring everywhere.
+func TestRetrieveMatchesForward(t *testing.T) {
+	for _, p := range sweep() {
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := arr.Tree()
+		for j := 0; j < tr.Levels(); j++ {
+			for i := int64(0); i < tr.LevelWidth(j); i++ {
+				n := tree.V(i, j)
+				got, err := Retrieve(p, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := arr.Color(n); got != want {
+					t.Fatalf("%+v: Retrieve(%v) = %d, forward %d", p, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The preprocessed Retriever must agree with the forward coloring too.
+func TestRetrieverMatchesForward(t *testing.T) {
+	for _, p := range sweep() {
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRetriever(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Params() != p {
+			t.Fatal("Params accessor wrong")
+		}
+		if ok, bad := coloring.Equal(arr, r.Mapping()); !ok {
+			t.Fatalf("%+v: retriever differs at %v", p, bad)
+		}
+	}
+}
+
+func TestRetrieveErrors(t *testing.T) {
+	p := Params{Levels: 8, BandLevels: 4, SubtreeLevels: 2}
+	if _, err := Retrieve(p, tree.V(0, 8)); err == nil {
+		t.Error("outside tree should fail")
+	}
+	if _, err := Retrieve(Params{Levels: 8, BandLevels: 3, SubtreeLevels: 2}, tree.V(0, 0)); err == nil {
+		t.Error("bad params should fail")
+	}
+	r, err := NewRetriever(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Color(tree.V(0, 9)); err == nil {
+		t.Error("retriever outside tree should fail")
+	}
+	if _, err := NewRetriever(Params{Levels: 8, BandLevels: 3, SubtreeLevels: 2}); err == nil {
+		t.Error("NewRetriever bad params should fail")
+	}
+}
+
+// The number of colors must stay N+K-k regardless of tree height: deeper
+// bands reuse path colors instead of allocating fresh ones.
+func TestColorCountIndependentOfHeight(t *testing.T) {
+	base := Params{Levels: 6, BandLevels: 6, SubtreeLevels: 2}
+	for _, H := range []int{6, 10, 14} {
+		p := base
+		p.Levels = H
+		arr, err := Color(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxColor := int32(-1)
+		for _, c := range arr.Colors {
+			if c > maxColor {
+				maxColor = c
+			}
+		}
+		if int(maxColor) >= p.Colors() {
+			t.Errorf("H=%d: color %d out of the N+K-k = %d palette", H, maxColor, p.Colors())
+		}
+	}
+}
+
+// Canonical COLOR at m and 14 levels: every module must be used.
+func TestCanonicalUsesAllModules(t *testing.T) {
+	p, err := Canonical(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make([]bool, arr.Modules())
+	for _, c := range arr.Colors {
+		used[c] = true
+	}
+	for col, ok := range used {
+		if !ok {
+			t.Errorf("module %d never used", col)
+		}
+	}
+}
+
+func BenchmarkColorForward(b *testing.B) {
+	p, err := Canonical(16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Color(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrieveNoTable(b *testing.B) {
+	p, err := Canonical(40, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tree.V(987654321, 39)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Retrieve(p, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrieveWithTable(b *testing.B) {
+	p, err := Canonical(40, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewRetriever(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tree.V(987654321, 39)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Color(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package core is the library facade: one import that exposes the paper's
+// mapping algorithms, the conflict-cost machinery, and the memory-system
+// simulator behind small constructors. The examples and command-line tools
+// are written exclusively against this package; the implementation lives
+// in the sibling packages (basiccolor, colormap, labeltree, coloring,
+// template, pms).
+//
+// Quick start:
+//
+//	m, _ := core.NewColor(16, 3)                  // COLOR on M=7 modules
+//	cost, _ := core.TemplateCost(m, core.Path, 7) // worst conflicts on P(7)
+//	sys := core.NewSystem(m)                      // simulate accesses
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/labeltree"
+	"repro/internal/pms"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// Re-exported types, so that callers need only this package.
+type (
+	// Mapping assigns tree nodes to memory modules.
+	Mapping = coloring.Mapping
+	// Node addresses a tree node as (index, level).
+	Node = tree.Node
+	// Tree is a complete binary tree descriptor.
+	Tree = tree.Tree
+	// Kind is an elementary template kind.
+	Kind = template.Kind
+	// Instance is one elementary template occurrence.
+	Instance = template.Instance
+	// Composite is a C-template instance.
+	Composite = template.Composite
+	// LoadStats summarizes per-module load balance.
+	LoadStats = coloring.LoadStats
+	// System is the parallel memory system simulator.
+	System = pms.System
+	// AccessResult is the cost of one parallel access.
+	AccessResult = pms.AccessResult
+	// LabelTreePolicy selects the MACRO-LABEL group-assignment strategy.
+	LabelTreePolicy = labeltree.Policy
+)
+
+// Template kinds.
+const (
+	Subtree = template.Subtree
+	Level   = template.Level
+	Path    = template.Path
+)
+
+// LABEL-TREE policies.
+const (
+	BandCyclic = labeltree.BandCyclic
+	Balanced   = labeltree.Balanced
+)
+
+// NewTree returns a complete binary tree with the given number of levels
+// (the paper's height; 2^levels - 1 nodes).
+func NewTree(levels int) Tree { return tree.New(levels) }
+
+// V constructs the node v(index, level).
+func V(index int64, level int) Node { return tree.V(index, level) }
+
+// NewColor builds the paper's COLOR mapping with the canonical Section 4
+// parameters for M = 2^m - 1 memory modules over a tree with the given
+// levels: conflict-free on S(2^(m-1)-1) and P(2^(m-1)+m-1), at most one
+// conflict on S(M) and P(M).
+func NewColor(levels, m int) (Mapping, error) {
+	p, err := colormap.Canonical(levels, m)
+	if err != nil {
+		return nil, err
+	}
+	return colormap.Color(p)
+}
+
+// NewColorCustom builds COLOR with explicit (N, k): conflict-free on
+// S(2^k-1) and P(N) using N + 2^k - 1 - k modules. Requires N ≥ 2k.
+func NewColorCustom(levels, bandLevels, subtreeLevels int) (Mapping, error) {
+	return colormap.Color(colormap.Params{
+		Levels:        levels,
+		BandLevels:    bandLevels,
+		SubtreeLevels: subtreeLevels,
+	})
+}
+
+// ColorModules returns the module count of the canonical COLOR mapping for
+// exponent m: M = 2^m - 1.
+func ColorModules(m int) int { return colormap.CanonicalModules(m) }
+
+// NewLabelTree builds the LABEL-TREE mapping on the given number of
+// modules with the default (band-cyclic) MACRO-LABEL policy: O(1) address
+// retrieval and O(D/√(M log M) + c) conflicts on composite templates.
+func NewLabelTree(levels, modules int) (Mapping, error) {
+	return labeltree.New(levels, modules)
+}
+
+// NewLabelTreeWithPolicy selects the MACRO-LABEL policy explicitly (see
+// the labeltree package for the conflict/load trade-off).
+func NewLabelTreeWithPolicy(levels, modules int, policy LabelTreePolicy) (Mapping, error) {
+	return labeltree.NewWithPolicy(levels, modules, policy)
+}
+
+// NewModulo builds the naive BFS-interleaved baseline mapping.
+func NewModulo(levels, modules int) Mapping {
+	return baseline.Modulo(tree.New(levels), modules)
+}
+
+// NewRandom builds the seeded random baseline mapping.
+func NewRandom(levels, modules int, seed int64) Mapping {
+	return baseline.Random(tree.New(levels), modules, seed)
+}
+
+// TemplateCost returns the exact worst-case number of conflicts of the
+// mapping over every instance of the elementary template of the given
+// kind and size, plus one witness instance attaining it.
+func TemplateCost(m Mapping, kind Kind, size int64) (int, Instance, error) {
+	f, err := template.NewFamily(m.Tree(), kind, size)
+	if err != nil {
+		return 0, Instance{}, err
+	}
+	cost, witness := coloring.FamilyCost(m, f)
+	return cost, witness, nil
+}
+
+// InstanceConflicts counts the conflicts of one elementary instance.
+func InstanceConflicts(m Mapping, in Instance) (int, error) {
+	if err := in.Validate(m.Tree()); err != nil {
+		return 0, err
+	}
+	return coloring.InstanceConflicts(m, in), nil
+}
+
+// CompositeConflicts counts the conflicts of one composite instance.
+func CompositeConflicts(m Mapping, c Composite) (int, error) {
+	if err := c.Validate(m.Tree()); err != nil {
+		return 0, err
+	}
+	return coloring.CompositeConflicts(m, c), nil
+}
+
+// Load computes per-module load statistics.
+func Load(m Mapping) LoadStats { return coloring.Load(m) }
+
+// NewSystem builds a cycle-accurate parallel memory system simulator bound
+// to the mapping.
+func NewSystem(m Mapping) *System { return pms.NewSystem(m) }
+
+// AccessCost evaluates one parallel access of a node set through m.
+func AccessCost(m Mapping, nodes []Node) AccessResult { return pms.AccessCost(m, nodes) }
+
+// Name returns the human-readable algorithm name of a mapping.
+func Name(m Mapping) string { return coloring.NameOf(m) }
+
+// Describe summarizes a mapping in one line.
+func Describe(m Mapping) string {
+	return fmt.Sprintf("%s: %d modules over %d levels (%d nodes)",
+		Name(m), m.Modules(), m.Tree().Levels(), m.Tree().Nodes())
+}
+
+// Save writes a materialized form of the mapping to w in the treemap
+// binary format, so an expensive coloring can be computed once and
+// reloaded anywhere.
+func Save(w io.Writer, m Mapping) error {
+	arr, ok := m.(*coloring.ArrayMapping)
+	if !ok {
+		arr = coloring.Materialize(m)
+	}
+	return arr.Save(w)
+}
+
+// LoadMap reads a mapping previously written by Save.
+func LoadMap(r io.Reader) (Mapping, error) {
+	return coloring.LoadMapping(r)
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewColorFacade(t *testing.T) {
+	m, err := NewColor(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Modules() != ColorModules(3) {
+		t.Errorf("modules %d, want %d", m.Modules(), ColorModules(3))
+	}
+	cost, _, err := TemplateCost(m, Path, 6) // N = 6 for m=3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("P(N) cost %d, want 0", cost)
+	}
+	cost, witness, err := TemplateCost(m, Subtree, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost > 1 {
+		t.Errorf("S(M) cost %d at %v", cost, witness)
+	}
+}
+
+func TestNewColorCustom(t *testing.T) {
+	m, err := NewColorCustom(10, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Modules() != 6+3-2 {
+		t.Errorf("modules %d", m.Modules())
+	}
+	if _, err := NewColorCustom(10, 3, 2); err == nil {
+		t.Error("N < 2k should fail")
+	}
+}
+
+func TestNewLabelTreeFacade(t *testing.T) {
+	m, err := NewLabelTree(10, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Modules() != 31 {
+		t.Errorf("modules %d", m.Modules())
+	}
+	b, err := NewLabelTreeWithPolicy(10, 31, Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Name(b), "balanced") {
+		t.Errorf("name %q", Name(b))
+	}
+}
+
+func TestBaselineFacades(t *testing.T) {
+	mod := NewModulo(8, 7)
+	rnd := NewRandom(8, 7, 3)
+	for _, m := range []Mapping{mod, rnd} {
+		if m.Modules() != 7 || m.Tree().Levels() != 8 {
+			t.Errorf("%s misconfigured", Name(m))
+		}
+	}
+}
+
+func TestInstanceAndCompositeConflicts(t *testing.T) {
+	m, err := NewColor(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K = 2^(m-1)-1 = 3 for m=3: S(3) instances are conflict-free; S(7) =
+	// S(M) instances have at most one conflict.
+	cfIn := Instance{Kind: Subtree, Anchor: V(3, 2), Size: 3}
+	c, err := InstanceConflicts(m, cfIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("S(3) instance conflicts %d", c)
+	}
+	in := Instance{Kind: Subtree, Anchor: V(3, 2), Size: 7}
+	if c, err = InstanceConflicts(m, in); err != nil {
+		t.Fatal(err)
+	}
+	if c > 1 {
+		t.Errorf("S(7) instance conflicts %d", c)
+	}
+	if _, err := InstanceConflicts(m, Instance{Kind: Subtree, Anchor: V(0, 9), Size: 7}); err == nil {
+		t.Error("invalid instance should fail")
+	}
+
+	comp := Composite{Parts: []Instance{
+		{Kind: Subtree, Anchor: V(0, 3), Size: 7},
+		{Kind: Path, Anchor: V(511, 9), Size: 4},
+	}}
+	if _, err := CompositeConflicts(m, comp); err != nil {
+		t.Fatal(err)
+	}
+	bad := Composite{Parts: []Instance{
+		{Kind: Subtree, Anchor: V(0, 3), Size: 7},
+		{Kind: Subtree, Anchor: V(0, 3), Size: 7},
+	}}
+	if _, err := CompositeConflicts(m, bad); err == nil {
+		t.Error("overlapping composite should fail")
+	}
+}
+
+func TestLoadAndSystemFacades(t *testing.T) {
+	m := NewModulo(10, 7)
+	stats := Load(m)
+	if !stats.Balanced {
+		t.Error("modulo should be balanced")
+	}
+	sys := NewSystem(m)
+	if sys.Modules() != 7 {
+		t.Errorf("system modules %d", sys.Modules())
+	}
+	res := AccessCost(m, []Node{V(0, 0), V(0, 1), V(1, 1)})
+	if res.Cycles != 1 {
+		t.Errorf("distinct-module access cost %d", res.Cycles)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	m := NewModulo(5, 3)
+	d := Describe(m)
+	if !strings.Contains(d, "3 modules") || !strings.Contains(d, "5 levels") || !strings.Contains(d, "31 nodes") {
+		t.Errorf("Describe = %q", d)
+	}
+}
+
+func TestNewTreeAndV(t *testing.T) {
+	tr := NewTree(4)
+	if tr.Nodes() != 15 {
+		t.Errorf("nodes %d", tr.Nodes())
+	}
+	if !tr.Contains(V(7, 3)) {
+		t.Error("should contain v(7,3)")
+	}
+}
+
+func TestSaveLoadFacade(t *testing.T) {
+	m, err := NewColor(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := loaded.Tree()
+	for j := 0; j < tr.Levels(); j++ {
+		for i := int64(0); i < tr.LevelWidth(j); i += 3 {
+			if loaded.Color(V(i, j)) != m.Color(V(i, j)) {
+				t.Fatalf("color mismatch at v(%d,%d)", i, j)
+			}
+		}
+	}
+	// Saving a non-materialized mapping materializes transparently.
+	buf.Reset()
+	if err := Save(&buf, NewModulo(6, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMap(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// Example builds the canonical COLOR mapping and checks the guarantees the
+// paper proves for it.
+func Example() {
+	mapping, err := core.NewColor(12, 3) // 12 levels, M = 2^3-1 = 7 modules
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost, _, err := core.TemplateCost(mapping, core.Path, 6) // P(N), N = 6
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("P(6) worst conflicts:", cost)
+	cost, _, err = core.TemplateCost(mapping, core.Subtree, 7) // S(M)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("S(7) worst conflicts:", cost)
+	// Output:
+	// P(6) worst conflicts: 0
+	// S(7) worst conflicts: 1
+}
+
+// ExampleAccessCost shows one parallel memory access: a conflict-free path
+// is served in a single cycle.
+func ExampleAccessCost() {
+	mapping, err := core.NewColor(12, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := core.Instance{Kind: core.Path, Anchor: core.V(1000, 11), Size: 6}
+	res := core.AccessCost(mapping, path.Nodes())
+	fmt.Printf("%d items in %d cycle(s)\n", res.Items, res.Cycles)
+	// Output:
+	// 6 items in 1 cycle(s)
+}
+
+// ExampleNewLabelTree contrasts the LABEL-TREE trade-off: O(1) addressing
+// and balanced load for slightly more conflicts.
+func ExampleNewLabelTree() {
+	lt, err := core.NewLabelTreeWithPolicy(15, 63, core.Balanced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := core.Load(lt)
+	fmt.Println("every module used:", stats.Balanced)
+	fmt.Println("load ratio below 1.1:", stats.Ratio < 1.1)
+	// Output:
+	// every module used: true
+	// load ratio below 1.1: true
+}

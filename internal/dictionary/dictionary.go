@@ -1,0 +1,143 @@
+// Package dictionary implements the second data structure named by the
+// paper's introduction ("heaps and dictionaries are among the two most
+// popular data structures implemented with trees"): a dictionary over a
+// complete binary search tree whose lookups walk root-to-key paths —
+// P-template traffic through the parallel memory system.
+//
+// Two access schedules are provided:
+//
+//   - Lookup submits one search's whole path as a single parallel batch
+//     (the paper's P-template access);
+//   - BatchLookup runs B independent searches level-synchronously: at each
+//     step the B searches' current nodes form one parallel batch, the way
+//     a lock-step SIMD machine would drive the memory system.
+package dictionary
+
+import (
+	"fmt"
+
+	"repro/internal/pms"
+	"repro/internal/rangequery"
+	"repro/internal/tree"
+)
+
+// Dict is a complete-BST dictionary bound to a memory system simulator.
+// Keys are the in-order positions 0 … 2^H-2; values are user payloads.
+type Dict struct {
+	sys    *pms.System
+	t      tree.Tree
+	values []int64
+	set    []bool
+}
+
+// New builds an empty dictionary over the mapping's tree.
+func New(sys *pms.System) *Dict {
+	t := sys.Mapping().Tree()
+	return &Dict{
+		sys:    sys,
+		t:      t,
+		values: make([]int64, t.Nodes()),
+		set:    make([]bool, t.Nodes()),
+	}
+}
+
+// KeySpace returns the number of addressable keys.
+func (d *Dict) KeySpace() int64 { return d.t.Nodes() }
+
+// System returns the attached simulator.
+func (d *Dict) System() *pms.System { return d.sys }
+
+// node returns the BST node holding the key.
+func (d *Dict) node(key int64) (tree.Node, error) {
+	return rangequery.NodeForKey(d.t, key)
+}
+
+// searchPath returns the root-to-key node sequence (top-down).
+func (d *Dict) searchPath(key int64) ([]tree.Node, error) {
+	n, err := d.node(key)
+	if err != nil {
+		return nil, err
+	}
+	path := make([]tree.Node, n.Level+1)
+	for lvl := 0; lvl <= n.Level; lvl++ {
+		path[lvl] = n.Ancestor(n.Level - lvl)
+	}
+	return path, nil
+}
+
+// Insert stores value under key, charging the search path as one batch.
+// Returns the memory cycles consumed.
+func (d *Dict) Insert(key, value int64) (int64, error) {
+	path, err := d.searchPath(key)
+	if err != nil {
+		return 0, err
+	}
+	d.sys.Submit(path)
+	cycles := d.sys.Drain()
+	h := path[len(path)-1].HeapIndex()
+	d.values[h] = value
+	d.set[h] = true
+	return cycles, nil
+}
+
+// Lookup fetches the value under key, charging the search path as one
+// parallel batch (a P-template access). found reports whether the key had
+// been inserted.
+func (d *Dict) Lookup(key int64) (value int64, found bool, cycles int64, err error) {
+	path, err := d.searchPath(key)
+	if err != nil {
+		return 0, false, 0, err
+	}
+	d.sys.Submit(path)
+	cycles = d.sys.Drain()
+	h := path[len(path)-1].HeapIndex()
+	return d.values[h], d.set[h], cycles, nil
+}
+
+// BatchResult summarizes a level-synchronous batch of lookups.
+type BatchResult struct {
+	Keys   int
+	Found  int
+	Cycles int64 // total memory cycles across all levels
+	Steps  int   // lock-step rounds executed (deepest search depth + 1)
+}
+
+// BatchLookup runs the searches lock-step: at each depth, the frontier
+// nodes of all still-active searches form one parallel batch. This is the
+// schedule under which per-level module spreading (L-template behaviour)
+// matters as much as path behaviour.
+func (d *Dict) BatchLookup(keys []int64) (BatchResult, error) {
+	if len(keys) == 0 {
+		return BatchResult{}, fmt.Errorf("dictionary: empty batch")
+	}
+	paths := make([][]tree.Node, len(keys))
+	maxDepth := 0
+	for i, key := range keys {
+		p, err := d.searchPath(key)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		paths[i] = p
+		if len(p) > maxDepth {
+			maxDepth = len(p)
+		}
+	}
+	res := BatchResult{Keys: len(keys), Steps: maxDepth}
+	frontier := make([]tree.Node, 0, len(keys))
+	for depth := 0; depth < maxDepth; depth++ {
+		frontier = frontier[:0]
+		for _, p := range paths {
+			if depth < len(p) {
+				frontier = append(frontier, p[depth])
+			}
+		}
+		d.sys.Submit(frontier)
+		res.Cycles += d.sys.Drain()
+	}
+	for _, p := range paths {
+		if d.set[p[len(p)-1].HeapIndex()] {
+			res.Found++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package dictionary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/colormap"
+	"repro/internal/pms"
+	"repro/internal/tree"
+)
+
+func colorSys(t *testing.T, levels int) *pms.System {
+	t.Helper()
+	p, err := colormap.Canonical(levels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := colormap.Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pms.NewSystem(arr)
+}
+
+func TestInsertLookup(t *testing.T) {
+	d := New(colorSys(t, 10))
+	if d.KeySpace() != 1023 {
+		t.Fatalf("KeySpace = %d", d.KeySpace())
+	}
+	keys := []int64{0, 511, 1022, 300, 77}
+	for i, k := range keys {
+		cycles, err := d.Insert(k, int64(i)*10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycles < 1 {
+			t.Errorf("insert %d cost %d cycles", k, cycles)
+		}
+	}
+	for i, k := range keys {
+		v, found, cycles, err := d.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || v != int64(i)*10 {
+			t.Errorf("Lookup(%d) = %d, %v", k, v, found)
+		}
+		if cycles < 1 {
+			t.Errorf("lookup cost %d", cycles)
+		}
+	}
+	if _, found, _, err := d.Lookup(123); err != nil || found {
+		t.Errorf("absent key reported found=%v err=%v", found, err)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	d := New(colorSys(t, 6))
+	if _, _, _, err := d.Lookup(-1); err == nil {
+		t.Error("negative key should fail")
+	}
+	if _, _, _, err := d.Lookup(d.KeySpace()); err == nil {
+		t.Error("key past end should fail")
+	}
+	if _, err := d.Insert(-1, 0); err == nil {
+		t.Error("insert of bad key should fail")
+	}
+}
+
+// Under canonical COLOR the root path of any key within the first N
+// levels is conflict-free, so a single lookup takes exactly 1 cycle.
+func TestLookupCostOneCycleShallow(t *testing.T) {
+	d := New(colorSys(t, 10)) // N = 6
+	n, err := d.node(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = n
+	// Keys whose node sits within the first 6 levels: the root key.
+	tr := tree.New(10)
+	rootKey := tr.Nodes() / 2 // in-order position of the root
+	_, _, cycles, err := d.Lookup(rootKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 1 {
+		t.Errorf("root lookup cost %d cycles, want 1", cycles)
+	}
+}
+
+func TestBatchLookup(t *testing.T) {
+	d := New(colorSys(t, 10))
+	for k := int64(0); k < 100; k += 10 {
+		if _, err := d.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := []int64{0, 10, 20, 55, 1000}
+	res, err := d.BatchLookup(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Keys != 5 {
+		t.Errorf("Keys = %d", res.Keys)
+	}
+	if res.Found != 3 { // 0, 10, 20 inserted; 55 and 1000 not
+		t.Errorf("Found = %d, want 3", res.Found)
+	}
+	if res.Steps < 1 || res.Cycles < int64(res.Steps) {
+		t.Errorf("steps %d cycles %d inconsistent", res.Steps, res.Cycles)
+	}
+}
+
+func TestBatchLookupEmpty(t *testing.T) {
+	d := New(colorSys(t, 6))
+	if _, err := d.BatchLookup(nil); err == nil {
+		t.Error("empty batch should fail")
+	}
+}
+
+func TestBatchLookupBadKey(t *testing.T) {
+	d := New(colorSys(t, 6))
+	if _, err := d.BatchLookup([]int64{1, -5}); err == nil {
+		t.Error("bad key in batch should fail")
+	}
+}
+
+// The mapping quality shows up in batch cost: random vs COLOR on the same
+// batch of random lookups. (COLOR's per-level blocks are conflict-free;
+// random has birthday collisions at every level.)
+func TestBatchCostComparesMappings(t *testing.T) {
+	levels := 12
+	p, err := colormap.Canonical(levels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := colormap.Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := baseline.Random(tree.New(levels), arr.Modules(), 5)
+
+	rng := rand.New(rand.NewSource(8))
+	keys := make([]int64, 64)
+	for i := range keys {
+		keys[i] = rng.Int63n(tree.New(levels).Nodes())
+	}
+	dColor := New(pms.NewSystem(arr))
+	dRand := New(pms.NewSystem(rnd))
+	resColor, err := dColor.BatchLookup(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRand, err := dRand.BatchLookup(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resColor.Cycles <= 0 || resRand.Cycles <= 0 {
+		t.Fatal("cycles must be positive")
+	}
+	// Both must at least respect the pigeonhole floor per step.
+	minPerStep := int64(len(keys) / arr.Modules())
+	if resColor.Cycles < minPerStep || resRand.Cycles < minPerStep {
+		t.Error("cycles below pigeonhole floor")
+	}
+}
+
+func TestSystemAccessor(t *testing.T) {
+	sys := colorSys(t, 6)
+	d := New(sys)
+	if d.System() != sys {
+		t.Error("System accessor wrong")
+	}
+}

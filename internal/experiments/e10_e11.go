@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/basiccolor"
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/labeltree"
+	"repro/internal/qary"
+	"repro/internal/report"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// E10 verifies the q-ary generalization (the extension direction of the
+// paper's companion work, refs [6][7][9]): the generalized COLOR is
+// conflict-free on q-ary subtree templates of k levels and on path
+// templates of N nodes with N + K - k colors, K = (q^k-1)/(q-1).
+func E10(Scale) ([]*report.Table, error) {
+	t := report.New("E10 (extension, refs [6][7][9]): q-ary COLOR conflict-freeness — exhaustive",
+		"q", "k", "K", "N", "H", "modules", "maxConf S", "maxConf P")
+	for _, q := range []int{2, 3, 4, 5} {
+		for k := 1; k <= 2; k++ {
+			N := 2 * k
+			H := N + 2*(N-k)
+			for qary.SubtreeSize(q, H) > 400_000 {
+				H--
+			}
+			if H < N {
+				continue
+			}
+			p := qary.Params{Arity: q, Levels: H, BandLevels: N, SubtreeLevels: k}
+			m, err := qary.Color(p)
+			if err != nil {
+				return nil, err
+			}
+			sC := m.SubtreeConflicts(k)
+			pC := m.PathConflicts(N)
+			if sC != 0 || pC != 0 {
+				return nil, fmt.Errorf("E10 violated at %+v: S=%d P=%d", p, sC, pC)
+			}
+			t.AddRow(q, k, p.K(), N, H, p.Colors(), sC, pC)
+		}
+	}
+	t.AddNote("same TP-set induction as the binary case, with blocks inheriting from all q-1 sibling subtrees")
+	return []*report.Table{t}, nil
+}
+
+// E11 runs the ablations DESIGN.md calls out: what each design ingredient
+// buys.
+func E11(s Scale) ([]*report.Table, error) {
+	rotate, err := e11Rotate(s)
+	if err != nil {
+		return nil, err
+	}
+	gamma, err := e11GammaReuse(s)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := e11PolicyPaths(s)
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{rotate, gamma, policy}, nil
+}
+
+// e11Rotate removes LABEL-TREE's ROTATE phase and measures the damage on
+// level templates and load balance.
+func e11Rotate(s Scale) (*report.Table, error) {
+	modules := 63
+	H := s.MaxLevels - 2
+	if H < 13 {
+		H = 13
+	}
+	t := report.New(fmt.Sprintf("E11a (ablation): LABEL-TREE without ROTATE (M=%d, H=%d)", modules, H),
+		"variant", "L(M) conflicts", "L(4M) conflicts", "load ratio")
+	for _, ablated := range []bool{false, true} {
+		lt, err := labeltree.NewWithOptions(H, modules, labeltree.Options{
+			Macro:         labeltree.Balanced,
+			DisableRotate: ablated,
+		})
+		if err != nil {
+			return nil, err
+		}
+		arr := lt.Materialize()
+		lM, err := familyCost(arr, template.Level, int64(modules))
+		if err != nil {
+			return nil, err
+		}
+		l4M, err := familyCost(arr, template.Level, int64(4*modules))
+		if err != nil {
+			return nil, err
+		}
+		stats := coloring.Load(arr)
+		name := "with ROTATE"
+		if ablated {
+			name = "without ROTATE"
+		}
+		ratio := "-"
+		if stats.Balanced {
+			ratio = fmt.Sprintf("%.3f", stats.Ratio)
+		}
+		t.AddRow(name, lM, l4M, ratio)
+	}
+	t.AddNote("ROTATE is what spreads repeated Σ-windows across a level; dropping it multiplies level conflicts")
+	return t, nil
+}
+
+// e11GammaReuse compares COLOR's Γ-reuse across bands against a naive
+// variant that allocates fresh colors for every level below the top k:
+// both are conflict-free, but the naive variant needs K + H - k modules
+// instead of K + N - k.
+func e11GammaReuse(s Scale) (*report.Table, error) {
+	k := 2
+	N := 6
+	H := s.MaxLevels - 2
+	if H < 12 {
+		H = 12
+	}
+	t := report.New(fmt.Sprintf("E11b (ablation): Γ-reuse across bands vs fresh colors per level (k=%d, N=%d, H=%d)", k, N, H),
+		"variant", "modules", "maxConf S(K)", "maxConf P(N)")
+
+	// The real COLOR.
+	p := basiccolor.Params{Levels: H, SubtreeLevels: k}
+	real, err := colormap.Color(colormap.Params{Levels: H, BandLevels: N, SubtreeLevels: k})
+	if err != nil {
+		return nil, err
+	}
+	sC, err := familyCost(real, template.Subtree, tree.SubtreeSize(k))
+	if err != nil {
+		return nil, err
+	}
+	pC, err := familyCost(real, template.Path, int64(N))
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("COLOR (Γ reused)", real.Modules(), sC, pC)
+
+	// Fresh-Γ variant: BASIC-COLOR run over the whole height as one band,
+	// one fresh color per level below the top k (what BASIC-COLOR alone
+	// does when stretched to the full tree).
+	naive, err := basiccolor.Color(p)
+	if err != nil {
+		return nil, err
+	}
+	sC, err = familyCost(naive, template.Subtree, tree.SubtreeSize(k))
+	if err != nil {
+		return nil, err
+	}
+	pC, err = familyCost(naive, template.Path, int64(N))
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("fresh Γ per level", naive.Modules(), sC, pC)
+	t.AddNote("Γ-reuse is what makes the module count independent of the tree height")
+	return t, nil
+}
+
+// e11PolicyPaths compares the two MACRO-LABEL policies on the worst path
+// template — the property BandCyclic is designed to protect.
+func e11PolicyPaths(s Scale) (*report.Table, error) {
+	modules := 63
+	H := s.MaxLevels
+	d1 := int64(modules)
+	if d1 > int64(H) {
+		d1 = int64(H) // longest path the tree admits
+	}
+	t := report.New(fmt.Sprintf("E11c (ablation): MACRO-LABEL policy vs worst-case paths (M=%d, H=%d)", modules, H),
+		fmt.Sprintf("policy (paths of %d)", d1), "P conflicts", "P(2M) conflicts", "load ratio")
+	for _, po := range []labeltree.Policy{labeltree.BandCyclic, labeltree.Balanced} {
+		lt, err := labeltree.NewWithPolicy(H, modules, po)
+		if err != nil {
+			return nil, err
+		}
+		arr := lt.Materialize()
+		pM, err := familyCost(arr, template.Path, d1)
+		if err != nil {
+			return nil, err
+		}
+		p2M := -1
+		if 2*modules <= H {
+			p2M, err = familyCost(arr, template.Path, int64(2*modules))
+			if err != nil {
+				return nil, err
+			}
+		}
+		stats := coloring.Load(arr)
+		ratio := "-"
+		if stats.Balanced {
+			ratio = fmt.Sprintf("%.3f", stats.Ratio)
+		}
+		p2MS := "-"
+		if p2M >= 0 {
+			p2MS = fmt.Sprintf("%d", p2M)
+		}
+		t.AddRow(po, pM, p2MS, ratio)
+	}
+	t.AddNote("the conflict/load tension between the policies is the reconstruction trade-off documented in DESIGN.md")
+	return t, nil
+}

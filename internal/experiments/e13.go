@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/binomial"
+	"repro/internal/hypercube"
+	"repro/internal/report"
+)
+
+// E13 verifies the two remaining structures of the paper's reference [7]
+// (Das–Pinotti, ICS 1997): conflict-free template access in binomial
+// trees and to subcubes of a binary hypercube — and, for the combined
+// binomial template, compares the product construction against the exact
+// minimum found by exhaustive search.
+func E13(Scale) ([]*report.Table, error) {
+	bin := report.New("E13a (ref [7]): binomial-tree template colorings — exhaustive",
+		"template", "n", "param", "modules", "maxConf", "optimal?")
+	for n := 4; n <= 9; n++ {
+		tr, err := binomial.New(n)
+		if err != nil {
+			return nil, err
+		}
+		for k := 1; k <= 3; k++ {
+			c := binomial.SubtreeColoring(k)
+			got := binomial.SubtreeConflicts(tr, c, k)
+			if got != 0 {
+				return nil, fmt.Errorf("E13 subtree n=%d k=%d: %d conflicts", n, k, got)
+			}
+			bin.AddRow("B_k subtree", n, fmt.Sprintf("k=%d", k), c.Modules, got, "yes (= template size)")
+		}
+		for _, K := range []int{3, n} {
+			c := binomial.PathColoring(K)
+			got := binomial.PathConflicts(tr, c, K)
+			if got != 0 {
+				return nil, fmt.Errorf("E13 path n=%d K=%d: %d conflicts", n, K, got)
+			}
+			bin.AddRow("K-node path", n, fmt.Sprintf("K=%d", K), c.Modules, got, "yes (= template size)")
+		}
+	}
+
+	comb := report.New("E13b: combined binomial template — product construction vs exact minimum",
+		"n", "k", "K", "product modules", "exact minimum", "gap")
+	for _, cfg := range [][3]int{{3, 1, 2}, {4, 1, 3}, {4, 2, 3}, {5, 1, 3}, {5, 2, 4}} {
+		n, k, K := cfg[0], cfg[1], cfg[2]
+		product := binomial.CombinedColoring(k, K)
+		tr, err := binomial.New(n)
+		if err != nil {
+			return nil, err
+		}
+		if binomial.SubtreeConflicts(tr, product, k) != 0 || binomial.PathConflicts(tr, product, K) != 0 {
+			return nil, fmt.Errorf("E13 combined n=%d k=%d K=%d: product construction conflicts", n, k, K)
+		}
+		min, _, err := binomial.MinModulesCombined(n, k, K)
+		if err != nil {
+			return nil, err
+		}
+		comb.AddRow(n, k, K, product.Modules, min, product.Modules-min)
+	}
+	comb.AddNote("the exact minimum shows how much overlap between the two templates the product construction wastes")
+
+	cube := report.New("E13c (ref [7]): hypercube k-subcube access via GF(2)-linear colorings — exhaustive",
+		"n", "k", "color bits r", "modules 2^r", "maxConf")
+	for n := 4; n <= 10; n += 2 {
+		for k := 1; k <= 3; k++ {
+			c, err := hypercube.Minimal(n, k)
+			if err != nil {
+				return nil, err
+			}
+			got := hypercube.WorstConflicts(c)
+			if got != 0 {
+				return nil, fmt.Errorf("E13 cube n=%d k=%d: %d conflicts", n, k, got)
+			}
+			cube.AddRow(n, k, c.R, c.Modules(), got)
+		}
+	}
+	cube.AddNote("any-k-independent column matrices = parity checks of distance-(k+1) codes; far fewer than 2^n modules")
+	return []*report.Table{bin, comb, cube}, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/btree"
+	"repro/internal/qary"
+	"repro/internal/report"
+)
+
+// E16 runs the introduction's B-tree scenario end to end on the q-ary
+// substrate: complete q-ary B-trees (q-1 keys per page) answering range
+// queries whose page sets decompose into q-ary subtrees plus boundary
+// paths. The sweep varies the fanout q at a near-constant key count and
+// reports pages touched, parts, and parallel conflicts per query under
+// the q-ary COLOR mapping.
+func E16(s Scale) ([]*report.Table, error) {
+	t := report.New("E16 (figure): B-tree range queries vs fanout q (span 200 keys, q-ary COLOR mapping)",
+		"q", "levels", "pages", "keys", "modules", "mean pages/query", "mean parts c", "mean conflicts", "max conflicts")
+	const span = 200
+	const trials = 150
+	for _, cfg := range []struct{ q, levels int }{
+		{2, 12}, {3, 8}, {4, 6}, {5, 6}, {8, 4},
+	} {
+		b, err := btree.New(cfg.q, cfg.levels)
+		if err != nil {
+			return nil, err
+		}
+		p := qary.Params{Arity: cfg.q, Levels: cfg.levels, BandLevels: 4, SubtreeLevels: 2}
+		m, err := qary.Color(p)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(int64(1600 + cfg.q)))
+		var pages, parts, confl, worst int
+		for trial := 0; trial < trials; trial++ {
+			lo := rng.Int63n(b.Keys() - span)
+			pg, pt, cf, err := b.QueryCost(m, lo, lo+span-1)
+			if err != nil {
+				return nil, err
+			}
+			pages += pg
+			parts += pt
+			confl += cf
+			if cf > worst {
+				worst = cf
+			}
+		}
+		t.AddRow(cfg.q, cfg.levels, m.T.Nodes(), b.Keys(), m.Modules(),
+			float64(pages)/trials, float64(parts)/trials, float64(confl)/trials, worst)
+	}
+	t.AddNote("higher fanout → fewer, larger pages per query and shallower boundary paths — the classic B-tree trade applied to memory conflicts")
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/heapsim"
+	"repro/internal/labeltree"
+	"repro/internal/pms"
+	"repro/internal/rangequery"
+	"repro/internal/report"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// E7 measures the address-retrieval trade-off of Section 6: COLOR without
+// preprocessing is O(H) per node, the table-assisted COLOR retriever is
+// O(H/(N-k)), LABEL-TREE is O(log M) without its table and O(1) with it.
+// Wall-clock numbers are collected with testing.Benchmark when
+// Scale.Timing is set; step counts are always reported.
+func E7(s Scale) ([]*report.Table, error) {
+	t := report.New("E7 (Section 6): single-node address retrieval cost",
+		"algorithm", "asymptotic", "preprocessing space", "ns/op")
+	H := 40
+	m := 4
+	p, err := colormap.Canonical(H, m)
+	if err != nil {
+		return nil, err
+	}
+	retr, err := colormap.NewRetriever(p)
+	if err != nil {
+		return nil, err
+	}
+	lt, err := labeltree.New(H, colormap.CanonicalModules(m))
+	if err != nil {
+		return nil, err
+	}
+	deep := tree.V(123456789, H-1)
+
+	type row struct {
+		name, asym, space string
+		fn                func() int
+	}
+	rows := []row{
+		{"COLOR Retrieve", "O(H)", "none", func() int {
+			c, err := colormap.Retrieve(p, deep)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}},
+		{"COLOR Retriever", "O(H/(N-k))", "O(2^N)", func() int {
+			c, err := retr.Color(deep)
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}},
+		{"LABEL-TREE SlowColor", "O(log M)", "none", func() int { return lt.SlowColor(deep) }},
+		{"LABEL-TREE Color", "O(1)", "O(M)", func() int { return lt.Color(deep) }},
+	}
+	mod := baseline.Modulo(tree.New(H), colormap.CanonicalModules(m))
+	rows = append(rows, row{"MOD baseline", "O(1)", "none", func() int { return mod.Color(deep) }})
+	for _, r := range rows {
+		ns := "-"
+		if s.Timing {
+			fn := r.fn
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sink = fn()
+				}
+			})
+			ns = fmt.Sprintf("%.1f", float64(res.T.Nanoseconds())/float64(res.N))
+		} else if r.fn() < 0 {
+			return nil, fmt.Errorf("E7: negative color")
+		}
+		t.AddRow(r.name, r.asym, r.space, ns)
+	}
+	t.AddNote("H=%d levels, M=%d modules; the COLOR/LABEL-TREE gap is the paper's addressing trade-off", H, colormap.CanonicalModules(m))
+	return []*report.Table{t}, nil
+}
+
+// sink prevents the benchmarked calls from being optimized away.
+var sink int
+
+// mappingsUnderTest builds the comparison set for E8/E9: the paper's two
+// algorithms plus the naive baselines, all with the same module count.
+func mappingsUnderTest(levels, m int) ([]coloring.Mapping, error) {
+	p, err := colormap.Canonical(levels, m)
+	if err != nil {
+		return nil, err
+	}
+	colorArr, err := colormap.Color(p)
+	if err != nil {
+		return nil, err
+	}
+	M := colormap.CanonicalModules(m)
+	lt, err := labeltree.NewWithPolicy(levels, M, labeltree.BandCyclic)
+	if err != nil {
+		return nil, err
+	}
+	ltBal, err := labeltree.NewWithPolicy(levels, M, labeltree.Balanced)
+	if err != nil {
+		return nil, err
+	}
+	tr := tree.New(levels)
+	return []coloring.Mapping{
+		colorArr,
+		lt,
+		ltBal,
+		baseline.Modulo(tr, M),
+		baseline.LevelCyclic(tr, M),
+		baseline.Random(tr, M, 7),
+	}, nil
+}
+
+// E8 replays the two applications of the paper's introduction — heap
+// operations (P-template traffic) and BST range queries (C-template
+// traffic) — under every mapping.
+func E8(s Scale) ([]*report.Table, error) {
+	levels := s.MaxLevels
+	maps, err := mappingsUnderTest(levels, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	heap := report.New(fmt.Sprintf("E8a: binary-heap workload, %d ops (insert/delete-min/decrease-key), H=%d",
+		s.HeapOps, levels), "mapping", "ops", "total cycles", "cycles/op", "utilization")
+	rng := rand.New(rand.NewSource(3003))
+	var ops []heapsim.Op
+	for i := 0; i < s.HeapOps; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			ops = append(ops, heapsim.Op{Kind: heapsim.OpInsert, Key: rng.Int63n(1 << 20)})
+		case 2:
+			ops = append(ops, heapsim.Op{Kind: heapsim.OpDeleteMin})
+		case 3:
+			ops = append(ops, heapsim.Op{Kind: heapsim.OpDecreaseKey, Slot: rng.Int63(), Key: rng.Int63n(1 << 10)})
+		}
+	}
+	for _, m := range maps {
+		sys := pms.NewSystem(m)
+		res, err := heapsim.Run(sys, ops)
+		if err != nil {
+			return nil, err
+		}
+		heap.AddRow(coloring.NameOf(m), res.Ops, res.TotalCycles, res.CyclesPerOp(),
+			res.Stats.Utilization(m.Modules()))
+	}
+
+	query := report.New(fmt.Sprintf("E8b: BST range queries, %d queries per span, H=%d", s.QueryTrials, levels),
+		"mapping", "span", "mean cycles", "max cycles", "mean parts c")
+	spans := []int64{8, 32, 128}
+	for _, m := range maps {
+		for _, span := range spans {
+			qrng := rand.New(rand.NewSource(4004))
+			var total, max int64
+			var parts int
+			for trial := 0; trial < s.QueryTrials; trial++ {
+				lo := qrng.Int63n(tree.New(levels).Nodes() - span)
+				sys := pms.NewSystem(m)
+				res, err := rangequery.Run(sys, lo, lo+span-1)
+				if err != nil {
+					return nil, err
+				}
+				total += res.Cycles
+				if res.Cycles > max {
+					max = res.Cycles
+				}
+				parts += res.Parts
+			}
+			query.AddRow(coloring.NameOf(m), span,
+				float64(total)/float64(s.QueryTrials), max,
+				float64(parts)/float64(s.QueryTrials))
+		}
+	}
+	query.AddNote("contiguous leaf-heavy ranges favor plain interleaving; COLOR's guarantee is the bounded worst case")
+	return []*report.Table{heap, query}, nil
+}
+
+// E9 produces the conclusions trade-off table: worst-case conflicts on
+// each elementary template of size M, load balance, and addressing class,
+// for every mapping.
+func E9(s Scale) ([]*report.Table, error) {
+	levels := s.MaxLevels
+	m := 3
+	M := int64(colormap.CanonicalModules(m))
+	maps, err := mappingsUnderTest(levels, m)
+	if err != nil {
+		return nil, err
+	}
+	addressing := map[string]string{
+		"COLOR":      "O(H), O(H/(N-k)) with tables",
+		"LABEL-TREE": "O(1) with O(M) table",
+		"MOD":        "O(1)",
+		"LEVEL":      "O(1)",
+		"RANDOM":     "O(1) lookup (O(2^H) table)",
+	}
+	t := report.New(fmt.Sprintf("E9 (Conclusions): trade-offs at M=%d, H=%d", M, levels),
+		"mapping", "S(M)", "P(M)", "L(M)", "load ratio", "addressing")
+	for _, mp := range maps {
+		var sC, pC, lC int
+		if sC, err = familyCost(mp, template.Subtree, M); err != nil {
+			return nil, err
+		}
+		if pC, err = familyCost(mp, template.Path, M); err != nil {
+			return nil, err
+		}
+		if lC, err = familyCost(mp, template.Level, M); err != nil {
+			return nil, err
+		}
+		stats := coloring.Load(mp)
+		name := coloring.NameOf(mp)
+		addr := "O(1)"
+		for prefix, a := range addressing {
+			if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+				addr = a
+			}
+		}
+		ratio := "-"
+		if stats.Balanced {
+			ratio = fmt.Sprintf("%.3f", stats.Ratio)
+		}
+		t.AddRow(name, sC, pC, lC, ratio, addr)
+	}
+	t.AddNote("S/P/L columns are exact maxima over every instance of size M")
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,483 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestScalePresets(t *testing.T) {
+	d, q := Default(), Quick()
+	if d.MaxLevels <= q.MaxLevels || d.CompositeTrials <= q.CompositeTrials {
+		t.Error("Default should exceed Quick")
+	}
+	if q.Timing {
+		t.Error("Quick must not time")
+	}
+}
+
+func TestAllSpecsComplete(t *testing.T) {
+	specs := All()
+	if len(specs) != 17 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	for i, s := range specs {
+		if s.ID != "E"+strconv.Itoa(i+1) {
+			t.Errorf("spec %d has ID %s", i, s.ID)
+		}
+		if s.Claim == "" || s.Source == "" || s.Run == nil {
+			t.Errorf("%s incomplete", s.ID)
+		}
+	}
+}
+
+// Each experiment must run at Quick scale and produce self-consistent
+// tables; the drivers themselves abort with an error when a paper bound is
+// violated, so a nil error is already a strong check.
+func TestE1(t *testing.T) {
+	tables, err := E1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tables[0].Rows {
+		if row[5] != "0" || row[6] != "0" {
+			t.Errorf("nonzero conflicts in row %v", row)
+		}
+	}
+}
+
+func TestE2(t *testing.T) {
+	tables, err := E2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] != "false" || row[4] != "true" {
+			t.Errorf("lower bound row %v", row)
+		}
+	}
+	for _, row := range tables[1].Rows {
+		if row[3] != "ok" {
+			t.Errorf("certificate row %v", row)
+		}
+	}
+}
+
+func TestE3(t *testing.T) {
+	tables, err := E3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		cost, _ := strconv.Atoi(row[4])
+		if cost > 1 {
+			t.Errorf("L cost %d in row %v", cost, row)
+		}
+	}
+}
+
+func TestE4(t *testing.T) {
+	tables, err := E4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tables[0].Rows {
+		s, _ := strconv.Atoi(row[5])
+		p, _ := strconv.Atoi(row[6])
+		if s > 1 || p > 1 {
+			t.Errorf("row %v exceeds 1 conflict", row)
+		}
+	}
+}
+
+func TestE5(t *testing.T) {
+	tables, err := E5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// Elementary: measured ≤ bound column.
+	for _, row := range tables[0].Rows {
+		cost, _ := strconv.Atoi(row[2])
+		bound, _ := strconv.Atoi(row[3])
+		if cost > bound {
+			t.Errorf("E5a row %v", row)
+		}
+	}
+	if len(tables[1].Rows) == 0 {
+		t.Error("E5b empty")
+	}
+}
+
+func TestE6(t *testing.T) {
+	tables, err := E6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// Load table: the Balanced policy rows must report all modules used.
+	sawBalanced := false
+	for _, row := range tables[2].Rows {
+		if row[0] == "balanced" {
+			sawBalanced = true
+			if row[5] != "true" {
+				t.Errorf("balanced policy left modules unused: %v", row)
+			}
+		}
+	}
+	if !sawBalanced {
+		t.Error("no balanced-policy rows")
+	}
+}
+
+func TestE7(t *testing.T) {
+	tables, err := E7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 5 {
+		t.Fatalf("%d rows", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] != "-" {
+			t.Errorf("Quick scale must not time: %v", row)
+		}
+	}
+}
+
+func TestE7Timing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	s := Quick()
+	s.Timing = true
+	tables, err := E7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if _, err := strconv.ParseFloat(row[3], 64); err != nil {
+			t.Errorf("row %v has non-numeric ns/op", row)
+		}
+	}
+}
+
+func TestE8(t *testing.T) {
+	s := Quick()
+	s.MaxLevels = 10
+	s.HeapOps = 200
+	s.QueryTrials = 10
+	tables, err := E8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// 6 mappings in the heap table; COLOR must beat MOD on cycles/op.
+	if len(tables[0].Rows) != 6 {
+		t.Fatalf("heap rows %d", len(tables[0].Rows))
+	}
+	var colorCPO, modCPO float64
+	for _, row := range tables[0].Rows {
+		cpo, _ := strconv.ParseFloat(row[3], 64)
+		switch {
+		case strings.HasPrefix(row[0], "COLOR"):
+			colorCPO = cpo
+		case strings.HasPrefix(row[0], "MOD"):
+			modCPO = cpo
+		}
+	}
+	if colorCPO <= 0 || modCPO <= 0 || colorCPO >= modCPO {
+		t.Errorf("heap: COLOR %.3f cycles/op vs MOD %.3f — expected COLOR to win", colorCPO, modCPO)
+	}
+	if len(tables[1].Rows) != 6*3 {
+		t.Errorf("query rows %d", len(tables[1].Rows))
+	}
+}
+
+func TestE9(t *testing.T) {
+	s := Quick()
+	s.MaxLevels = 10
+	tables, err := E9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	costs := map[string][3]int{}
+	for _, row := range rows {
+		sC, _ := strconv.Atoi(row[1])
+		pC, _ := strconv.Atoi(row[2])
+		lC, _ := strconv.Atoi(row[3])
+		key := strings.SplitN(row[0], "(", 2)[0]
+		if _, dup := costs[key]; !dup {
+			costs[key] = [3]int{sC, pC, lC}
+		}
+	}
+	color := costs["COLOR"]
+	mod := costs["MOD"]
+	if color[0] > 1 || color[1] > 1 {
+		t.Errorf("COLOR S/P costs %v exceed 1", color)
+	}
+	if mod[1] <= color[1] {
+		t.Errorf("MOD path cost %d should exceed COLOR's %d", mod[1], color[1])
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	s := Quick()
+	s.MaxLevels = 10
+	s.CompositeTrials = 20
+	s.HeapOps = 100
+	s.QueryTrials = 5
+	tables, err := RunAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < 9 {
+		t.Errorf("%d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if tb.Title == "" {
+			t.Error("untitled table")
+		}
+		if out := tb.String(); out == "" {
+			t.Error("empty rendering")
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := [][3]int64{{1, 1, 1}, {7, 3, 3}, {6, 3, 2}, {0, 5, 0}}
+	for _, c := range cases {
+		if got := ceilDiv(c[0], c[1]); got != c[2] {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestE10(t *testing.T) {
+	tables, err := E10(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) < 6 {
+		t.Fatalf("%d rows", len(tables[0].Rows))
+	}
+	for _, row := range tables[0].Rows {
+		if row[6] != "0" || row[7] != "0" {
+			t.Errorf("q-ary conflicts in row %v", row)
+		}
+	}
+}
+
+func TestE11(t *testing.T) {
+	tables, err := E11(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// E11a: dropping ROTATE must increase L(4M) conflicts.
+	with, _ := strconv.Atoi(tables[0].Rows[0][2])
+	without, _ := strconv.Atoi(tables[0].Rows[1][2])
+	if without <= with {
+		t.Errorf("ROTATE ablation: with %d, without %d — expected damage", with, without)
+	}
+	// E11b: the fresh-Γ variant must need more modules, both CF.
+	realMods, _ := strconv.Atoi(tables[1].Rows[0][1])
+	naiveMods, _ := strconv.Atoi(tables[1].Rows[1][1])
+	if naiveMods <= realMods {
+		t.Errorf("Γ ablation: COLOR %d modules, naive %d — expected naive to cost more", realMods, naiveMods)
+	}
+	for _, row := range tables[1].Rows {
+		if row[2] != "0" || row[3] != "0" {
+			t.Errorf("Γ ablation row not conflict-free: %v", row)
+		}
+	}
+	// E11c: two policy rows.
+	if len(tables[2].Rows) != 2 {
+		t.Errorf("policy table rows %d", len(tables[2].Rows))
+	}
+}
+
+func TestE12(t *testing.T) {
+	s := Quick()
+	s.CompositeTrials = 30
+	tables, err := E12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) < 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The leader must be COLOR at the largest M (the crossover claim).
+	last := rows[len(rows)-1]
+	if last[8] != "COLOR" {
+		t.Errorf("largest M leader = %s, want COLOR (row %v)", last[8], last)
+	}
+	// And LABEL-TREE at the smallest.
+	if rows[0][8] != "LABEL-TREE" {
+		t.Errorf("smallest M leader = %s, want LABEL-TREE", rows[0][8])
+	}
+}
+
+func TestE13(t *testing.T) {
+	tables, err := E13(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	for _, row := range tables[0].Rows {
+		if row[4] != "0" {
+			t.Errorf("binomial row %v has conflicts", row)
+		}
+	}
+	// The combined gap must be non-negative and positive somewhere.
+	sawGap := false
+	for _, row := range tables[1].Rows {
+		gap, _ := strconv.Atoi(row[5])
+		if gap < 0 {
+			t.Errorf("negative gap in %v", row)
+		}
+		if gap > 0 {
+			sawGap = true
+		}
+	}
+	if !sawGap {
+		t.Error("expected the product construction to be suboptimal somewhere")
+	}
+	for _, row := range tables[2].Rows {
+		if row[4] != "0" {
+			t.Errorf("cube row %v has conflicts", row)
+		}
+	}
+}
+
+func TestE14(t *testing.T) {
+	s := Quick()
+	s.MaxLevels = 11
+	tables, err := E14(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	// Distribution rows: COLOR's S/P p99 and max must be ≤ 1.
+	for _, row := range tables[0].Rows {
+		if !strings.HasPrefix(row[0], "COLOR") || strings.HasPrefix(row[1], "L") {
+			continue
+		}
+		p99, _ := strconv.Atoi(row[4])
+		max, _ := strconv.Atoi(row[5])
+		if p99 > 1 || max > 1 {
+			t.Errorf("COLOR row %v exceeds Theorem 4", row)
+		}
+	}
+	// Throughput rows: 6 mappings, and throughput must not exceed the
+	// 1 instance/cycle ceiling.
+	if len(tables[1].Rows) != 6 {
+		t.Fatalf("throughput rows %d", len(tables[1].Rows))
+	}
+	for _, row := range tables[1].Rows {
+		for col := 1; col < len(row); col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v <= 0 || v > 1.0001 {
+				t.Errorf("throughput %q out of (0,1]", row[col])
+			}
+		}
+	}
+}
+
+func TestE15(t *testing.T) {
+	s := Quick()
+	s.MaxLevels = 11
+	tables, err := E15(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		prev := int64(1 << 60)
+		for col := 1; col <= 4; col++ {
+			v, err := strconv.ParseInt(row[col], 10, 64)
+			if err != nil || v < 600 { // pigeonhole floor: 600·7 items / 7 modules
+				t.Errorf("makespan %q in row %v below floor", row[col], row[0])
+			}
+			if v > prev {
+				t.Errorf("row %v: makespan grew with more processors", row[0])
+			}
+			prev = v
+		}
+	}
+}
+
+func TestE16(t *testing.T) {
+	tables, err := E16(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows {
+		pages, _ := strconv.ParseFloat(row[5], 64)
+		if pages <= 0 {
+			t.Errorf("row %v has no pages", row)
+		}
+	}
+	// Higher fanout must touch fewer pages per query for the same span.
+	first, _ := strconv.ParseFloat(rows[0][5], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][5], 64)
+	if last >= first {
+		t.Errorf("pages/query did not shrink with fanout: %f → %f", first, last)
+	}
+}
+
+func TestE17(t *testing.T) {
+	s := Quick()
+	s.CompositeTrials = 10 // 100 samples per check
+	tables, err := E17(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3*4+1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, row := range rows[:12] {
+		claimed, _ := strconv.Atoi(row[4])
+		sampled, _ := strconv.Atoi(row[5])
+		if sampled > claimed {
+			t.Errorf("row %v: sampled exceeds claim", row)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package hypercube implements conflict-free access to subcube templates
+// of a binary hypercube, the third structure covered by the paper's
+// reference [7] (Das and Pinotti, ICS 1997). A k-dimensional subcube of
+// the n-cube is fixed by choosing k free coordinate positions and the
+// values of the remaining n-k coordinates; a parallel access touches its
+// 2^k vertices.
+//
+// The mapping is linear over GF(2): assign every coordinate i a column
+// c_i ∈ GF(2)^r such that any k columns are linearly independent (the
+// parity-check-matrix property of a code with minimum distance k+1), and
+// color vertex v by XOR-ing the columns of its set bits. Two vertices of
+// one subcube instance differ in a non-empty subset of at most k free
+// coordinates, so their colors differ by a non-zero combination of at
+// most k independent columns — never zero — and every instance is
+// rainbow with 2^r modules.
+//
+// Columns are found greedily; Minimal searches the smallest r that admits
+// n columns. The tests verify conflict-freeness exhaustively for small n.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Coloring is a linear GF(2) vertex coloring of the n-cube.
+type Coloring struct {
+	N       int      // cube dimension
+	K       int      // subcube dimension the coloring is CF for
+	R       int      // color bits; Modules = 2^R
+	Columns []uint32 // one column per coordinate, non-zero, in GF(2)^R
+}
+
+// Modules returns 2^R.
+func (c Coloring) Modules() int { return 1 << uint(c.R) }
+
+// Color returns the module of vertex v: the XOR of the columns of its set
+// bits.
+func (c Coloring) Color(v int64) int {
+	acc := uint32(0)
+	for i := 0; v != 0; i++ {
+		if v&1 != 0 {
+			acc ^= c.Columns[i]
+		}
+		v >>= 1
+	}
+	return int(acc)
+}
+
+// New builds a coloring of the n-cube conflict-free on all k-dimensional
+// subcubes using 2^r modules, or reports that r color bits are not enough
+// for a greedy column set.
+func New(n, k, r int) (Coloring, error) {
+	if n < 1 || n > 30 {
+		return Coloring{}, fmt.Errorf("hypercube: dimension %d out of range [1,30]", n)
+	}
+	if k < 1 || k > n {
+		return Coloring{}, fmt.Errorf("hypercube: subcube dimension %d out of range [1,%d]", k, n)
+	}
+	if r < k || r > 30 {
+		return Coloring{}, fmt.Errorf("hypercube: %d color bits cannot separate 2^%d subcube vertices", r, k)
+	}
+	cols, ok := greedyColumns(n, k, r)
+	if !ok {
+		return Coloring{}, fmt.Errorf("hypercube: no %d any-%d-independent columns in GF(2)^%d (greedy)", n, k, r)
+	}
+	return Coloring{N: n, K: k, R: r, Columns: cols}, nil
+}
+
+// Minimal returns the coloring with the smallest r the greedy construction
+// achieves for (n, k).
+func Minimal(n, k int) (Coloring, error) {
+	for r := k; r <= 30; r++ {
+		c, err := New(n, k, r)
+		if err == nil {
+			return c, nil
+		}
+	}
+	return Coloring{}, fmt.Errorf("hypercube: no construction found for n=%d k=%d", n, k)
+}
+
+// greedyColumns picks n non-zero columns in GF(2)^r such that any k are
+// linearly independent: a candidate is accepted if it is not the XOR of
+// any subset of at most k-1 already accepted columns.
+func greedyColumns(n, k, r int) ([]uint32, bool) {
+	if k == 1 {
+		// Only non-zeroness is needed, and duplicates are allowed: the
+		// all-ones assignment is the 1-bit parity coloring.
+		cols := make([]uint32, n)
+		for i := range cols {
+			cols[i] = 1
+		}
+		return cols, true
+	}
+	// spanned[x] = true if x is the XOR of some subset of ≤ k-1 chosen
+	// columns (including the empty subset: spanned[0]).
+	limit := uint32(1) << uint(r)
+	type reach struct {
+		value uint32
+		size  int
+	}
+	reachable := map[uint32]int{0: 0} // value → smallest subset size
+	var cols []uint32
+	for cand := uint32(1); cand < limit && len(cols) < n; cand++ {
+		if size, ok := reachable[cand]; ok && size <= k-1 {
+			continue // cand would make a dependent k-subset
+		}
+		// Accept: extend reachable with cand.
+		updates := make([]reach, 0, len(reachable))
+		for v, size := range reachable {
+			if size+1 <= k-1 {
+				updates = append(updates, reach{v ^ cand, size + 1})
+			}
+		}
+		for _, u := range updates {
+			if old, ok := reachable[u.value]; !ok || u.size < old {
+				reachable[u.value] = u.size
+			}
+		}
+		cols = append(cols, cand)
+	}
+	return cols, len(cols) == n
+}
+
+// Instance identifies one k-dimensional subcube: Free is the bitmask of
+// free coordinates (popcount k), Base fixes the others (Base & Free == 0).
+type Instance struct {
+	Free, Base int64
+}
+
+// Vertices enumerates the 2^k vertices of the instance.
+func (in Instance) Vertices() []int64 {
+	free := in.Free
+	k := bits.OnesCount64(uint64(free))
+	// Positions of the free bits.
+	pos := make([]int, 0, k)
+	for i := 0; free != 0; i++ {
+		if free&1 != 0 {
+			pos = append(pos, i)
+		}
+		free >>= 1
+	}
+	out := make([]int64, 1<<uint(k))
+	for mask := 0; mask < len(out); mask++ {
+		v := in.Base
+		for j, p := range pos {
+			if mask&(1<<uint(j)) != 0 {
+				v |= 1 << uint(p)
+			}
+		}
+		out[mask] = v
+	}
+	return out
+}
+
+// WalkInstances calls fn for every k-subcube instance of the n-cube,
+// stopping early if fn returns false.
+func WalkInstances(n, k int, fn func(Instance) bool) {
+	total := int64(1) << uint(n)
+	for free := int64(1); free < total; free++ {
+		if bits.OnesCount64(uint64(free)) != k {
+			continue
+		}
+		rest := (total - 1) &^ free
+		// Enumerate bases: all subsets of rest.
+		for base := rest; ; base = (base - 1) & rest {
+			if !fn(Instance{Free: free, Base: base}) {
+				return
+			}
+			if base == 0 {
+				break
+			}
+		}
+	}
+}
+
+// WorstConflicts measures the maximum conflicts over every k-subcube
+// instance under the coloring. Exhaustive; intended for n ≤ 14.
+func WorstConflicts(c Coloring) int {
+	counts := make([]int, c.Modules())
+	worst := 0
+	WalkInstances(c.N, c.K, func(in Instance) bool {
+		var touched []int
+		max := 0
+		for _, v := range in.Vertices() {
+			col := c.Color(v)
+			if counts[col] == 0 {
+				touched = append(touched, col)
+			}
+			counts[col]++
+			if counts[col] > max {
+				max = counts[col]
+			}
+		}
+		for _, col := range touched {
+			counts[col] = 0
+		}
+		if max-1 > worst {
+			worst = max - 1
+		}
+		return true
+	})
+	return worst
+}

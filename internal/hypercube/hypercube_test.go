@@ -1,0 +1,167 @@
+package hypercube
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := [][3]int{
+		{0, 1, 1}, {31, 1, 1}, // n out of range
+		{4, 0, 2}, {4, 5, 5}, // k out of range
+		{4, 2, 1}, {4, 2, 31}, // r out of range
+	}
+	for _, c := range bad {
+		if _, err := New(c[0], c[1], c[2]); err == nil {
+			t.Errorf("New(%v) should fail", c)
+		}
+	}
+}
+
+// k=1 (edge templates): parity coloring, 2 modules, conflict-free.
+func TestEdgesNeedOneBit(t *testing.T) {
+	c, err := Minimal(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.R != 1 {
+		t.Errorf("R = %d, want 1", c.R)
+	}
+	if got := WorstConflicts(c); got != 0 {
+		t.Errorf("edge conflicts %d", got)
+	}
+}
+
+// k=2: the columns must be pairwise distinct non-zero vectors — the
+// Hamming-code bound r = ⌈log2(n+1)⌉.
+func TestPairsMatchHammingBound(t *testing.T) {
+	for _, n := range []int{3, 7, 8, 15} {
+		c, err := Minimal(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bits.Len(uint(n)) // ⌈log2(n+1)⌉ for n of form 2^r-1; close enough to check ≥
+		if c.R < want {
+			t.Errorf("n=%d: R = %d below Hamming bound %d", n, c.R, want)
+		}
+		if n <= 10 {
+			if got := WorstConflicts(c); got != 0 {
+				t.Errorf("n=%d k=2: conflicts %d", n, got)
+			}
+		}
+	}
+}
+
+// Exhaustive conflict-freeness across a sweep of (n, k).
+func TestSubcubeConflictFree(t *testing.T) {
+	for n := 2; n <= 9; n++ {
+		for k := 1; k <= 3 && k <= n; k++ {
+			c, err := Minimal(n, k)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if len(c.Columns) != n {
+				t.Fatalf("n=%d k=%d: %d columns", n, k, len(c.Columns))
+			}
+			if got := WorstConflicts(c); got != 0 {
+				t.Errorf("n=%d k=%d r=%d: %d conflicts", n, k, c.R, got)
+			}
+		}
+	}
+}
+
+// Any k columns of the greedy matrix must really be independent: verify
+// directly that no non-empty subset of ≤ k columns XORs to zero.
+func TestColumnsAnyKIndependent(t *testing.T) {
+	c, err := Minimal(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(c.Columns)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		if bits.OnesCount(uint(mask)) > c.K {
+			continue
+		}
+		acc := uint32(0)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				acc ^= c.Columns[i]
+			}
+		}
+		if acc == 0 {
+			t.Fatalf("columns subset %b is dependent", mask)
+		}
+	}
+}
+
+func TestInstanceVertices(t *testing.T) {
+	in := Instance{Free: 0b0101, Base: 0b0010}
+	got := in.Vertices()
+	want := []int64{0b0010, 0b0011, 0b0110, 0b0111}
+	if len(got) != len(want) {
+		t.Fatalf("vertices = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("vertex %d = %b, want %b", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWalkInstancesCount(t *testing.T) {
+	// Number of k-subcubes of the n-cube: C(n,k) · 2^(n-k).
+	for n := 2; n <= 6; n++ {
+		for k := 1; k <= n; k++ {
+			count := 0
+			WalkInstances(n, k, func(Instance) bool {
+				count++
+				return true
+			})
+			binom := 1
+			for i := 0; i < k; i++ {
+				binom = binom * (n - i) / (i + 1)
+			}
+			want := binom << uint(n-k)
+			if count != want {
+				t.Errorf("n=%d k=%d: %d instances, want %d", n, k, count, want)
+			}
+		}
+	}
+}
+
+func TestWalkInstancesEarlyStop(t *testing.T) {
+	count := 0
+	WalkInstances(5, 2, func(Instance) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop at %d", count)
+	}
+}
+
+// Modules must be far below the naive 2^n: the whole point of the linear
+// construction.
+func TestModulesEconomy(t *testing.T) {
+	c, err := Minimal(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Modules() >= 1<<12 {
+		t.Errorf("modules %d not economical", c.Modules())
+	}
+	if c.Modules() > 32 {
+		t.Errorf("k=2 on 12 coordinates should need ≤ 32 modules, got %d", c.Modules())
+	}
+}
+
+func BenchmarkColor(b *testing.B) {
+	c, err := Minimal(20, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Color(0b10110101011010110101)
+	}
+}

@@ -1,0 +1,274 @@
+// Package labeltree implements the LABEL-TREE mapping algorithm (Section 6
+// of the paper, originally from its reference [2]): a complete binary tree
+// is cut into *disjoint* subtrees of m = ⌈log M⌉ levels and each subtree is
+// colored independently in three phases:
+//
+//	MACRO-LABEL  assigns one of p color groups to each depth band, cyclically,
+//	             so same-group subtrees on one ascending path are ≥ p·m levels
+//	             apart (Ω(√(M log M)));
+//	ROTATE       gives the r-th subtree of a band the window of ℓ colors of its
+//	             group rotated by r, so same-list subtrees in one level are far
+//	             apart and module loads stay balanced (1 + o(1));
+//	MICRO-LABEL  colors the subtree with the ℓ-color list using the Fig. 10
+//	             block scheme (the BASIC-COLOR block rule with parameter l).
+//
+// Parameters (Section 6.1): l = ⌊log⌈√(M⌈log M⌉)⌉⌋, ℓ = 2^l + 2^(m-l) - 2,
+// p = ⌊M/ℓ⌋.
+//
+// Guarantees (Lemma 7, Theorems 7-8): O(D/√(M log M)) conflicts on
+// elementary templates of size D, O(D/√(M log M) + c) on composite
+// templates C(D,c), O(1) address retrieval with an O(M) table (O(log M)
+// without), and balanced memory load.
+//
+// Note on the paper text: Fig. 10 line 13 assigns block-last color index
+// 2^l + 2^(j-l) + ⌊h/2⌋ - 1, whose maximum over j = m-1 is 2^l + 2^(m-l) - 2
+// — that is ℓ itself, one past the end of the ℓ-color list, and it leaves
+// index 2^l - 1 unused. We shift the rule down by one
+// (2^l + 2^(j-l) + ⌊h/2⌋ - 2), which makes the used indices exactly
+// 0 … ℓ-1 with no gaps and matches the paper's own claim that "the largest
+// index of a color taken from Σ is ℓ - 1".
+package labeltree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// Policy selects the MACRO-LABEL group-assignment strategy. The paper
+// gives only an overview of MACRO-LABEL (the detailed construction is in
+// its reference [2], the conference version of the same paper), and its
+// two stated goals — worst-case same-group separation of Ω(√(M log M))
+// levels along ascending paths, and 1+o(1) load balance — pull in opposite
+// directions for the exponentially dominant deepest band. We therefore
+// provide both:
+//
+//   - BandCyclic assigns group (band mod p) to every subtree of a band.
+//     Same-group subtrees on a path are exactly p·m = Θ(√(M log M)) levels
+//     apart, which is what the Section 6.2 cost analysis (Lemma 7,
+//     Theorem 8) uses. Load concentrates on the deepest band's group.
+//   - Balanced assigns group ((band + rootIndex) mod p), spreading every
+//     band's subtrees evenly over all p groups, which yields the 1+o(1)
+//     load ratio of Theorem 7; the path-separation property then holds on
+//     average rather than in the worst case.
+type Policy int
+
+const (
+	// BandCyclic is the worst-case-conflict-oriented MACRO-LABEL policy.
+	BandCyclic Policy = iota
+	// Balanced is the load-balance-oriented MACRO-LABEL policy.
+	Balanced
+)
+
+// String names the policy.
+func (po Policy) String() string {
+	switch po {
+	case BandCyclic:
+		return "band-cyclic"
+	case Balanced:
+		return "balanced"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(po))
+	}
+}
+
+// Params carries the derived LABEL-TREE parameters for M modules.
+type Params struct {
+	Levels  int    // H: levels of the tree
+	Modules int    // M: memory modules
+	M       int    // m = ⌈log2 Modules⌉: band height
+	L       int    // l: micro block parameter
+	ListLen int    // ℓ = 2^l + 2^(m-l) - 2: colors per rotation window
+	Groups  int    // p = ⌊Modules/ℓ⌋: color groups
+	Macro   Policy // MACRO-LABEL group-assignment policy
+}
+
+// NewParams derives the Section 6.1 parameters. Modules must be at least 3
+// (m ≥ 2) and Levels in [1, 62].
+func NewParams(levels, modules int) (Params, error) {
+	if levels < 1 || levels > 62 {
+		return Params{}, fmt.Errorf("labeltree: levels %d out of range [1,62]", levels)
+	}
+	if modules < 3 {
+		return Params{}, fmt.Errorf("labeltree: modules %d must be at least 3", modules)
+	}
+	m := tree.CeilLog2(int64(modules))
+	l := int(math.Floor(math.Log2(math.Ceil(math.Sqrt(float64(modules) * float64(m))))))
+	if l < 1 {
+		l = 1
+	}
+	if l > m {
+		l = m
+	}
+	listLen := int(tree.Pow2(l)) + int(tree.Pow2(m-l)) - 2
+	p := modules / listLen
+	if p < 1 {
+		return Params{}, fmt.Errorf("labeltree: modules %d below one list of %d colors", modules, listLen)
+	}
+	return Params{Levels: levels, Modules: modules, M: m, L: l, ListLen: listLen, Groups: p}, nil
+}
+
+// groupBounds returns the start offset and size of color group q: groups
+// partition {0, …, Modules-1} into p nearly equal contiguous ranges, the
+// first Modules mod p of them one color larger.
+func (p Params) groupBounds(q int) (start, size int) {
+	base := p.Modules / p.Groups
+	rem := p.Modules % p.Groups
+	if q < rem {
+		return q * (base + 1), base + 1
+	}
+	return rem*(base+1) + (q-rem)*base, base
+}
+
+// Mapping is a materialization-free LABEL-TREE mapping with O(1) color
+// retrieval. The micro table (the paper's O(M) preprocessing) stores the
+// Σ-list index of every position of a band subtree; group arithmetic then
+// resolves the final module in constant time.
+type Mapping struct {
+	p        Params
+	t        tree.Tree
+	micro    []int32 // Σ-list index per local heap position, len 2^m - 1
+	noRotate bool    // ablation switch: skip the ROTATE phase
+}
+
+// New builds the LABEL-TREE mapping for a tree with the given levels on
+// the given number of modules, using the default BandCyclic policy.
+func New(levels, modules int) (*Mapping, error) {
+	return NewWithPolicy(levels, modules, BandCyclic)
+}
+
+// NewWithPolicy builds the mapping with an explicit MACRO-LABEL policy.
+func NewWithPolicy(levels, modules int, macro Policy) (*Mapping, error) {
+	return NewWithOptions(levels, modules, Options{Macro: macro})
+}
+
+// Options tunes the construction; primarily for the ablation experiments.
+type Options struct {
+	// Macro selects the MACRO-LABEL group-assignment policy.
+	Macro Policy
+	// DisableRotate drops the ROTATE phase (every subtree uses its group's
+	// unrotated color window). This is an ablation switch: without ROTATE,
+	// level templates crossing many subtrees collide heavily and the
+	// memory load concentrates on the front of each group.
+	DisableRotate bool
+}
+
+// NewWithOptions builds the mapping with explicit options.
+func NewWithOptions(levels, modules int, opts Options) (*Mapping, error) {
+	p, err := NewParams(levels, modules)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Macro != BandCyclic && opts.Macro != Balanced {
+		return nil, fmt.Errorf("labeltree: unknown policy %v", opts.Macro)
+	}
+	p.Macro = opts.Macro
+	return &Mapping{p: p, t: tree.New(levels), micro: microTable(p), noRotate: opts.DisableRotate}, nil
+}
+
+// microTable precomputes, for every local position of an m-level subtree,
+// the Σ-list index MICRO-LABEL assigns it. The pattern is identical for
+// every subtree; only the list contents differ (per MACRO-LABEL + ROTATE).
+func microTable(p Params) []int32 {
+	micro := make([]int32, tree.SubtreeSize(p.M))
+	for lvl := 0; lvl < p.M; lvl++ {
+		for i := int64(0); i < tree.Pow2(lvl); i++ {
+			n := tree.V(i, lvl)
+			micro[n.HeapIndex()] = int32(microIndex(p, n))
+		}
+	}
+	return micro
+}
+
+// microIndex computes the Σ-list index of a local subtree position by
+// following the MICRO-LABEL rules directly (no table); O(m) time. Exported
+// behaviour via SlowColor.
+func microIndex(p Params, n tree.Node) int {
+	for {
+		if n.Level < p.L {
+			// Fig. 10 first phase: u(i,j) ← (2^j - 1 + i)-th color.
+			return int(tree.Pow2(n.Level) - 1 + n.Index)
+		}
+		width := tree.Pow2(p.L - 1)
+		posInBlock := n.Index % width
+		if posInBlock == width-1 {
+			// Block-last rule (shifted by one; see the package comment):
+			// index 2^l + 2^(j-l) + ⌊h/2⌋ - 2.
+			h := n.Index / width
+			return int(tree.Pow2(p.L)) + int(tree.Pow2(n.Level-p.L)) + int(h/2) - 2
+		}
+		// Interior rule: inherit the posInBlock-th node (level order) of the
+		// subtree rooted at the sibling of the block's (l-1)-st ancestor.
+		v2 := n.Ancestor(p.L - 1).Sibling()
+		n = tree.LevelOrderNode(v2, posInBlock)
+	}
+}
+
+// Params returns the derived parameters.
+func (lt *Mapping) Params() Params { return lt.p }
+
+// Tree implements coloring.Mapping.
+func (lt *Mapping) Tree() tree.Tree { return lt.t }
+
+// Modules implements coloring.Mapping.
+func (lt *Mapping) Modules() int { return lt.p.Modules }
+
+// Name implements coloring.Named.
+func (lt *Mapping) Name() string {
+	return fmt.Sprintf("LABEL-TREE(H=%d,M=%d,%s)", lt.p.Levels, lt.p.Modules, lt.p.Macro)
+}
+
+// Color implements coloring.Mapping in O(1) time: locate the band subtree,
+// look up the Σ-list index in the micro table, and apply the band's group
+// and the subtree's rotation.
+func (lt *Mapping) Color(n tree.Node) int {
+	p := lt.p
+	band := n.Level / p.M
+	rootLevel := band * p.M
+	localLevel := n.Level - rootLevel
+	rootIndex := n.Index >> uint(localLevel)
+	localIndex := n.Index - rootIndex<<uint(localLevel)
+	sigma := int(lt.micro[tree.V(localIndex, localLevel).HeapIndex()])
+	return lt.resolve(band, rootIndex, sigma)
+}
+
+// SlowColor computes the same color without the micro table, in O(log M)
+// time — the paper's no-preprocessing retrieval bound.
+func (lt *Mapping) SlowColor(n tree.Node) int {
+	p := lt.p
+	band := n.Level / p.M
+	rootLevel := band * p.M
+	localLevel := n.Level - rootLevel
+	rootIndex := n.Index >> uint(localLevel)
+	localIndex := n.Index - rootIndex<<uint(localLevel)
+	sigma := microIndex(p, tree.V(localIndex, localLevel))
+	return lt.resolve(band, rootIndex, sigma)
+}
+
+// resolve applies MACRO-LABEL (group selection per policy) and ROTATE to a
+// Σ-list index. ROTATE shifts the window by the subtree's rank among the
+// same-group subtrees of its band, so consecutive same-group trees use
+// lists shifted by one (Lemma 7's proof) and, under the Balanced policy,
+// the rotation stays decoupled from the group selection (both are derived
+// from the root index, and p divides the group size, so rotating by the
+// raw root index would leave a third of each group's offsets underused).
+func (lt *Mapping) resolve(band int, rootIndex int64, sigma int) int {
+	group := band % lt.p.Groups
+	rank := rootIndex
+	if lt.p.Macro == Balanced {
+		group = int((int64(band) + rootIndex) % int64(lt.p.Groups))
+		rank = rootIndex / int64(lt.p.Groups)
+	}
+	if lt.noRotate {
+		rank = 0
+	}
+	start, size := lt.p.groupBounds(group)
+	return start + int((rank+int64(sigma))%int64(size))
+}
+
+// Materialize returns the dense array form of the mapping.
+func (lt *Mapping) Materialize() *coloring.ArrayMapping {
+	return coloring.Materialize(lt)
+}

@@ -1,0 +1,442 @@
+package labeltree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+func TestNewParamsDerivation(t *testing.T) {
+	cases := []struct {
+		modules             int
+		m, l, listLen, grps int
+	}{
+		// l = ⌊log₂⌈√(M⌈log M⌉)⌉⌋, ℓ = 2^l + 2^(m-l) - 2, p = ⌊M/ℓ⌋.
+		{3, 2, 1, 2, 1},    // √6≈2.45→3, log₂3→1
+		{7, 3, 2, 4, 1},    // √21≈4.58→5, log₂5→2
+		{15, 4, 3, 8, 1},   // √60≈7.75→8, log₂8=3; ℓ=2³+2¹-2=8
+		{31, 5, 3, 10, 3},  // √155≈12.4→13, log₂13→3
+		{63, 6, 4, 18, 3},  // √378≈19.4→20, log₂20→4
+		{127, 7, 4, 22, 5}, // √889≈29.8→30, log₂30→4
+	}
+	for _, c := range cases {
+		p, err := NewParams(20, c.modules)
+		if err != nil {
+			t.Fatalf("M=%d: %v", c.modules, err)
+		}
+		if p.M != c.m || p.L != c.l || p.ListLen != c.listLen || p.Groups != c.grps {
+			t.Errorf("M=%d: got m=%d l=%d ℓ=%d p=%d, want m=%d l=%d ℓ=%d p=%d",
+				c.modules, p.M, p.L, p.ListLen, p.Groups, c.m, c.l, c.listLen, c.grps)
+		}
+	}
+}
+
+func TestNewParamsErrors(t *testing.T) {
+	if _, err := NewParams(0, 7); err == nil {
+		t.Error("levels 0 should fail")
+	}
+	if _, err := NewParams(63, 7); err == nil {
+		t.Error("levels 63 should fail")
+	}
+	if _, err := NewParams(10, 2); err == nil {
+		t.Error("2 modules should fail")
+	}
+}
+
+func TestGroupBoundsPartition(t *testing.T) {
+	for _, modules := range []int{31, 63, 127, 100, 97} {
+		p, err := NewParams(10, modules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := 0
+		for q := 0; q < p.Groups; q++ {
+			start, size := p.groupBounds(q)
+			if start != covered {
+				t.Fatalf("M=%d group %d starts at %d, want %d", modules, q, start, covered)
+			}
+			if size < p.ListLen {
+				t.Fatalf("M=%d group %d has %d colors, below list length %d", modules, q, size, p.ListLen)
+			}
+			covered += size
+		}
+		if covered != modules {
+			t.Fatalf("M=%d groups cover %d colors", modules, covered)
+		}
+	}
+}
+
+func TestColorsInRange(t *testing.T) {
+	for _, modules := range []int{3, 7, 15, 31, 63} {
+		lt, err := New(12, modules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := lt.Materialize()
+		if err := arr.Validate(); err != nil {
+			t.Errorf("M=%d: %v", modules, err)
+		}
+	}
+}
+
+// The O(1) table-based Color must agree with the O(log M) SlowColor.
+func TestColorMatchesSlowColor(t *testing.T) {
+	for _, modules := range []int{3, 7, 31, 63} {
+		lt, err := New(13, modules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := lt.Tree()
+		for j := 0; j < tr.Levels(); j++ {
+			for i := int64(0); i < tr.LevelWidth(j); i++ {
+				n := tree.V(i, j)
+				if got, want := lt.Color(n), lt.SlowColor(n); got != want {
+					t.Fatalf("M=%d: Color(%v)=%d, SlowColor=%d", modules, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// MICRO-LABEL is conflict-free on paths spanning a single band subtree.
+func TestMicroPathConflictFree(t *testing.T) {
+	for _, modules := range []int{3, 7, 15, 31, 63, 127} {
+		p, err := NewParams(20, modules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := New(p.M, modules) // exactly one band
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := lt.Materialize()
+		pf, err := template.NewFamily(arr.Tree(), template.Path, int64(p.M))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost, witness := coloring.FamilyCost(arr, pf); cost != 0 {
+			t.Errorf("M=%d: P(m) cost %d at %v within one band", modules, cost, witness)
+		}
+	}
+}
+
+// MICRO-LABEL is conflict-free on subtrees of size 2^l - 1 within a band.
+func TestMicroSubtreeConflictFree(t *testing.T) {
+	for _, modules := range []int{7, 15, 31, 63, 127} {
+		p, err := NewParams(20, modules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := New(p.M, modules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := lt.Materialize()
+		sf, err := template.NewFamily(arr.Tree(), template.Subtree, tree.SubtreeSize(p.L))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost, witness := coloring.FamilyCost(arr, sf); cost != 0 {
+			t.Errorf("M=%d: S(2^l-1) cost %d at %v within one band", modules, cost, witness)
+		}
+	}
+}
+
+// The micro table uses exactly the Σ-list indices 0..ℓ-1 with no gaps.
+func TestMicroIndicesDenseInList(t *testing.T) {
+	for _, modules := range []int{3, 7, 15, 31, 63, 127} {
+		p, err := NewParams(10, modules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := make([]bool, p.ListLen)
+		for _, idx := range microTable(p) {
+			if idx < 0 || int(idx) >= p.ListLen {
+				t.Fatalf("M=%d: Σ index %d outside [0,%d)", modules, idx, p.ListLen)
+			}
+			used[idx] = true
+		}
+		for idx, ok := range used {
+			if !ok {
+				t.Errorf("M=%d: Σ index %d never used", modules, idx)
+			}
+		}
+	}
+}
+
+// Lemma 7 asymptotics with an explicit constant: elementary templates of
+// size D incur at most C·(D/√(M log M)) + C conflicts for a modest C.
+func TestLemma7ElementaryScaling(t *testing.T) {
+	const C = 6
+	for _, modules := range []int{31, 63, 127} {
+		lt, err := New(14, modules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := lt.Materialize()
+		scale := math.Sqrt(float64(modules) * math.Log2(float64(modules)))
+		bound := func(D int64) float64 { return C*float64(D)/scale + C }
+		for _, D := range []int64{int64(modules), 2 * int64(modules), 4 * int64(modules)} {
+			for _, kind := range []template.Kind{template.Level, template.Path} {
+				size := D
+				if kind == template.Path && size > int64(arr.Tree().Levels()) {
+					continue
+				}
+				f, err := template.NewFamily(arr.Tree(), kind, size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cost, witness := coloring.FamilyCost(arr, f)
+				if float64(cost) > bound(D) {
+					t.Errorf("M=%d %v(%d): cost %d at %v exceeds %.1f", modules, kind, D, cost, witness, bound(D))
+				}
+			}
+			// Subtrees need size 2^d - 1.
+			d := tree.CeilLog2(D + 1)
+			sSize := tree.SubtreeSize(d)
+			if d <= arr.Tree().Levels() {
+				f, err := template.NewFamily(arr.Tree(), template.Subtree, sSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cost, witness := coloring.FamilyCost(arr, f)
+				if float64(cost) > bound(sSize) {
+					t.Errorf("M=%d S(%d): cost %d at %v exceeds %.1f", modules, sSize, cost, witness, bound(sSize))
+				}
+			}
+		}
+	}
+}
+
+// Theorem 7: balanced memory load, ratio 1 + o(1), under the Balanced
+// MACRO-LABEL policy. For a 2^18-node tree on 63 modules the ratio must
+// already be close to 1, and it must shrink as the tree deepens.
+func TestTheorem7LoadBalance(t *testing.T) {
+	prev := math.Inf(1)
+	for _, levels := range []int{12, 15, 18} {
+		lt, err := NewWithPolicy(levels, 63, Balanced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := coloring.Load(lt)
+		if !stats.Balanced {
+			t.Fatalf("levels=%d: some module unused", levels)
+		}
+		if stats.Ratio > 1.5 {
+			t.Errorf("levels=%d: load ratio %.3f too far from 1", levels, stats.Ratio)
+		}
+		if stats.Ratio > prev+0.05 {
+			t.Errorf("levels=%d: load ratio %.3f grew from %.3f", levels, stats.Ratio, prev)
+		}
+		prev = stats.Ratio
+	}
+}
+
+// The BandCyclic policy concentrates each band on one group: with fewer
+// bands than groups some modules stay unused, the documented trade-off.
+func TestBandCyclicLoadTradeoff(t *testing.T) {
+	lt, err := NewWithPolicy(12, 63, BandCyclic) // 2 bands < p=3 groups
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := coloring.Load(lt)
+	if stats.Balanced {
+		t.Error("expected unused modules with 2 bands and 3 groups")
+	}
+}
+
+// Both policies must keep colors within the proper group ranges and agree
+// with SlowColor.
+func TestPoliciesConsistent(t *testing.T) {
+	for _, po := range []Policy{BandCyclic, Balanced} {
+		lt, err := NewWithPolicy(13, 31, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := lt.Materialize()
+		if err := arr.Validate(); err != nil {
+			t.Fatalf("%v: %v", po, err)
+		}
+		tr := lt.Tree()
+		for j := 0; j < tr.Levels(); j += 3 {
+			for i := int64(0); i < tr.LevelWidth(j); i += 5 {
+				n := tree.V(i, j)
+				if lt.Color(n) != lt.SlowColor(n) {
+					t.Fatalf("%v: Color/SlowColor disagree at %v", po, n)
+				}
+			}
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if BandCyclic.String() != "band-cyclic" || Balanced.String() != "balanced" {
+		t.Error("policy names wrong")
+	}
+	if Policy(7).String() != "Policy(7)" {
+		t.Error("unknown policy rendering wrong")
+	}
+}
+
+func TestNewWithPolicyRejectsUnknown(t *testing.T) {
+	if _, err := NewWithPolicy(10, 31, Policy(9)); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+// Composite templates: Theorem 8's O(D/√(M log M) + c) with the same
+// explicit constant as the elementary test.
+func TestTheorem8CompositeScaling(t *testing.T) {
+	const C = 6
+	lt, err := New(13, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := lt.Materialize()
+	scale := math.Sqrt(63 * math.Log2(63))
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		D := 63 + rng.Int63n(4*63)
+		c := 1 + rng.Intn(6)
+		comp, err := template.RandomComposite(rng, arr.Tree(), D, c)
+		if err != nil {
+			continue
+		}
+		cost := coloring.CompositeConflicts(arr, comp)
+		bound := C*float64(D)/scale + C*float64(c)
+		if float64(cost) > bound {
+			t.Errorf("C(%d,%d) cost %d exceeds %.1f", D, c, cost, bound)
+		}
+	}
+}
+
+// Same-group bands are p bands apart (MACRO-LABEL) and consecutive
+// subtrees within a band use lists shifted by one (ROTATE).
+func TestMacroRotateStructure(t *testing.T) {
+	lt, err := New(14, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lt.Params()
+	// Group of band b is b mod p: colors of band b fall inside its group's
+	// contiguous range.
+	for band := 0; band*p.M < p.Levels; band++ {
+		start, size := p.groupBounds(band % p.Groups)
+		level := band * p.M
+		for i := int64(0); i < 8 && i < tree.Pow2(level); i++ {
+			c := lt.Color(tree.V(i, level))
+			if c < start || c >= start+size {
+				t.Fatalf("band %d color %d outside group [%d,%d)", band, c, start, start+size)
+			}
+		}
+	}
+	// ROTATE: subtree r+1's root color is subtree r's root color shifted by
+	// one within the group (same Σ index 0 for all roots).
+	level := p.M // band 1
+	start, size := p.groupBounds(1 % p.Groups)
+	for r := int64(0); r+1 < tree.Pow2(level); r++ {
+		c0 := lt.Color(tree.V(r, level))
+		c1 := lt.Color(tree.V(r+1, level))
+		if (c0-start+1)%size != (c1 - start) {
+			t.Fatalf("rotation broken between subtree %d (%d) and %d (%d)", r, c0, r+1, c1)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	lt, err := New(10, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Name() != "LABEL-TREE(H=10,M=31,band-cyclic)" {
+		t.Errorf("Name = %q", lt.Name())
+	}
+	if lt.Modules() != 31 || lt.Tree().Levels() != 10 {
+		t.Error("accessors wrong")
+	}
+}
+
+// Non-power-of-two module counts are accepted and still partition colors.
+func TestNonCanonicalModuleCounts(t *testing.T) {
+	for _, modules := range []int{5, 12, 20, 100} {
+		lt, err := New(10, modules)
+		if err != nil {
+			t.Fatalf("M=%d: %v", modules, err)
+		}
+		arr := lt.Materialize()
+		if err := arr.Validate(); err != nil {
+			t.Errorf("M=%d: %v", modules, err)
+		}
+	}
+}
+
+func BenchmarkColorO1(b *testing.B) {
+	lt, err := New(40, 1023)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tree.V(987654321, 39)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lt.Color(n)
+	}
+}
+
+func BenchmarkSlowColorOLogM(b *testing.B) {
+	lt, err := New(40, 1023)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tree.V(987654321, 39)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lt.SlowColor(n)
+	}
+}
+
+func BenchmarkNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(30, 1023); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDisableRotateAblation(t *testing.T) {
+	with, err := NewWithOptions(13, 63, Options{Macro: Balanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := NewWithOptions(13, 63, Options{Macro: Balanced, DisableRotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without ROTATE, wide level windows repeat the same Σ-window in every
+	// subtree: worst-case level conflicts must strictly increase.
+	wArr := with.Materialize()
+	woArr := without.Materialize()
+	f, err := template.NewFamily(wArr.Tree(), template.Level, 4*63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wCost, _ := coloring.FamilyCost(wArr, f)
+	woCost, _ := coloring.FamilyCost(woArr, f)
+	if woCost <= wCost {
+		t.Errorf("without ROTATE %d conflicts vs with %d — expected damage", woCost, wCost)
+	}
+	// Still a valid coloring.
+	if err := woArr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewWithOptionsRejectsUnknownPolicy(t *testing.T) {
+	if _, err := NewWithOptions(10, 31, Options{Macro: Policy(9)}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}

@@ -1,0 +1,224 @@
+// Package lowerbound provides exact machinery for the paper's Theorem 2:
+// any mapping of binary trees of height N that is conflict-free on the
+// subtree template S(K) and the path template P(N) needs at least
+// M = N + K - k memory modules (K = 2^k - 1).
+//
+// Two independent verifications are offered:
+//
+//   - Search runs an exhaustive backtracking search (with canonical-color
+//     symmetry breaking) for an M'-coloring of an N-level tree that is
+//     conflict-free on both families, certifying for small instances that
+//     no such coloring exists below N+K-k and that one exists at N+K-k.
+//
+//   - PairCoverCertificate verifies the structural heart of the paper's
+//     proof: every pair of nodes of a TP_K(i, N-k) set lies together in
+//     some S(K) instance or some P(N) instance, so CF on {S(K), P(N)}
+//     forces each TP set (of size exactly N+K-k) to be rainbow.
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// Result reports the outcome of an exhaustive search.
+type Result struct {
+	Colors   int   // number of colors searched
+	Feasible bool  // whether a CF coloring exists
+	Explored int64 // number of search nodes visited
+	// Witness holds one conflict-free coloring (indexed by heap index)
+	// when Feasible.
+	Witness []int8
+}
+
+// Search exhaustively decides whether an N-level complete binary tree
+// admits a coloring with `colors` colors that is conflict-free on S(2^k-1)
+// and P(N). levels is the paper's N; subtreeLevels is k. The search is
+// exponential; it is intended for the small instances of experiment E2
+// (levels ≤ 5, colors ≤ 8 run in well under a second thanks to the
+// canonical-color pruning).
+func Search(levels, subtreeLevels, colors int) (Result, error) {
+	if subtreeLevels < 1 || levels < subtreeLevels {
+		return Result{}, fmt.Errorf("lowerbound: invalid N=%d k=%d", levels, subtreeLevels)
+	}
+	if levels > 8 {
+		return Result{}, fmt.Errorf("lowerbound: N=%d too large for exhaustive search", levels)
+	}
+	if colors < 1 || colors > 64 {
+		return Result{}, fmt.Errorf("lowerbound: colors %d out of range [1,64]", colors)
+	}
+	t := tree.New(levels)
+	K := tree.SubtreeSize(subtreeLevels)
+
+	// Collect all constraint sets: each must end up rainbow.
+	var constraints [][]int64 // heap indices per instance
+	sf, err := template.NewFamily(t, template.Subtree, K)
+	if err != nil {
+		return Result{}, err
+	}
+	pf, err := template.NewFamily(t, template.Path, int64(levels))
+	if err != nil {
+		return Result{}, err
+	}
+	for _, f := range []template.Family{sf, pf} {
+		f.WalkInstances(func(in template.Instance) bool {
+			var hs []int64
+			in.Walk(func(n tree.Node) bool {
+				hs = append(hs, n.HeapIndex())
+				return true
+			})
+			constraints = append(constraints, hs)
+			return true
+		})
+	}
+
+	nodes := t.Nodes()
+	// memberOf[h] lists the constraints containing heap index h.
+	memberOf := make([][]int32, nodes)
+	for ci, hs := range constraints {
+		for _, h := range hs {
+			memberOf[h] = append(memberOf[h], int32(ci))
+		}
+	}
+	// usedMask[ci] is the bitmask of colors already present in constraint ci.
+	usedMask := make([]uint64, len(constraints))
+	assignment := make([]int8, nodes)
+	for i := range assignment {
+		assignment[i] = -1
+	}
+
+	res := Result{Colors: colors}
+	var assign func(h int64, maxUsed int) bool
+	assign = func(h int64, maxUsed int) bool {
+		if h == nodes {
+			return true
+		}
+		res.Explored++
+		// Canonical symmetry breaking: the first time a new color appears
+		// it must be the smallest unused one, so only colors 0..maxUsed+1
+		// are tried.
+		limit := maxUsed + 1
+		if limit >= colors {
+			limit = colors - 1
+		}
+		for c := 0; c <= limit; c++ {
+			bit := uint64(1) << uint(c)
+			ok := true
+			for _, ci := range memberOf[h] {
+				if usedMask[ci]&bit != 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, ci := range memberOf[h] {
+				usedMask[ci] |= bit
+			}
+			assignment[h] = int8(c)
+			next := maxUsed
+			if c > maxUsed {
+				next = c
+			}
+			if assign(h+1, next) {
+				return true
+			}
+			assignment[h] = -1
+			for _, ci := range memberOf[h] {
+				usedMask[ci] &^= bit
+			}
+		}
+		return false
+	}
+
+	if assign(0, -1) {
+		res.Feasible = true
+		res.Witness = append([]int8(nil), assignment...)
+	}
+	return res, nil
+}
+
+// VerifyWitness checks that a Search witness really is conflict-free on
+// S(2^k-1) and P(N).
+func VerifyWitness(levels, subtreeLevels int, witness []int8) error {
+	t := tree.New(levels)
+	if int64(len(witness)) != t.Nodes() {
+		return fmt.Errorf("lowerbound: witness has %d entries, want %d", len(witness), t.Nodes())
+	}
+	K := tree.SubtreeSize(subtreeLevels)
+	check := func(f template.Family) error {
+		var bad error
+		f.WalkInstances(func(in template.Instance) bool {
+			var mask uint64
+			in.Walk(func(n tree.Node) bool {
+				bit := uint64(1) << uint(witness[n.HeapIndex()])
+				if mask&bit != 0 {
+					bad = fmt.Errorf("lowerbound: conflict in %v", in)
+					return false
+				}
+				mask |= bit
+				return true
+			})
+			return bad == nil
+		})
+		return bad
+	}
+	sf, err := template.NewFamily(t, template.Subtree, K)
+	if err != nil {
+		return err
+	}
+	if err := check(sf); err != nil {
+		return err
+	}
+	pf, err := template.NewFamily(t, template.Path, int64(levels))
+	if err != nil {
+		return err
+	}
+	return check(pf)
+}
+
+// PairCoverCertificate checks, for an N-level tree and subtree parameter
+// k, that every pair of nodes in every TP_K(i, N-k) set co-occurs in some
+// S(2^k-1) instance or some P(N) instance. This is exactly the case
+// analysis in the proof of Theorem 2; together with |TP| = N+K-k it
+// certifies the lower bound for arbitrary N without any search.
+func PairCoverCertificate(levels, subtreeLevels int) error {
+	if subtreeLevels < 1 || levels < 2*subtreeLevels {
+		return fmt.Errorf("lowerbound: certificate needs N ≥ 2k, got N=%d k=%d", levels, subtreeLevels)
+	}
+	t := tree.New(levels)
+	anchor := levels - subtreeLevels
+	fam, err := template.TPFamily(t, subtreeLevels, anchor)
+	if err != nil {
+		return err
+	}
+	for _, tp := range fam {
+		nodes := tp.Nodes(t)
+		for a := 0; a < len(nodes); a++ {
+			for b := a + 1; b < len(nodes); b++ {
+				if !pairCovered(t, subtreeLevels, tp.Root, nodes[a], nodes[b]) {
+					return fmt.Errorf("lowerbound: pair %v,%v of TP at %v not covered", nodes[a], nodes[b], tp.Root)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pairCovered reports whether u and v lie together in a single S(2^k-1)
+// instance or a single P(levels) instance of the tree.
+func pairCovered(t tree.Tree, k int, tpRoot, u, v tree.Node) bool {
+	// Subtree case: both are in the size-K subtree rooted at tpRoot.
+	if tpRoot.IsAncestorOf(u) && tpRoot.IsAncestorOf(v) &&
+		u.Level < tpRoot.Level+k && v.Level < tpRoot.Level+k {
+		return true
+	}
+	// Path case: one is an ancestor of the other, and a leaf-to-root path
+	// of the full tree passes through both (always true for an
+	// ancestor-descendant pair because paths run the full height and any
+	// descendant leaf works).
+	return u.IsAncestorOf(v) || v.IsAncestorOf(u)
+}

@@ -1,0 +1,107 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/basiccolor"
+)
+
+// Theorem 2 exhaustively on small instances: infeasible with N+K-k-1
+// colors, feasible with N+K-k.
+func TestTheorem2Exhaustive(t *testing.T) {
+	cases := []struct{ levels, k int }{
+		{2, 1}, {3, 1}, {4, 1},
+		{2, 2}, {3, 2}, {4, 2}, {5, 2},
+		{3, 3}, {4, 3},
+	}
+	for _, c := range cases {
+		opt := basiccolor.Params{Levels: c.levels, SubtreeLevels: c.k}.Colors()
+		below, err := Search(c.levels, c.k, opt-1)
+		if err != nil {
+			t.Fatalf("N=%d k=%d: %v", c.levels, c.k, err)
+		}
+		if below.Feasible {
+			t.Errorf("N=%d k=%d: CF coloring found with %d < %d colors", c.levels, c.k, opt-1, opt)
+		}
+		at, err := Search(c.levels, c.k, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !at.Feasible {
+			t.Errorf("N=%d k=%d: no CF coloring with the optimal %d colors", c.levels, c.k, opt)
+		}
+		if at.Feasible {
+			if err := VerifyWitness(c.levels, c.k, at.Witness); err != nil {
+				t.Errorf("N=%d k=%d: witness invalid: %v", c.levels, c.k, err)
+			}
+		}
+		if below.Explored == 0 || at.Explored == 0 {
+			t.Errorf("N=%d k=%d: search explored nothing", c.levels, c.k)
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	if _, err := Search(2, 3, 4); err == nil {
+		t.Error("N < k should fail")
+	}
+	if _, err := Search(9, 2, 4); err == nil {
+		t.Error("N too large should fail")
+	}
+	if _, err := Search(3, 2, 0); err == nil {
+		t.Error("0 colors should fail")
+	}
+	if _, err := Search(3, 2, 65); err == nil {
+		t.Error(">64 colors should fail")
+	}
+}
+
+func TestVerifyWitnessRejects(t *testing.T) {
+	if err := VerifyWitness(3, 2, []int8{0, 0}); err == nil {
+		t.Error("wrong length should fail")
+	}
+	// All-zero coloring conflicts everywhere.
+	bad := make([]int8, 7)
+	if err := VerifyWitness(3, 2, bad); err == nil {
+		t.Error("constant coloring should fail verification")
+	}
+}
+
+// The structural certificate behind Theorem 2 holds for a range of (N, k)
+// well beyond what exhaustive search reaches.
+func TestPairCoverCertificate(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		for levels := 2 * k; levels <= 2*k+4 && levels <= 12; levels++ {
+			if err := PairCoverCertificate(levels, k); err != nil {
+				t.Errorf("N=%d k=%d: %v", levels, k, err)
+			}
+		}
+	}
+}
+
+func TestPairCoverCertificateErrors(t *testing.T) {
+	if err := PairCoverCertificate(3, 2); err == nil {
+		t.Error("N < 2k should fail")
+	}
+}
+
+// Search with generous colors must find the BASIC-COLOR-style coloring
+// quickly (sanity that pruning is not over-aggressive).
+func TestSearchFeasibleWithExtraColors(t *testing.T) {
+	res, err := Search(4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Error("8 colors must suffice for N=4, k=2 (optimum is 5)")
+	}
+}
+
+func BenchmarkSearchInfeasible(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Search(4, 2, 4)
+		if err != nil || res.Feasible {
+			b.Fatalf("unexpected: %v %v", res.Feasible, err)
+		}
+	}
+}

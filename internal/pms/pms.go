@@ -1,0 +1,174 @@
+// Package pms simulates the parallel memory system of the paper's model:
+// M independent memory modules that can each serve one access per cycle.
+// A parallel request for a set of data items (a template instance) is
+// served in as many cycles as the most-loaded module receives requests —
+// i.e. conflicts + 1 — because same-module accesses serialize while
+// different modules proceed concurrently.
+//
+// The simulator supports both one-shot cost queries (AccessCost) and a
+// cycle-accurate queued mode (Submit/Step/Drain) in which batches issued
+// over time share module bandwidth, which the application experiments use
+// to measure end-to-end makespan and throughput under different mappings.
+package pms
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// AccessResult describes one parallel access to a set of nodes.
+type AccessResult struct {
+	Cycles    int   // serialized cycles = max module load (0 for empty set)
+	Conflicts int   // Cycles - 1, the paper's conflict count (0 for empty set)
+	Items     int   // number of items accessed
+	HotModule int   // a module achieving the maximum load
+	HotLoad   int   // accesses landing on HotModule
+	PerModule []int // access count per module
+}
+
+// AccessCost evaluates a single parallel access of nodes through mapping m.
+func AccessCost(m coloring.Mapping, nodes []tree.Node) AccessResult {
+	res := AccessResult{PerModule: make([]int, m.Modules()), Items: len(nodes)}
+	for _, n := range nodes {
+		res.PerModule[m.Color(n)]++
+	}
+	for mod, load := range res.PerModule {
+		if load > res.HotLoad {
+			res.HotLoad = load
+			res.HotModule = mod
+		}
+	}
+	res.Cycles = res.HotLoad
+	if res.Cycles > 0 {
+		res.Conflicts = res.Cycles - 1
+	}
+	return res
+}
+
+// System is a cycle-accurate queued simulator: requests enqueue on their
+// module's FIFO and each module retires one request per Step.
+type System struct {
+	mapping  coloring.Mapping
+	queues   []int // outstanding requests per module
+	stats    Stats
+	observer func([]tree.Node)
+}
+
+// SetObserver installs a callback invoked with every submitted batch
+// (before queuing). Used by the trace recorder; pass nil to remove.
+func (s *System) SetObserver(fn func([]tree.Node)) { s.observer = fn }
+
+// Stats accumulates simulation counters.
+type Stats struct {
+	Cycles    int64 // cycles stepped
+	Requests  int64 // total item requests submitted
+	Served    int64 // requests retired
+	BusyC     int64 // module-cycles spent serving
+	MaxQueue  int   // high-water mark of any module queue
+	IdleC     int64 // module-cycles spent idle while work was pending elsewhere
+	Batches   int64 // number of Submit calls
+	Conflicts int64 // sum over batches of (max module load - 1)
+}
+
+// NewSystem builds a simulator bound to a mapping.
+func NewSystem(m coloring.Mapping) *System {
+	return &System{mapping: m, queues: make([]int, m.Modules())}
+}
+
+// Modules returns the number of memory modules.
+func (s *System) Modules() int { return len(s.queues) }
+
+// Mapping returns the node-to-module mapping in use.
+func (s *System) Mapping() coloring.Mapping { return s.mapping }
+
+// Submit enqueues one parallel batch of node accesses.
+func (s *System) Submit(nodes []tree.Node) {
+	if s.observer != nil {
+		s.observer(nodes)
+	}
+	loads := make(map[int]int, len(nodes))
+	for _, n := range nodes {
+		mod := s.mapping.Color(n)
+		s.queues[mod]++
+		loads[mod]++
+		if s.queues[mod] > s.stats.MaxQueue {
+			s.stats.MaxQueue = s.queues[mod]
+		}
+	}
+	max := 0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	if max > 0 {
+		s.stats.Conflicts += int64(max - 1)
+	}
+	s.stats.Requests += int64(len(nodes))
+	s.stats.Batches++
+}
+
+// Step advances the simulation one cycle: every non-empty module retires
+// one request. It reports whether any work remains afterwards.
+func (s *System) Step() bool {
+	s.stats.Cycles++
+	pending := false
+	anyServed := false
+	idleThisCycle := 0
+	for mod := range s.queues {
+		if s.queues[mod] == 0 {
+			// Nothing to serve this cycle; idle if any other module worked.
+			idleThisCycle++
+			continue
+		}
+		s.queues[mod]--
+		s.stats.Served++
+		s.stats.BusyC++
+		anyServed = true
+		if s.queues[mod] > 0 {
+			pending = true
+		}
+	}
+	if anyServed {
+		s.stats.IdleC += int64(idleThisCycle)
+	}
+	return pending
+}
+
+// Drain steps until all queues are empty and returns the cycles consumed.
+func (s *System) Drain() int64 {
+	start := s.stats.Cycles
+	for s.Pending() > 0 {
+		s.Step()
+	}
+	return s.stats.Cycles - start
+}
+
+// Pending returns the number of outstanding requests.
+func (s *System) Pending() int64 {
+	var total int64
+	for _, q := range s.queues {
+		total += int64(q)
+	}
+	return total
+}
+
+// Stats returns a copy of the accumulated counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Utilization returns served module-cycles divided by total module-cycles,
+// in [0, 1]; 0 if no cycle has elapsed.
+func (st Stats) Utilization(modules int) float64 {
+	if st.Cycles == 0 {
+		return 0
+	}
+	return float64(st.BusyC) / float64(st.Cycles*int64(modules))
+}
+
+// String summarizes the stats.
+func (st Stats) String() string {
+	return fmt.Sprintf("cycles=%d requests=%d batches=%d conflicts=%d maxQueue=%d",
+		st.Cycles, st.Requests, st.Batches, st.Conflicts, st.MaxQueue)
+}

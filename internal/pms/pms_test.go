@@ -1,0 +1,189 @@
+package pms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+func mapMod(t tree.Tree, m int) coloring.Mapping {
+	return coloring.FuncMapping{
+		T: t, M: m, AlgName: "mod",
+		Fn: func(n tree.Node) int { return int(n.HeapIndex() % int64(m)) },
+	}
+}
+
+func TestAccessCostBasics(t *testing.T) {
+	tr := tree.New(4)
+	m := mapMod(tr, 3)
+	// Heap indices 0,1,2 → distinct modules.
+	res := AccessCost(m, []tree.Node{tree.FromHeapIndex(0), tree.FromHeapIndex(1), tree.FromHeapIndex(2)})
+	if res.Cycles != 1 || res.Conflicts != 0 || res.Items != 3 {
+		t.Errorf("distinct modules: %+v", res)
+	}
+	// Heap indices 0,3,6 → all module 0.
+	res = AccessCost(m, []tree.Node{tree.FromHeapIndex(0), tree.FromHeapIndex(3), tree.FromHeapIndex(6)})
+	if res.Cycles != 3 || res.Conflicts != 2 || res.HotModule != 0 || res.HotLoad != 3 {
+		t.Errorf("same module: %+v", res)
+	}
+	// Empty access.
+	res = AccessCost(m, nil)
+	if res.Cycles != 0 || res.Conflicts != 0 {
+		t.Errorf("empty access: %+v", res)
+	}
+}
+
+func TestAccessCostMatchesCounter(t *testing.T) {
+	// Property: Cycles == conflicts+1 == coloring counter result + 1.
+	tr := tree.New(10)
+	m := mapMod(tr, 7)
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		nodes := make([]tree.Node, len(raw))
+		for i, r := range raw {
+			nodes[i] = tree.FromHeapIndex(int64(r) % tr.Nodes())
+		}
+		res := AccessCost(m, nodes)
+		c := coloring.NewCounter(m.Modules())
+		for _, n := range nodes {
+			c.Add(m.Color(n))
+		}
+		return res.Conflicts == c.Conflicts() && res.Cycles == res.Conflicts+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSystemSingleBatchDrain(t *testing.T) {
+	tr := tree.New(5)
+	m := mapMod(tr, 4)
+	s := NewSystem(m)
+	if s.Modules() != 4 {
+		t.Fatalf("Modules = %d", s.Modules())
+	}
+	// 8 nodes spread as heap indices 0..7 → loads 2,2,2,2 → 2 cycles.
+	var nodes []tree.Node
+	for h := int64(0); h < 8; h++ {
+		nodes = append(nodes, tree.FromHeapIndex(h))
+	}
+	s.Submit(nodes)
+	if s.Pending() != 8 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	cycles := s.Drain()
+	if cycles != 2 {
+		t.Errorf("Drain took %d cycles, want 2", cycles)
+	}
+	st := s.Stats()
+	if st.Served != 8 || st.Requests != 8 || st.Batches != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.Conflicts != 1 {
+		t.Errorf("conflicts %d, want 1 (max load 2)", st.Conflicts)
+	}
+	if got := st.Utilization(4); got != 1.0 {
+		t.Errorf("utilization %f, want 1.0", got)
+	}
+}
+
+func TestSystemDrainEqualsAccessCostForOneBatch(t *testing.T) {
+	tr := tree.New(6)
+	m := mapMod(tr, 5)
+	nodes := []tree.Node{
+		tree.FromHeapIndex(0), tree.FromHeapIndex(5), tree.FromHeapIndex(10),
+		tree.FromHeapIndex(3), tree.FromHeapIndex(8),
+	}
+	want := AccessCost(m, nodes).Cycles
+	s := NewSystem(m)
+	s.Submit(nodes)
+	if got := s.Drain(); got != int64(want) {
+		t.Errorf("Drain = %d, AccessCost = %d", got, want)
+	}
+}
+
+func TestSystemPipelinedBatches(t *testing.T) {
+	tr := tree.New(6)
+	m := mapMod(tr, 4)
+	s := NewSystem(m)
+	// Two batches targeting disjoint modules can overlap perfectly.
+	s.Submit([]tree.Node{tree.FromHeapIndex(0), tree.FromHeapIndex(4)}) // module 0 twice
+	s.Submit([]tree.Node{tree.FromHeapIndex(1), tree.FromHeapIndex(5)}) // module 1 twice
+	cycles := s.Drain()
+	if cycles != 2 {
+		t.Errorf("overlapping batches took %d cycles, want 2", cycles)
+	}
+}
+
+func TestSystemMaxQueueHighWater(t *testing.T) {
+	tr := tree.New(5)
+	m := mapMod(tr, 3)
+	s := NewSystem(m)
+	s.Submit([]tree.Node{tree.FromHeapIndex(0), tree.FromHeapIndex(3), tree.FromHeapIndex(6)})
+	if s.Stats().MaxQueue != 3 {
+		t.Errorf("MaxQueue = %d, want 3", s.Stats().MaxQueue)
+	}
+}
+
+func TestStepReportsPending(t *testing.T) {
+	tr := tree.New(4)
+	m := mapMod(tr, 2)
+	s := NewSystem(m)
+	s.Submit([]tree.Node{tree.FromHeapIndex(0), tree.FromHeapIndex(2)}) // module 0 twice
+	if !s.Step() {
+		t.Error("work should remain after first step")
+	}
+	if s.Step() {
+		t.Error("no work should remain after second step")
+	}
+}
+
+func TestIdleAccounting(t *testing.T) {
+	tr := tree.New(4)
+	m := mapMod(tr, 4)
+	s := NewSystem(m)
+	// Both requests on module 0: modules 1-3 idle for 2 cycles while work pending.
+	s.Submit([]tree.Node{tree.FromHeapIndex(0), tree.FromHeapIndex(4)})
+	s.Drain()
+	if got := s.Stats().IdleC; got != 6 {
+		t.Errorf("IdleC = %d, want 6 (3 idle modules × 2 cycles)", got)
+	}
+}
+
+func TestUtilizationZeroCycles(t *testing.T) {
+	if got := (Stats{}).Utilization(4); got != 0 {
+		t.Errorf("Utilization = %f", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := Stats{Cycles: 2, Requests: 3, Batches: 1, Conflicts: 1, MaxQueue: 2}
+	if st.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestObserverSeesBatches(t *testing.T) {
+	tr := tree.New(4)
+	s := NewSystem(mapMod(tr, 3))
+	var seen [][]tree.Node
+	s.SetObserver(func(batch []tree.Node) {
+		cp := make([]tree.Node, len(batch))
+		copy(cp, batch)
+		seen = append(seen, cp)
+	})
+	s.Submit([]tree.Node{tree.V(0, 0)})
+	s.Submit([]tree.Node{tree.V(0, 1), tree.V(1, 1)})
+	if len(seen) != 2 || len(seen[0]) != 1 || len(seen[1]) != 2 {
+		t.Fatalf("observer saw %v", seen)
+	}
+	s.SetObserver(nil)
+	s.Submit([]tree.Node{tree.V(0, 0)})
+	if len(seen) != 2 {
+		t.Error("nil observer should stop callbacks")
+	}
+}

@@ -1,0 +1,299 @@
+package qary
+
+import "fmt"
+
+// Params parameterizes the q-ary COLOR generalization.
+type Params struct {
+	Arity         int // q ≥ 2
+	Levels        int // H: levels of the whole tree
+	BandLevels    int // N: levels per family subtree; paths of N nodes are CF
+	SubtreeLevels int // k: subtrees of K = (q^k-1)/(q-1) nodes are CF
+}
+
+// Validate checks q ≥ 2 and 1 ≤ 2k ≤ N ≤ H constraints (N ≥ 2k keeps the
+// band decomposition unambiguous, exactly as in the binary colormap).
+func (p Params) Validate() error {
+	if p.Arity < 2 {
+		return fmt.Errorf("qary: arity %d must be at least 2", p.Arity)
+	}
+	if p.SubtreeLevels < 1 {
+		return fmt.Errorf("qary: k = %d must be at least 1", p.SubtreeLevels)
+	}
+	if p.BandLevels < 2*p.SubtreeLevels {
+		return fmt.Errorf("qary: N = %d must be at least 2k = %d", p.BandLevels, 2*p.SubtreeLevels)
+	}
+	if p.Levels < 1 {
+		return fmt.Errorf("qary: H = %d must be at least 1", p.Levels)
+	}
+	return nil
+}
+
+// K returns the conflict-free subtree size (q^k - 1)/(q - 1).
+func (p Params) K() int64 { return SubtreeSize(p.Arity, p.SubtreeLevels) }
+
+// Colors returns the number of memory modules used: N + K - k.
+func (p Params) Colors() int { return p.BandLevels + int(p.K()) - p.SubtreeLevels }
+
+// Step returns the band stride N - k.
+func (p Params) Step() int { return p.BandLevels - p.SubtreeLevels }
+
+// Mapping is a materialized q-ary coloring.
+type Mapping struct {
+	P      Params
+	T      Tree
+	Colors []int32 // indexed by FlatIndex
+}
+
+// Color returns the module of node n.
+func (m *Mapping) Color(n Node) int { return int(m.Colors[m.T.FlatIndex(n)]) }
+
+// Modules returns the number of modules used.
+func (m *Mapping) Modules() int { return m.P.Colors() }
+
+// Color runs the generalized COLOR algorithm over the whole tree.
+func Color(p Params) (*Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := New(p.Arity, p.Levels)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapping{P: p, T: t, Colors: make([]int32, t.Nodes())}
+	k := p.SubtreeLevels
+	K := int(p.K())
+	step := p.Step()
+
+	// Top k levels: distinct colors 0..K-1 in BFS order.
+	for j := 0; j < k && j < t.levels; j++ {
+		for i := int64(0); i < t.width[j]; i++ {
+			m.Colors[t.FlatIndex(V(i, j))] = int32(t.FlatIndex(V(i, j)))
+		}
+	}
+
+	// Band 0 bottom: fresh Γ colors K, K+1, … per level.
+	gamma := make([]int32, step)
+	for d := range gamma {
+		gamma[d] = int32(K + d)
+	}
+	m.bottom(V(0, 0), gamma)
+
+	// Deeper bands: Γ from the ancestor path (parent-band root down to,
+	// excluding, this band subtree's root).
+	g := make([]int32, step)
+	for rootLevel := step; rootLevel+k < t.levels; rootLevel += step {
+		for i := int64(0); i < t.width[rootLevel]; i++ {
+			root := V(i, rootLevel)
+			for d := 0; d < step; d++ {
+				g[d] = m.Colors[t.FlatIndex(t.Ancestor(root, step-d))]
+			}
+			m.bottom(root, g)
+		}
+	}
+	return m, nil
+}
+
+// bottom colors levels root.Level+k … root.Level+N-1 of the band subtree
+// rooted at root, assuming its top k levels are colored. gamma has one
+// color per level (the paper's Z list).
+func (m *Mapping) bottom(root Node, gamma []int32) {
+	p, t := m.P, m.T
+	k := p.SubtreeLevels
+	q := int64(p.Arity)
+	blockW := Pow(p.Arity, k-1)
+	for ell := k; ell < p.BandLevels; ell++ {
+		level := root.Level + ell
+		if level >= t.levels {
+			return
+		}
+		first := root.Index
+		count := int64(1)
+		for d := 0; d < ell; d++ {
+			first *= q
+			count *= q
+		}
+		blocks := count / blockW
+		for h := int64(0); h < blocks; h++ {
+			blockFirst := first + h*blockW
+			for pos := int64(0); pos < blockW-1; pos++ {
+				src := blockSource(t, k, V(blockFirst+pos, level))
+				m.Colors[t.FlatIndex(V(blockFirst+pos, level))] = m.Colors[t.FlatIndex(src)]
+			}
+			m.Colors[t.FlatIndex(V(blockFirst+blockW-1, level))] = gamma[ell-k]
+		}
+	}
+}
+
+// blockSource returns the node whose color a non-final block position
+// inherits: the pos-th interior node, level by level and sibling by
+// sibling, of the q-1 subtrees rooted at the siblings of the block's
+// (k-1)-st ancestor v1.
+func blockSource(t Tree, k int, n Node) Node {
+	q := int64(t.arity)
+	blockW := Pow(t.arity, k-1)
+	pos := n.Index % blockW
+	if pos == blockW-1 {
+		panic("qary: blockSource on a block-last node")
+	}
+	v1 := t.Ancestor(n, k-1)
+	parentFirstChild := (v1.Index / q) * q
+	// Locate depth d with q^d - 1 ≤ pos < q^(d+1) - 1.
+	d := 0
+	base := int64(0) // q^d - 1
+	width := int64(1)
+	for pos >= base+(q-1)*width {
+		base += (q - 1) * width
+		width *= q
+		d++
+	}
+	r := pos - base
+	sibOrd := r / width
+	off := r % width
+	sibIdx := parentFirstChild + sibOrd
+	if sibIdx >= v1.Index {
+		sibIdx++ // skip v1 itself
+	}
+	return V(sibIdx*width+off, v1.Level+d)
+}
+
+// Retrieve computes the color of one node in O(H) time without the
+// materialized array, mirroring colormap.Retrieve.
+func Retrieve(p Params, n Node) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	t, err := New(p.Arity, p.Levels)
+	if err != nil {
+		return 0, err
+	}
+	if !t.Contains(n) {
+		return 0, fmt.Errorf("qary: node %v outside tree", n)
+	}
+	k := p.SubtreeLevels
+	K := int(p.K())
+	step := p.Step()
+	blockW := Pow(p.Arity, k-1)
+	for {
+		if n.Level < k {
+			return int(t.FlatIndex(n)), nil
+		}
+		if n.Index%blockW != blockW-1 {
+			n = blockSource(t, k, n)
+			continue
+		}
+		// Block-last: locate the band.
+		jj := n.Level / step
+		sp := n.Level % step
+		ell := sp
+		if sp < k {
+			jj--
+			ell = sp + step
+		}
+		if jj == 0 {
+			return K + ell - k, nil
+		}
+		n = t.Ancestor(n, p.BandLevels)
+	}
+}
+
+// SubtreeConflicts returns the worst-case conflicts over every complete
+// subtree instance with `levels` levels.
+func (m *Mapping) SubtreeConflicts(levels int) int {
+	t := m.T
+	counts := make([]int, m.Modules())
+	worst := 0
+	for j := 0; j+levels <= t.levels; j++ {
+		for i := int64(0); i < t.width[j]; i++ {
+			var touched []int
+			max := 0
+			t.WalkSubtree(V(i, j), levels, func(u Node) bool {
+				c := m.Color(u)
+				if counts[c] == 0 {
+					touched = append(touched, c)
+				}
+				counts[c]++
+				if counts[c] > max {
+					max = counts[c]
+				}
+				return true
+			})
+			for _, c := range touched {
+				counts[c] = 0
+			}
+			if max-1 > worst {
+				worst = max - 1
+			}
+		}
+	}
+	return worst
+}
+
+// LevelConflicts returns the worst-case conflicts over every window of
+// `size` consecutive nodes within one level (the L-template analog).
+func (m *Mapping) LevelConflicts(size int64) int {
+	t := m.T
+	counts := make([]int, m.Modules())
+	worst := 0
+	for j := 0; j < t.levels; j++ {
+		width := t.width[j]
+		if width < size {
+			continue
+		}
+		for i := int64(0); i+size <= width; i++ {
+			var touched []int
+			max := 0
+			for h := int64(0); h < size; h++ {
+				c := m.Color(V(i+h, j))
+				if counts[c] == 0 {
+					touched = append(touched, c)
+				}
+				counts[c]++
+				if counts[c] > max {
+					max = counts[c]
+				}
+			}
+			for _, c := range touched {
+				counts[c] = 0
+			}
+			if max-1 > worst {
+				worst = max - 1
+			}
+		}
+	}
+	return worst
+}
+
+// PathConflicts returns the worst-case conflicts over every ascending
+// path of `size` nodes.
+func (m *Mapping) PathConflicts(size int) int {
+	t := m.T
+	counts := make([]int, m.Modules())
+	worst := 0
+	for j := size - 1; j < t.levels; j++ {
+		for i := int64(0); i < t.width[j]; i++ {
+			var touched []int
+			max := 0
+			cur := V(i, j)
+			for s := 0; s < size; s++ {
+				c := m.Color(cur)
+				if counts[c] == 0 {
+					touched = append(touched, c)
+				}
+				counts[c]++
+				if counts[c] > max {
+					max = counts[c]
+				}
+				if s+1 < size {
+					cur = t.Parent(cur)
+				}
+			}
+			for _, c := range touched {
+				counts[c] = 0
+			}
+			if max-1 > worst {
+				worst = max - 1
+			}
+		}
+	}
+	return worst
+}

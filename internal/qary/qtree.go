@@ -1,0 +1,190 @@
+// Package qary generalizes the paper's COLOR algorithm from binary to
+// complete q-ary trees, the direction pursued by its companion work (Das
+// and Pinotti, "Optimal Mappings of q-Ary and Binomial Trees into Parallel
+// Memory Modules", JPDC 2000 — references [6], [7], [9] of the paper).
+//
+// The construction mirrors the binary one. The top k levels of a q-ary
+// tree (K = (q^k - 1)/(q - 1) nodes) take distinct colors. Every deeper
+// level splits into blocks of q^(k-1) nodes — the leaves of the k-level
+// subtree rooted at the block's (k-1)-st ancestor v1. The first
+// q^(k-1) - 1 nodes of a block copy the colors of the *interiors of all
+// q-1 sibling subtrees* of v1 (level by level, left to right), which is
+// exactly q^(k-1) - 1 nodes; the last node takes a fresh per-level color.
+// The Lemma 1 induction goes through verbatim: the inherited colors and
+// the block's TP-upper part all live inside the parent's conflict-free TP
+// set, so subtree templates S(K) and path templates P(N) are accessed
+// conflict-free with N + K - k colors. The exhaustive tests in this
+// package verify the conflict-freeness claim for q = 2, 3, 4.
+package qary
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Node identifies a node of a complete q-ary tree by level and
+// left-to-right index within the level.
+type Node struct {
+	Index int64
+	Level int
+}
+
+// V constructs a Node.
+func V(index int64, level int) Node { return Node{Index: index, Level: level} }
+
+// String renders the node as v(i,j).
+func (n Node) String() string { return fmt.Sprintf("v(%d,%d)", n.Index, n.Level) }
+
+// Tree describes a complete q-ary tree with a given arity and level count.
+type Tree struct {
+	arity  int
+	levels int
+	// width[j] = q^j, nodes before level j = (q^j - 1)/(q - 1).
+	width  []int64
+	offset []int64
+}
+
+// New returns a complete q-ary tree. Arity must be ≥ 2; levels ≥ 1 and
+// small enough that the node count fits in int64.
+func New(arity, levels int) (Tree, error) {
+	if arity < 2 {
+		return Tree{}, fmt.Errorf("qary: arity %d must be at least 2", arity)
+	}
+	if levels < 1 {
+		return Tree{}, fmt.Errorf("qary: levels %d must be at least 1", levels)
+	}
+	t := Tree{arity: arity, levels: levels}
+	t.width = make([]int64, levels)
+	t.offset = make([]int64, levels+1)
+	w := int64(1)
+	for j := 0; j < levels; j++ {
+		t.width[j] = w
+		t.offset[j+1] = t.offset[j] + w
+		if w > (1<<62)/int64(arity) {
+			return Tree{}, fmt.Errorf("qary: tree with arity %d and %d levels overflows", arity, levels)
+		}
+		w *= int64(arity)
+	}
+	return t, nil
+}
+
+// Arity returns q.
+func (t Tree) Arity() int { return t.arity }
+
+// Levels returns the number of levels.
+func (t Tree) Levels() int { return t.levels }
+
+// Nodes returns the total node count (q^levels - 1)/(q - 1).
+func (t Tree) Nodes() int64 { return t.offset[t.levels] }
+
+// LevelWidth returns q^level.
+func (t Tree) LevelWidth(level int) int64 {
+	if level < 0 || level >= t.levels {
+		panic(fmt.Sprintf("qary: level %d out of range", level))
+	}
+	return t.width[level]
+}
+
+// Contains reports whether n is a node of t.
+func (t Tree) Contains(n Node) bool {
+	return n.Level >= 0 && n.Level < t.levels && n.Index >= 0 && n.Index < t.width[n.Level]
+}
+
+// FlatIndex returns the BFS position of n (root = 0).
+func (t Tree) FlatIndex(n Node) int64 { return t.offset[n.Level] + n.Index }
+
+// Parent returns the parent of n.
+func (t Tree) Parent(n Node) Node {
+	if n.Level == 0 {
+		panic("qary: Parent of root")
+	}
+	return Node{Index: n.Index / int64(t.arity), Level: n.Level - 1}
+}
+
+// Ancestor returns the k-th ancestor of n.
+func (t Tree) Ancestor(n Node, k int) Node {
+	if k < 0 || k > n.Level {
+		panic(fmt.Sprintf("qary: Ancestor(%d) of %v out of range", k, n))
+	}
+	idx := n.Index
+	for s := 0; s < k; s++ {
+		idx /= int64(t.arity)
+	}
+	return Node{Index: idx, Level: n.Level - k}
+}
+
+// Child returns the c-th child of n (0 ≤ c < q).
+func (t Tree) Child(n Node, c int) Node {
+	if c < 0 || c >= t.arity {
+		panic(fmt.Sprintf("qary: child %d out of range", c))
+	}
+	return Node{Index: n.Index*int64(t.arity) + int64(c), Level: n.Level + 1}
+}
+
+// SubtreeSize returns the node count of a complete q-ary subtree with the
+// given number of levels: (q^levels - 1)/(q - 1).
+func SubtreeSize(arity, levels int) int64 {
+	size := int64(0)
+	w := int64(1)
+	for d := 0; d < levels; d++ {
+		size += w
+		w *= int64(arity)
+	}
+	return size
+}
+
+// Pow returns q^e.
+func Pow(q, e int) int64 {
+	r := int64(1)
+	for i := 0; i < e; i++ {
+		r *= int64(q)
+	}
+	return r
+}
+
+// CeilLog2 returns ⌈log2 x⌉ for x ≥ 1 (shared helper, kept local to avoid
+// importing the binary tree package).
+func CeilLog2(x int64) int {
+	if x < 1 {
+		panic("qary: CeilLog2 of non-positive value")
+	}
+	if x == 1 {
+		return 0
+	}
+	return bits.Len64(uint64(x - 1))
+}
+
+// WalkSubtree visits the subtree of `levels` levels rooted at root in
+// level order, stopping early if fn returns false.
+func (t Tree) WalkSubtree(root Node, levels int, fn func(Node) bool) {
+	first, count := root.Index, int64(1)
+	for d := 0; d < levels; d++ {
+		lvl := root.Level + d
+		if lvl >= t.levels {
+			return
+		}
+		for off := int64(0); off < count; off++ {
+			if !fn(Node{Index: first + off, Level: lvl}) {
+				return
+			}
+		}
+		first *= int64(t.arity)
+		count *= int64(t.arity)
+	}
+}
+
+// PathNodes returns the ascending path of size k starting at n.
+func (t Tree) PathNodes(n Node, k int) []Node {
+	if k < 1 || k-1 > n.Level {
+		panic(fmt.Sprintf("qary: path of %d from %v out of range", k, n))
+	}
+	path := make([]Node, k)
+	cur := n
+	for s := 0; s < k; s++ {
+		path[s] = cur
+		if s+1 < k {
+			cur = t.Parent(cur)
+		}
+	}
+	return path
+}

@@ -1,0 +1,41 @@
+package rangequery
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// FuzzDecompose: any (levels, lo, hi) either errors cleanly or yields a
+// valid composite covering exactly the requested keys.
+func FuzzDecompose(f *testing.F) {
+	f.Add(6, int64(3), int64(40))
+	f.Add(1, int64(0), int64(0))
+	f.Add(10, int64(-5), int64(2))
+	f.Add(10, int64(7), int64(3))
+	f.Fuzz(func(t *testing.T, levels int, lo, hi int64) {
+		if levels < 1 || levels > 12 {
+			return
+		}
+		tr := tree.New(levels)
+		comp, err := Decompose(tr, lo, hi)
+		if err != nil {
+			return
+		}
+		if verr := comp.Validate(tr); verr != nil {
+			t.Fatalf("invalid composite for [%d,%d]: %v", lo, hi, verr)
+		}
+		count := int64(0)
+		comp.Walk(func(n tree.Node) bool {
+			k := Key(tr, n)
+			if k < lo || k > hi {
+				t.Fatalf("node %v key %d outside [%d,%d]", n, k, lo, hi)
+			}
+			count++
+			return true
+		})
+		if count != hi-lo+1 {
+			t.Fatalf("[%d,%d]: covered %d keys", lo, hi, count)
+		}
+	})
+}

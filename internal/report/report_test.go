@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 123456)
+	tb.AddNote("footnote %d", 7)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "value") {
+		t.Error("missing header")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, separator, 2 rows, note.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	if !strings.Contains(lines[5], "footnote 7") {
+		t.Errorf("note line = %q", lines[5])
+	}
+	// Columns align: "value" header starts at same offset as 1 and 123456.
+	hIdx := strings.Index(lines[1], "value")
+	if lines[3][hIdx:hIdx+1] != "1" {
+		t.Errorf("row 1 misaligned: %q", lines[3])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "x")
+	tb.AddRow(1.23456)
+	if !strings.Contains(tb.String(), "1.235") {
+		t.Errorf("float not formatted: %q", tb.String())
+	}
+}
+
+func TestNoTitleNoHeader(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("only")
+	out := tb.String()
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("unexpected output %q", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("MD", "a", "b")
+	tb.AddRow(1, 2)
+	tb.AddNote("n")
+	md := tb.Markdown()
+	for _, want := range []string{"### MD", "| a | b |", "| --- | --- |", "| 1 | 2 |", "*n*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q in %q", want, md)
+		}
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("", "a")
+	tb.Rows = append(tb.Rows, []string{"x", "extra"})
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("ragged row dropped: %q", out)
+	}
+}

@@ -1,0 +1,155 @@
+// Package scheduler models the multiprocessor front-end of the paper's
+// machine: P processors each work through their own queue of template
+// accesses against one shared parallel memory system. Unlike the
+// synchronous submit-and-drain mode used by the application simulators,
+// the scheduler overlaps requests — a processor issues its next access as
+// soon as its previous one completes — so per-module load balance and
+// per-instance conflicts both shape the makespan.
+//
+// The model: time advances in memory cycles. An access occupies its
+// processor until every one of its items has been served; each module
+// serves one item per cycle in FIFO order. This is exactly the paper's
+// conflict-serialization semantics extended with request pipelining.
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// Access is one parallel request by one processor.
+type Access struct {
+	Nodes []tree.Node
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	Processors  int
+	Accesses    int
+	Items       int64
+	Makespan    int64   // cycles until the last access completes
+	BusyCycles  int64   // module-cycles spent serving
+	Utilization float64 // BusyCycles / (Makespan · modules)
+	// PerProcessor[i] is the cycle at which processor i finished its queue.
+	PerProcessor []int64
+}
+
+// Run simulates the processors' queues to completion. Each processor
+// issues its queue in order; an access's items enqueue on their modules
+// when issued, and the access completes at the cycle its last item is
+// served.
+func Run(m coloring.Mapping, queues [][]Access) (Result, error) {
+	procs := len(queues)
+	if procs == 0 {
+		return Result{}, fmt.Errorf("scheduler: no processors")
+	}
+	modules := m.Modules()
+	res := Result{Processors: procs, PerProcessor: make([]int64, procs)}
+
+	// Per-module FIFO: we only need counts plus, per in-flight access, the
+	// number of outstanding items. Each module serves one item per cycle;
+	// items of an access are enqueued at issue time.
+	type flight struct {
+		remaining int // items not yet served
+	}
+	queueLen := make([]int64, modules) // outstanding items per module
+	// Per module, the serve order: slice of *flight in FIFO order.
+	fifo := make([][]*flight, modules)
+	next := make([]int, procs) // next access index per processor
+	inFlight := make([]*flight, procs)
+
+	issue := func(p int) {
+		acc := queues[p][next[p]]
+		next[p]++
+		f := &flight{remaining: len(acc.Nodes)}
+		inFlight[p] = f
+		res.Accesses++
+		res.Items += int64(len(acc.Nodes))
+		for _, n := range acc.Nodes {
+			mod := m.Color(n)
+			fifo[mod] = append(fifo[mod], f)
+			queueLen[mod]++
+		}
+		if f.remaining == 0 { // empty access completes instantly
+			inFlight[p] = nil
+		}
+	}
+
+	// Initial issues.
+	for p := 0; p < procs; p++ {
+		if len(queues[p]) > 0 {
+			issue(p)
+		}
+	}
+
+	var cycle int64
+	for {
+		// Done when no items are queued and every processor is idle with an
+		// empty queue.
+		busyAny := false
+		for mod := 0; mod < modules; mod++ {
+			if queueLen[mod] > 0 {
+				busyAny = true
+				break
+			}
+		}
+		if !busyAny {
+			allDone := true
+			for p := 0; p < procs; p++ {
+				if inFlight[p] != nil || next[p] < len(queues[p]) {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				break
+			}
+		}
+		cycle++
+		// Each module serves the head item of its FIFO.
+		for mod := 0; mod < modules; mod++ {
+			if len(fifo[mod]) == 0 {
+				continue
+			}
+			f := fifo[mod][0]
+			fifo[mod] = fifo[mod][1:]
+			queueLen[mod]--
+			f.remaining--
+			res.BusyCycles++
+		}
+		// Completions and re-issues.
+		for p := 0; p < procs; p++ {
+			if inFlight[p] != nil && inFlight[p].remaining == 0 {
+				inFlight[p] = nil
+				res.PerProcessor[p] = cycle
+			}
+			if inFlight[p] == nil && next[p] < len(queues[p]) {
+				issue(p)
+			}
+		}
+		if cycle > res.Items+int64(res.Accesses)+1<<40 {
+			return Result{}, fmt.Errorf("scheduler: runaway simulation")
+		}
+	}
+	res.Makespan = cycle
+	if cycle > 0 {
+		res.Utilization = float64(res.BusyCycles) / float64(cycle*int64(modules))
+	}
+	return res, nil
+}
+
+// SplitRoundRobin deals a single stream of accesses onto P processor
+// queues round-robin — the simplest static assignment.
+func SplitRoundRobin(stream []Access, procs int) ([][]Access, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("scheduler: %d processors", procs)
+	}
+	queues := make([][]Access, procs)
+	for i, acc := range stream {
+		p := i % procs
+		queues[p] = append(queues[p], acc)
+	}
+	return queues, nil
+}

@@ -1,0 +1,179 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+func colorMap(t *testing.T, levels int) coloring.Mapping {
+	t.Helper()
+	p, err := colormap.Canonical(levels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := colormap.Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func pathAccess(anchor tree.Node, size int) Access {
+	return Access{Nodes: tree.PathNodes(anchor, size)}
+}
+
+func TestSingleProcessorSequential(t *testing.T) {
+	m := colorMap(t, 10)
+	// One processor, two conflict-free path accesses: one cycle each.
+	queues := [][]Access{{
+		pathAccess(tree.V(10, 5), 6),
+		pathAccess(tree.V(99, 7), 6),
+	}}
+	res, err := Run(m, queues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2 {
+		t.Errorf("makespan %d, want 2", res.Makespan)
+	}
+	if res.Accesses != 2 || res.Items != 12 {
+		t.Errorf("accounting %+v", res)
+	}
+}
+
+func TestTwoProcessorsOverlap(t *testing.T) {
+	m := colorMap(t, 10)
+	// Two processors with disjoint-module paths overlap perfectly.
+	queues := [][]Access{
+		{pathAccess(tree.V(10, 5), 6)},
+		{pathAccess(tree.V(99, 7), 6)},
+	}
+	res, err := Run(m, queues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each path alone is conflict-free (1 cycle); together the 12 items on
+	// 7 modules need at least 2 cycles.
+	if res.Makespan < 2 || res.Makespan > 12 {
+		t.Errorf("makespan %d", res.Makespan)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("utilization %f", res.Utilization)
+	}
+}
+
+func TestEmptyCases(t *testing.T) {
+	m := colorMap(t, 8)
+	if _, err := Run(m, nil); err == nil {
+		t.Error("no processors should fail")
+	}
+	// Processors with empty queues complete immediately.
+	res, err := Run(m, [][]Access{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 {
+		t.Errorf("makespan %d, want 0", res.Makespan)
+	}
+	// An access with no nodes completes instantly.
+	res, err = Run(m, [][]Access{{{Nodes: nil}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 1 || res.Makespan != 0 {
+		t.Errorf("empty access result %+v", res)
+	}
+}
+
+// Makespan can never beat the pigeonhole floor ⌈items/modules⌉ nor the
+// longest single queue served alone.
+func TestMakespanLowerBounds(t *testing.T) {
+	m := colorMap(t, 12)
+	rng := rand.New(rand.NewSource(4))
+	var stream []Access
+	var items int64
+	for i := 0; i < 60; i++ {
+		j := 6 + rng.Intn(5)
+		anchor := tree.V(rng.Int63n(tree.New(12).LevelWidth(j)), j)
+		stream = append(stream, pathAccess(anchor, 6))
+		items += 6
+	}
+	for _, procs := range []int{1, 3, 8} {
+		queues, err := SplitRoundRobin(stream, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(m, queues)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floor := (items + int64(m.Modules()) - 1) / int64(m.Modules())
+		if res.Makespan < floor {
+			t.Errorf("procs=%d: makespan %d below floor %d", procs, res.Makespan, floor)
+		}
+		if res.Items != items {
+			t.Errorf("procs=%d: items %d", procs, res.Items)
+		}
+	}
+}
+
+// More processors can only help (or tie) for round-robin splits of the
+// same stream under this work-conserving scheduler.
+func TestMoreProcessorsNoSlower(t *testing.T) {
+	m := colorMap(t, 12)
+	rng := rand.New(rand.NewSource(10))
+	var stream []Access
+	for i := 0; i < 80; i++ {
+		in := template.Instance{Kind: template.Subtree, Anchor: tree.V(rng.Int63n(64), 6), Size: 7}
+		stream = append(stream, Access{Nodes: in.Nodes()})
+	}
+	prev := int64(1 << 60)
+	for _, procs := range []int{1, 2, 4, 8} {
+		queues, _ := SplitRoundRobin(stream, procs)
+		res, err := Run(m, queues)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan > prev {
+			t.Errorf("procs=%d: makespan %d worse than fewer processors' %d", procs, res.Makespan, prev)
+		}
+		prev = res.Makespan
+	}
+}
+
+func TestPerProcessorCompletion(t *testing.T) {
+	m := baseline.Modulo(tree.New(8), 5)
+	queues := [][]Access{
+		{pathAccess(tree.V(0, 7), 8)},
+		{pathAccess(tree.V(200, 7), 4)},
+	}
+	res, err := Run(m, queues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, done := range res.PerProcessor {
+		if done < 1 || done > res.Makespan {
+			t.Errorf("processor %d completion %d outside [1,%d]", p, done, res.Makespan)
+		}
+	}
+}
+
+func TestSplitRoundRobin(t *testing.T) {
+	stream := make([]Access, 10)
+	queues, err := SplitRoundRobin(stream, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queues) != 3 || len(queues[0]) != 4 || len(queues[1]) != 3 || len(queues[2]) != 3 {
+		t.Errorf("split sizes %d/%d/%d", len(queues[0]), len(queues[1]), len(queues[2]))
+	}
+	if _, err := SplitRoundRobin(stream, 0); err == nil {
+		t.Error("0 processors should fail")
+	}
+}

@@ -1,0 +1,388 @@
+// Package template implements the paper's access templates (Section 2.1):
+//
+//   - S-template S(K): all complete subtrees of size K = 2^k - 1;
+//   - L-template L(K): all runs of K consecutive nodes within one level;
+//   - P-template P(K): all ascending paths of K nodes;
+//   - C-template C(D, c): all size-D node sets partitionable into c
+//     pairwise-disjoint elementary-template instances.
+//
+// An Instance is a concrete occurrence of a template in a given tree; a
+// Family enumerates every instance of a template over a tree, which is how
+// the experiments compute the exact worst-case cost
+// Cost(T, U, 𝓘, M) = max over instances of the per-instance conflicts.
+package template
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tree"
+)
+
+// Kind labels the elementary template types.
+type Kind int
+
+const (
+	// Subtree is the paper's S-template: a complete subtree.
+	Subtree Kind = iota
+	// Level is the paper's L-template: consecutive nodes in one level.
+	Level
+	// Path is the paper's P-template: an ascending (leaf-to-root directed)
+	// path.
+	Path
+)
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Subtree:
+		return "S"
+	case Level:
+		return "L"
+	case Path:
+		return "P"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Instance is one occurrence of an elementary template: Size nodes anchored
+// at Anchor. For Subtree the anchor is the subtree root and Size = 2^k - 1;
+// for Level the anchor is the leftmost node of the run; for Path the anchor
+// is the deepest node and the instance ascends toward the root.
+type Instance struct {
+	Kind   Kind
+	Anchor tree.Node
+	Size   int64
+}
+
+// String renders the instance in the paper's S_K(i,j) style notation.
+func (in Instance) String() string {
+	return fmt.Sprintf("%s_%d(%d,%d)", in.Kind, in.Size, in.Anchor.Index, in.Anchor.Level)
+}
+
+// Validate checks that the instance fits inside t.
+func (in Instance) Validate(t tree.Tree) error {
+	if !t.Contains(in.Anchor) {
+		return fmt.Errorf("template: anchor %v outside tree with %d levels", in.Anchor, t.Levels())
+	}
+	if in.Size < 1 {
+		return fmt.Errorf("template: size %d must be positive", in.Size)
+	}
+	switch in.Kind {
+	case Subtree:
+		k, err := tree.SubtreeLevelsForSize(in.Size)
+		if err != nil {
+			return err
+		}
+		if in.Anchor.Level+k > t.Levels() {
+			return fmt.Errorf("template: subtree %v overflows the tree", in)
+		}
+	case Level:
+		if in.Anchor.Index+in.Size > t.LevelWidth(in.Anchor.Level) {
+			return fmt.Errorf("template: level run %v overflows level %d", in, in.Anchor.Level)
+		}
+	case Path:
+		if in.Size > int64(in.Anchor.Level)+1 {
+			return fmt.Errorf("template: path %v longer than the distance to the root", in)
+		}
+	default:
+		return fmt.Errorf("template: unknown kind %v", in.Kind)
+	}
+	return nil
+}
+
+// Nodes materializes the instance's node set. For Subtree the order is
+// level order; for Level left-to-right; for Path bottom-up.
+func (in Instance) Nodes() []tree.Node {
+	switch in.Kind {
+	case Subtree:
+		k, err := tree.SubtreeLevelsForSize(in.Size)
+		if err != nil {
+			panic(err)
+		}
+		return tree.SubtreeNodes(in.Anchor, k)
+	case Level:
+		return tree.LevelRun(in.Anchor, in.Size)
+	case Path:
+		return tree.PathNodes(in.Anchor, int(in.Size))
+	default:
+		panic(fmt.Sprintf("template: unknown kind %v", in.Kind))
+	}
+}
+
+// Walk calls fn for every node of the instance without materializing a
+// slice, stopping early if fn returns false.
+func (in Instance) Walk(fn func(tree.Node) bool) {
+	switch in.Kind {
+	case Subtree:
+		k, err := tree.SubtreeLevelsForSize(in.Size)
+		if err != nil {
+			panic(err)
+		}
+		tree.WalkLevelOrder(in.Anchor, k, fn)
+	case Level:
+		for h := int64(0); h < in.Size; h++ {
+			if !fn(tree.Node{Index: in.Anchor.Index + h, Level: in.Anchor.Level}) {
+				return
+			}
+		}
+	case Path:
+		for step := 0; step < int(in.Size); step++ {
+			if !fn(in.Anchor.Ancestor(step)) {
+				return
+			}
+		}
+	default:
+		panic(fmt.Sprintf("template: unknown kind %v", in.Kind))
+	}
+}
+
+// Composite is an instance of the paper's C-template C(D, c): the disjoint
+// union of c elementary instances with total size D.
+type Composite struct {
+	Parts []Instance
+}
+
+// Size returns the paper's D: the total number of nodes.
+func (c Composite) Size() int64 {
+	var d int64
+	for _, p := range c.Parts {
+		d += p.Size
+	}
+	return d
+}
+
+// Walk visits every node of every part.
+func (c Composite) Walk(fn func(tree.Node) bool) {
+	stopped := false
+	for _, p := range c.Parts {
+		if stopped {
+			return
+		}
+		p.Walk(func(n tree.Node) bool {
+			if !fn(n) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Validate checks every part fits in t and that parts are pairwise
+// disjoint, as the definition of C(D, c) requires.
+func (c Composite) Validate(t tree.Tree) error {
+	if len(c.Parts) == 0 {
+		return fmt.Errorf("template: composite with no parts")
+	}
+	seen := make(map[int64]Instance, c.Size())
+	for _, p := range c.Parts {
+		if err := p.Validate(t); err != nil {
+			return err
+		}
+		var dup error
+		p.Walk(func(n tree.Node) bool {
+			h := n.HeapIndex()
+			if prev, ok := seen[h]; ok {
+				dup = fmt.Errorf("template: node %v shared by %v and %v", n, prev, p)
+				return false
+			}
+			seen[h] = p
+			return true
+		})
+		if dup != nil {
+			return dup
+		}
+	}
+	return nil
+}
+
+// Family enumerates every instance of an elementary template of a given
+// size over a tree, exactly as the paper's S^T(K), L^T(K), P^T(K) unions.
+type Family struct {
+	Tree tree.Tree
+	Kind Kind
+	Size int64
+}
+
+// NewFamily validates the (kind, size) combination against the tree and
+// returns the family. Families with no instances (e.g. a path longer than
+// the tree has levels) are rejected.
+func NewFamily(t tree.Tree, kind Kind, size int64) (Family, error) {
+	f := Family{Tree: t, Kind: kind, Size: size}
+	if size < 1 {
+		return f, fmt.Errorf("template: family size %d must be positive", size)
+	}
+	switch kind {
+	case Subtree:
+		k, err := tree.SubtreeLevelsForSize(size)
+		if err != nil {
+			return f, err
+		}
+		if k > t.Levels() {
+			return f, fmt.Errorf("template: subtree of %d levels exceeds tree of %d", k, t.Levels())
+		}
+	case Level:
+		if size > t.LevelWidth(t.LeafLevel()) {
+			return f, fmt.Errorf("template: level run of %d exceeds widest level", size)
+		}
+	case Path:
+		if size > int64(t.Levels()) {
+			return f, fmt.Errorf("template: path of %d nodes exceeds %d levels", size, t.Levels())
+		}
+	default:
+		return f, fmt.Errorf("template: unknown kind %v", kind)
+	}
+	return f, nil
+}
+
+// Count returns the number of instances in the family.
+func (f Family) Count() int64 {
+	var total int64
+	f.WalkInstances(func(Instance) bool {
+		total++
+		return true
+	})
+	return total
+}
+
+// WalkInstances calls fn for every instance of the family, stopping early
+// if fn returns false.
+func (f Family) WalkInstances(fn func(Instance) bool) {
+	t := f.Tree
+	switch f.Kind {
+	case Subtree:
+		k, _ := tree.SubtreeLevelsForSize(f.Size)
+		for j := 0; j <= t.Levels()-k; j++ {
+			for i := int64(0); i < t.LevelWidth(j); i++ {
+				if !fn(Instance{Kind: Subtree, Anchor: tree.V(i, j), Size: f.Size}) {
+					return
+				}
+			}
+		}
+	case Level:
+		minLevel := tree.CeilLog2(f.Size)
+		for j := minLevel; j < t.Levels(); j++ {
+			for i := int64(0); i <= t.LevelWidth(j)-f.Size; i++ {
+				if !fn(Instance{Kind: Level, Anchor: tree.V(i, j), Size: f.Size}) {
+					return
+				}
+			}
+		}
+	case Path:
+		for j := int(f.Size) - 1; j < t.Levels(); j++ {
+			for i := int64(0); i < t.LevelWidth(j); i++ {
+				if !fn(Instance{Kind: Path, Anchor: tree.V(i, j), Size: f.Size}) {
+					return
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("template: unknown kind %v", f.Kind))
+	}
+}
+
+// RandomComposite draws a pseudo-random instance of C(D, c) over t: parts
+// are disjoint elementary instances whose sizes sum to exactly size.
+// Disjointness is achieved by rejection sampling against already-used
+// nodes; the generator is deterministic for a given rng state. It returns
+// an error if it cannot place the requested parts (tree too small).
+func RandomComposite(rng *rand.Rand, t tree.Tree, size int64, parts int) (Composite, error) {
+	if parts < 1 || size < int64(parts) {
+		return Composite{}, fmt.Errorf("template: cannot split size %d into %d parts", size, parts)
+	}
+	// Split size into `parts` positive chunks.
+	chunk := splitSizes(rng, size, parts)
+	used := make(map[int64]bool, size)
+	var comp Composite
+	for _, want := range chunk {
+		inst, ok := placePart(rng, t, want, used)
+		if !ok {
+			return Composite{}, fmt.Errorf("template: could not place a part of size %d in tree of %d levels", want, t.Levels())
+		}
+		comp.Parts = append(comp.Parts, inst)
+		inst.Walk(func(n tree.Node) bool {
+			used[n.HeapIndex()] = true
+			return true
+		})
+	}
+	return comp, nil
+}
+
+// splitSizes splits total into n positive chunks, pseudo-randomly.
+func splitSizes(rng *rand.Rand, total int64, n int) []int64 {
+	sizes := make([]int64, n)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	remaining := total - int64(n)
+	for remaining > 0 {
+		idx := rng.Intn(n)
+		take := remaining/int64(n) + 1
+		if take > remaining {
+			take = remaining
+		}
+		sizes[idx] += take
+		remaining -= take
+	}
+	return sizes
+}
+
+// placePart tries to place one elementary instance of size want that avoids
+// every node in used. It first adjusts the kind to one that can represent
+// the size (Subtree needs 2^k-1), then rejection-samples anchors.
+func placePart(rng *rand.Rand, t tree.Tree, want int64, used map[int64]bool) (Instance, bool) {
+	kinds := make([]Kind, 0, 3)
+	if _, err := tree.SubtreeLevelsForSize(want); err == nil {
+		if k, _ := tree.SubtreeLevelsForSize(want); k <= t.Levels() {
+			kinds = append(kinds, Subtree)
+		}
+	}
+	if want <= t.LevelWidth(t.LeafLevel()) {
+		kinds = append(kinds, Level)
+	}
+	if want <= int64(t.Levels()) {
+		kinds = append(kinds, Path)
+	}
+	if len(kinds) == 0 {
+		return Instance{}, false
+	}
+	const attempts = 256
+	for trial := 0; trial < attempts; trial++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		var inst Instance
+		switch kind {
+		case Subtree:
+			k, _ := tree.SubtreeLevelsForSize(want)
+			j := rng.Intn(t.Levels() - k + 1)
+			i := rng.Int63n(t.LevelWidth(j))
+			inst = Instance{Kind: Subtree, Anchor: tree.V(i, j), Size: want}
+		case Level:
+			minLevel := tree.CeilLog2(want)
+			j := minLevel + rng.Intn(t.Levels()-minLevel)
+			i := rng.Int63n(t.LevelWidth(j) - want + 1)
+			inst = Instance{Kind: Level, Anchor: tree.V(i, j), Size: want}
+		case Path:
+			j := int(want) - 1 + rng.Intn(t.Levels()-int(want)+1)
+			i := rng.Int63n(t.LevelWidth(j))
+			inst = Instance{Kind: Path, Anchor: tree.V(i, j), Size: want}
+		}
+		if instanceDisjoint(inst, used) {
+			return inst, true
+		}
+	}
+	return Instance{}, false
+}
+
+func instanceDisjoint(inst Instance, used map[int64]bool) bool {
+	ok := true
+	inst.Walk(func(n tree.Node) bool {
+		if used[n.HeapIndex()] {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

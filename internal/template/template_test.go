@@ -1,0 +1,435 @@
+package template
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+)
+
+func TestKindString(t *testing.T) {
+	if Subtree.String() != "S" || Level.String() != "L" || Path.String() != "P" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind rendering wrong")
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	in := Instance{Kind: Subtree, Anchor: tree.V(3, 2), Size: 7}
+	if got := in.String(); got != "S_7(3,2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	tr := tree.New(6)
+	good := []Instance{
+		{Kind: Subtree, Anchor: tree.V(0, 0), Size: 63},
+		{Kind: Subtree, Anchor: tree.V(7, 3), Size: 7},
+		{Kind: Level, Anchor: tree.V(0, 5), Size: 32},
+		{Kind: Level, Anchor: tree.V(30, 5), Size: 2},
+		{Kind: Path, Anchor: tree.V(31, 5), Size: 6},
+		{Kind: Path, Anchor: tree.V(0, 2), Size: 1},
+	}
+	for _, in := range good {
+		if err := in.Validate(tr); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", in, err)
+		}
+	}
+	bad := []Instance{
+		{Kind: Subtree, Anchor: tree.V(0, 0), Size: 6},  // not 2^k-1
+		{Kind: Subtree, Anchor: tree.V(7, 3), Size: 15}, // overflows
+		{Kind: Level, Anchor: tree.V(31, 5), Size: 2},   // run off level end
+		{Kind: Path, Anchor: tree.V(0, 2), Size: 4},     // longer than depth+1
+		{Kind: Subtree, Anchor: tree.V(0, 6), Size: 1},  // anchor outside
+		{Kind: Level, Anchor: tree.V(0, 0), Size: 0},    // non-positive
+		{Kind: Kind(42), Anchor: tree.V(0, 0), Size: 1}, // unknown kind
+		{Kind: Subtree, Anchor: tree.V(-1, 0), Size: 1}, // invalid anchor
+		{Kind: Path, Anchor: tree.V(0, 5), Size: 7},     // longer than tree
+	}
+	for _, in := range bad {
+		if err := in.Validate(tr); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", in)
+		}
+	}
+}
+
+func TestInstanceNodes(t *testing.T) {
+	sub := Instance{Kind: Subtree, Anchor: tree.V(1, 1), Size: 7}
+	want := []tree.Node{tree.V(1, 1), tree.V(2, 2), tree.V(3, 2), tree.V(4, 3), tree.V(5, 3), tree.V(6, 3), tree.V(7, 3)}
+	got := sub.Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("subtree nodes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("subtree node %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	lvl := Instance{Kind: Level, Anchor: tree.V(2, 3), Size: 3}
+	wantL := []tree.Node{tree.V(2, 3), tree.V(3, 3), tree.V(4, 3)}
+	for i, n := range lvl.Nodes() {
+		if n != wantL[i] {
+			t.Errorf("level node %d = %v, want %v", i, n, wantL[i])
+		}
+	}
+
+	path := Instance{Kind: Path, Anchor: tree.V(5, 3), Size: 3}
+	wantP := []tree.Node{tree.V(5, 3), tree.V(2, 2), tree.V(1, 1)}
+	for i, n := range path.Nodes() {
+		if n != wantP[i] {
+			t.Errorf("path node %d = %v, want %v", i, n, wantP[i])
+		}
+	}
+}
+
+func TestWalkMatchesNodes(t *testing.T) {
+	instances := []Instance{
+		{Kind: Subtree, Anchor: tree.V(3, 2), Size: 15},
+		{Kind: Level, Anchor: tree.V(5, 4), Size: 7},
+		{Kind: Path, Anchor: tree.V(13, 5), Size: 6},
+	}
+	for _, in := range instances {
+		var walked []tree.Node
+		in.Walk(func(n tree.Node) bool {
+			walked = append(walked, n)
+			return true
+		})
+		nodes := in.Nodes()
+		if len(walked) != len(nodes) {
+			t.Fatalf("%v: walk %d nodes, Nodes %d", in, len(walked), len(nodes))
+		}
+		for i := range nodes {
+			if walked[i] != nodes[i] {
+				t.Errorf("%v node %d: walk %v vs %v", in, i, walked[i], nodes[i])
+			}
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	for _, in := range []Instance{
+		{Kind: Subtree, Anchor: tree.V(0, 0), Size: 15},
+		{Kind: Level, Anchor: tree.V(0, 4), Size: 8},
+		{Kind: Path, Anchor: tree.V(0, 7), Size: 8},
+	} {
+		count := 0
+		in.Walk(func(tree.Node) bool {
+			count++
+			return count < 3
+		})
+		if count != 3 {
+			t.Errorf("%v early stop visited %d", in, count)
+		}
+	}
+}
+
+func TestCompositeSizeAndWalk(t *testing.T) {
+	c := Composite{Parts: []Instance{
+		{Kind: Subtree, Anchor: tree.V(0, 2), Size: 7},
+		{Kind: Path, Anchor: tree.V(15, 4), Size: 3},
+	}}
+	if c.Size() != 10 {
+		t.Errorf("Size = %d", c.Size())
+	}
+	var count int64
+	c.Walk(func(tree.Node) bool {
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Errorf("walked %d nodes", count)
+	}
+	count = 0
+	c.Walk(func(tree.Node) bool {
+		count++
+		return count < 8 // stop inside second part
+	})
+	if count != 8 {
+		t.Errorf("early stop walked %d nodes", count)
+	}
+}
+
+func TestCompositeValidate(t *testing.T) {
+	tr := tree.New(6)
+	good := Composite{Parts: []Instance{
+		{Kind: Subtree, Anchor: tree.V(0, 2), Size: 7},
+		{Kind: Level, Anchor: tree.V(16, 5), Size: 4},
+		{Kind: Path, Anchor: tree.V(31, 5), Size: 4},
+	}}
+	if err := good.Validate(tr); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+	overlapping := Composite{Parts: []Instance{
+		{Kind: Subtree, Anchor: tree.V(0, 2), Size: 7},
+		{Kind: Path, Anchor: tree.V(0, 4), Size: 3}, // climbs into the subtree
+	}}
+	if err := overlapping.Validate(tr); err == nil {
+		t.Error("overlapping composite should fail validation")
+	}
+	if err := (Composite{}).Validate(tr); err == nil {
+		t.Error("empty composite should fail validation")
+	}
+	badPart := Composite{Parts: []Instance{
+		{Kind: Subtree, Anchor: tree.V(0, 4), Size: 7}, // overflows 6-level tree
+	}}
+	if err := badPart.Validate(tr); err == nil {
+		t.Error("composite with invalid part should fail")
+	}
+}
+
+func TestNewFamilyValidation(t *testing.T) {
+	tr := tree.New(5)
+	if _, err := NewFamily(tr, Subtree, 7); err != nil {
+		t.Errorf("S(7): %v", err)
+	}
+	if _, err := NewFamily(tr, Subtree, 6); err == nil {
+		t.Error("S(6) should fail")
+	}
+	if _, err := NewFamily(tr, Subtree, 63); err == nil {
+		t.Error("S(63) in 5 levels should fail")
+	}
+	if _, err := NewFamily(tr, Level, 16); err != nil {
+		t.Error("L(16) should fit")
+	}
+	if _, err := NewFamily(tr, Level, 17); err == nil {
+		t.Error("L(17) should fail")
+	}
+	if _, err := NewFamily(tr, Path, 5); err != nil {
+		t.Error("P(5) should fit")
+	}
+	if _, err := NewFamily(tr, Path, 6); err == nil {
+		t.Error("P(6) should fail")
+	}
+	if _, err := NewFamily(tr, Path, 0); err == nil {
+		t.Error("size 0 should fail")
+	}
+	if _, err := NewFamily(tr, Kind(9), 1); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+// Counting identities: the family sizes follow directly from the paper's
+// union definitions.
+func TestFamilyCounts(t *testing.T) {
+	tr := tree.New(6) // levels 0..5
+	// S(2^k-1): sum over j=0..L-k of 2^j = 2^(L-k+1) - 1.
+	for k := 1; k <= 6; k++ {
+		f, err := NewFamily(tr, Subtree, tree.SubtreeSize(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(1)<<uint(6-k+1) - 1
+		if got := f.Count(); got != want {
+			t.Errorf("S(2^%d-1) count = %d, want %d", k, got, want)
+		}
+	}
+	// P(K): sum over j=K-1..L-1 of 2^j = 2^L - 2^(K-1).
+	for K := 1; K <= 6; K++ {
+		f, err := NewFamily(tr, Path, int64(K))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(1)<<6 - int64(1)<<uint(K-1)
+		if got := f.Count(); got != want {
+			t.Errorf("P(%d) count = %d, want %d", K, got, want)
+		}
+	}
+	// L(K): sum over levels j with 2^j >= K of (2^j - K + 1).
+	for K := int64(1); K <= 32; K *= 2 {
+		f, err := NewFamily(tr, Level, K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for j := 0; j < 6; j++ {
+			w := int64(1) << uint(j)
+			if w >= K {
+				want += w - K + 1
+			}
+		}
+		if got := f.Count(); got != want {
+			t.Errorf("L(%d) count = %d, want %d", K, got, want)
+		}
+	}
+}
+
+func TestFamilyInstancesValid(t *testing.T) {
+	tr := tree.New(5)
+	for _, kind := range []Kind{Subtree, Level, Path} {
+		size := int64(3)
+		if kind == Level {
+			size = 5
+		}
+		f, err := NewFamily(tr, kind, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WalkInstances(func(in Instance) bool {
+			if err := in.Validate(tr); err != nil {
+				t.Errorf("family produced invalid instance %v: %v", in, err)
+			}
+			return true
+		})
+	}
+}
+
+func TestFamilyWalkEarlyStop(t *testing.T) {
+	tr := tree.New(6)
+	for _, kind := range []Kind{Subtree, Level, Path} {
+		f, err := NewFamily(tr, kind, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		f.WalkInstances(func(Instance) bool {
+			count++
+			return count < 4
+		})
+		if count != 4 {
+			t.Errorf("%v early stop visited %d", kind, count)
+		}
+	}
+}
+
+func TestRandomCompositeValid(t *testing.T) {
+	tr := tree.New(10)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		size := int64(5 + rng.Intn(60))
+		parts := 1 + rng.Intn(5)
+		if int64(parts) > size {
+			parts = int(size)
+		}
+		comp, err := RandomComposite(rng, tr, size, parts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if comp.Size() != size {
+			t.Fatalf("trial %d: size %d, want %d", trial, comp.Size(), size)
+		}
+		if len(comp.Parts) != parts {
+			t.Fatalf("trial %d: %d parts, want %d", trial, len(comp.Parts), parts)
+		}
+		if err := comp.Validate(tr); err != nil {
+			t.Fatalf("trial %d: invalid composite: %v", trial, err)
+		}
+	}
+}
+
+func TestRandomCompositeRejectsImpossible(t *testing.T) {
+	tr := tree.New(3)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomComposite(rng, tr, 3, 5); err == nil {
+		t.Error("size < parts should fail")
+	}
+	if _, err := RandomComposite(rng, tr, 0, 1); err == nil {
+		t.Error("size 0 should fail")
+	}
+}
+
+func TestRandomCompositeDeterministic(t *testing.T) {
+	tr := tree.New(8)
+	a, err := RandomComposite(rand.New(rand.NewSource(7)), tr, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomComposite(rand.New(rand.NewSource(7)), tr, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Parts) != len(b.Parts) {
+		t.Fatal("nondeterministic part count")
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			t.Errorf("part %d differs: %v vs %v", i, a.Parts[i], b.Parts[i])
+		}
+	}
+}
+
+func TestSplitSizesProperty(t *testing.T) {
+	f := func(seed int64, totalRaw uint16, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		total := int64(totalRaw%500) + int64(n)
+		sizes := splitSizes(rand.New(rand.NewSource(seed)), total, n)
+		var sum int64
+		for _, s := range sizes {
+			if s < 1 {
+				return false
+			}
+			sum += s
+		}
+		return sum == total && len(sizes) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTPInstanceNodes(t *testing.T) {
+	tr := tree.New(6)
+	tp := TPInstance{Root: tree.V(2, 2), SubtreeLevels: 2}
+	nodes := tp.Nodes(tr)
+	// Path: v(0,0), v(1,1); subtree: v(2,2), v(4,3), v(5,3).
+	want := []tree.Node{tree.V(0, 0), tree.V(1, 1), tree.V(2, 2), tree.V(4, 3), tree.V(5, 3)}
+	if len(nodes) != len(want) {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("node %d = %v, want %v", i, nodes[i], want[i])
+		}
+	}
+}
+
+func TestTPInstanceTruncation(t *testing.T) {
+	tr := tree.New(4)
+	tp := TPInstance{Root: tree.V(0, 3), SubtreeLevels: 3}
+	nodes := tp.Nodes(tr)
+	// Path of 3 strict ancestors + truncated subtree of just the anchor.
+	if len(nodes) != 4 {
+		t.Fatalf("truncated TP has %d nodes, want 4", len(nodes))
+	}
+}
+
+// Theorem 2 counting: every TP_K(i, N-k) in an N-level tree has exactly
+// N + K - k nodes.
+func TestTPSizeMatchesTheorem2(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		for N := 2 * k; N <= 10; N++ {
+			tr := tree.New(N)
+			anchor := N - k
+			fam, err := TPFamily(tr, k, anchor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			K := tree.SubtreeSize(k)
+			for _, tp := range fam {
+				nodes := tp.Nodes(tr)
+				want := int64(N) + K - int64(k)
+				if int64(len(nodes)) != want {
+					t.Fatalf("N=%d k=%d TP at %v: %d nodes, want %d", N, k, tp.Root, len(nodes), want)
+				}
+			}
+		}
+	}
+}
+
+func TestTPFamilyErrors(t *testing.T) {
+	tr := tree.New(4)
+	if _, err := TPFamily(tr, 2, -1); err == nil {
+		t.Error("negative anchor level should fail")
+	}
+	if _, err := TPFamily(tr, 2, 4); err == nil {
+		t.Error("anchor level beyond tree should fail")
+	}
+	fam, err := TPFamily(tr, 2, 2)
+	if err != nil || len(fam) != 4 {
+		t.Errorf("TPFamily = %d instances, err %v", len(fam), err)
+	}
+}

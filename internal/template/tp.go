@@ -1,0 +1,56 @@
+package template
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// TPInstance is the paper's TP_K(i, j) set (Section 3.1): the nodes on the
+// path from the tree root down to v(i, j) together with the complete
+// subtree of size K rooted at v(i, j). If the subtree would overflow the
+// tree it is truncated at the leaf level, matching the paper's remark that
+// for j > N-k the subtree rooted at v(i,j) has size smaller than K.
+//
+// TP sets are the backbone of the conflict-freeness proofs (Lemma 1) and of
+// the lower bound (Theorem 2): every TP_K(i, N-k) has exactly N+K-k nodes,
+// so any mapping conflict-free on all of them needs at least N+K-k colors.
+type TPInstance struct {
+	Root          tree.Node // the anchor v(i, j)
+	SubtreeLevels int       // k, where K = 2^k - 1
+}
+
+// Nodes materializes the TP set within t: the root-to-anchor path followed
+// by the (possibly truncated) subtree in level order. The anchor appears
+// once (as part of the subtree walk, not duplicated by the path).
+func (tp TPInstance) Nodes(t tree.Tree) []tree.Node {
+	if !t.Contains(tp.Root) {
+		panic(fmt.Sprintf("template: TP anchor %v outside tree", tp.Root))
+	}
+	var nodes []tree.Node
+	// Strict ancestors, top-down.
+	for lvl := 0; lvl < tp.Root.Level; lvl++ {
+		nodes = append(nodes, tp.Root.Ancestor(tp.Root.Level-lvl))
+	}
+	levels := tp.SubtreeLevels
+	if avail := t.SubtreeLevels(tp.Root); levels > avail {
+		levels = avail
+	}
+	nodes = append(nodes, tree.SubtreeNodes(tp.Root, levels)...)
+	return nodes
+}
+
+// TPFamily enumerates the paper's TP(K, j) family over t: the sets
+// TP_K(i, j-1) for 0 ≤ i < 2^(j-1). WalkTP calls fn for each anchor level
+// anchorLevel = j-1 instance.
+func TPFamily(t tree.Tree, subtreeLevels, anchorLevel int) ([]TPInstance, error) {
+	if anchorLevel < 0 || anchorLevel >= t.Levels() {
+		return nil, fmt.Errorf("template: TP anchor level %d out of range", anchorLevel)
+	}
+	width := t.LevelWidth(anchorLevel)
+	fam := make([]TPInstance, 0, width)
+	for i := int64(0); i < width; i++ {
+		fam = append(fam, TPInstance{Root: tree.V(i, anchorLevel), SubtreeLevels: subtreeLevels})
+	}
+	return fam, nil
+}

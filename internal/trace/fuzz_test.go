@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad must never panic and must round-trip anything it accepts.
+func FuzzLoad(f *testing.F) {
+	var good bytes.Buffer
+	if err := sampleTrace().Save(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.String())
+	f.Add("")
+	f.Add("# pmstrace v1 levels=4\nB 0 1 2\n")
+	f.Add("# pmstrace v1 levels=99\nB 0\n")
+	f.Add("# pmstrace v1 levels=4\nB 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Load(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatalf("cannot re-save accepted trace: %v", err)
+		}
+		tr2, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("cannot re-load saved trace: %v", err)
+		}
+		if len(tr2.Batches) != len(tr.Batches) || tr2.Levels != tr.Levels {
+			t.Fatal("round trip changed the trace shape")
+		}
+	})
+}

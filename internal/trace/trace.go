@@ -1,0 +1,143 @@
+// Package trace records and replays parallel-memory access traces: a
+// sequence of batches, each a set of tree nodes accessed in one parallel
+// request. Traces decouple workload generation from mapping evaluation —
+// capture a workload once (e.g. from the heap or dictionary simulators)
+// and replay the identical traffic under different mappings.
+//
+// The format is line-oriented text:
+//
+//	# pmstrace v1 levels=14
+//	B 0 1 3 7
+//	B 2 5 11
+//
+// where the numbers are heap (BFS) indices of the accessed nodes.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/coloring"
+	"repro/internal/pms"
+	"repro/internal/tree"
+)
+
+// Trace is an ordered list of access batches over a tree.
+type Trace struct {
+	Levels  int
+	Batches [][]tree.Node
+}
+
+// Recorder accumulates batches into a Trace.
+type Recorder struct {
+	t Trace
+}
+
+// NewRecorder starts an empty trace over a tree with the given levels.
+func NewRecorder(levels int) *Recorder {
+	return &Recorder{t: Trace{Levels: levels}}
+}
+
+// Record appends one batch (the slice is copied).
+func (r *Recorder) Record(batch []tree.Node) {
+	cp := make([]tree.Node, len(batch))
+	copy(cp, batch)
+	r.t.Batches = append(r.t.Batches, cp)
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() Trace { return r.t }
+
+// Save writes the trace in the text format.
+func (t Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# pmstrace v1 levels=%d\n", t.Levels); err != nil {
+		return err
+	}
+	for _, batch := range t.Batches {
+		bw.WriteString("B")
+		for _, n := range batch {
+			fmt.Fprintf(bw, " %d", n.HeapIndex())
+		}
+		bw.WriteString("\n")
+	}
+	return bw.Flush()
+}
+
+// Load parses a trace, validating every node against the declared tree.
+func Load(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return Trace{}, fmt.Errorf("trace: empty input")
+	}
+	header := sc.Text()
+	var levels int
+	if _, err := fmt.Sscanf(header, "# pmstrace v1 levels=%d", &levels); err != nil {
+		return Trace{}, fmt.Errorf("trace: bad header %q", header)
+	}
+	if levels < 1 || levels > 62 {
+		return Trace{}, fmt.Errorf("trace: levels %d out of range", levels)
+	}
+	t := Trace{Levels: levels}
+	maxHeap := tree.New(levels).Nodes()
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "B" {
+			return Trace{}, fmt.Errorf("trace: line %d: expected batch marker, got %q", lineNo, fields[0])
+		}
+		batch := make([]tree.Node, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			h, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return Trace{}, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			if h < 0 || h >= maxHeap {
+				return Trace{}, fmt.Errorf("trace: line %d: heap index %d outside tree", lineNo, h)
+			}
+			batch = append(batch, tree.FromHeapIndex(h))
+		}
+		t.Batches = append(t.Batches, batch)
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, err
+	}
+	return t, nil
+}
+
+// ReplayResult summarizes one replay.
+type ReplayResult struct {
+	Batches int
+	Items   int64
+	Cycles  int64
+	Stats   pms.Stats
+}
+
+// Replay runs the trace through a fresh memory system bound to the
+// mapping, draining after every batch (synchronous replay), and returns
+// the total cost. The mapping's tree must have at least the trace's
+// levels.
+func Replay(m coloring.Mapping, t Trace) (ReplayResult, error) {
+	if m.Tree().Levels() < t.Levels {
+		return ReplayResult{}, fmt.Errorf("trace: mapping covers %d levels, trace needs %d", m.Tree().Levels(), t.Levels)
+	}
+	sys := pms.NewSystem(m)
+	var res ReplayResult
+	for _, batch := range t.Batches {
+		sys.Submit(batch)
+		res.Cycles += sys.Drain()
+		res.Batches++
+		res.Items += int64(len(batch))
+	}
+	res.Stats = sys.Stats()
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/colormap"
+	"repro/internal/tree"
+)
+
+func sampleTrace() Trace {
+	r := NewRecorder(6)
+	r.Record([]tree.Node{tree.V(0, 0), tree.V(1, 1)})
+	r.Record([]tree.Node{tree.V(3, 3), tree.V(4, 3), tree.V(5, 3)})
+	r.Record(nil)
+	return r.Trace()
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Levels != orig.Levels || len(loaded.Batches) != len(orig.Batches) {
+		t.Fatalf("shape mismatch: %+v", loaded)
+	}
+	for b := range orig.Batches {
+		if len(loaded.Batches[b]) != len(orig.Batches[b]) {
+			t.Fatalf("batch %d length mismatch", b)
+		}
+		for i := range orig.Batches[b] {
+			if loaded.Batches[b][i] != orig.Batches[b][i] {
+				t.Errorf("batch %d node %d: %v vs %v", b, i, loaded.Batches[b][i], orig.Batches[b][i])
+			}
+		}
+	}
+}
+
+func TestRecorderCopiesBatch(t *testing.T) {
+	r := NewRecorder(4)
+	batch := []tree.Node{tree.V(0, 0)}
+	r.Record(batch)
+	batch[0] = tree.V(1, 1)
+	if r.Trace().Batches[0][0] != tree.V(0, 0) {
+		t.Error("Record must copy the batch")
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "hello\n",
+		"bad levels":     "# pmstrace v1 levels=0\n",
+		"bad marker":     "# pmstrace v1 levels=4\nX 1 2\n",
+		"bad number":     "# pmstrace v1 levels=4\nB zzz\n",
+		"node too large": "# pmstrace v1 levels=4\nB 15\n",
+		"negative":       "# pmstrace v1 levels=4\nB -1\n",
+	}
+	for name, input := range cases {
+		if _, err := Load(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# pmstrace v1 levels=4\n\n# a comment\nB 0 1\n"
+	tr, err := Load(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Batches) != 1 || len(tr.Batches[0]) != 2 {
+		t.Fatalf("parsed %+v", tr)
+	}
+}
+
+func TestReplayAcrossMappings(t *testing.T) {
+	orig := sampleTrace()
+	p, err := colormap.Canonical(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := colormap.Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(arr, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 3 || res.Items != 5 {
+		t.Fatalf("replay shape %+v", res)
+	}
+	if res.Cycles < 2 { // at least one cycle per non-empty batch
+		t.Errorf("cycles %d", res.Cycles)
+	}
+	// Replay is deterministic.
+	res2, err := Replay(arr, orig)
+	if err != nil || res2.Cycles != res.Cycles {
+		t.Errorf("nondeterministic replay: %d vs %d (%v)", res.Cycles, res2.Cycles, err)
+	}
+	// A different mapping may cost differently but must serve everything.
+	mod := baseline.Modulo(tree.New(8), 7)
+	res3, err := Replay(mod, orig)
+	if err != nil || res3.Stats.Served != res.Stats.Served {
+		t.Errorf("served mismatch: %d vs %d (%v)", res3.Stats.Served, res.Stats.Served, err)
+	}
+}
+
+func TestReplayTreeTooSmall(t *testing.T) {
+	orig := sampleTrace() // levels 6
+	mod := baseline.Modulo(tree.New(4), 3)
+	if _, err := Replay(mod, orig); err == nil {
+		t.Error("expected error for undersized mapping")
+	}
+}

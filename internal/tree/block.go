@@ -1,0 +1,68 @@
+package tree
+
+import "fmt"
+
+// Block identifies the paper's block(h, j): the h-th run of Width
+// consecutive nodes at level j. Both BASIC-COLOR (width 2^(k-1)) and
+// MICRO-LABEL (width 2^(l-1)) partition levels into such blocks; the block
+// width is always a power of two, so the nodes of block(h, j) are exactly
+// the leaves of the subtree of k levels rooted at v(h, j-k+1).
+type Block struct {
+	H     int64 // block index within the level
+	Level int   // tree level the block lives in
+	Width int64 // number of nodes per block; a power of two
+}
+
+// BlockOf returns the block of the given width that contains node n.
+func BlockOf(n Node, width int64) Block {
+	if width < 1 || width&(width-1) != 0 {
+		panic(fmt.Sprintf("tree: block width %d is not a positive power of two", width))
+	}
+	return Block{H: n.Index / width, Level: n.Level, Width: width}
+}
+
+// First returns the first node of the block.
+func (b Block) First() Node { return Node{Index: b.H * b.Width, Level: b.Level} }
+
+// Node returns the p-th node of the block, 0 ≤ p < Width.
+func (b Block) Node(p int64) Node {
+	if p < 0 || p >= b.Width {
+		panic(fmt.Sprintf("tree: block position %d out of range [0,%d)", p, b.Width))
+	}
+	return Node{Index: b.H*b.Width + p, Level: b.Level}
+}
+
+// Last returns the final node of the block (the node BASIC-COLOR colors
+// from the Γ list).
+func (b Block) Last() Node { return b.Node(b.Width - 1) }
+
+// PosOf returns the position of n within the block, panicking if n is not
+// a member.
+func (b Block) PosOf(n Node) int64 {
+	if n.Level != b.Level || n.Index/b.Width != b.H {
+		panic(fmt.Sprintf("tree: %v is not in block(%d,%d)", n, b.H, b.Level))
+	}
+	return n.Index % b.Width
+}
+
+// RootAncestor returns the (k-1)-st ancestor shared by every node of the
+// block, where 2^(k-1) == Width: the root of the size-(2^k - 1) subtree
+// whose leaves form this block (the paper's v_1).
+func (b Block) RootAncestor() Node {
+	k1 := FloorLog2(b.Width) // k-1
+	return b.First().Ancestor(k1)
+}
+
+// SiblingAncestor returns the sibling of RootAncestor (the paper's v_2,
+// the root of the subtree S_2 whose interior colors the block inherits).
+func (b Block) SiblingAncestor() Node { return b.RootAncestor().Sibling() }
+
+// BlocksInLevel returns how many width-sized blocks partition the given
+// level of a complete binary tree.
+func BlocksInLevel(level int, width int64) int64 {
+	levelWidth := int64(1) << uint(level)
+	if width > levelWidth {
+		panic(fmt.Sprintf("tree: block width %d exceeds level %d width %d", width, level, levelWidth))
+	}
+	return levelWidth / width
+}

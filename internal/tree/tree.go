@@ -1,0 +1,280 @@
+// Package tree provides the complete-binary-tree node algebra that every
+// mapping algorithm in this repository is built on.
+//
+// Following the paper's conventions (Section 2.1), a node of a complete
+// binary tree is addressed by a pair (i, j): j is the level (the root is at
+// level 0) and i is the left-to-right index within that level, starting at
+// 0. The node (i, j) is written v_T(i, j) in the paper and represented here
+// by the Node type.
+//
+// A tree "of height H" in the paper's usage has H levels numbered 0..H-1
+// and therefore 2^H - 1 nodes; a leaf-to-root path has H nodes. To avoid
+// ambiguity this package always speaks of Levels rather than height.
+package tree
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Node identifies a node of a complete binary tree by its level (root = 0)
+// and its left-to-right index within the level.
+type Node struct {
+	Index int64 // left-to-right position within the level, 0-based
+	Level int   // distance from the root
+}
+
+// V is shorthand for constructing a Node, mirroring the paper's v(i, j).
+func V(index int64, level int) Node { return Node{Index: index, Level: level} }
+
+// String renders the node in the paper's v(i,j) notation.
+func (n Node) String() string { return fmt.Sprintf("v(%d,%d)", n.Index, n.Level) }
+
+// Valid reports whether the node coordinates denote a real tree node:
+// a non-negative level and an index within 0..2^level-1.
+func (n Node) Valid() bool {
+	if n.Level < 0 || n.Level >= 63 {
+		return false
+	}
+	return n.Index >= 0 && n.Index < int64(1)<<uint(n.Level)
+}
+
+// HeapIndex returns the position of the node in BFS (level) order, with the
+// root at 0. Level j starts at heap index 2^j - 1.
+func (n Node) HeapIndex() int64 {
+	return (int64(1) << uint(n.Level)) - 1 + n.Index
+}
+
+// FromHeapIndex is the inverse of HeapIndex.
+func FromHeapIndex(h int64) Node {
+	if h < 0 {
+		panic("tree: negative heap index")
+	}
+	level := bits.Len64(uint64(h+1)) - 1
+	return Node{Index: h + 1 - (int64(1) << uint(level)), Level: level}
+}
+
+// Parent returns the parent of n. The root is its own parent's caller error:
+// calling Parent on the root panics, since the result would not be a node.
+func (n Node) Parent() Node {
+	if n.Level == 0 {
+		panic("tree: Parent of root")
+	}
+	return Node{Index: n.Index >> 1, Level: n.Level - 1}
+}
+
+// Ancestor returns the k-th ancestor of n (Ancestor(0) == n). It mirrors the
+// paper's ANC_T(i, j, k) = v(⌊i/2^k⌋, j-k). k must not exceed n.Level.
+func (n Node) Ancestor(k int) Node {
+	if k < 0 || k > n.Level {
+		panic(fmt.Sprintf("tree: Ancestor(%d) of %v out of range", k, n))
+	}
+	return Node{Index: n.Index >> uint(k), Level: n.Level - k}
+}
+
+// Child returns the left (b=0) or right (b=1) child of n.
+func (n Node) Child(b int) Node {
+	if b != 0 && b != 1 {
+		panic("tree: Child argument must be 0 or 1")
+	}
+	return Node{Index: n.Index<<1 | int64(b), Level: n.Level + 1}
+}
+
+// Sibling returns the other child of n's parent. Calling Sibling on the
+// root panics.
+func (n Node) Sibling() Node {
+	if n.Level == 0 {
+		panic("tree: Sibling of root")
+	}
+	return Node{Index: n.Index ^ 1, Level: n.Level}
+}
+
+// IsAncestorOf reports whether n is a (strict or equal) ancestor of d.
+func (n Node) IsAncestorOf(d Node) bool {
+	if d.Level < n.Level {
+		return false
+	}
+	return d.Index>>uint(d.Level-n.Level) == n.Index
+}
+
+// DescendantsAt returns the first index and the count of n's descendants
+// located depth levels below n. The descendants are the contiguous index
+// range [first, first+count) at level n.Level+depth.
+func (n Node) DescendantsAt(depth int) (first, count int64) {
+	if depth < 0 {
+		panic("tree: negative depth")
+	}
+	return n.Index << uint(depth), int64(1) << uint(depth)
+}
+
+// Tree describes a complete binary tree with Levels levels (0..Levels-1).
+// The zero value is not useful; construct with New.
+type Tree struct {
+	levels int
+}
+
+// New returns a complete binary tree with the given number of levels.
+// levels must be in 1..62 so that node counts fit in int64.
+func New(levels int) Tree {
+	if levels < 1 || levels > 62 {
+		panic(fmt.Sprintf("tree: levels %d out of range [1,62]", levels))
+	}
+	return Tree{levels: levels}
+}
+
+// Levels returns the number of levels (the paper's "height").
+func (t Tree) Levels() int { return t.levels }
+
+// Nodes returns the total number of nodes, 2^Levels - 1.
+func (t Tree) Nodes() int64 { return (int64(1) << uint(t.levels)) - 1 }
+
+// LevelWidth returns the number of nodes at the given level.
+func (t Tree) LevelWidth(level int) int64 {
+	if level < 0 || level >= t.levels {
+		panic(fmt.Sprintf("tree: level %d out of range [0,%d)", level, t.levels))
+	}
+	return int64(1) << uint(level)
+}
+
+// Contains reports whether the node belongs to this tree.
+func (t Tree) Contains(n Node) bool { return n.Valid() && n.Level < t.levels }
+
+// Root returns the root node v(0,0).
+func (t Tree) Root() Node { return Node{} }
+
+// LeafLevel returns the index of the deepest level.
+func (t Tree) LeafLevel() int { return t.levels - 1 }
+
+// SubtreeLevels returns the number of complete levels of the subtree rooted
+// at n that fit inside t.
+func (t Tree) SubtreeLevels(n Node) int {
+	if !t.Contains(n) {
+		panic(fmt.Sprintf("tree: %v outside tree with %d levels", n, t.levels))
+	}
+	return t.levels - n.Level
+}
+
+// SubtreeSize returns the number of nodes of the complete subtree of the
+// given number of levels: 2^levels - 1 (the paper's K = 2^k - 1).
+func SubtreeSize(levels int) int64 {
+	if levels < 0 || levels > 62 {
+		panic("tree: subtree levels out of range")
+	}
+	return (int64(1) << uint(levels)) - 1
+}
+
+// SubtreeLevelsForSize returns k such that 2^k - 1 == size, or an error if
+// size is not of that form.
+func SubtreeLevelsForSize(size int64) (int, error) {
+	if size < 1 {
+		return 0, fmt.Errorf("tree: subtree size %d must be positive", size)
+	}
+	k := bits.Len64(uint64(size))
+	if (int64(1)<<uint(k))-1 != size {
+		return 0, fmt.Errorf("tree: subtree size %d is not of the form 2^k-1", size)
+	}
+	return k, nil
+}
+
+// CeilLog2 returns ⌈log2 x⌉ for x ≥ 1.
+func CeilLog2(x int64) int {
+	if x < 1 {
+		panic("tree: CeilLog2 of non-positive value")
+	}
+	if x == 1 {
+		return 0
+	}
+	return bits.Len64(uint64(x - 1))
+}
+
+// FloorLog2 returns ⌊log2 x⌋ for x ≥ 1.
+func FloorLog2(x int64) int {
+	if x < 1 {
+		panic("tree: FloorLog2 of non-positive value")
+	}
+	return bits.Len64(uint64(x)) - 1
+}
+
+// Pow2 returns 2^e as int64. e must be in [0, 62].
+func Pow2(e int) int64 {
+	if e < 0 || e > 62 {
+		panic(fmt.Sprintf("tree: Pow2(%d) out of range", e))
+	}
+	return int64(1) << uint(e)
+}
+
+// WalkLevelOrder calls fn for every node of the subtree with the given
+// number of levels rooted at root, in level-by-level left-to-right order
+// (the order used by the paper's "(i+1)-st node of S_2" rule). Iteration
+// stops early if fn returns false.
+func WalkLevelOrder(root Node, levels int, fn func(Node) bool) {
+	for d := 0; d < levels; d++ {
+		first, count := root.DescendantsAt(d)
+		for q := int64(0); q < count; q++ {
+			if !fn(Node{Index: first + q, Level: root.Level + d}) {
+				return
+			}
+		}
+	}
+}
+
+// LevelOrderNode returns the pos-th node (0-based) of the subtree rooted at
+// root in level-by-level left-to-right order. pos 0 is the root itself.
+func LevelOrderNode(root Node, pos int64) Node {
+	if pos < 0 {
+		panic("tree: negative level-order position")
+	}
+	d := FloorLog2(pos + 1)
+	offset := pos + 1 - Pow2(d)
+	return Node{Index: root.Index<<uint(d) + offset, Level: root.Level + d}
+}
+
+// LevelOrderPos is the inverse of LevelOrderNode: the 0-based level-order
+// position of n within the subtree rooted at root. n must be a descendant
+// of root.
+func LevelOrderPos(root, n Node) int64 {
+	if !root.IsAncestorOf(n) {
+		panic(fmt.Sprintf("tree: %v is not a descendant of %v", n, root))
+	}
+	d := n.Level - root.Level
+	offset := n.Index - root.Index<<uint(d)
+	return Pow2(d) - 1 + offset
+}
+
+// PathNodes returns the nodes of the ascending path of size k starting at n
+// (the paper's P_K(i,j)): n, parent(n), ..., the (k-1)-st ancestor of n.
+// The slice is ordered bottom-up (n first).
+func PathNodes(n Node, k int) []Node {
+	if k < 1 || k-1 > n.Level {
+		panic(fmt.Sprintf("tree: path of size %d from %v out of range", k, n))
+	}
+	path := make([]Node, k)
+	for step := 0; step < k; step++ {
+		path[step] = n.Ancestor(step)
+	}
+	return path
+}
+
+// LevelRun returns the paper's L_K(i,j): the K consecutive nodes
+// v(i+h, j) for 0 ≤ h < K.
+func LevelRun(start Node, k int64) []Node {
+	if k < 1 {
+		panic("tree: level run must have positive size")
+	}
+	run := make([]Node, k)
+	for h := int64(0); h < k; h++ {
+		run[h] = Node{Index: start.Index + h, Level: start.Level}
+	}
+	return run
+}
+
+// SubtreeNodes returns the nodes of the complete subtree with the given
+// number of levels rooted at root, in level order.
+func SubtreeNodes(root Node, levels int) []Node {
+	nodes := make([]Node, 0, SubtreeSize(levels))
+	WalkLevelOrder(root, levels, func(n Node) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	return nodes
+}

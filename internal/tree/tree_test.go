@@ -1,0 +1,470 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeValid(t *testing.T) {
+	cases := []struct {
+		n    Node
+		want bool
+	}{
+		{V(0, 0), true},
+		{V(1, 0), false},
+		{V(-1, 0), false},
+		{V(0, -1), false},
+		{V(3, 2), true},
+		{V(4, 2), false},
+		{V(0, 62), true},
+		{V(0, 63), false},
+	}
+	for _, c := range cases {
+		if got := c.n.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHeapIndexRoundTrip(t *testing.T) {
+	for h := int64(0); h < 1<<12; h++ {
+		n := FromHeapIndex(h)
+		if !n.Valid() {
+			t.Fatalf("FromHeapIndex(%d) = %v invalid", h, n)
+		}
+		if got := n.HeapIndex(); got != h {
+			t.Fatalf("HeapIndex(FromHeapIndex(%d)) = %d", h, got)
+		}
+	}
+}
+
+func TestHeapIndexLevelBoundaries(t *testing.T) {
+	for j := 0; j < 20; j++ {
+		first := V(0, j)
+		if got, want := first.HeapIndex(), int64(1)<<uint(j)-1; got != want {
+			t.Errorf("level %d first heap index = %d, want %d", j, got, want)
+		}
+		last := V(int64(1)<<uint(j)-1, j)
+		if got, want := last.HeapIndex(), int64(1)<<uint(j+1)-2; got != want {
+			t.Errorf("level %d last heap index = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func TestFromHeapIndexNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromHeapIndex(-1)
+}
+
+func TestParentChildInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		level := rng.Intn(40)
+		n := V(rng.Int63n(int64(1)<<uint(level)), level)
+		for b := 0; b < 2; b++ {
+			if got := n.Child(b).Parent(); got != n {
+				t.Fatalf("Child(%d).Parent() = %v, want %v", b, got, n)
+			}
+		}
+	}
+}
+
+func TestParentOfRootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	V(0, 0).Parent()
+}
+
+func TestAncestorMatchesIteratedParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		level := 1 + rng.Intn(30)
+		n := V(rng.Int63n(int64(1)<<uint(level)), level)
+		k := rng.Intn(level + 1)
+		want := n
+		for s := 0; s < k; s++ {
+			want = want.Parent()
+		}
+		if got := n.Ancestor(k); got != want {
+			t.Fatalf("Ancestor(%d) of %v = %v, want %v", k, n, got, want)
+		}
+	}
+}
+
+func TestAncestorOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	V(0, 2).Ancestor(3)
+}
+
+func TestSibling(t *testing.T) {
+	if got := V(4, 3).Sibling(); got != V(5, 3) {
+		t.Errorf("Sibling(v(4,3)) = %v", got)
+	}
+	if got := V(5, 3).Sibling(); got != V(4, 3) {
+		t.Errorf("Sibling(v(5,3)) = %v", got)
+	}
+	if got := V(4, 3).Sibling().Sibling(); got != V(4, 3) {
+		t.Errorf("double sibling = %v", got)
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	root := V(0, 0)
+	n := V(13, 5)
+	if !root.IsAncestorOf(n) {
+		t.Error("root should be ancestor of every node")
+	}
+	if !n.IsAncestorOf(n) {
+		t.Error("node should be ancestor of itself")
+	}
+	if n.IsAncestorOf(root) {
+		t.Error("descendant is not ancestor")
+	}
+	if !V(1, 2).IsAncestorOf(V(13, 5)) {
+		t.Error("v(1,2) is an ancestor of v(13,5)")
+	}
+	if V(3, 2).IsAncestorOf(V(13, 5)) {
+		t.Error("v(3,2) is not an ancestor of v(13,5)")
+	}
+}
+
+func TestIsAncestorOfAgreesWithAncestor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		level := 1 + rng.Intn(20)
+		n := V(rng.Int63n(int64(1)<<uint(level)), level)
+		k := rng.Intn(level + 1)
+		a := n.Ancestor(k)
+		if !a.IsAncestorOf(n) {
+			t.Fatalf("%v.IsAncestorOf(%v) = false", a, n)
+		}
+		// A different node at the same level as a is not an ancestor.
+		other := Node{Index: a.Index ^ 1, Level: a.Level}
+		if a.Level > 0 && other.IsAncestorOf(n) {
+			t.Fatalf("%v.IsAncestorOf(%v) = true", other, n)
+		}
+	}
+}
+
+func TestDescendantsAt(t *testing.T) {
+	first, count := V(3, 2).DescendantsAt(3)
+	if first != 24 || count != 8 {
+		t.Errorf("DescendantsAt = (%d,%d), want (24,8)", first, count)
+	}
+	first, count = V(3, 2).DescendantsAt(0)
+	if first != 3 || count != 1 {
+		t.Errorf("DescendantsAt(0) = (%d,%d), want (3,1)", first, count)
+	}
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr := New(5)
+	if tr.Levels() != 5 {
+		t.Errorf("Levels = %d", tr.Levels())
+	}
+	if tr.Nodes() != 31 {
+		t.Errorf("Nodes = %d", tr.Nodes())
+	}
+	if tr.LeafLevel() != 4 {
+		t.Errorf("LeafLevel = %d", tr.LeafLevel())
+	}
+	if tr.LevelWidth(3) != 8 {
+		t.Errorf("LevelWidth(3) = %d", tr.LevelWidth(3))
+	}
+	if !tr.Contains(V(15, 4)) {
+		t.Error("should contain v(15,4)")
+	}
+	if tr.Contains(V(0, 5)) {
+		t.Error("should not contain v(0,5)")
+	}
+	if tr.SubtreeLevels(V(3, 2)) != 3 {
+		t.Errorf("SubtreeLevels = %d", tr.SubtreeLevels(V(3, 2)))
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, levels := range []int{0, -1, 63} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", levels)
+				}
+			}()
+			New(levels)
+		}()
+	}
+}
+
+func TestSubtreeSizeAndInverse(t *testing.T) {
+	for k := 1; k <= 30; k++ {
+		size := SubtreeSize(k)
+		if size != int64(1)<<uint(k)-1 {
+			t.Fatalf("SubtreeSize(%d) = %d", k, size)
+		}
+		got, err := SubtreeLevelsForSize(size)
+		if err != nil || got != k {
+			t.Fatalf("SubtreeLevelsForSize(%d) = %d, %v", size, got, err)
+		}
+	}
+	for _, bad := range []int64{0, -1, 2, 4, 6, 100} {
+		if _, err := SubtreeLevelsForSize(bad); err == nil {
+			t.Errorf("SubtreeLevelsForSize(%d) should fail", bad)
+		}
+	}
+}
+
+func TestLogHelpers(t *testing.T) {
+	cases := []struct {
+		x           int64
+		ceil, floor int
+	}{
+		{1, 0, 0}, {2, 1, 1}, {3, 2, 1}, {4, 2, 2}, {5, 3, 2},
+		{7, 3, 2}, {8, 3, 3}, {9, 4, 3}, {1 << 20, 20, 20}, {(1 << 20) + 1, 21, 20},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.x); got != c.ceil {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.x, got, c.ceil)
+		}
+		if got := FloorLog2(c.x); got != c.floor {
+			t.Errorf("FloorLog2(%d) = %d, want %d", c.x, got, c.floor)
+		}
+	}
+}
+
+func TestPow2(t *testing.T) {
+	if Pow2(0) != 1 || Pow2(10) != 1024 || Pow2(62) != int64(1)<<62 {
+		t.Error("Pow2 wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pow2(63) should panic")
+		}
+	}()
+	Pow2(63)
+}
+
+func TestWalkLevelOrder(t *testing.T) {
+	var got []Node
+	WalkLevelOrder(V(1, 1), 3, func(n Node) bool {
+		got = append(got, n)
+		return true
+	})
+	want := []Node{V(1, 1), V(2, 2), V(3, 2), V(4, 3), V(5, 3), V(6, 3), V(7, 3)}
+	if len(got) != len(want) {
+		t.Fatalf("got %d nodes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("node %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWalkLevelOrderEarlyStop(t *testing.T) {
+	count := 0
+	WalkLevelOrder(V(0, 0), 4, func(Node) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop after %d nodes, want 5", count)
+	}
+}
+
+func TestLevelOrderNodePos(t *testing.T) {
+	root := V(2, 2)
+	nodes := SubtreeNodes(root, 4)
+	for pos, n := range nodes {
+		if got := LevelOrderNode(root, int64(pos)); got != n {
+			t.Errorf("LevelOrderNode(%d) = %v, want %v", pos, got, n)
+		}
+		if got := LevelOrderPos(root, n); got != int64(pos) {
+			t.Errorf("LevelOrderPos(%v) = %d, want %d", n, got, pos)
+		}
+	}
+}
+
+func TestLevelOrderPosNonDescendantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LevelOrderPos(V(2, 2), V(0, 3))
+}
+
+func TestPathNodes(t *testing.T) {
+	path := PathNodes(V(13, 5), 4)
+	want := []Node{V(13, 5), V(6, 4), V(3, 3), V(1, 2)}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %v, want %v", i, path[i], want[i])
+		}
+	}
+}
+
+func TestPathNodesTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PathNodes(V(0, 2), 4)
+}
+
+func TestLevelRun(t *testing.T) {
+	run := LevelRun(V(5, 4), 3)
+	want := []Node{V(5, 4), V(6, 4), V(7, 4)}
+	for i := range want {
+		if run[i] != want[i] {
+			t.Errorf("run[%d] = %v, want %v", i, run[i], want[i])
+		}
+	}
+}
+
+func TestSubtreeNodesSize(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		nodes := SubtreeNodes(V(0, 0), k)
+		if int64(len(nodes)) != SubtreeSize(k) {
+			t.Errorf("SubtreeNodes with %d levels has %d nodes", k, len(nodes))
+		}
+	}
+}
+
+// Property: heap index ordering equals (level, index) lexicographic order.
+func TestHeapIndexOrderProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint32) bool {
+		a := FromHeapIndex(int64(aRaw))
+		b := FromHeapIndex(int64(bRaw))
+		lexLess := a.Level < b.Level || (a.Level == b.Level && a.Index < b.Index)
+		return (int64(aRaw) < int64(bRaw)) == lexLess
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Ancestor composes: Ancestor(a).Ancestor(b) == Ancestor(a+b).
+func TestAncestorComposesProperty(t *testing.T) {
+	f := func(idx uint32, aRaw, bRaw uint8) bool {
+		n := FromHeapIndex(int64(idx))
+		a := int(aRaw) % (n.Level + 1)
+		b := int(bRaw) % (n.Level - a + 1)
+		return n.Ancestor(a).Ancestor(b) == n.Ancestor(a+b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LevelOrderNode/LevelOrderPos are mutually inverse for random
+// roots and positions.
+func TestLevelOrderRoundTripProperty(t *testing.T) {
+	f := func(rootRaw uint16, posRaw uint16) bool {
+		root := FromHeapIndex(int64(rootRaw))
+		pos := int64(posRaw)
+		n := LevelOrderNode(root, pos)
+		return LevelOrderPos(root, n) == pos
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	b := BlockOf(V(13, 5), 4)
+	if b.H != 3 || b.Level != 5 || b.Width != 4 {
+		t.Fatalf("BlockOf = %+v", b)
+	}
+	if b.First() != V(12, 5) {
+		t.Errorf("First = %v", b.First())
+	}
+	if b.Last() != V(15, 5) {
+		t.Errorf("Last = %v", b.Last())
+	}
+	if b.Node(1) != V(13, 5) {
+		t.Errorf("Node(1) = %v", b.Node(1))
+	}
+	if b.PosOf(V(14, 5)) != 2 {
+		t.Errorf("PosOf = %d", b.PosOf(V(14, 5)))
+	}
+}
+
+func TestBlockOfBadWidthPanics(t *testing.T) {
+	for _, w := range []int64{0, 3, -4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d should panic", w)
+				}
+			}()
+			BlockOf(V(0, 3), w)
+		}()
+	}
+}
+
+func TestBlockAncestors(t *testing.T) {
+	// Width 4 = 2^(k-1) with k=3: block(h,j) members share their 2nd
+	// ancestor v(h, j-2).
+	b := Block{H: 3, Level: 5, Width: 4}
+	if got := b.RootAncestor(); got != V(3, 3) {
+		t.Errorf("RootAncestor = %v, want v(3,3)", got)
+	}
+	if got := b.SiblingAncestor(); got != V(2, 3) {
+		t.Errorf("SiblingAncestor = %v, want v(2,3)", got)
+	}
+}
+
+func TestBlockMembersAreLeavesOfAncestorSubtree(t *testing.T) {
+	// The nodes of block(h, j) with width 2^(k-1) are exactly the leaves of
+	// the k-level subtree rooted at the block's RootAncestor.
+	for k := 2; k <= 5; k++ {
+		width := Pow2(k - 1)
+		j := k + 1
+		for h := int64(0); h < BlocksInLevel(j, width); h++ {
+			b := Block{H: h, Level: j, Width: width}
+			root := b.RootAncestor()
+			first, count := root.DescendantsAt(k - 1)
+			if first != b.First().Index || count != width {
+				t.Fatalf("k=%d block(%d,%d): leaves [%d,%d) vs block [%d,%d)",
+					k, h, j, first, first+count, b.First().Index, b.First().Index+width)
+			}
+		}
+	}
+}
+
+func TestBlocksInLevel(t *testing.T) {
+	if got := BlocksInLevel(5, 4); got != 8 {
+		t.Errorf("BlocksInLevel(5,4) = %d", got)
+	}
+	if got := BlocksInLevel(3, 8); got != 1 {
+		t.Errorf("BlocksInLevel(3,8) = %d", got)
+	}
+}
+
+func TestBlockPosOfOutsidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Block{H: 0, Level: 3, Width: 4}.PosOf(V(4, 3))
+}
+
+func TestNodeString(t *testing.T) {
+	if got := V(3, 2).String(); got != "v(3,2)" {
+		t.Errorf("String = %q", got)
+	}
+}

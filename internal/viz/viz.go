@@ -1,0 +1,91 @@
+// Package viz renders small tree colorings as ASCII art: each level on its
+// own centered line with the module number of every node, which makes the
+// block/Γ structure of the mappings visible at a glance in the terminal.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// MaxLevels is the deepest level Render will draw; deeper trees are
+// truncated with an ellipsis line.
+const MaxLevels = 7
+
+// Render draws the top min(levels, MaxLevels, tree levels) levels of the
+// mapping. Each node is printed as its module number, width-padded so the
+// leaf row of the drawn fragment aligns.
+func Render(m coloring.Mapping, levels int) string {
+	t := m.Tree()
+	if levels > t.Levels() {
+		levels = t.Levels()
+	}
+	truncated := false
+	if levels > MaxLevels {
+		levels = MaxLevels
+		truncated = true
+	}
+	if levels < 1 {
+		return ""
+	}
+	// Cell width: widest module number among drawn nodes, plus one space.
+	cell := 1
+	for j := 0; j < levels; j++ {
+		for i := int64(0); i < t.LevelWidth(j); i++ {
+			if w := len(fmt.Sprint(m.Color(tree.V(i, j)))); w > cell {
+				cell = w
+			}
+		}
+	}
+	cell++ // separator
+
+	leafWidth := int(t.LevelWidth(levels-1)) * cell
+	var b strings.Builder
+	for j := 0; j < levels; j++ {
+		width := t.LevelWidth(j)
+		span := leafWidth / int(width)
+		for i := int64(0); i < width; i++ {
+			s := fmt.Sprint(m.Color(tree.V(i, j)))
+			pad := span - len(s)
+			left := pad / 2
+			b.WriteString(strings.Repeat(" ", left))
+			b.WriteString(s)
+			b.WriteString(strings.Repeat(" ", pad-left))
+		}
+		b.WriteString("\n")
+	}
+	if truncated || t.Levels() > levels {
+		fmt.Fprintf(&b, "… (%d more levels)\n", t.Levels()-levels)
+	}
+	return b.String()
+}
+
+// LevelHistogram returns an ASCII bar chart of the per-module load of the
+// mapping, one row per module, scaled to barWidth characters.
+func LevelHistogram(m coloring.Mapping, barWidth int) string {
+	if barWidth < 1 {
+		barWidth = 40
+	}
+	t := m.Tree()
+	counts := make([]int64, m.Modules())
+	for j := 0; j < t.Levels(); j++ {
+		for i := int64(0); i < t.LevelWidth(j); i++ {
+			counts[m.Color(tree.V(i, j))]++
+		}
+	}
+	max := int64(1)
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for mod, c := range counts {
+		bar := int(c * int64(barWidth) / max)
+		fmt.Fprintf(&b, "module %3d %8d %s\n", mod, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

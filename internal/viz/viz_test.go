@@ -1,0 +1,90 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+func modMap(levels, m int) coloring.Mapping {
+	return coloring.FuncMapping{
+		T: tree.New(levels), M: m, AlgName: "mod",
+		Fn: func(n tree.Node) int { return int(n.HeapIndex() % int64(m)) },
+	}
+}
+
+func TestRenderSmallTree(t *testing.T) {
+	out := Render(modMap(3, 7), 3)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Root line contains "0"; leaf line contains 3..6.
+	if !strings.Contains(lines[0], "0") {
+		t.Errorf("root line %q", lines[0])
+	}
+	for _, want := range []string{"3", "4", "5", "6"} {
+		if !strings.Contains(lines[2], want) {
+			t.Errorf("leaf line %q missing %s", lines[2], want)
+		}
+	}
+	// All lines same width (alignment).
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[0]) {
+			t.Errorf("line %d width %d != %d", i, len(lines[i]), len(lines[0]))
+		}
+	}
+}
+
+func TestRenderTruncates(t *testing.T) {
+	out := Render(modMap(12, 5), 12)
+	if !strings.Contains(out, "more levels") {
+		t.Error("deep tree should be truncated with a note")
+	}
+	rows := strings.Count(out, "\n")
+	if rows != MaxLevels+1 {
+		t.Errorf("drew %d rows, want %d + note", rows-1, MaxLevels)
+	}
+}
+
+func TestRenderClampsRequestedLevels(t *testing.T) {
+	out := Render(modMap(2, 3), 10)
+	// Tree has only 2 levels; no truncation note since we drew them all.
+	if strings.Contains(out, "more levels") {
+		t.Errorf("unexpected truncation note:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRenderZeroLevels(t *testing.T) {
+	if out := Render(modMap(3, 3), 0); out != "" {
+		t.Errorf("Render(0) = %q", out)
+	}
+}
+
+func TestLevelHistogram(t *testing.T) {
+	out := LevelHistogram(modMap(6, 7), 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// The widest bar must be exactly 20 characters.
+	max := 0
+	for _, l := range lines {
+		if n := strings.Count(l, "#"); n > max {
+			max = n
+		}
+	}
+	if max != 20 {
+		t.Errorf("max bar %d, want 20", max)
+	}
+	// Default width path.
+	out = LevelHistogram(modMap(4, 3), 0)
+	if !strings.Contains(out, "#") {
+		t.Error("default-width histogram empty")
+	}
+}
