@@ -1,0 +1,32 @@
+# Build/verification tiers for the tree-access reproduction.
+#
+#   make check          vet + race tests + benchmark smoke pass (CI tier)
+#   make test           plain unit tests (tier-1)
+#   make bench          full benchmark sweep with allocation counts
+#   make bench-snapshot rewrite BENCH_pr1.json from the hot-path kernels
+
+GO ?= go
+
+.PHONY: check vet test race bench-smoke bench bench-snapshot
+
+check: vet race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or fail their internal assertions, without the full measurement.
+bench-smoke:
+	$(GO) test -run=- -bench=. -benchtime=1x ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-snapshot:
+	BENCH_SNAPSHOT=$(CURDIR)/BENCH_pr1.json $(GO) test -run TestBenchSnapshot .

@@ -387,6 +387,73 @@ func BenchmarkE15Scheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkE15SchedulerReference times the seed cycle-by-cycle scheduler
+// engine on the same workload as BenchmarkE15Scheduler, for the
+// before/after comparison of the ring-buffer + event-skip engine.
+func BenchmarkE15SchedulerReference(b *testing.B) {
+	arr := mustColor(b, 12, 3)
+	rng := rand.New(rand.NewSource(46))
+	var stream []scheduler.Access
+	for i := 0; i < 200; i++ {
+		j := 6 + rng.Intn(5)
+		n := tree.V(rng.Int63n(tree.New(12).LevelWidth(j)), j)
+		stream = append(stream, scheduler.Access{Nodes: tree.PathNodes(n, 6)})
+	}
+	queues, err := scheduler.SplitRoundRobin(stream, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheduler.RunReference(arr, queues); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerConflictHeavy stresses the event-skipping mode: every
+// node maps to one module, so FIFO head runs are long and the engine can
+// jump many cycles per event.
+func BenchmarkSchedulerConflictHeavy(b *testing.B) {
+	tr := tree.New(12)
+	m := coloring.FuncMapping{T: tr, M: 8, AlgName: "all-zero", Fn: func(tree.Node) int { return 0 }}
+	var stream []scheduler.Access
+	for i := 0; i < 100; i++ {
+		stream = append(stream, scheduler.Access{Nodes: tree.PathNodes(tree.V(int64(i), 11), 12)})
+	}
+	queues, err := scheduler.SplitRoundRobin(stream, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheduler.Run(m, queues); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerConflictHeavyReference is the seed engine on the same
+// conflict-heavy workload.
+func BenchmarkSchedulerConflictHeavyReference(b *testing.B) {
+	tr := tree.New(12)
+	m := coloring.FuncMapping{T: tr, M: 8, AlgName: "all-zero", Fn: func(tree.Node) int { return 0 }}
+	var stream []scheduler.Access
+	for i := 0; i < 100; i++ {
+		stream = append(stream, scheduler.Access{Nodes: tree.PathNodes(tree.V(int64(i), 11), 12)})
+	}
+	queues, err := scheduler.SplitRoundRobin(stream, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheduler.RunReference(m, queues); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkE16BTreeQuery regenerates E16's kernel: one range query over a
 // fanout-4 B-tree.
 func BenchmarkE16BTreeQuery(b *testing.B) {

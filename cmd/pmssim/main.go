@@ -38,6 +38,7 @@ func main() {
 	batch := flag.Int("batch", 64, "dictionary lookups per batch")
 	traceOut := flag.String("trace-out", "", "record the memory trace to this file")
 	traceIn := flag.String("trace-in", "", "replay a recorded trace instead of generating a workload")
+	workers := flag.Int("workers", 1, "replay workers for -trace-in (0 = GOMAXPROCS); results are identical at any count")
 	flag.Parse()
 
 	mapping, err := build(*alg, *levels, *mExp, *modules, *seed)
@@ -60,13 +61,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		res, err := trace.Replay(mapping, tr)
+		res, err := trace.ReplayParallel(mapping, tr, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace: %d batches, %d items, %d cycles (%.3f cycles/batch)\n",
-			res.Batches, res.Items, res.Cycles, float64(res.Cycles)/float64(res.Batches))
+		fmt.Printf("trace: %d batches, %d items, %d cycles (%.3f cycles/batch), conflicts %d, max queue %d\n",
+			res.Batches, res.Items, res.Cycles, float64(res.Cycles)/float64(res.Batches),
+			res.Stats.Conflicts, res.Stats.MaxQueue)
 		return
 	}
 

@@ -3,20 +3,22 @@
 //
 // Usage:
 //
-//	treebench [-quick] [-markdown] [-run E4,E5] [-list]
+//	treebench [-quick] [-markdown] [-run E4,E5] [-list] [-cpuprofile out.prof]
 //
 // Flags:
 //
-//	-quick     use the reduced test-scale parameters
-//	-markdown  emit GitHub-flavored markdown (for EXPERIMENTS.md)
-//	-run       comma-separated experiment IDs to run (default: all)
-//	-list      list the experiments and exit
+//	-quick       use the reduced test-scale parameters
+//	-markdown    emit GitHub-flavored markdown (for EXPERIMENTS.md)
+//	-run         comma-separated experiment IDs to run (default: all)
+//	-list        list the experiments and exit
+//	-cpuprofile  write a CPU profile of the experiment runs to this file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -27,7 +29,26 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	run := flag.String("run", "", "comma-separated experiment IDs (default all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	specs := experiments.All()
 	if *list {

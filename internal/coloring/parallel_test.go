@@ -45,6 +45,98 @@ func TestFamilyCostParallelSmallFamily(t *testing.T) {
 	}
 }
 
+// TestFamilyCostParallelEquivalenceMatrix sweeps the four families the
+// experiments evaluate — S(3), S(M), P(N), L(M) — across several
+// (levels, M) points and worker counts, checking the parallel cost always
+// equals the sequential reference and the returned witness attains it.
+func TestFamilyCostParallelEquivalenceMatrix(t *testing.T) {
+	type familySpec struct {
+		name string
+		kind template.Kind
+		size int64
+	}
+	families := []familySpec{
+		{"S(3)", template.Subtree, 3},
+		{"S(7)", template.Subtree, 7},
+		{"P(4)", template.Path, 4},
+		{"L(8)", template.Level, 8},
+	}
+	points := []struct{ levels, modules int }{
+		{6, 3}, {9, 7}, {11, 16},
+	}
+	for _, pt := range points {
+		tr := tree.New(pt.levels)
+		m := Materialize(modMapping(tr, pt.modules))
+		for _, fs := range families {
+			f, err := template.NewFamily(tr, fs.kind, fs.size)
+			if err != nil {
+				t.Fatalf("levels=%d %s: %v", pt.levels, fs.name, err)
+			}
+			seqCost, seqWitness := FamilyCost(m, f)
+			if got := InstanceConflicts(m, seqWitness); got != seqCost {
+				t.Fatalf("levels=%d %s: sequential witness attains %d, not %d", pt.levels, fs.name, got, seqCost)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				parCost, parWitness := FamilyCostParallel(m, f, workers)
+				if parCost != seqCost {
+					t.Errorf("levels=%d M=%d %s workers=%d: parallel %d vs sequential %d",
+						pt.levels, pt.modules, fs.name, workers, parCost, seqCost)
+				}
+				if got := InstanceConflicts(m, parWitness); got != parCost {
+					t.Errorf("levels=%d M=%d %s workers=%d: witness attains %d, not %d",
+						pt.levels, pt.modules, fs.name, workers, got, parCost)
+				}
+			}
+		}
+	}
+}
+
+// TestFamilyCostParallelSingleInstance pins the single-instance edge: the
+// subtree family spanning the whole tree has exactly one member, so every
+// worker count must return that instance's exact cost and witness.
+func TestFamilyCostParallelSingleInstance(t *testing.T) {
+	tr := tree.New(5)
+	m := Materialize(modMapping(tr, 3))
+	f, err := template.NewFamily(tr, template.Subtree, tr.Nodes()) // 31 = whole tree
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f.Count(); n != 1 {
+		t.Fatalf("family has %d instances, want 1", n)
+	}
+	seq, seqW := FamilyCost(m, f)
+	for _, workers := range []int{1, 2, 8} {
+		par, parW := FamilyCostParallel(m, f, workers)
+		if par != seq {
+			t.Errorf("workers=%d: %d vs %d", workers, par, seq)
+		}
+		if parW != seqW {
+			t.Errorf("workers=%d: witness %v vs %v (only one instance exists)", workers, parW, seqW)
+		}
+	}
+}
+
+// TestFamilyCostParallelEmptyFamily pins the empty edge: a family literal
+// whose enumeration yields no instances (subtree deeper than the tree)
+// must cost 0 under both implementations rather than hanging or panicking.
+func TestFamilyCostParallelEmptyFamily(t *testing.T) {
+	tr := tree.New(3)
+	m := Materialize(modMapping(tr, 3))
+	// Bypass NewFamily (which rejects empty families) to exercise the
+	// defensive path: size 31 needs 5 levels, the tree has 3.
+	f := template.Family{Tree: tr, Kind: template.Subtree, Size: 31}
+	if n := f.Count(); n != 0 {
+		t.Fatalf("family has %d instances, want 0", n)
+	}
+	seq, _ := FamilyCost(m, f)
+	for _, workers := range []int{1, 2, 8} {
+		par, _ := FamilyCostParallel(m, f, workers)
+		if par != 0 || seq != 0 {
+			t.Errorf("workers=%d: empty family cost par=%d seq=%d, want 0", workers, par, seq)
+		}
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	tr := tree.New(8)
 	orig := Materialize(modMapping(tr, 5))

@@ -20,8 +20,18 @@ import (
 //	modules uint32
 //	nameLen uint32, name [nameLen]byte
 //	colors  [2^levels - 1]int32
+//
+// The color array is encoded and decoded in fixed-size chunks with
+// explicit little-endian byte packing rather than binary.Write/Read:
+// the reflection-based encoding of an []int32 walks the slice through
+// reflect per element, which dominated Save/Load profiles on large trees.
 
 var magic = [8]byte{'T', 'R', 'E', 'E', 'M', 'A', 'P', '1'}
+
+// serializeChunk is the number of colors encoded per I/O chunk (256 KiB of
+// wire data), bounding both the scratch buffer and how much a lying header
+// can make Load allocate before the stream runs dry.
+const serializeChunk = 1 << 16
 
 // Save writes the mapping in the binary format above.
 func (a *ArrayMapping) Save(w io.Writer) error {
@@ -30,16 +40,29 @@ func (a *ArrayMapping) Save(w io.Writer) error {
 		return err
 	}
 	name := []byte(a.AlgName)
-	for _, v := range []uint32{uint32(a.T.Levels()), uint32(a.M), uint32(len(name))} {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(a.T.Levels()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(a.M))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
 	}
 	if _, err := bw.Write(name); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, a.Colors); err != nil {
-		return err
+	buf := make([]byte, 4*serializeChunk)
+	for off := 0; off < len(a.Colors); off += serializeChunk {
+		end := off + serializeChunk
+		if end > len(a.Colors) {
+			end = len(a.Colors)
+		}
+		chunk := a.Colors[off:end]
+		for i, c := range chunk {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(c))
+		}
+		if _, err := bw.Write(buf[:4*len(chunk)]); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -55,12 +78,13 @@ func LoadMapping(r io.Reader) (*ArrayMapping, error) {
 	if gotMagic != magic {
 		return nil, fmt.Errorf("coloring: bad magic %q", gotMagic)
 	}
-	var levels, modules, nameLen uint32
-	for _, p := range []*uint32{&levels, &modules, &nameLen} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("coloring: reading header: %w", err)
-		}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("coloring: reading header: %w", err)
 	}
+	levels := binary.LittleEndian.Uint32(hdr[0:4])
+	modules := binary.LittleEndian.Uint32(hdr[4:8])
+	nameLen := binary.LittleEndian.Uint32(hdr[8:12])
 	// Materialized mappings are capped at 2^28-1 nodes; larger trees should
 	// use the algorithmic retrievers rather than dense arrays.
 	const maxLevels = 28
@@ -81,17 +105,19 @@ func LoadMapping(r io.Reader) (*ArrayMapping, error) {
 	// after at most one chunk, not after allocating the whole array.
 	t := tree.New(int(levels))
 	total := t.Nodes()
-	colors := make([]int32, 0, minInt64(total, 1<<16))
-	chunk := make([]int32, 1<<16)
+	colors := make([]int32, 0, minInt64(total, serializeChunk))
+	raw := make([]byte, 4*serializeChunk)
 	for int64(len(colors)) < total {
 		want := total - int64(len(colors))
-		if want > int64(len(chunk)) {
-			want = int64(len(chunk))
+		if want > serializeChunk {
+			want = serializeChunk
 		}
-		if err := binary.Read(br, binary.LittleEndian, chunk[:want]); err != nil {
+		if _, err := io.ReadFull(br, raw[:4*want]); err != nil {
 			return nil, fmt.Errorf("coloring: reading colors: %w", err)
 		}
-		colors = append(colors, chunk[:want]...)
+		for i := int64(0); i < want; i++ {
+			colors = append(colors, int32(binary.LittleEndian.Uint32(raw[4*i:])))
+		}
 	}
 	a := &ArrayMapping{T: t, Colors: colors, M: int(modules), AlgName: string(name)}
 	if err := a.Validate(); err != nil {

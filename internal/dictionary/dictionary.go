@@ -72,8 +72,7 @@ func (d *Dict) Insert(key, value int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	d.sys.Submit(path)
-	cycles := d.sys.Drain()
+	cycles := d.sys.SubmitDrain(path)
 	h := path[len(path)-1].HeapIndex()
 	d.values[h] = value
 	d.set[h] = true
@@ -88,8 +87,7 @@ func (d *Dict) Lookup(key int64) (value int64, found bool, cycles int64, err err
 	if err != nil {
 		return 0, false, 0, err
 	}
-	d.sys.Submit(path)
-	cycles = d.sys.Drain()
+	cycles = d.sys.SubmitDrain(path)
 	h := path[len(path)-1].HeapIndex()
 	return d.values[h], d.set[h], cycles, nil
 }
@@ -131,8 +129,7 @@ func (d *Dict) BatchLookup(keys []int64) (BatchResult, error) {
 				frontier = append(frontier, p[depth])
 			}
 		}
-		d.sys.Submit(frontier)
-		res.Cycles += d.sys.Drain()
+		res.Cycles += d.sys.SubmitDrain(frontier)
 	}
 	for _, p := range paths {
 		if d.set[p[len(p)-1].HeapIndex()] {

@@ -52,8 +52,7 @@ func (h *Heap) pathNodes(idx int64) []tree.Node {
 // chargePath submits the path from slot idx to the root as one parallel
 // batch and drains it, returning the cycles consumed.
 func (h *Heap) chargePath(idx int64) int64 {
-	h.sys.Submit(h.pathNodes(idx))
-	return h.sys.Drain()
+	return h.sys.SubmitDrain(h.pathNodes(idx))
 }
 
 // Insert adds a key, returning the memory cycles charged, or an error if
@@ -135,8 +134,7 @@ func (h *Heap) Heapify(keys []int64) (int64, error) {
 		for idx := start; idx < end; idx++ {
 			batch = append(batch, tree.FromHeapIndex(idx))
 		}
-		h.sys.Submit(batch)
-		cycles += h.sys.Drain()
+		cycles += h.sys.SubmitDrain(batch)
 		start = end
 	}
 	// Sift phase: levels bottom-up; the nodes of one level sift in
@@ -147,8 +145,7 @@ func (h *Heap) Heapify(keys []int64) (int64, error) {
 		from := tree.FromHeapIndex(idx)
 		to := tree.FromHeapIndex(last)
 		if to.Level > from.Level {
-			h.sys.Submit(tree.PathNodes(to, to.Level-from.Level+1))
-			cycles += h.sys.Drain()
+			cycles += h.sys.SubmitDrain(tree.PathNodes(to, to.Level-from.Level+1))
 		}
 	}
 	return cycles, h.Verify()

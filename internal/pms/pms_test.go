@@ -1,6 +1,7 @@
 package pms
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -164,6 +165,175 @@ func TestStatsString(t *testing.T) {
 	st := Stats{Cycles: 2, Requests: 3, Batches: 1, Conflicts: 1, MaxQueue: 2}
 	if st.String() == "" {
 		t.Error("empty string")
+	}
+}
+
+// randomBatches builds deterministic pseudo-random workload batches over
+// the tree, including empty and single-node batches.
+func randomBatches(tr tree.Tree, count int, seed int64) [][]tree.Node {
+	rng := rand.New(rand.NewSource(seed))
+	batches := make([][]tree.Node, count)
+	for b := range batches {
+		n := rng.Intn(12) // 0..11 nodes; 0 exercises the empty-batch path
+		batch := make([]tree.Node, n)
+		for i := range batch {
+			batch[i] = tree.FromHeapIndex(rng.Int63n(tr.Nodes()))
+		}
+		batches[b] = batch
+	}
+	return batches
+}
+
+// TestSubmitDrainMatchesReferenceEngine is the engine-overhaul differential
+// test: on the synchronous submit-then-drain schedule, every Stats counter
+// of the new allocation-free Submit + arithmetic SubmitDrain must be
+// bit-identical to the seed engine (map-based Submit, stepped drain), and
+// the per-batch drain cycle counts must agree too.
+func TestSubmitDrainMatchesReferenceEngine(t *testing.T) {
+	tr := tree.New(9)
+	for _, modules := range []int{1, 3, 7, 16} {
+		m := mapMod(tr, modules)
+		fast := NewSystem(m)
+		ref := newReferenceSystem(m)
+		for _, batch := range randomBatches(tr, 300, int64(modules)) {
+			gotCycles := fast.SubmitDrain(batch)
+			ref.Submit(batch)
+			wantCycles := ref.Drain()
+			if gotCycles != wantCycles {
+				t.Fatalf("modules=%d: SubmitDrain=%d cycles, reference=%d", modules, gotCycles, wantCycles)
+			}
+		}
+		if fast.Stats() != ref.stats {
+			t.Errorf("modules=%d: stats diverged\nfast: %+v\nref:  %+v", modules, fast.Stats(), ref.stats)
+		}
+	}
+}
+
+// TestSubmitDrainMatchesReferencePipelined checks the general case: several
+// batches accumulate before one drain empties everything.
+func TestSubmitDrainMatchesReferencePipelined(t *testing.T) {
+	tr := tree.New(8)
+	m := mapMod(tr, 5)
+	fast := NewSystem(m)
+	ref := newReferenceSystem(m)
+	rng := rand.New(rand.NewSource(7))
+	batches := randomBatches(tr, 200, 7)
+	for i, batch := range batches {
+		if i == len(batches)-1 || rng.Intn(3) == 0 {
+			// Drain point: the last pending batch goes through SubmitDrain.
+			got := fast.SubmitDrain(batch)
+			ref.Submit(batch)
+			want := ref.Drain()
+			if got != want {
+				t.Fatalf("batch %d: SubmitDrain=%d cycles, reference=%d", i, got, want)
+			}
+		} else {
+			fast.Submit(batch)
+			ref.Submit(batch)
+		}
+	}
+	if fast.Stats() != ref.stats {
+		t.Errorf("stats diverged\nfast: %+v\nref:  %+v", fast.Stats(), ref.stats)
+	}
+}
+
+// TestSteppedDrainMatchesSubmitDrain pins the two production drain paths
+// (Step loop vs arithmetic) to each other, independent of the seed oracle.
+func TestSteppedDrainMatchesSubmitDrain(t *testing.T) {
+	tr := tree.New(9)
+	m := mapMod(tr, 6)
+	stepped := NewSystem(m)
+	fast := NewSystem(m)
+	for _, batch := range randomBatches(tr, 250, 99) {
+		stepped.Submit(batch)
+		want := stepped.Drain()
+		if got := fast.SubmitDrain(batch); got != want {
+			t.Fatalf("SubmitDrain=%d cycles, Submit+Drain=%d", got, want)
+		}
+	}
+	if stepped.Stats() != fast.Stats() {
+		t.Errorf("stats diverged\nstepped: %+v\nfast:    %+v", stepped.Stats(), fast.Stats())
+	}
+}
+
+// TestIdleStepIsNoOp is the regression test for the Cycles-inflation bug:
+// stepping an idle system used to increment Stats.Cycles (and thereby
+// deflate Utilization) even though no module did anything.
+func TestIdleStepIsNoOp(t *testing.T) {
+	tr := tree.New(4)
+	m := mapMod(tr, 4)
+	s := NewSystem(m)
+	for i := 0; i < 10; i++ {
+		if s.Step() {
+			t.Fatal("idle Step reported pending work")
+		}
+	}
+	if got := s.Stats().Cycles; got != 0 {
+		t.Errorf("idle steps inflated Cycles to %d, want 0", got)
+	}
+	if got := s.Stats().IdleSteps; got != 10 {
+		t.Errorf("IdleSteps = %d, want 10", got)
+	}
+	// A real workload after the idle steps still has exact accounting.
+	s.Submit([]tree.Node{tree.FromHeapIndex(0), tree.FromHeapIndex(4)}) // module 0 twice
+	s.Drain()
+	st := s.Stats()
+	if st.Cycles != 2 || st.Served != 2 {
+		t.Errorf("post-idle accounting: %+v", st)
+	}
+	if got := st.Utilization(4); got != 0.25 {
+		t.Errorf("Utilization = %f, want 0.25 (idle steps must not deflate it)", got)
+	}
+}
+
+// TestSubmitDrainAllocationFree verifies the tentpole claim directly.
+func TestSubmitDrainAllocationFree(t *testing.T) {
+	tr := tree.New(8)
+	m := mapMod(tr, 7)
+	s := NewSystem(m)
+	batch := tree.PathNodes(tree.V(100, 7), 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.SubmitDrain(batch)
+	})
+	if allocs != 0 {
+		t.Errorf("SubmitDrain allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkSubmitDrain(b *testing.B) {
+	tr := tree.New(12)
+	m := mapMod(tr, 7)
+	s := NewSystem(m)
+	batch := tree.PathNodes(tree.V(1000, 11), 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SubmitDrain(batch)
+	}
+}
+
+func BenchmarkSubmitDrainStepped(b *testing.B) {
+	tr := tree.New(12)
+	m := mapMod(tr, 7)
+	s := NewSystem(m)
+	batch := tree.PathNodes(tree.V(1000, 11), 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Submit(batch)
+		s.Drain()
+	}
+}
+
+// BenchmarkSubmitDrainReference times the seed engine on the same schedule
+// for the before/after comparison (map-allocating Submit, stepped drain).
+func BenchmarkSubmitDrainReference(b *testing.B) {
+	tr := tree.New(12)
+	m := mapMod(tr, 7)
+	s := newReferenceSystem(m)
+	batch := tree.PathNodes(tree.V(1000, 11), 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Submit(batch)
+		s.Drain()
 	}
 }
 

@@ -1,0 +1,92 @@
+package pms
+
+import (
+	"repro/internal/tree"
+)
+
+// This file preserves the seed engine verbatim as the differential-testing
+// oracle: referenceSystem is the pre-overhaul System with the map-based
+// Submit and the one-item-per-module-per-Step drain loop. The production
+// engine's counters must stay bit-identical to it on every workload the
+// applications generate (Submit followed by a full drain, possibly
+// pipelined). The one deliberate divergence is the idle-Step bugfix:
+// stepping an idle system used to inflate Cycles, which the differential
+// tests therefore never exercise through the oracle.
+type referenceSystem struct {
+	mapping interface {
+		Color(tree.Node) int
+		Modules() int
+	}
+	queues []int
+	stats  Stats
+}
+
+func newReferenceSystem(m interface {
+	Color(tree.Node) int
+	Modules() int
+}) *referenceSystem {
+	return &referenceSystem{mapping: m, queues: make([]int, m.Modules())}
+}
+
+func (s *referenceSystem) Submit(nodes []tree.Node) {
+	loads := make(map[int]int, len(nodes))
+	for _, n := range nodes {
+		mod := s.mapping.Color(n)
+		s.queues[mod]++
+		loads[mod]++
+		if s.queues[mod] > s.stats.MaxQueue {
+			s.stats.MaxQueue = s.queues[mod]
+		}
+	}
+	max := 0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	if max > 0 {
+		s.stats.Conflicts += int64(max - 1)
+	}
+	s.stats.Requests += int64(len(nodes))
+	s.stats.Batches++
+}
+
+func (s *referenceSystem) Step() bool {
+	s.stats.Cycles++
+	pending := false
+	anyServed := false
+	idleThisCycle := 0
+	for mod := range s.queues {
+		if s.queues[mod] == 0 {
+			idleThisCycle++
+			continue
+		}
+		s.queues[mod]--
+		s.stats.Served++
+		s.stats.BusyC++
+		anyServed = true
+		if s.queues[mod] > 0 {
+			pending = true
+		}
+	}
+	if anyServed {
+		s.stats.IdleC += int64(idleThisCycle)
+	}
+	return pending
+}
+
+func (s *referenceSystem) Pending() int64 {
+	var total int64
+	for _, q := range s.queues {
+		total += int64(q)
+	}
+	return total
+}
+
+func (s *referenceSystem) Drain() int64 {
+	start := s.stats.Cycles
+	for s.Pending() > 0 {
+		s.Step()
+	}
+	return s.stats.Cycles - start
+}

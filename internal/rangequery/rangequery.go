@@ -158,7 +158,6 @@ func Run(sys *pms.System, lo, hi int64) (QueryResult, error) {
 		}
 	}
 	res.Conflicts = coloring.CompositeConflicts(sys.Mapping(), comp)
-	sys.Submit(nodes)
-	res.Cycles = sys.Drain()
+	res.Cycles = sys.SubmitDrain(nodes)
 	return res, nil
 }

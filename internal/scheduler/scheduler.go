@@ -10,6 +10,15 @@
 // processor until every one of its items has been served; each module
 // serves one item per cycle in FIFO order. This is exactly the paper's
 // conflict-serialization semantics extended with request pipelining.
+//
+// Two engines implement the model. Run (and RunOptions) is the production
+// engine: per-module index-based ring buffers over a flight arena with a
+// free list, so simulating an access allocates nothing on the hot path,
+// plus an optional event-skipping mode that jumps simulated time forward
+// to the next completion or FIFO-head change instead of iterating cycles
+// one by one. RunReference is the seed cycle-by-cycle engine, kept as the
+// differential-testing oracle: both engines produce bit-identical Results
+// on every workload.
 package scheduler
 
 import (
@@ -36,11 +45,337 @@ type Result struct {
 	PerProcessor []int64
 }
 
-// Run simulates the processors' queues to completion. Each processor
-// issues its queue in order; an access's items enqueue on their modules
-// when issued, and the access completes at the cycle its last item is
-// served.
+// Options configure the production engine.
+type Options struct {
+	// EventSkip advances simulated time in jumps: whenever no processor
+	// can issue a new access (each is either done or waiting on an
+	// in-flight one), the simulation state evolves deterministically until
+	// the next access completion or FIFO-head change, so that many cycles
+	// can be served in one arithmetic update. Results are bit-identical
+	// with and without it; skipping only removes per-cycle loop overhead.
+	EventSkip bool
+}
+
+// runawayGuardSlack pads the runaway-simulation bound below. It is a
+// package variable only so tests can lower it to force the guard to fire
+// on a healthy workload.
+var runawayGuardSlack int64 = 1 << 10
+
+// runawayBound returns the cycle count a healthy simulation can never
+// exceed, given the items and accesses issued so far. Every simulated
+// cycle either serves at least one queued item (at most items such cycles)
+// or, when all module FIFOs are empty, issues at least one access from
+// some processor queue (at most accesses such cycles — this is the
+// empty-access chain case). Hence cycle ≤ items + accesses always; the
+// slack absorbs nothing semantic, it just keeps the guard conservative.
+//
+// The seed expression `items + accesses + 1<<40` was intended as this
+// bound plus slack but parsed as `(items + accesses + 1) << 40` because
+// `<<` binds tighter than `+` in Go, so the guard could never fire.
+func runawayBound(items, accesses int64) int64 {
+	return items + accesses + runawayGuardSlack
+}
+
+// Run simulates the processors' queues to completion with the production
+// engine (event skipping enabled). Each processor issues its queue in
+// order; an access's items enqueue on their modules when issued, and the
+// access completes at the cycle its last item is served.
 func Run(m coloring.Mapping, queues [][]Access) (Result, error) {
+	return RunOptions(m, queues, Options{EventSkip: true})
+}
+
+// flightRec is one in-flight access in the arena: the number of its items
+// not yet served. Completed records are recycled through a free list, so
+// at most O(processors) records are ever live.
+type flightRec struct {
+	remaining int
+}
+
+// ring is a power-of-two-capacity FIFO of flight ids for one module.
+// Popping moves the head index instead of re-slicing, so no memory is
+// leaked or reallocated as items retire.
+type ring struct {
+	buf  []int32
+	head int32
+	n    int32
+}
+
+func (r *ring) push(id int32) {
+	if int(r.n) == len(r.buf) {
+		grown := make([]int32, maxInt(4, 2*len(r.buf)))
+		for i := int32(0); i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)&int32(len(r.buf)-1)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)&int32(len(r.buf)-1)] = id
+	r.n++
+}
+
+func (r *ring) headID() int32 { return r.buf[r.head] }
+
+func (r *ring) at(i int32) int32 { return r.buf[(r.head+i)&int32(len(r.buf)-1)] }
+
+func (r *ring) popRun(k int32) {
+	r.head = (r.head + k) & int32(len(r.buf)-1)
+	r.n -= k
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// engine is the mutable state of one RunOptions call.
+type engine struct {
+	m       coloring.Mapping
+	queues  [][]Access
+	rings   []ring
+	runLen  []int32 // cached length of the same-flight run at each ring head; 0 = unknown
+	active  []int32 // modules with a non-empty ring
+	flights []flightRec
+	free    []int32
+	// headSeen/headTouched are scratch for event-skip delta computation:
+	// per-flight count of modules currently serving it at their head.
+	headSeen    []int32
+	headTouched []int32
+	inFlight    []int32 // per processor: flight id or -1
+	next        []int   // per processor: next access index
+	pending     int64   // items enqueued across all rings
+	res         Result
+}
+
+func (e *engine) allocFlight(remaining int) int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.flights[id].remaining = remaining
+		return id
+	}
+	e.flights = append(e.flights, flightRec{remaining: remaining})
+	e.headSeen = append(e.headSeen, 0)
+	return int32(len(e.flights) - 1)
+}
+
+// issue starts processor p's next access: its items enqueue on their
+// modules now. An access with no items completes instantly without ever
+// appearing in flight (matching the reference engine, which also does not
+// record a PerProcessor completion cycle for it).
+func (e *engine) issue(p int) {
+	acc := e.queues[p][e.next[p]]
+	e.next[p]++
+	id := e.allocFlight(len(acc.Nodes))
+	e.res.Accesses++
+	e.res.Items += int64(len(acc.Nodes))
+	for _, n := range acc.Nodes {
+		mod := e.m.Color(n)
+		r := &e.rings[mod]
+		if r.n == 0 {
+			e.active = append(e.active, int32(mod))
+			e.runLen[mod] = 0
+		} else if e.runLen[mod] == r.n {
+			// The head run spanned the whole ring; appending may extend it,
+			// so the cached length is no longer exact.
+			e.runLen[mod] = 0
+		}
+		r.push(id)
+	}
+	e.pending += int64(len(acc.Nodes))
+	if e.flights[id].remaining == 0 {
+		e.free = append(e.free, id)
+		e.inFlight[p] = -1
+	} else {
+		e.inFlight[p] = id
+	}
+}
+
+// headRun returns the number of consecutive items of the same flight at
+// the head of module mod's ring, computing and caching it if unknown.
+func (e *engine) headRun(mod int32) int32 {
+	if e.runLen[mod] > 0 {
+		return e.runLen[mod]
+	}
+	r := &e.rings[mod]
+	f := r.headID()
+	k := int32(1)
+	for k < r.n && r.at(k) == f {
+		k++
+	}
+	e.runLen[mod] = k
+	return k
+}
+
+// skipDelta returns how many cycles can be served in one jump without any
+// FIFO head changing flight and without overshooting the earliest access
+// completion. While every active module keeps serving the same flight, a
+// flight served at s module heads loses exactly s items per cycle, so it
+// completes in ceil(remaining/s) cycles; and a module's head flight holds
+// for its head-run length. The minimum over both is always ≥ 1 and lands
+// exactly on the next event.
+func (e *engine) skipDelta() int64 {
+	// First pass: minimum head-run length. Every term of the minimum is
+	// ≥ 1 (a head flight always has remaining ≥ 1), so a run of 1 already
+	// pins delta to 1 and the per-flight accounting below would be wasted
+	// work — that is the common case under well-balanced mappings.
+	delta := int32(1 << 30)
+	for _, mod := range e.active {
+		run := e.headRun(mod)
+		if run == 1 {
+			return 1
+		}
+		if run < delta {
+			delta = run
+		}
+	}
+	// Second pass, only when a real jump is possible: completion times of
+	// the head flights.
+	for _, mod := range e.active {
+		f := e.rings[mod].headID()
+		if e.headSeen[f] == 0 {
+			e.headTouched = append(e.headTouched, f)
+		}
+		e.headSeen[f]++
+	}
+	for _, f := range e.headTouched {
+		s := e.headSeen[f]
+		e.headSeen[f] = 0
+		need := (int32(e.flights[f].remaining) + s - 1) / s
+		if need < delta {
+			delta = need
+		}
+	}
+	e.headTouched = e.headTouched[:0]
+	if delta < 1 {
+		delta = 1
+	}
+	return int64(delta)
+}
+
+// RunOptions simulates the processors' queues to completion with the
+// production engine. Results are bit-identical to RunReference for every
+// workload, regardless of opt.
+func RunOptions(m coloring.Mapping, queues [][]Access, opt Options) (Result, error) {
+	procs := len(queues)
+	if procs == 0 {
+		return Result{}, fmt.Errorf("scheduler: no processors")
+	}
+	modules := m.Modules()
+	e := &engine{
+		m:        m,
+		queues:   queues,
+		rings:    make([]ring, modules),
+		runLen:   make([]int32, modules),
+		active:   make([]int32, 0, modules),
+		inFlight: make([]int32, procs),
+		next:     make([]int, procs),
+		res:      Result{Processors: procs, PerProcessor: make([]int64, procs)},
+	}
+	for p := range e.inFlight {
+		e.inFlight[p] = -1
+	}
+
+	// Initial issues: one access per processor, before the first cycle.
+	for p := 0; p < procs; p++ {
+		if len(queues[p]) > 0 {
+			e.issue(p)
+		}
+	}
+
+	var cycle int64
+	for {
+		// Done when no items are queued and every processor is idle with an
+		// empty queue. (An in-flight access always has queued items, so
+		// pending == 0 implies every inFlight is -1.)
+		if e.pending == 0 {
+			allDone := true
+			for p := 0; p < procs; p++ {
+				if e.inFlight[p] >= 0 || e.next[p] < len(queues[p]) {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				break
+			}
+		}
+
+		// How far can this iteration jump? Only when no processor could
+		// issue during the coming cycles (each is done or waiting on an
+		// in-flight access) is the evolution pure serving, which
+		// skipDelta can collapse into one arithmetic update.
+		delta := int64(1)
+		if opt.EventSkip && e.pending > 0 {
+			canSkip := true
+			for p := 0; p < procs; p++ {
+				if e.inFlight[p] < 0 && e.next[p] < len(queues[p]) {
+					canSkip = false
+					break
+				}
+			}
+			if canSkip {
+				delta = e.skipDelta()
+			}
+		}
+		cycle += delta
+
+		// Serve delta cycles on every active module: each pops delta items
+		// (all of its head flight — guaranteed by skipDelta when delta > 1)
+		// and the flight loses delta items. Modules whose rings empty are
+		// compacted out of the active list.
+		w := 0
+		for _, mod := range e.active {
+			r := &e.rings[mod]
+			id := r.headID()
+			r.popRun(int32(delta))
+			e.flights[id].remaining -= int(delta)
+			if e.runLen[mod] > 0 {
+				e.runLen[mod] -= int32(delta)
+				if e.runLen[mod] < 0 {
+					e.runLen[mod] = 0
+				}
+			}
+			e.res.BusyCycles += delta
+			e.pending -= delta
+			if r.n > 0 {
+				e.active[w] = mod
+				w++
+			}
+		}
+		e.active = e.active[:w]
+
+		// Completions and re-issues, in processor order (matching the
+		// reference: a processor that completes re-issues the same cycle).
+		for p := 0; p < procs; p++ {
+			if id := e.inFlight[p]; id >= 0 && e.flights[id].remaining == 0 {
+				e.inFlight[p] = -1
+				e.free = append(e.free, id)
+				e.res.PerProcessor[p] = cycle
+			}
+			if e.inFlight[p] < 0 && e.next[p] < len(queues[p]) {
+				e.issue(p)
+			}
+		}
+		if cycle > runawayBound(e.res.Items, int64(e.res.Accesses)) {
+			return Result{}, fmt.Errorf("scheduler: runaway simulation (cycle %d exceeds items %d + accesses %d + slack)",
+				cycle, e.res.Items, e.res.Accesses)
+		}
+	}
+	res := e.res
+	res.Makespan = cycle
+	if cycle > 0 {
+		res.Utilization = float64(res.BusyCycles) / float64(cycle*int64(modules))
+	}
+	return res, nil
+}
+
+// RunReference is the seed cycle-by-cycle engine, kept verbatim (modulo
+// the corrected runaway guard) as the oracle for differential tests: it
+// allocates a flight per access and re-slices per-module FIFOs, trading
+// throughput for obviousness.
+func RunReference(m coloring.Mapping, queues [][]Access) (Result, error) {
 	procs := len(queues)
 	if procs == 0 {
 		return Result{}, fmt.Errorf("scheduler: no processors")
@@ -129,8 +464,9 @@ func Run(m coloring.Mapping, queues [][]Access) (Result, error) {
 				issue(p)
 			}
 		}
-		if cycle > res.Items+int64(res.Accesses)+1<<40 {
-			return Result{}, fmt.Errorf("scheduler: runaway simulation")
+		if cycle > runawayBound(res.Items, int64(res.Accesses)) {
+			return Result{}, fmt.Errorf("scheduler: runaway simulation (cycle %d exceeds items %d + accesses %d + slack)",
+				cycle, res.Items, res.Accesses)
 		}
 	}
 	res.Makespan = cycle

@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/baseline"
@@ -161,6 +162,154 @@ func TestPerProcessorCompletion(t *testing.T) {
 		if done < 1 || done > res.Makespan {
 			t.Errorf("processor %d completion %d outside [1,%d]", p, done, res.Makespan)
 		}
+	}
+}
+
+// randomWorkload builds processor queues with a mix of subtree, path, and
+// empty accesses — including empty-access chains, which cost a cycle each
+// without serving anything.
+func randomWorkload(t *testing.T, levels int, procs, accesses int, seed int64) [][]Access {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr := tree.New(levels)
+	var stream []Access
+	for i := 0; i < accesses; i++ {
+		switch rng.Intn(4) {
+		case 0: // empty access
+			stream = append(stream, Access{})
+		case 1: // subtree
+			j := rng.Intn(levels - 2)
+			in := template.Instance{Kind: template.Subtree, Anchor: tree.V(rng.Int63n(tr.LevelWidth(j)), j), Size: 7}
+			stream = append(stream, Access{Nodes: in.Nodes()})
+		default: // path
+			j := 3 + rng.Intn(levels-3)
+			size := 2 + rng.Intn(j)
+			stream = append(stream, pathAccess(tree.V(rng.Int63n(tr.LevelWidth(j)), j), size))
+		}
+	}
+	queues, err := SplitRoundRobin(stream, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return queues
+}
+
+// TestEnginesBitIdentical is the engine-overhaul differential test: the
+// ring-buffer engine, with and without event skipping, must reproduce the
+// seed engine's Result exactly — Makespan, BusyCycles, Utilization, and
+// every PerProcessor completion cycle.
+func TestEnginesBitIdentical(t *testing.T) {
+	maps := []coloring.Mapping{
+		colorMap(t, 12),
+		baseline.Modulo(tree.New(12), 5),
+		// Pathological mapping: every node on module 0 of 3, maximizing
+		// conflicts and long head runs (the event-skip sweet spot).
+		coloring.FuncMapping{T: tree.New(12), M: 3, AlgName: "all-zero", Fn: func(tree.Node) int { return 0 }},
+	}
+	for mi, m := range maps {
+		for _, procs := range []int{1, 2, 4, 9} {
+			for seed := int64(0); seed < 4; seed++ {
+				queues := randomWorkload(t, 12, procs, 60, seed+100*int64(mi))
+				want, err := RunReference(m, queues)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, skip := range []bool{false, true} {
+					got, err := RunOptions(m, queues, Options{EventSkip: skip})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("map=%d procs=%d seed=%d skip=%v:\ngot  %+v\nwant %+v",
+							mi, procs, seed, skip, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesBitIdenticalEdgeCases pins the corner cases the random sweep
+// can miss: all-empty queues, trailing empty accesses, and one processor
+// whose queue is entirely empty accesses.
+func TestEnginesBitIdenticalEdgeCases(t *testing.T) {
+	m := colorMap(t, 8)
+	cases := [][][]Access{
+		{{}, {}},
+		{{{Nodes: nil}}},
+		{{{Nodes: nil}, {Nodes: nil}, {Nodes: nil}}},
+		{{pathAccess(tree.V(3, 5), 4), {Nodes: nil}}, {{Nodes: nil}, pathAccess(tree.V(9, 6), 3)}},
+		{{pathAccess(tree.V(0, 7), 8)}, {}},
+	}
+	for i, queues := range cases {
+		want, err := RunReference(m, queues)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, skip := range []bool{false, true} {
+			got, err := RunOptions(m, queues, Options{EventSkip: skip})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("case %d skip=%v:\ngot  %+v\nwant %+v", i, skip, got, want)
+			}
+		}
+	}
+}
+
+// TestRunAllocationProfile verifies the flight free-list actually bounds
+// hot-path allocation: steady-state allocations must not scale with the
+// number of accesses (the seed engine allocated one flight per access
+// plus FIFO growth).
+func TestRunAllocationProfile(t *testing.T) {
+	m := colorMap(t, 12)
+	queues := randomWorkload(t, 12, 4, 400, 1)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Run(m, queues); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Setup allocates O(modules + processors) slices; 400 accesses must not
+	// contribute per-access allocations.
+	if allocs > 40 {
+		t.Errorf("Run allocates %.0f objects for 400 accesses; want O(modules+procs)", allocs)
+	}
+}
+
+// TestRunawayGuardBound is the regression test for the precedence bug: the
+// seed guard compared against Items + Accesses + 1<<40 ≈ 10^12, a bound no
+// stuck simulation of these sizes would reach in any practical run, so it
+// never fired. The corrected bound is items + accesses + slack.
+func TestRunawayGuardBound(t *testing.T) {
+	const items, accesses = 1000, 100
+	// A simulation stuck at ten million cycles with only 1100 units of
+	// work issued has provably diverged (every cycle serves an item or
+	// issues an access)…
+	const stuckCycle = int64(10_000_000)
+	if stuckCycle <= runawayBound(items, accesses) {
+		t.Errorf("corrected bound %d does not catch stuck cycle %d", runawayBound(items, accesses), stuckCycle)
+	}
+	// …but the seed expression tolerated it.
+	seedBound := int64(items) + int64(accesses) + 1<<40
+	if stuckCycle > seedBound {
+		t.Errorf("seed bound %d would have caught %d; regression test is vacuous", seedBound, stuckCycle)
+	}
+}
+
+// TestRunawayGuardFires drives both engines into the guard by shrinking
+// the slack until a healthy workload is indistinguishable from a stuck
+// one, proving the error path is wired through both engines.
+func TestRunawayGuardFires(t *testing.T) {
+	defer func(s int64) { runawayGuardSlack = s }(runawayGuardSlack)
+	runawayGuardSlack = -1 << 30
+	m := colorMap(t, 10)
+	queues := [][]Access{{pathAccess(tree.V(10, 5), 6), pathAccess(tree.V(99, 7), 6)}}
+	if _, err := Run(m, queues); err == nil {
+		t.Error("Run: guard did not fire on a deliberately unreachable bound")
+	}
+	if _, err := RunReference(m, queues); err == nil {
+		t.Error("RunReference: guard did not fire on a deliberately unreachable bound")
 	}
 }
 

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// benchSetup builds a mapping and a workload trace shared by the replay
+// benchmarks: 2000 batches of up to 10 nodes over a 14-level tree.
+func benchSetup(b *testing.B) (coloring.Mapping, Trace) {
+	b.Helper()
+	return baseline.Modulo(tree.New(14), 7), bigTrace(14, 2000, 77)
+}
+
+func BenchmarkReplay(b *testing.B) {
+	m, tr := benchSetup(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Replay(m, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayParallel(b *testing.B) {
+	m, tr := benchSetup(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayParallel(m, tr, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayReference times the seed replay engine — a fresh
+// map[int]int per batch to tally loads and a one-item-per-module-per-cycle
+// stepped drain — for the before/after comparison with BenchmarkReplay.
+func BenchmarkReplayReference(b *testing.B) {
+	m, tr := benchSetup(b)
+	modules := m.Modules()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		queues := make([]int, modules)
+		var cycles int64
+		for _, batch := range tr.Batches {
+			loads := make(map[int]int, len(batch))
+			for _, n := range batch {
+				mod := m.Color(n)
+				queues[mod]++
+				loads[mod]++
+			}
+			// Stepped drain: every cycle retires one item per busy module.
+			for {
+				served := false
+				for mod := range queues {
+					if queues[mod] == 0 {
+						continue
+					}
+					queues[mod]--
+					served = true
+				}
+				if !served {
+					break
+				}
+				cycles++
+			}
+		}
+		_ = cycles
+	}
+}

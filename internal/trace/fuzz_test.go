@@ -6,7 +6,10 @@ import (
 	"testing"
 )
 
-// FuzzLoad must never panic and must round-trip anything it accepts.
+// FuzzLoad must never panic and must round-trip anything it accepts: a
+// loaded trace re-saves and re-loads to an identical trace, and the
+// re-save is byte-stable (Save emits a canonical form, so saving the
+// loaded trace twice produces identical bytes).
 func FuzzLoad(f *testing.F) {
 	var good bytes.Buffer
 	if err := sampleTrace().Save(&good); err != nil {
@@ -17,6 +20,15 @@ func FuzzLoad(f *testing.F) {
 	f.Add("# pmstrace v1 levels=4\nB 0 1 2\n")
 	f.Add("# pmstrace v1 levels=99\nB 0\n")
 	f.Add("# pmstrace v1 levels=4\nB 99999999999999999999\n")
+	// Header-only trace (no batches).
+	f.Add("# pmstrace v1 levels=7\n")
+	// Empty batch lines and comment/blank interleaving.
+	f.Add("# pmstrace v1 levels=4\nB\n\n# comment\nB\nB 3\n")
+	// Duplicate nodes in one batch (legal, preserved).
+	f.Add("# pmstrace v1 levels=4\nB 0 0 0 7\n")
+	// Max-levels boundary and just past it.
+	f.Add("# pmstrace v1 levels=62\nB 0\n")
+	f.Add("# pmstrace v1 levels=63\nB 0\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := Load(strings.NewReader(input))
 		if err != nil {
@@ -26,12 +38,30 @@ func FuzzLoad(f *testing.F) {
 		if err := tr.Save(&buf); err != nil {
 			t.Fatalf("cannot re-save accepted trace: %v", err)
 		}
+		saved := append([]byte(nil), buf.Bytes()...)
 		tr2, err := Load(&buf)
 		if err != nil {
 			t.Fatalf("cannot re-load saved trace: %v", err)
 		}
-		if len(tr2.Batches) != len(tr.Batches) || tr2.Levels != tr.Levels {
+		if tr2.Levels != tr.Levels || len(tr2.Batches) != len(tr.Batches) {
 			t.Fatal("round trip changed the trace shape")
+		}
+		for b := range tr.Batches {
+			if len(tr2.Batches[b]) != len(tr.Batches[b]) {
+				t.Fatalf("batch %d changed length (duplicates normalized?)", b)
+			}
+			for i := range tr.Batches[b] {
+				if tr2.Batches[b][i] != tr.Batches[b][i] {
+					t.Fatalf("batch %d node %d changed: %v vs %v", b, i, tr.Batches[b][i], tr2.Batches[b][i])
+				}
+			}
+		}
+		var buf2 bytes.Buffer
+		if err := tr2.Save(&buf2); err != nil {
+			t.Fatalf("cannot save re-loaded trace: %v", err)
+		}
+		if !bytes.Equal(saved, buf2.Bytes()) {
+			t.Fatal("Save is not byte-stable across a round trip")
 		}
 	})
 }

@@ -10,15 +10,23 @@
 //	B 0 1 3 7
 //	B 2 5 11
 //
-// where the numbers are heap (BFS) indices of the accessed nodes.
+// where the numbers are heap (BFS) indices of the accessed nodes. A node
+// may appear more than once in a batch: repeated accesses to the same item
+// are legal traffic (the dictionary's lock-step batch lookups issue the
+// root once per active search, for instance) and each occurrence charges
+// the item's module one more cycle, exactly as the simulator serializes
+// them. Load preserves duplicates verbatim rather than normalizing, so a
+// replayed trace reproduces the recorded contention bit-for-bit.
 package trace
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/coloring"
 	"repro/internal/pms"
@@ -51,23 +59,30 @@ func (r *Recorder) Record(batch []tree.Node) {
 // Trace returns the recorded trace.
 func (r *Recorder) Trace() Trace { return r.t }
 
-// Save writes the trace in the text format.
+// Save writes the trace in the text format. Every write error — not just
+// those surfacing at the final flush — is propagated.
 func (t Trace) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# pmstrace v1 levels=%d\n", t.Levels); err != nil {
 		return err
 	}
+	var line []byte
 	for _, batch := range t.Batches {
-		bw.WriteString("B")
+		line = append(line[:0], 'B')
 		for _, n := range batch {
-			fmt.Fprintf(bw, " %d", n.HeapIndex())
+			line = append(line, ' ')
+			line = strconv.AppendInt(line, n.HeapIndex(), 10)
 		}
-		bw.WriteString("\n")
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
 
 // Load parses a trace, validating every node against the declared tree.
+// Duplicate nodes within a batch are preserved (see the package comment).
 func Load(r io.Reader) (Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -122,6 +137,26 @@ type ReplayResult struct {
 	Stats   pms.Stats
 }
 
+// merge folds other into r. All replay counters are additive except
+// MaxQueue: the synchronous schedule drains between batches, so the
+// sequential high-water mark is the maximum over per-batch depths.
+func (r *ReplayResult) merge(other ReplayResult) {
+	r.Batches += other.Batches
+	r.Items += other.Items
+	r.Cycles += other.Cycles
+	r.Stats.Cycles += other.Stats.Cycles
+	r.Stats.Requests += other.Stats.Requests
+	r.Stats.Served += other.Stats.Served
+	r.Stats.BusyC += other.Stats.BusyC
+	r.Stats.IdleC += other.Stats.IdleC
+	r.Stats.Batches += other.Stats.Batches
+	r.Stats.Conflicts += other.Stats.Conflicts
+	r.Stats.IdleSteps += other.Stats.IdleSteps
+	if other.Stats.MaxQueue > r.Stats.MaxQueue {
+		r.Stats.MaxQueue = other.Stats.MaxQueue
+	}
+}
+
 // Replay runs the trace through a fresh memory system bound to the
 // mapping, draining after every batch (synchronous replay), and returns
 // the total cost. The mapping's tree must have at least the trace's
@@ -133,11 +168,51 @@ func Replay(m coloring.Mapping, t Trace) (ReplayResult, error) {
 	sys := pms.NewSystem(m)
 	var res ReplayResult
 	for _, batch := range t.Batches {
-		sys.Submit(batch)
-		res.Cycles += sys.Drain()
+		res.Cycles += sys.SubmitDrain(batch)
 		res.Batches++
 		res.Items += int64(len(batch))
 	}
 	res.Stats = sys.Stats()
+	return res, nil
+}
+
+// ReplayParallel evaluates the trace with workers goroutines (default
+// GOMAXPROCS when workers ≤ 0), sharding the batches contiguously and
+// giving each shard its own memory system. Because the synchronous
+// schedule drains between batches, shards are independent and the merged
+// result is bit-identical to Replay's — the merge itself is deterministic
+// (additive counters plus a max for the queue high-water mark). Mappings
+// are required to be safe for concurrent readers, so one mapping may back
+// all workers.
+func ReplayParallel(m coloring.Mapping, t Trace, workers int) (ReplayResult, error) {
+	if m.Tree().Levels() < t.Levels {
+		return ReplayResult{}, fmt.Errorf("trace: mapping covers %d levels, trace needs %d", m.Tree().Levels(), t.Levels)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(t.Batches) {
+		workers = len(t.Batches)
+	}
+	if workers <= 1 {
+		return Replay(m, t)
+	}
+	shards := make([]ReplayResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(t.Batches) / workers
+		hi := (w + 1) * len(t.Batches) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sub := Trace{Levels: t.Levels, Batches: t.Batches[lo:hi]}
+			shards[w], _ = Replay(m, sub) // levels already validated above
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	res := shards[0]
+	for _, shard := range shards[1:] {
+		res.merge(shard)
+	}
 	return res, nil
 }

@@ -2,11 +2,14 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
 	"repro/internal/baseline"
 	"repro/internal/colormap"
+	"repro/internal/pms"
 	"repro/internal/tree"
 )
 
@@ -111,6 +114,136 @@ func TestReplayAcrossMappings(t *testing.T) {
 	res3, err := Replay(mod, orig)
 	if err != nil || res3.Stats.Served != res.Stats.Served {
 		t.Errorf("served mismatch: %d vs %d (%v)", res3.Stats.Served, res.Stats.Served, err)
+	}
+}
+
+// bigTrace builds a deterministic multi-batch trace with duplicates and
+// empty batches mixed in.
+func bigTrace(levels, batches int, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewRecorder(levels)
+	nodes := tree.New(levels).Nodes()
+	for b := 0; b < batches; b++ {
+		n := rng.Intn(10)
+		batch := make([]tree.Node, n)
+		for i := range batch {
+			batch[i] = tree.FromHeapIndex(rng.Int63n(nodes))
+		}
+		if n > 1 && rng.Intn(3) == 0 {
+			batch[n-1] = batch[0] // deliberate duplicate
+		}
+		r.Record(batch)
+	}
+	return r.Trace()
+}
+
+// TestReplayMatchesSteppedEngine is the trace-level differential test: the
+// SubmitDrain-based Replay must reproduce the stepped Submit+Drain
+// schedule bit-for-bit on every counter.
+func TestReplayMatchesSteppedEngine(t *testing.T) {
+	tr := bigTrace(10, 300, 5)
+	m := baseline.Modulo(tree.New(10), 7)
+	got, err := Replay(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := pms.NewSystem(m)
+	var want ReplayResult
+	for _, batch := range tr.Batches {
+		sys.Submit(batch)
+		want.Cycles += sys.Drain()
+		want.Batches++
+		want.Items += int64(len(batch))
+	}
+	want.Stats = sys.Stats()
+	if got != want {
+		t.Errorf("replay diverged from stepped engine\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReplayParallelMatchesSequential checks the sharded replay merges to
+// the exact sequential result for several worker counts, including more
+// workers than batches and the empty-trace edge.
+func TestReplayParallelMatchesSequential(t *testing.T) {
+	m := baseline.Modulo(tree.New(10), 7)
+	for _, batches := range []int{0, 1, 7, 250} {
+		tr := bigTrace(10, batches, int64(batches))
+		want, err := Replay(m, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 8, 500} {
+			got, err := ReplayParallel(m, tr, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("batches=%d workers=%d:\ngot  %+v\nwant %+v", batches, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestReplayParallelTreeTooSmall(t *testing.T) {
+	orig := sampleTrace() // levels 6
+	mod := baseline.Modulo(tree.New(4), 3)
+	if _, err := ReplayParallel(mod, orig, 4); err == nil {
+		t.Error("expected error for undersized mapping")
+	}
+}
+
+// TestDuplicateNodesPreserved pins the documented duplicate semantics:
+// repeated accesses to one node survive a save/load round trip and charge
+// the module once per occurrence when replayed.
+func TestDuplicateNodesPreserved(t *testing.T) {
+	r := NewRecorder(4)
+	root := tree.V(0, 0)
+	r.Record([]tree.Node{root, root, root})
+	var buf bytes.Buffer
+	if err := r.Trace().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("duplicates must be accepted: %v", err)
+	}
+	if len(loaded.Batches[0]) != 3 {
+		t.Fatalf("duplicates were normalized: %v", loaded.Batches[0])
+	}
+	res, err := Replay(baseline.Modulo(tree.New(4), 3), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 3 {
+		t.Errorf("3 accesses to one node took %d cycles, want 3 (serialized)", res.Cycles)
+	}
+}
+
+// errorWriter fails every write after the first failAt bytes.
+type errorWriter struct {
+	n      int
+	failAt int
+}
+
+func (w *errorWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.failAt {
+		return 0, fmt.Errorf("disk full")
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// TestSaveReportsWriteErrors is the regression test for the swallowed
+// bw.WriteString errors: a mid-stream write failure (here, past bufio's
+// buffer) must surface as a Save error rather than silently truncating.
+func TestSaveReportsWriteErrors(t *testing.T) {
+	tr := bigTrace(10, 5000, 9) // comfortably larger than one bufio buffer
+	if err := tr.Save(&errorWriter{failAt: 64}); err == nil {
+		t.Error("Save swallowed a write error")
+	}
+	// Failure at the very first byte (header write path).
+	if err := tr.Save(&errorWriter{failAt: 0}); err == nil {
+		t.Error("Save swallowed a header write error")
 	}
 }
 

@@ -1,0 +1,137 @@
+package repro
+
+// Benchmark snapshotting for the perf trajectory across PRs: running
+//
+//	BENCH_SNAPSHOT=BENCH_pr1.json go test -run TestBenchSnapshot .
+//
+// (or `make bench-snapshot`) measures the simulator hot paths with
+// testing.Benchmark and writes one JSON object per kernel, so successive
+// PRs can diff ns/op and allocs/op without parsing `go test -bench`
+// output. The test is a no-op unless BENCH_SNAPSHOT names the output file.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/pms"
+	"repro/internal/scheduler"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// snapshotEntry is one benchmark measurement in the JSON snapshot.
+type snapshotEntry struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	MBPerSec    float64 `json:"-"`
+}
+
+func snapshotTrace(levels, batches int, seed int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	r := trace.NewRecorder(levels)
+	nodes := tree.New(levels).Nodes()
+	for b := 0; b < batches; b++ {
+		batch := make([]tree.Node, rng.Intn(10))
+		for i := range batch {
+			batch[i] = tree.FromHeapIndex(rng.Int63n(nodes))
+		}
+		r.Record(batch)
+	}
+	return r.Trace()
+}
+
+func snapshotSchedulerQueues(b *testing.B) [][]scheduler.Access {
+	rng := rand.New(rand.NewSource(46))
+	var stream []scheduler.Access
+	for i := 0; i < 200; i++ {
+		j := 6 + rng.Intn(5)
+		n := tree.V(rng.Int63n(tree.New(12).LevelWidth(j)), j)
+		stream = append(stream, scheduler.Access{Nodes: tree.PathNodes(n, 6)})
+	}
+	queues, err := scheduler.SplitRoundRobin(stream, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return queues
+}
+
+// TestBenchSnapshot writes the hot-path benchmark snapshot named by the
+// BENCH_SNAPSHOT environment variable; without it the test skips.
+func TestBenchSnapshot(t *testing.T) {
+	out := os.Getenv("BENCH_SNAPSHOT")
+	if out == "" {
+		t.Skip("set BENCH_SNAPSHOT=<path> to write a benchmark snapshot")
+	}
+	mapping := baseline.Modulo(tree.New(14), 7)
+	tr := snapshotTrace(14, 2000, 77)
+	kernels := map[string]func(*testing.B){
+		"ReplaySequential": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.Replay(mapping, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"ReplayParallel": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.ReplayParallel(mapping, tr, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"SchedulerRun": func(b *testing.B) {
+			queues := snapshotSchedulerQueues(b)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := scheduler.Run(mapping, queues); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"SchedulerRunReference": func(b *testing.B) {
+			queues := snapshotSchedulerQueues(b)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := scheduler.RunReference(mapping, queues); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"SubmitDrain": func(b *testing.B) {
+			sys := pms.NewSystem(mapping)
+			batch := tree.PathNodes(tree.V(1000, 11), 10)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys.SubmitDrain(batch)
+			}
+		},
+	}
+	snapshot := make(map[string]snapshotEntry, len(kernels))
+	for name, fn := range kernels {
+		r := testing.Benchmark(fn)
+		snapshot[name] = snapshotEntry{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+	data, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("benchmark snapshot written to %s", out)
+}
