@@ -1,15 +1,17 @@
 # Build/verification tiers for the tree-access reproduction.
 #
-#   make check          vet + race tests + benchmark smoke pass (CI tier)
+#   make check          vet + race tests + benchmark smoke + server smoke (CI tier)
 #   make test           plain unit tests (tier-1)
 #   make bench          full benchmark sweep with allocation counts
 #   make bench-snapshot rewrite BENCH_pr1.json from the hot-path kernels
+#   make server-smoke   boot pmsd, scripted request mix incl. backpressure
+#   make bench-serving  rewrite BENCH_pr2.json from a pmsd -loadgen run
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench bench-snapshot
+.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving
 
-check: vet race bench-smoke
+check: vet race bench-smoke server-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,3 +32,15 @@ bench:
 
 bench-snapshot:
 	BENCH_SNAPSHOT=$(CURDIR)/BENCH_pr1.json $(GO) test -run TestBenchSnapshot .
+
+# Boots pmsd on a random port and runs the scripted serving smoke:
+# request mix, batch coalescing visible in /debug/vars, 429 backpressure
+# under saturation, graceful SIGTERM drain.
+server-smoke:
+	./scripts/server_smoke.sh
+
+# End-to-end serving throughput snapshot: the same workload with
+# coalescing on vs batch size 1, written to BENCH_pr2.json.
+bench-serving:
+	$(GO) run ./cmd/pmsd -loadgen -requests 20000 -clients 32 -dist zipf \
+	    -bench-out $(CURDIR)/BENCH_pr2.json

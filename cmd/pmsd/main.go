@@ -1,0 +1,172 @@
+// Command pmsd serves the paper's tree→module mappings over HTTP/JSON:
+// node→module retrieval (/v1/color, with server-side batching of
+// concurrent singleton lookups), template conflict costs
+// (/v1/template-cost) and bounded trace replay through the parallel
+// memory system simulator (/v1/simulate), with /debug/vars metrics and
+// /debug/pprof profiling built in.
+//
+// Serve mode:
+//
+//	pmsd -addr :8080 -workers 8 -max-inflight 512 -flush 500us
+//
+// SIGINT/SIGTERM trigger a graceful drain: accepted requests complete,
+// new ones are refused.
+//
+// Load-generator mode benchmarks the serving path end to end over real
+// HTTP, once with coalescing and once with batch size 1, and writes the
+// comparison as a JSON snapshot:
+//
+//	pmsd -loadgen -requests 20000 -clients 32 -dist zipf -bench-out BENCH_pr2.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = auto: 4 serving, 2 in loadgen)")
+	maxInflight := flag.Int("max-inflight", 256, "admitted-request limit before 429s")
+	flush := flag.Duration("flush", 500*time.Microsecond, "coalescing flush window (0 disables batching)")
+	maxBatch := flag.Int("max-batch", 64, "max coalesced batch size (1 disables batching)")
+	cacheMB := flag.Int64("cache-mb", 256, "mapping registry byte budget, in MiB")
+	workerDelay := flag.Duration("worker-delay", 0, "injected per-task latency (load/backpressure testing only)")
+
+	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving")
+	accessTime := flag.Duration("access-time", time.Millisecond,
+		"loadgen: modeled service time of one parallel memory access (what batching amortizes)")
+	clients := flag.Int("clients", 32, "loadgen: concurrent clients")
+	requests := flag.Int("requests", 20000, "loadgen: total request budget")
+	dist := flag.String("dist", "uniform", "loadgen: key distribution: uniform|zipf|sequential")
+	seed := flag.Int64("seed", 1, "loadgen: workload seed")
+	levels := flag.Int("levels", 20, "loadgen: tree levels of the queried mapping")
+	mExp := flag.Int("m", 4, "loadgen: canonical COLOR exponent (modules = 2^m - 1)")
+	benchOut := flag.String("bench-out", "", "loadgen: write the JSON comparison snapshot to this file")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fail("-workers must be non-negative, got %d", *workers)
+	}
+	if *maxInflight < 1 {
+		fail("-max-inflight must be at least 1, got %d", *maxInflight)
+	}
+	if *maxBatch < 1 {
+		fail("-max-batch must be at least 1, got %d", *maxBatch)
+	}
+	if *cacheMB < 1 {
+		fail("-cache-mb must be at least 1, got %d", *cacheMB)
+	}
+	if *flush < 0 || *workerDelay < 0 {
+		fail("-flush and -worker-delay must be non-negative")
+	}
+
+	cfg := server.Config{
+		Addr:             *addr,
+		Workers:          *workers,
+		MaxInflight:      *maxInflight,
+		FlushWindow:      *flush,
+		MaxBatch:         *maxBatch,
+		CacheBudgetBytes: *cacheMB << 20,
+		WorkerDelay:      *workerDelay,
+	}
+	if *flush == 0 {
+		cfg.FlushWindow = -1 // Config treats 0 as "default"; negative disables
+	}
+
+	if *loadgen {
+		var distribution workload.Distribution
+		switch *dist {
+		case "uniform":
+			distribution = workload.Uniform
+		case "zipf":
+			distribution = workload.Zipf
+		case "sequential":
+			distribution = workload.Sequential
+		default:
+			fail("unknown distribution %q", *dist)
+		}
+		if *clients < 1 || *requests < 1 {
+			fail("-clients and -requests must be at least 1")
+		}
+		if *accessTime < 0 {
+			fail("-access-time must be non-negative")
+		}
+		// Each worker-pool task is one parallel memory operation; its
+		// service time is what coalescing amortizes across a batch,
+		// mirroring the paper's cycle model where a parallel access costs
+		// max-module-load cycles however many nodes it touches.
+		if cfg.WorkerDelay == 0 {
+			cfg.WorkerDelay = *accessTime
+		}
+		if cfg.Workers == 0 {
+			cfg.Workers = 2 // scarce memory ports by default, so capacity binds
+		}
+		lg := server.LoadGenConfig{
+			Mapping:  server.MappingSpec{Alg: "color", Levels: *levels, M: *mExp},
+			Clients:  *clients,
+			Requests: *requests,
+			Dist:     distribution,
+			Seed:     *seed,
+			Server:   cfg,
+		}
+		cmp, err := server.RunLoadGenComparison(lg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batched: %.0f req/s (%d ok, %d rejected, mean batch %.2f, %d coalesced)\n",
+			cmp.Batched.ReqPerSec, cmp.Batched.Requests, cmp.Batched.Rejected,
+			cmp.Batched.MeanBatchSize, cmp.Batched.CoalescedJobs)
+		fmt.Printf("batch1:  %.0f req/s (%d ok, %d rejected)\n",
+			cmp.Batch1.ReqPerSec, cmp.Batch1.Requests, cmp.Batch1.Rejected)
+		fmt.Printf("speedup: %.2fx\n", cmp.Speedup)
+		if *benchOut != "" {
+			data, err := json.MarshalIndent(cmp, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("snapshot written to %s\n", *benchOut)
+		}
+		return
+	}
+
+	srv := server.New(cfg)
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("pmsd listening on %s (%s)", srv.Addr(), cfg)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("pmsd draining")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("pmsd stopped")
+}

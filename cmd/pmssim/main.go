@@ -41,6 +41,12 @@ func main() {
 	workers := flag.Int("workers", 1, "replay workers for -trace-in (0 = GOMAXPROCS); results are identical at any count")
 	flag.Parse()
 
+	if err := validateFlags(*alg, *levels, *mExp, *modules, *ops, *queries, *span, *batch, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	mapping, err := build(*alg, *levels, *mExp, *modules, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -178,6 +184,49 @@ func main() {
 		}
 		fmt.Printf("trace written to %s\n", *traceOut)
 	}
+}
+
+// validateFlags rejects nonsensical parameter combinations with a usage
+// message before any mapping construction or workload generation, instead
+// of panicking (negative levels/modules) or silently looping forever
+// (non-positive counts).
+func validateFlags(alg string, levels, mExp, modules, ops, queries int, span int64, batch, workers int) error {
+	switch alg {
+	case "color", "labeltree", "mod", "random":
+	default:
+		return fmt.Errorf("unknown algorithm %q (want color, labeltree, mod or random)", alg)
+	}
+	if levels < 1 || levels > 62 {
+		return fmt.Errorf("-levels %d out of range [1,62]", levels)
+	}
+	if alg == "color" && mExp < 2 {
+		return fmt.Errorf("-m %d must be at least 2 for the canonical COLOR parameters", mExp)
+	}
+	if alg != "color" {
+		min := 1
+		if alg == "labeltree" {
+			min = 3
+		}
+		if modules < min {
+			return fmt.Errorf("-modules %d must be at least %d for %s", modules, min, alg)
+		}
+	}
+	if ops < 0 {
+		return fmt.Errorf("-ops %d must be non-negative", ops)
+	}
+	if queries < 1 {
+		return fmt.Errorf("-queries %d must be at least 1", queries)
+	}
+	if span < 1 {
+		return fmt.Errorf("-span %d must be at least 1", span)
+	}
+	if batch < 1 {
+		return fmt.Errorf("-batch %d must be at least 1", batch)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers %d must be non-negative (0 = GOMAXPROCS)", workers)
+	}
+	return nil
 }
 
 func build(alg string, levels, mExp, modules int, seed int64) (core.Mapping, error) {

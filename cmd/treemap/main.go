@@ -37,6 +37,12 @@ func main() {
 	loadFrom := flag.String("load", "", "load a previously saved mapping instead of building one")
 	flag.Parse()
 
+	if err := validateFlags(*alg, *levels, *mExp, *modules, *loadFrom); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	var mapping core.Mapping
 	var err error
 	if *loadFrom != "" {
@@ -108,6 +114,37 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// validateFlags rejects nonsensical parameter combinations up front with
+// a usage message, instead of panicking or misbehaving deeper in the
+// mapping constructors. When loading a saved mapping the build parameters
+// are ignored, so only the algorithm-independent checks apply.
+func validateFlags(alg string, levels, mExp, modules int, loadFrom string) error {
+	if loadFrom != "" {
+		return nil
+	}
+	switch alg {
+	case "color", "labeltree", "mod", "random":
+	default:
+		return fmt.Errorf("unknown algorithm %q (want color, labeltree, mod or random)", alg)
+	}
+	if levels < 1 || levels > 62 {
+		return fmt.Errorf("-levels %d out of range [1,62]", levels)
+	}
+	if alg == "color" && mExp < 2 {
+		return fmt.Errorf("-m %d must be at least 2 for the canonical COLOR parameters", mExp)
+	}
+	if alg != "color" {
+		min := 1
+		if alg == "labeltree" {
+			min = 3
+		}
+		if modules < min {
+			return fmt.Errorf("-modules %d must be at least %d for %s", modules, min, alg)
+		}
+	}
+	return nil
 }
 
 func build(alg string, levels, mExp, modules int, seed int64) (core.Mapping, error) {

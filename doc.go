@@ -7,7 +7,9 @@
 //
 // The library lives under internal/ (see internal/core for the facade),
 // runnable examples under examples/, command-line tools under cmd/, and
-// the per-theorem benchmark harness in bench_test.go. DESIGN.md maps every
+// the per-theorem benchmark harness in bench_test.go. internal/server and
+// cmd/pmsd expose the mappings and simulator as a concurrent HTTP/JSON
+// service with request coalescing and backpressure. DESIGN.md maps every
 // paper result to the module and experiment that reproduces it;
 // EXPERIMENTS.md records claimed-versus-measured numbers.
 package repro

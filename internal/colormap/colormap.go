@@ -198,6 +198,13 @@ type localResolution struct {
 // Retriever answers single-node color queries in O(H / (N-k)) time after an
 // O(2^N)-space preprocessing pass, the complexity the paper obtains with
 // the PREBASIC-COLOR and PRE-COLOR tables combined.
+//
+// A Retriever is immutable after NewRetriever returns and therefore safe
+// for any number of concurrent readers: Color (and the Mapping wrapper)
+// only read the precomputed local-resolution table and perform node
+// arithmetic on the stack. The pmsd serving layer relies on this to share
+// one Retriever across its whole worker pool without locking; the
+// guarantee is enforced by a -race hammer test.
 type Retriever struct {
 	p     Params
 	local []localResolution // indexed by local heap index within a band subtree

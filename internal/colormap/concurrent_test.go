@@ -1,0 +1,97 @@
+package colormap
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// TestRetrieverConcurrentReaders hammers one shared Retriever from many
+// goroutines under -race and cross-checks every answer against a
+// sequentially computed baseline. This locks in the documented guarantee
+// that a Retriever is safe for concurrent readers — the pmsd serving
+// layer shares one instance across its whole worker pool.
+func TestRetrieverConcurrentReaders(t *testing.T) {
+	p, err := Canonical(18, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRetriever(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Precompute the expected colors sequentially.
+	const probes = 2048
+	nodes := make([]tree.Node, probes)
+	want := make([]int, probes)
+	total := tree.New(p.Levels).Nodes()
+	for i := range nodes {
+		nodes[i] = tree.FromHeapIndex(int64(i) * 2654435761 % total)
+		c, err := r.Color(nodes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = c
+	}
+
+	const goroutines = 16
+	const rounds = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				// Different goroutines sweep in different orders so reads
+				// of the shared table genuinely interleave.
+				for i := range nodes {
+					j := (i*(g+1) + round) % probes
+					got, err := r.Color(nodes[j])
+					if err != nil {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+					if got != want[j] {
+						t.Errorf("goroutine %d: Color(%v) = %d, want %d", g, nodes[j], got, want[j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRetrieverMappingConcurrentReaders drives the coloring.Mapping
+// wrapper concurrently, since that is the interface the serving layer and
+// the simulator actually call.
+func TestRetrieverMappingConcurrentReaders(t *testing.T) {
+	p, err := Canonical(14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRetriever(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Mapping()
+	total := m.Tree().Nodes()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for h := int64(g); h < total; h += 8 {
+				n := tree.FromHeapIndex(h)
+				if c := m.Color(n); c < 0 || c >= m.Modules() {
+					t.Errorf("Color(%v) = %d out of range [0,%d)", n, c, m.Modules())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,78 @@
+package labeltree
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// TestMappingConcurrentReaders hammers one shared LABEL-TREE mapping from
+// many goroutines under -race and cross-checks every answer against a
+// sequentially computed baseline, locking in the documented guarantee
+// that a Mapping is safe for concurrent readers (the pmsd serving layer
+// shares one instance across its worker pool).
+func TestMappingConcurrentReaders(t *testing.T) {
+	for _, policy := range []Policy{BandCyclic, Balanced} {
+		lt, err := NewWithPolicy(20, 31, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const probes = 2048
+		nodes := make([]tree.Node, probes)
+		want := make([]int, probes)
+		total := lt.Tree().Nodes()
+		for i := range nodes {
+			nodes[i] = tree.FromHeapIndex(int64(i) * 2654435761 % total)
+			want[i] = lt.Color(nodes[i])
+		}
+
+		const goroutines = 16
+		const rounds = 20
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for round := 0; round < rounds; round++ {
+					for i := range nodes {
+						j := (i*(g+1) + round) % probes
+						if got := lt.Color(nodes[j]); got != want[j] {
+							t.Errorf("%v goroutine %d: Color(%v) = %d, want %d",
+								policy, g, nodes[j], got, want[j])
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+// TestSlowColorConcurrentReaders drives the table-free O(log M) retrieval
+// path concurrently against the table-backed one.
+func TestSlowColorConcurrentReaders(t *testing.T) {
+	lt, err := New(16, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := lt.Tree().Nodes()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for h := int64(g); h < total; h += 8 * 17 {
+				n := tree.FromHeapIndex(h)
+				if fast, slow := lt.Color(n), lt.SlowColor(n); fast != slow {
+					t.Errorf("Color(%v) = %d but SlowColor = %d", n, fast, slow)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -126,6 +126,13 @@ func (p Params) groupBounds(q int) (start, size int) {
 // retrieval. The micro table (the paper's O(M) preprocessing) stores the
 // Σ-list index of every position of a band subtree; group arithmetic then
 // resolves the final module in constant time.
+//
+// A Mapping is immutable after construction and therefore safe for any
+// number of concurrent readers: Color, SlowColor and the accessors only
+// read the precomputed micro table and derived parameters. The pmsd
+// serving layer relies on this to share one Mapping across its whole
+// worker pool without locking; the guarantee is enforced by a -race
+// hammer test.
 type Mapping struct {
 	p        Params
 	t        tree.Tree

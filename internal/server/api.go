@@ -1,0 +1,303 @@
+// HTTP wire types for the pmsd serving layer: mapping specs, node and
+// template references, and the strict JSON decoding shared by every
+// endpoint. All request validation lives here, before any work is
+// admitted to the worker pool, so malformed traffic is rejected with a
+// 4xx without consuming queue capacity.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/baseline"
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/labeltree"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// Resource ceilings for lazily materialized mappings. COLOR's retriever
+// table is O(2^N) with N = 2^(m-1)+m-1, so m is capped where the table
+// stays in the tens of megabytes; RANDOM materializes the whole tree.
+const (
+	maxSpecLevels   = 40      // arithmetic mappings: no per-node state
+	maxColorM       = 5       // N = 20 → 2^20-entry retriever table
+	minColorM       = 2       // canonical parameters need m ≥ 2
+	maxSpecModules  = 1 << 16 // labeltree micro table stays tiny
+	maxRandomLevels = 22      // 2^22 × 4 B ≈ 16 MiB dense array
+)
+
+// MappingSpec identifies one mapping instance in the registry. It is the
+// cache key of the serving layer: requests carrying the same spec share
+// one lazily built Retriever / Mapping.
+type MappingSpec struct {
+	// Alg selects the algorithm: color | labeltree | mod | levelcyclic | random.
+	Alg string `json:"alg"`
+	// Levels is the tree height H (number of levels).
+	Levels int `json:"levels"`
+	// M is the canonical COLOR exponent (modules = 2^m - 1); color only.
+	M int `json:"m,omitempty"`
+	// Modules is the module count for labeltree/mod/levelcyclic/random.
+	Modules int `json:"modules,omitempty"`
+	// Seed seeds the random baseline mapping.
+	Seed int64 `json:"seed,omitempty"`
+	// Policy selects the labeltree MACRO-LABEL policy: band-cyclic | balanced.
+	Policy string `json:"policy,omitempty"`
+}
+
+// Validate checks the spec against the serving resource ceilings. It is
+// called before admission, so invalid specs cost no queue slot.
+func (sp MappingSpec) Validate() error {
+	if sp.Levels < 1 || sp.Levels > maxSpecLevels {
+		return fmt.Errorf("levels %d out of range [1,%d]", sp.Levels, maxSpecLevels)
+	}
+	switch sp.Alg {
+	case "color":
+		if sp.M < minColorM || sp.M > maxColorM {
+			return fmt.Errorf("color exponent m %d out of range [%d,%d]", sp.M, minColorM, maxColorM)
+		}
+		if _, err := colormap.Canonical(sp.Levels, sp.M); err != nil {
+			return err
+		}
+	case "labeltree":
+		if sp.Modules < 3 || sp.Modules > maxSpecModules {
+			return fmt.Errorf("labeltree modules %d out of range [3,%d]", sp.Modules, maxSpecModules)
+		}
+		switch sp.Policy {
+		case "", "band-cyclic", "balanced":
+		default:
+			return fmt.Errorf("unknown labeltree policy %q", sp.Policy)
+		}
+		if _, err := labeltree.NewParams(sp.Levels, sp.Modules); err != nil {
+			return err
+		}
+	case "mod", "levelcyclic":
+		if sp.Modules < 1 || sp.Modules > maxSpecModules {
+			return fmt.Errorf("%s modules %d out of range [1,%d]", sp.Alg, sp.Modules, maxSpecModules)
+		}
+	case "random":
+		if sp.Modules < 1 || sp.Modules > maxSpecModules {
+			return fmt.Errorf("random modules %d out of range [1,%d]", sp.Modules, maxSpecModules)
+		}
+		if sp.Levels > maxRandomLevels {
+			return fmt.Errorf("random levels %d above materialization cap %d", sp.Levels, maxRandomLevels)
+		}
+	case "":
+		return errors.New("missing mapping.alg")
+	default:
+		return fmt.Errorf("unknown mapping alg %q", sp.Alg)
+	}
+	return nil
+}
+
+// Key returns the canonical registry key. Fields irrelevant to the chosen
+// algorithm are normalized away so equivalent specs share a cache entry.
+func (sp MappingSpec) Key() string {
+	switch sp.Alg {
+	case "color":
+		return fmt.Sprintf("color/H=%d/m=%d", sp.Levels, sp.M)
+	case "labeltree":
+		policy := sp.Policy
+		if policy == "" {
+			policy = "band-cyclic"
+		}
+		return fmt.Sprintf("labeltree/H=%d/M=%d/%s", sp.Levels, sp.Modules, policy)
+	case "random":
+		return fmt.Sprintf("random/H=%d/M=%d/seed=%d", sp.Levels, sp.Modules, sp.Seed)
+	default: // mod, levelcyclic
+		return fmt.Sprintf("%s/H=%d/M=%d", sp.Alg, sp.Levels, sp.Modules)
+	}
+}
+
+// build materializes the mapping and estimates its resident size for the
+// registry's byte budget. Validate must have succeeded.
+func (sp MappingSpec) build() (coloring.Mapping, int64, error) {
+	switch sp.Alg {
+	case "color":
+		p, err := colormap.Canonical(sp.Levels, sp.M)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := colormap.NewRetriever(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		// localResolution is ~16 B per 2^N table slot.
+		return r.Mapping(), tree.SubtreeSize(p.BandLevels) * 16, nil
+	case "labeltree":
+		policy := labeltree.BandCyclic
+		if sp.Policy == "balanced" {
+			policy = labeltree.Balanced
+		}
+		lt, err := labeltree.NewWithPolicy(sp.Levels, sp.Modules, policy)
+		if err != nil {
+			return nil, 0, err
+		}
+		return lt, tree.SubtreeSize(lt.Params().M) * 4, nil
+	case "mod":
+		return baseline.Modulo(tree.New(sp.Levels), sp.Modules), 64, nil
+	case "levelcyclic":
+		return baseline.LevelCyclic(tree.New(sp.Levels), sp.Modules), 64, nil
+	case "random":
+		return baseline.Random(tree.New(sp.Levels), sp.Modules, sp.Seed), tree.New(sp.Levels).Nodes() * 4, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown mapping alg %q", sp.Alg)
+	}
+}
+
+// NodeRef addresses a tree node as (index, level) on the wire.
+type NodeRef struct {
+	Index int64 `json:"index"`
+	Level int   `json:"level"`
+}
+
+// Node converts the reference to the internal node type.
+func (nr NodeRef) Node() tree.Node { return tree.V(nr.Index, nr.Level) }
+
+// validateNode checks the node against the spec's tree.
+func (nr NodeRef) validate(levels int) error {
+	n := nr.Node()
+	if !n.Valid() || n.Level >= levels {
+		return fmt.Errorf("node %v outside %d-level tree", n, levels)
+	}
+	return nil
+}
+
+// ColorRequest asks for the module of one node (Node) or a batch (Nodes).
+// Exactly one of the two must be set. Singleton requests are eligible for
+// server-side coalescing; explicit batches run as one worker task.
+type ColorRequest struct {
+	Mapping MappingSpec `json:"mapping"`
+	Node    *NodeRef    `json:"node,omitempty"`
+	Nodes   []NodeRef   `json:"nodes,omitempty"`
+}
+
+// ColorResponse carries the module assignments, in request order.
+type ColorResponse struct {
+	Modules int   `json:"modules"` // module count of the mapping
+	Colors  []int `json:"colors"`  // one module id per requested node
+}
+
+// InstanceRef is an elementary template instance on the wire.
+type InstanceRef struct {
+	Kind   string  `json:"kind"` // S | L | P
+	Anchor NodeRef `json:"anchor"`
+	Size   int64   `json:"size"`
+}
+
+// instance converts the reference, validating the kind.
+func (ir InstanceRef) instance() (template.Instance, error) {
+	var kind template.Kind
+	switch ir.Kind {
+	case "S":
+		kind = template.Subtree
+	case "L":
+		kind = template.Level
+	case "P":
+		kind = template.Path
+	default:
+		return template.Instance{}, fmt.Errorf("unknown template kind %q (want S, L or P)", ir.Kind)
+	}
+	return template.Instance{Kind: kind, Anchor: ir.Anchor.Node(), Size: ir.Size}, nil
+}
+
+// TemplateCostRequest evaluates template conflicts under a mapping, in one
+// of three modes:
+//
+//   - Parts set: conflicts of the composite instance C(D,c) = ⊎ Parts;
+//   - Anchor set: conflicts of the single elementary instance
+//     (Kind, Anchor, Size);
+//   - neither: exact worst case over the whole family of (Kind, Size)
+//     instances — bounded by the server's family-levels cap, since it
+//     enumerates every instance of the tree.
+type TemplateCostRequest struct {
+	Mapping MappingSpec   `json:"mapping"`
+	Kind    string        `json:"kind,omitempty"`
+	Size    int64         `json:"size,omitempty"`
+	Anchor  *NodeRef      `json:"anchor,omitempty"`
+	Parts   []InstanceRef `json:"parts,omitempty"`
+}
+
+// TemplateCostResponse reports the conflict count; for family mode the
+// witness instance attaining the worst case is included.
+type TemplateCostResponse struct {
+	Conflicts int          `json:"conflicts"`
+	Items     int64        `json:"items"`             // nodes accessed by the costed instance(s)
+	Witness   *InstanceRef `json:"witness,omitempty"` // family mode only
+}
+
+// SimulateRequest replays a bounded trace — batches of heap (BFS) node
+// indices — through the parallel memory system simulator.
+type SimulateRequest struct {
+	Mapping MappingSpec `json:"mapping"`
+	Batches [][]int64   `json:"batches"`
+}
+
+// SimulateResponse summarizes the replay.
+type SimulateResponse struct {
+	Batches     int64   `json:"batches"`
+	Requests    int64   `json:"requests"`
+	Cycles      int64   `json:"cycles"`
+	Conflicts   int64   `json:"conflicts"`
+	MaxQueue    int     `json:"max_queue"`
+	Utilization float64 `json:"utilization"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// apiError carries an HTTP status with a client-facing message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeJSON strictly decodes one JSON value from the request body:
+// unknown fields, trailing garbage, numeric overflow and bodies above
+// maxBytes are all 4xx errors, never panics — the decode fuzz test locks
+// this in.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) *apiError {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &apiError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body above %d bytes", maxBytes)}
+		}
+		return badRequest("malformed JSON: %v", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the error body; 429s additionally advertise a
+// Retry-After so well-behaved clients back off.
+func writeError(w http.ResponseWriter, err *apiError) {
+	if err.status == http.StatusTooManyRequests || err.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, err.status, ErrorResponse{Error: err.msg})
+}

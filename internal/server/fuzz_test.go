@@ -1,0 +1,67 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzRequestDecoding throws arbitrary bodies at every POST endpoint and
+// asserts the serving layer's decode contract: no panic, and anything
+// that is not a well-formed, in-bounds request is answered with a 4xx.
+// The seed corpus covers the interesting failure classes — malformed
+// JSON, unknown fields, overflowing node ids, oversized batches, wrong
+// JSON shapes and deep nesting.
+func FuzzRequestDecoding(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`hello`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"node":{"index":0,"level":0}}`,
+		`{"mapping":{"alg":"color","levels":16,"m":3},"node":{"index":5,"level":3}}`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"node":{"index":99999999999999999999999999,"level":1}}`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"node":{"index":1e400,"level":0}}`,
+		`{"mapping":{"alg":"mod","levels":-5,"modules":3},"node":{"index":0,"level":0}}`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"nodes":[` + strings.Repeat(`{"index":0,"level":0},`, 64) + `{"index":0,"level":0}]}`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"unknown":1}`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"node":{"index":0,"level":0}},`,
+		`{"mapping":{"alg":"labeltree","levels":10,"modules":31},"kind":"P","size":4}`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"kind":"Q","size":-1}`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"parts":[{"kind":"S","anchor":{"index":0,"level":0},"size":7},{"kind":"S","anchor":{"index":0,"level":0},"size":7}]}`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"batches":[[0,1,2],[30]]}`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"batches":[[9223372036854775807]]}`,
+		`{"mapping":{"alg":"mod","levels":5,"modules":3},"batches":[[-1]]}`,
+		`{"node":` + strings.Repeat(`{"index":`, 100) + `0` + strings.Repeat(`}`, 100) + `}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	// A small queue keeps fuzz iterations cheap; decoding and validation
+	// happen before admission, so limits never mask a decode panic.
+	srv := New(Config{Workers: 2, MaxInflight: 8, MaxBodyBytes: 1 << 16, MaxColorNodes: 16, MaxSimBatches: 8, MaxSimItems: 64})
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(ts.Close)
+	endpoints := []string{"/v1/color", "/v1/template-cost", "/v1/simulate"}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		for _, ep := range endpoints {
+			resp, err := ts.Client().Post(ts.URL+ep, "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatalf("%s: transport error: %v", ep, err)
+			}
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				// A fuzz input may legitimately be a valid request.
+			case resp.StatusCode >= 400 && resp.StatusCode < 500:
+				// Expected: rejected at decode or validation.
+			default:
+				t.Errorf("%s: status %d for body %q, want 2xx/4xx", ep, resp.StatusCode, body)
+			}
+		}
+	})
+}

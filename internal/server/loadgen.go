@@ -1,0 +1,194 @@
+// Load generation for the serving path: boots a pmsd server in-process,
+// drives it over real HTTP with concurrent clients whose key streams come
+// from internal/workload (so serving benchmarks see the same uniform /
+// zipf / sequential traffic as the engine benchmarks), and reports
+// end-to-end throughput plus the server's own batching counters. Running
+// the same workload with coalescing enabled and with batch size 1 gives
+// the apples-to-apples comparison recorded in BENCH_pr2.json.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// LoadGenConfig parameterizes one load run.
+type LoadGenConfig struct {
+	// Mapping is the spec every request queries (default: color, H=20, m=4).
+	Mapping MappingSpec
+	// Clients is the number of concurrent client goroutines (default 32).
+	Clients int
+	// Requests is the total request budget across clients (default 20000).
+	Requests int
+	// Dist selects the key distribution (uniform | zipf | sequential).
+	Dist workload.Distribution
+	// Seed seeds the per-client key streams.
+	Seed int64
+	// Server tunes the serving side under test. Addr is ignored; the
+	// server always binds an ephemeral localhost port.
+	Server Config
+}
+
+func (c LoadGenConfig) withDefaults() LoadGenConfig {
+	if c.Mapping.Alg == "" {
+		c.Mapping = MappingSpec{Alg: "color", Levels: 20, M: 4}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 32
+	}
+	if c.Requests <= 0 {
+		c.Requests = 20000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LoadGenResult is one measured run.
+type LoadGenResult struct {
+	Mode           string  `json:"mode"` // "batched" or "batch1"
+	Requests       int64   `json:"requests"`
+	Rejected       int64   `json:"rejected_429"`
+	Errors         int64   `json:"errors"`
+	Seconds        float64 `json:"seconds"`
+	ReqPerSec      float64 `json:"req_per_sec"`
+	MeanLatencyUS  float64 `json:"mean_latency_us"`
+	BatchesFlushed int64   `json:"batches_flushed"`
+	CoalescedJobs  int64   `json:"coalesced_jobs"`
+	MeanBatchSize  float64 `json:"mean_batch_size"`
+}
+
+// RunLoadGen executes one run against a fresh in-process server and
+// returns the measured result. The server is shut down before returning.
+func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Mapping.Validate(); err != nil {
+		return LoadGenResult{}, fmt.Errorf("loadgen mapping: %w", err)
+	}
+	srvCfg := cfg.Server
+	srvCfg.Addr = "127.0.0.1:0"
+	if mode == "batch1" {
+		srvCfg.MaxBatch = 1
+		srvCfg.FlushWindow = -1 // negative → 0 after defaults: no coalescing
+	}
+	srv := New(srvCfg)
+	if err := srv.Start(); err != nil {
+		return LoadGenResult{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	url := "http://" + srv.Addr() + "/v1/color"
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Clients * 2,
+		MaxIdleConnsPerHost: cfg.Clients * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	defer transport.CloseIdleConnections()
+
+	space := tree.New(cfg.Mapping.Levels).Nodes()
+	perClient := cfg.Requests / cfg.Clients
+	if perClient < 1 {
+		perClient = 1
+	}
+
+	var ok, rejected, errs, latencyUS atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			keys, err := workload.NewKeyStream(cfg.Dist, space, cfg.Seed+int64(id))
+			if err != nil {
+				errs.Add(int64(perClient))
+				return
+			}
+			var body bytes.Buffer
+			for i := 0; i < perClient; i++ {
+				n := tree.FromHeapIndex(keys.Next())
+				body.Reset()
+				_ = json.NewEncoder(&body).Encode(ColorRequest{
+					Mapping: cfg.Mapping,
+					Node:    &NodeRef{Index: n.Index, Level: n.Level},
+				})
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body.Bytes()))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				_ = resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					ok.Add(1)
+					latencyUS.Add(time.Since(t0).Microseconds())
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := srv.Metrics().Snapshot()
+	res := LoadGenResult{
+		Mode:           mode,
+		Requests:       ok.Load(),
+		Rejected:       rejected.Load(),
+		Errors:         errs.Load(),
+		Seconds:        elapsed.Seconds(),
+		BatchesFlushed: snap.BatchesFlushed,
+		CoalescedJobs:  snap.CoalescedJobs,
+	}
+	if res.Requests > 0 {
+		res.ReqPerSec = float64(res.Requests) / elapsed.Seconds()
+		res.MeanLatencyUS = float64(latencyUS.Load()) / float64(res.Requests)
+	}
+	if snap.BatchesFlushed > 0 {
+		res.MeanBatchSize = float64(snap.BatchSize.Sum) / float64(snap.BatchesFlushed)
+	}
+	return res, nil
+}
+
+// LoadGenComparison pairs the batched and batch-1 runs of one workload.
+type LoadGenComparison struct {
+	Batched LoadGenResult `json:"ServeColorBatched"`
+	Batch1  LoadGenResult `json:"ServeColorBatch1"`
+	// Speedup is batched over batch-1 request throughput.
+	Speedup float64 `json:"BatchedSpeedup"`
+}
+
+// RunLoadGenComparison runs the workload twice — coalescing on, then
+// batch size 1 — and reports both plus the throughput ratio.
+func RunLoadGenComparison(cfg LoadGenConfig) (LoadGenComparison, error) {
+	batched, err := RunLoadGen(cfg, "batched")
+	if err != nil {
+		return LoadGenComparison{}, err
+	}
+	single, err := RunLoadGen(cfg, "batch1")
+	if err != nil {
+		return LoadGenComparison{}, err
+	}
+	cmp := LoadGenComparison{Batched: batched, Batch1: single}
+	if single.ReqPerSec > 0 {
+		cmp.Speedup = batched.ReqPerSec / single.ReqPerSec
+	}
+	return cmp, nil
+}

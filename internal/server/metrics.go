@@ -1,0 +1,203 @@
+// Serving metrics: lock-free counters and power-of-two histograms exposed
+// as a /debug/vars-style JSON snapshot. Everything here is written on the
+// hot path, so the recording side is a single atomic add; aggregation cost
+// is paid only by the scrape.
+package server
+
+import (
+	"math/bits"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers 2^0 … 2^27 (µs buckets reach ~134 s; batch-size
+// buckets reach 2^27 items, far above any admitted batch).
+const histBuckets = 28
+
+// histogram is a power-of-two bucketed distribution: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+type histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func (h *histogram) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[i].Add(1)
+}
+
+// HistogramSnapshot is the exported form of a histogram.
+type HistogramSnapshot struct {
+	Count   int64           `json:"count"`
+	Sum     int64           `json:"sum"`
+	Mean    float64         `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // upper bound → count, zero buckets omitted
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+		s.Buckets = make(map[string]int64)
+		for i := range h.buckets {
+			if c := h.buckets[i].Load(); c > 0 {
+				s.Buckets[bucketLabel(i)] = c
+			}
+		}
+	}
+	return s
+}
+
+func bucketLabel(i int) string {
+	// Upper bound of bucket i is 2^i - 1 (bucket 0 holds v == 0).
+	if i == histBuckets-1 {
+		return "inf"
+	}
+	v := (int64(1) << uint(i)) - 1
+	return itoa(v)
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// endpointMetrics tracks one API endpoint.
+type endpointMetrics struct {
+	requests  atomic.Int64
+	errors4xx atomic.Int64
+	errors5xx atomic.Int64
+	latencyUS histogram
+}
+
+// EndpointSnapshot is the exported form of endpointMetrics.
+type EndpointSnapshot struct {
+	Requests  int64             `json:"requests"`
+	Errors4xx int64             `json:"errors_4xx"`
+	Errors5xx int64             `json:"errors_5xx"`
+	LatencyUS HistogramSnapshot `json:"latency_us"`
+}
+
+// Metrics is the server-wide metrics registry.
+type Metrics struct {
+	color        endpointMetrics
+	templateCost endpointMetrics
+	simulate     endpointMetrics
+
+	rejected429    atomic.Int64
+	inflight       atomic.Int64
+	batchesFlushed atomic.Int64
+	coalescedJobs  atomic.Int64 // singleton requests that shared a flushed batch of size ≥ 2
+	batchSize      histogram
+
+	registryHits      atomic.Int64
+	registryMisses    atomic.Int64
+	registryEvictions atomic.Int64
+	registryBytes     atomic.Int64
+
+	queueDepth func() int // wired to the worker pool at server construction
+}
+
+// MetricsSnapshot is the /debug/vars JSON document.
+type MetricsSnapshot struct {
+	Color        EndpointSnapshot `json:"color"`
+	TemplateCost EndpointSnapshot `json:"template_cost"`
+	Simulate     EndpointSnapshot `json:"simulate"`
+
+	Rejected429    int64             `json:"rejected_429"`
+	Inflight       int64             `json:"inflight"`
+	QueueDepth     int               `json:"queue_depth"`
+	BatchesFlushed int64             `json:"batches_flushed"`
+	CoalescedJobs  int64             `json:"coalesced_jobs"`
+	BatchSize      HistogramSnapshot `json:"batch_size"`
+
+	RegistryHits      int64 `json:"registry_hits"`
+	RegistryMisses    int64 `json:"registry_misses"`
+	RegistryEvictions int64 `json:"registry_evictions"`
+	RegistryBytes     int64 `json:"registry_bytes"`
+}
+
+func (em *endpointMetrics) snapshot() EndpointSnapshot {
+	return EndpointSnapshot{
+		Requests:  em.requests.Load(),
+		Errors4xx: em.errors4xx.Load(),
+		Errors5xx: em.errors5xx.Load(),
+		LatencyUS: em.latencyUS.snapshot(),
+	}
+}
+
+// Snapshot captures a consistent-enough view of all counters. Individual
+// counters are read atomically; cross-counter skew during a concurrent
+// scrape is acceptable for observability.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Color:        m.color.snapshot(),
+		TemplateCost: m.templateCost.snapshot(),
+		Simulate:     m.simulate.snapshot(),
+
+		Rejected429:    m.rejected429.Load(),
+		Inflight:       m.inflight.Load(),
+		BatchesFlushed: m.batchesFlushed.Load(),
+		CoalescedJobs:  m.coalescedJobs.Load(),
+		BatchSize:      m.batchSize.snapshot(),
+
+		RegistryHits:      m.registryHits.Load(),
+		RegistryMisses:    m.registryMisses.Load(),
+		RegistryEvictions: m.registryEvictions.Load(),
+		RegistryBytes:     m.registryBytes.Load(),
+	}
+	if m.queueDepth != nil {
+		s.QueueDepth = m.queueDepth()
+	}
+	return s
+}
+
+// endpoint returns the per-endpoint metrics for a handler name.
+func (m *Metrics) endpoint(name string) *endpointMetrics {
+	switch name {
+	case "color":
+		return &m.color
+	case "template_cost":
+		return &m.templateCost
+	case "simulate":
+		return &m.simulate
+	default:
+		return nil
+	}
+}
+
+// observe records one completed request on an endpoint.
+func (em *endpointMetrics) observe(status int, d time.Duration) {
+	em.requests.Add(1)
+	switch {
+	case status >= 500:
+		em.errors5xx.Add(1)
+	case status >= 400:
+		em.errors4xx.Add(1)
+	}
+	em.latencyUS.observe(d.Microseconds())
+}
+
+// varsHandler serves the metrics snapshot as JSON.
+func (m *Metrics) varsHandler(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, m.Snapshot())
+}

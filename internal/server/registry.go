@@ -1,0 +1,169 @@
+// The mapping registry: a sharded, byte-budgeted LRU cache of lazily
+// materialized mappings. The serving layer never builds a Retriever or
+// LABEL-TREE table per request — the first request for a spec builds it
+// once (concurrent requests for the same key wait on the in-flight build
+// instead of duplicating it) and every later request is a shard-local map
+// hit. Least-recently-used entries are evicted when a shard exceeds its
+// slice of the byte budget.
+package server
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+
+	"repro/internal/coloring"
+)
+
+const registryShards = 8
+
+// Registry caches built mappings by spec key.
+type Registry struct {
+	perShardBudget int64
+	seed           maphash.Seed
+	shards         [registryShards]registryShard
+	met            *Metrics
+}
+
+type registryShard struct {
+	mu    sync.Mutex
+	items map[string]*regEntry
+	lru   *list.List // front = most recently used; values are *regEntry
+	bytes int64
+}
+
+// regEntry is one cached (or in-flight) build. ready is closed when the
+// build finishes; m/bytes/err are immutable afterwards.
+type regEntry struct {
+	key   string
+	ready chan struct{}
+	m     coloring.Mapping
+	bytes int64
+	err   error
+	elem  *list.Element
+}
+
+// NewRegistry builds a registry with the given total byte budget, which is
+// split evenly across shards. Budgets below one shard still admit single
+// entries: eviction never removes the entry just inserted.
+func NewRegistry(budgetBytes int64, met *Metrics) *Registry {
+	r := &Registry{
+		perShardBudget: budgetBytes / registryShards,
+		seed:           maphash.MakeSeed(),
+		met:            met,
+	}
+	for i := range r.shards {
+		r.shards[i].items = make(map[string]*regEntry)
+		r.shards[i].lru = list.New()
+	}
+	return r
+}
+
+func (r *Registry) shardFor(key string) *registryShard {
+	return &r.shards[maphash.String(r.seed, key)%registryShards]
+}
+
+// Acquire returns the mapping for the spec, building it on first use.
+// Safe for arbitrary concurrency; at most one build per key runs at a
+// time. The returned mapping stays valid even if the entry is later
+// evicted (eviction only drops the cache reference).
+func (r *Registry) Acquire(spec MappingSpec) (coloring.Mapping, error) {
+	key := spec.Key()
+	sh := r.shardFor(key)
+
+	sh.mu.Lock()
+	if e, ok := sh.items[key]; ok {
+		sh.lru.MoveToFront(e.elem)
+		sh.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		r.met.registryHits.Add(1)
+		return e.m, nil
+	}
+	e := &regEntry{key: key, ready: make(chan struct{})}
+	e.elem = sh.lru.PushFront(e)
+	sh.items[key] = e
+	sh.mu.Unlock()
+	r.met.registryMisses.Add(1)
+
+	m, bytes, err := spec.build()
+
+	sh.mu.Lock()
+	if err != nil {
+		// Build errors are not cached: remove the placeholder so a later
+		// request can retry (e.g. after a transient resource condition).
+		delete(sh.items, key)
+		sh.lru.Remove(e.elem)
+		sh.mu.Unlock()
+		e.err = err
+		close(e.ready)
+		return nil, err
+	}
+	e.m, e.bytes = m, bytes
+	sh.bytes += bytes
+	r.met.registryBytes.Add(bytes)
+	r.evictLocked(sh, e)
+	sh.mu.Unlock()
+	close(e.ready)
+	return m, nil
+}
+
+// evictLocked drops LRU-tail entries until the shard fits its budget,
+// skipping the just-finished entry keep and any build still in flight.
+func (r *Registry) evictLocked(sh *registryShard, keep *regEntry) {
+	for sh.bytes > r.perShardBudget {
+		el := sh.lru.Back()
+		evicted := false
+		for el != nil {
+			v := el.Value.(*regEntry)
+			prev := el.Prev()
+			if v != keep && v.done() {
+				sh.lru.Remove(el)
+				delete(sh.items, v.key)
+				sh.bytes -= v.bytes
+				r.met.registryBytes.Add(-v.bytes)
+				r.met.registryEvictions.Add(1)
+				evicted = true
+				break
+			}
+			el = prev
+		}
+		if !evicted {
+			return // only keep and in-flight builds remain
+		}
+	}
+}
+
+// done reports whether the entry's build has finished.
+func (e *regEntry) done() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Bytes returns the cached bytes across all shards (for /debug/vars).
+func (r *Registry) Bytes() int64 {
+	var total int64
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+		total += r.shards[i].bytes
+		r.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// Len returns the number of cached entries across all shards.
+func (r *Registry) Len() int {
+	var total int
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+		total += len(r.shards[i].items)
+		r.shards[i].mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,563 @@
+// Package server is the pmsd serving layer: an HTTP/JSON front end for
+// the paper's node→module mappings, template conflict costs, and the
+// parallel memory system simulator. It is built for sustained concurrent
+// traffic rather than one-shot CLI use:
+//
+//   - a sharded registry lazily materializes mappings (COLOR retriever
+//     tables, LABEL-TREE micro tables, baselines) under an LRU byte
+//     budget, so hot specs are built once and shared;
+//   - singleton color lookups coalesce into batches within a small flush
+//     window, amortizing registry resolution and dispatch over many
+//     concurrent requests;
+//   - a bounded worker pool applies backpressure: past the inflight limit
+//     the server answers 429 + Retry-After instead of queueing unboundedly;
+//   - shutdown is graceful: accepted requests drain to completion while
+//     new ones are refused;
+//   - /debug/vars exposes request counts, latency and batch-size
+//     histograms, queue depth and cache counters; /debug/pprof is wired.
+//
+// Endpoints: POST /v1/color, POST /v1/template-cost, POST /v1/simulate,
+// GET /debug/vars, GET /healthz, /debug/pprof/*.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/pms"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// Config tunes the server. Zero values take the documented defaults.
+type Config struct {
+	// Addr is the listen address; ":0" picks an ephemeral port.
+	Addr string
+	// Workers is the size of the worker pool (default 4).
+	Workers int
+	// MaxInflight bounds admitted-but-unfinished requests; beyond it the
+	// server sheds load with 429 (default 256).
+	MaxInflight int
+	// FlushWindow is how long a singleton color lookup may wait for
+	// companions before its batch flushes (default 500µs; 0 disables
+	// coalescing).
+	FlushWindow time.Duration
+	// MaxBatch caps a coalesced batch (default 64; 1 disables coalescing).
+	MaxBatch int
+	// CacheBudgetBytes bounds the mapping registry (default 256 MiB).
+	CacheBudgetBytes int64
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxColorNodes caps the nodes of one explicit /v1/color batch
+	// (default 4096).
+	MaxColorNodes int
+	// MaxFamilyLevels caps the tree height of family-mode template-cost
+	// queries, which enumerate every instance (default 20).
+	MaxFamilyLevels int
+	// MaxSimBatches / MaxSimItems bound one /v1/simulate replay
+	// (defaults 4096 / 1<<20).
+	MaxSimBatches int
+	MaxSimItems   int
+	// WorkerDelay injects per-task latency in the worker pool. Load and
+	// backpressure testing only; leave zero in production.
+	WorkerDelay time.Duration
+
+	// workerHook runs before each pool task; tests use it to gate workers.
+	workerHook func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.FlushWindow == 0 {
+		c.FlushWindow = 500 * time.Microsecond
+	}
+	if c.FlushWindow < 0 {
+		c.FlushWindow = 0
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.CacheBudgetBytes <= 0 {
+		c.CacheBudgetBytes = 256 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxColorNodes <= 0 {
+		c.MaxColorNodes = 4096
+	}
+	if c.MaxFamilyLevels <= 0 {
+		c.MaxFamilyLevels = 20
+	}
+	if c.MaxSimBatches <= 0 {
+		c.MaxSimBatches = 4096
+	}
+	if c.MaxSimItems <= 0 {
+		c.MaxSimItems = 1 << 20
+	}
+	return c
+}
+
+// errOverloaded is returned by the shed-load path.
+var errOverloaded = &apiError{status: http.StatusTooManyRequests, msg: "server overloaded, retry later"}
+
+// errDraining is returned while the server is shutting down.
+var errDraining = &apiError{status: http.StatusServiceUnavailable, msg: "server shutting down"}
+
+// Server is one pmsd instance.
+type Server struct {
+	cfg      Config
+	met      *Metrics
+	reg      *Registry
+	pool     *pool
+	coal     *coalescer
+	httpSrv  *http.Server
+	listener net.Listener
+	draining atomic.Bool
+}
+
+// New assembles a server from the config; call Start (or serve the
+// Handler yourself) afterwards.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	met := &Metrics{}
+	reg := NewRegistry(cfg.CacheBudgetBytes, met)
+	// Queue depth equals the admission limit: every admitted request maps
+	// to at most one queued unit, so admission is the only shed point.
+	p := newPool(cfg.Workers, cfg.MaxInflight, cfg.WorkerDelay, cfg.workerHook)
+	met.queueDepth = p.depth
+	s := &Server{
+		cfg:  cfg,
+		met:  met,
+		reg:  reg,
+		pool: p,
+		coal: newCoalescer(cfg.FlushWindow, cfg.MaxBatch, p, reg, met),
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Metrics exposes the metrics registry (loadgen and tests read it).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Handler returns the full route mux, usable without a listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/color", s.instrument("color", s.handleColor))
+	mux.HandleFunc("POST /v1/template-cost", s.instrument("template_cost", s.handleTemplateCost))
+	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("GET /debug/vars", s.met.varsHandler)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds the listen address and serves in the background. The bound
+// address is available from Addr afterwards.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.listener = ln
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (after Start).
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return s.cfg.Addr
+	}
+	return s.listener.Addr().String()
+}
+
+// Shutdown drains gracefully: new requests are refused with 503, armed
+// batches are flushed, in-flight handlers run to completion (bounded by
+// ctx), and only then do the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.coal.shutdown()
+	err := s.httpSrv.Shutdown(ctx)
+	// Even if ctx expired above, admitted handlers may still be talking to
+	// the pool; the workers must outlive every admitted request, so wait
+	// for the inflight count to reach zero before closing the queue.
+	for s.met.inflight.Load() > 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	s.pool.close()
+	return err
+}
+
+// statusWriter records the status for per-endpoint error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with request/latency/error accounting.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.met.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		em.observe(sw.status, time.Since(start))
+	}
+}
+
+// admit reserves one inflight slot, or reports why not. release must be
+// called exactly once when the reply is written.
+func (s *Server) admit() (release func(), err *apiError) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	if n := s.met.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
+		s.met.inflight.Add(-1)
+		s.met.rejected429.Add(1)
+		return nil, errOverloaded
+	}
+	return func() { s.met.inflight.Add(-1) }, nil
+}
+
+// runTask executes fn on the worker pool and waits for completion.
+// The queue never rejects an admitted request (it is sized to the
+// admission limit); the fallback exists for defense in depth.
+func (s *Server) runTask(fn func()) *apiError {
+	done := make(chan struct{})
+	if !s.pool.trySubmit(func() { defer close(done); fn() }) {
+		s.met.rejected429.Add(1)
+		return errOverloaded
+	}
+	<-done
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleColor serves node→module retrieval. Singletons go through the
+// coalescer; explicit batches run as one worker task.
+func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
+	var req ColorRequest
+	if aerr := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if err := req.Mapping.Validate(); err != nil {
+		writeError(w, badRequest("mapping: %v", err))
+		return
+	}
+	switch {
+	case req.Node != nil && req.Nodes == nil:
+	case req.Node == nil && len(req.Nodes) > 0:
+		if len(req.Nodes) > s.cfg.MaxColorNodes {
+			writeError(w, badRequest("batch of %d nodes above limit %d", len(req.Nodes), s.cfg.MaxColorNodes))
+			return
+		}
+	default:
+		writeError(w, badRequest("exactly one of node or nodes must be set"))
+		return
+	}
+	nodes := req.Nodes
+	if req.Node != nil {
+		nodes = []NodeRef{*req.Node}
+	}
+	for _, nr := range nodes {
+		if err := nr.validate(req.Mapping.Levels); err != nil {
+			writeError(w, badRequest("%v", err))
+			return
+		}
+	}
+
+	release, aerr := s.admit()
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	defer release()
+
+	if req.Node != nil {
+		out, ok := s.coal.enqueue(req.Mapping, req.Node.Node())
+		if !ok {
+			writeError(w, errDraining)
+			return
+		}
+		res := <-out
+		if res.err != nil {
+			writeResultError(w, res.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ColorResponse{Modules: res.modules, Colors: []int{res.color}})
+		return
+	}
+
+	var resp ColorResponse
+	var taskErr error
+	if aerr := s.runTask(func() {
+		m, err := s.reg.Acquire(req.Mapping)
+		if err != nil {
+			taskErr = err
+			return
+		}
+		s.met.batchesFlushed.Add(1)
+		s.met.batchSize.observe(int64(len(nodes)))
+		resp.Modules = m.Modules()
+		resp.Colors = make([]int, len(nodes))
+		for i, nr := range nodes {
+			resp.Colors[i] = m.Color(nr.Node())
+		}
+	}); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if taskErr != nil {
+		writeResultError(w, taskErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeResultError maps worker-side errors onto HTTP statuses.
+func writeResultError(w http.ResponseWriter, err error) {
+	if aerr, ok := err.(*apiError); ok {
+		writeError(w, aerr)
+		return
+	}
+	// Specs are validated before admission, so a build failure here is a
+	// server-side condition, not client error.
+	writeError(w, &apiError{status: http.StatusInternalServerError, msg: err.Error()})
+}
+
+// handleTemplateCost serves conflict counts for elementary instances,
+// composite C(D,c) instances, and whole-family worst cases.
+func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
+	var req TemplateCostRequest
+	if aerr := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if err := req.Mapping.Validate(); err != nil {
+		writeError(w, badRequest("mapping: %v", err))
+		return
+	}
+	t := tree.New(req.Mapping.Levels)
+
+	// Pre-validate per mode, before taking a queue slot.
+	var mode func(m coloring.Mapping) (TemplateCostResponse, error)
+	switch {
+	case len(req.Parts) > 0:
+		if req.Anchor != nil || req.Kind != "" {
+			writeError(w, badRequest("parts excludes kind/anchor"))
+			return
+		}
+		var comp template.Composite
+		for _, pr := range req.Parts {
+			inst, err := pr.instance()
+			if err != nil {
+				writeError(w, badRequest("%v", err))
+				return
+			}
+			comp.Parts = append(comp.Parts, inst)
+		}
+		if err := comp.Validate(t); err != nil {
+			writeError(w, badRequest("%v", err))
+			return
+		}
+		mode = func(m coloring.Mapping) (TemplateCostResponse, error) {
+			return TemplateCostResponse{
+				Conflicts: coloring.CompositeConflicts(m, comp),
+				Items:     comp.Size(),
+			}, nil
+		}
+	case req.Anchor != nil:
+		inst, err := InstanceRef{Kind: req.Kind, Anchor: *req.Anchor, Size: req.Size}.instance()
+		if err != nil {
+			writeError(w, badRequest("%v", err))
+			return
+		}
+		if err := inst.Validate(t); err != nil {
+			writeError(w, badRequest("%v", err))
+			return
+		}
+		mode = func(m coloring.Mapping) (TemplateCostResponse, error) {
+			return TemplateCostResponse{
+				Conflicts: coloring.InstanceConflicts(m, inst),
+				Items:     inst.Size,
+			}, nil
+		}
+	default:
+		// Family mode enumerates every instance of the tree: bound the
+		// height so one request cannot monopolize a worker.
+		if req.Mapping.Levels > s.cfg.MaxFamilyLevels {
+			writeError(w, badRequest("family cost on %d levels above cap %d (query a single anchor instead)",
+				req.Mapping.Levels, s.cfg.MaxFamilyLevels))
+			return
+		}
+		ref := InstanceRef{Kind: req.Kind, Size: req.Size}
+		if _, err := ref.instance(); err != nil {
+			writeError(w, badRequest("%v", err))
+			return
+		}
+		kind := map[string]template.Kind{"S": template.Subtree, "L": template.Level, "P": template.Path}[req.Kind]
+		fam, err := template.NewFamily(t, kind, req.Size)
+		if err != nil {
+			writeError(w, badRequest("%v", err))
+			return
+		}
+		mode = func(m coloring.Mapping) (TemplateCostResponse, error) {
+			cost, witness := coloring.FamilyCost(m, fam)
+			return TemplateCostResponse{
+				Conflicts: cost,
+				Items:     req.Size,
+				Witness: &InstanceRef{
+					Kind:   witness.Kind.String(),
+					Anchor: NodeRef{Index: witness.Anchor.Index, Level: witness.Anchor.Level},
+					Size:   witness.Size,
+				},
+			}, nil
+		}
+	}
+
+	release, aerr := s.admit()
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	defer release()
+
+	var resp TemplateCostResponse
+	var taskErr error
+	if aerr := s.runTask(func() {
+		m, err := s.reg.Acquire(req.Mapping)
+		if err != nil {
+			taskErr = err
+			return
+		}
+		resp, taskErr = mode(m)
+	}); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if taskErr != nil {
+		writeResultError(w, taskErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSimulate replays a bounded trace through pms.SubmitDrain.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if aerr := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if err := req.Mapping.Validate(); err != nil {
+		writeError(w, badRequest("mapping: %v", err))
+		return
+	}
+	if len(req.Batches) == 0 {
+		writeError(w, badRequest("no batches"))
+		return
+	}
+	if len(req.Batches) > s.cfg.MaxSimBatches {
+		writeError(w, badRequest("%d batches above limit %d", len(req.Batches), s.cfg.MaxSimBatches))
+		return
+	}
+	t := tree.New(req.Mapping.Levels)
+	items := 0
+	for _, batch := range req.Batches {
+		items += len(batch)
+		if items > s.cfg.MaxSimItems {
+			writeError(w, badRequest("trace above %d items", s.cfg.MaxSimItems))
+			return
+		}
+		for _, h := range batch {
+			if h < 0 || h >= t.Nodes() {
+				writeError(w, badRequest("heap index %d outside %d-level tree", h, t.Levels()))
+				return
+			}
+		}
+	}
+
+	release, aerr := s.admit()
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	defer release()
+
+	var resp SimulateResponse
+	var taskErr error
+	if aerr := s.runTask(func() {
+		m, err := s.reg.Acquire(req.Mapping)
+		if err != nil {
+			taskErr = err
+			return
+		}
+		sys := pms.NewSystem(m)
+		batch := make([]tree.Node, 0, 64)
+		for _, idxs := range req.Batches {
+			batch = batch[:0]
+			for _, h := range idxs {
+				batch = append(batch, tree.FromHeapIndex(h))
+			}
+			sys.SubmitDrain(batch)
+		}
+		st := sys.Stats()
+		resp = SimulateResponse{
+			Batches:     st.Batches,
+			Requests:    st.Requests,
+			Cycles:      st.Cycles,
+			Conflicts:   st.Conflicts,
+			MaxQueue:    st.MaxQueue,
+			Utilization: st.Utilization(m.Modules()),
+		}
+	}); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if taskErr != nil {
+		writeResultError(w, taskErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// String summarizes the live config for startup logging.
+func (c Config) String() string {
+	return fmt.Sprintf("workers=%d maxInflight=%d flushWindow=%s maxBatch=%d cacheBudget=%dMiB",
+		c.Workers, c.MaxInflight, c.FlushWindow, c.MaxBatch, c.CacheBudgetBytes>>20)
+}

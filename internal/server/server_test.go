@@ -1,0 +1,515 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/pms"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// post sends a JSON body and decodes the reply into out (if non-nil),
+// returning the status code.
+func post(t *testing.T, client *http.Client, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func modSpec(levels, modules int) MappingSpec {
+	return MappingSpec{Alg: "mod", Levels: levels, Modules: modules}
+}
+
+func TestColorSingleton(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	spec := MappingSpec{Alg: "color", Levels: 16, M: 3}
+	p, err := colormap.Canonical(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []tree.Node{tree.V(0, 0), tree.V(5, 3), tree.V(1000, 15)} {
+		var resp ColorResponse
+		status := post(t, ts.Client(), ts.URL+"/v1/color", ColorRequest{
+			Mapping: spec, Node: &NodeRef{Index: n.Index, Level: n.Level},
+		}, &resp)
+		if status != http.StatusOK {
+			t.Fatalf("status %d for %v", status, n)
+		}
+		want, err := colormap.Retrieve(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Colors) != 1 || resp.Colors[0] != want {
+			t.Errorf("%v: got %v, want [%d]", n, resp.Colors, want)
+		}
+		if resp.Modules != p.Colors() {
+			t.Errorf("modules = %d, want %d", resp.Modules, p.Colors())
+		}
+	}
+}
+
+func TestColorExplicitBatch(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	spec := modSpec(10, 7)
+	refs := []NodeRef{{0, 0}, {3, 2}, {100, 8}, {511, 9}}
+	var resp ColorResponse
+	if status := post(t, ts.Client(), ts.URL+"/v1/color", ColorRequest{Mapping: spec, Nodes: refs}, &resp); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	for i, nr := range refs {
+		want := int(nr.Node().HeapIndex() % 7)
+		if resp.Colors[i] != want {
+			t.Errorf("node %v: got %d, want %d", nr, resp.Colors[i], want)
+		}
+	}
+}
+
+func TestColorRejectsBadRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Config{MaxColorNodes: 4}).Handler())
+	defer ts.Close()
+	cases := []struct {
+		name string
+		req  ColorRequest
+	}{
+		{"no node", ColorRequest{Mapping: modSpec(10, 7)}},
+		{"both node and nodes", ColorRequest{Mapping: modSpec(10, 7), Node: &NodeRef{0, 0}, Nodes: []NodeRef{{0, 0}}}},
+		{"node outside tree", ColorRequest{Mapping: modSpec(10, 7), Node: &NodeRef{Index: 0, Level: 10}}},
+		{"invalid index", ColorRequest{Mapping: modSpec(10, 7), Node: &NodeRef{Index: 9, Level: 2}}},
+		{"negative index", ColorRequest{Mapping: modSpec(10, 7), Node: &NodeRef{Index: -1, Level: 2}}},
+		{"unknown alg", ColorRequest{Mapping: MappingSpec{Alg: "nope", Levels: 5, Modules: 3}, Node: &NodeRef{0, 0}}},
+		{"levels too big", ColorRequest{Mapping: modSpec(63, 7), Node: &NodeRef{0, 0}}},
+		{"oversized batch", ColorRequest{Mapping: modSpec(10, 7), Nodes: make([]NodeRef, 5)}},
+		{"color m too big", ColorRequest{Mapping: MappingSpec{Alg: "color", Levels: 30, M: 9}, Node: &NodeRef{0, 0}}},
+	}
+	for _, tc := range cases {
+		if status := post(t, ts.Client(), ts.URL+"/v1/color", tc.req, nil); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, status)
+		}
+	}
+}
+
+func TestTemplateCostModes(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	spec := MappingSpec{Alg: "color", Levels: 12, M: 3}
+	p, err := colormap.Canonical(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := colormap.Color(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Family mode: exact worst case over P(N) must match FamilyCost (and
+	// the paper says COLOR is conflict-free on P(N)).
+	var fam TemplateCostResponse
+	if status := post(t, ts.Client(), ts.URL+"/v1/template-cost", TemplateCostRequest{
+		Mapping: spec, Kind: "P", Size: int64(p.BandLevels),
+	}, &fam); status != http.StatusOK {
+		t.Fatalf("family status %d", status)
+	}
+	f, err := template.NewFamily(arr.Tree(), template.Path, int64(p.BandLevels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCost, _ := coloring.FamilyCost(arr, f)
+	if fam.Conflicts != wantCost {
+		t.Errorf("family conflicts = %d, want %d", fam.Conflicts, wantCost)
+	}
+	if fam.Witness == nil {
+		t.Error("family mode should include a witness")
+	}
+
+	// Instance mode: one subtree instance.
+	inst := template.Instance{Kind: template.Subtree, Anchor: tree.V(3, 4), Size: 7}
+	var one TemplateCostResponse
+	if status := post(t, ts.Client(), ts.URL+"/v1/template-cost", TemplateCostRequest{
+		Mapping: spec, Kind: "S", Size: 7, Anchor: &NodeRef{Index: 3, Level: 4},
+	}, &one); status != http.StatusOK {
+		t.Fatalf("instance status %d", status)
+	}
+	if want := coloring.InstanceConflicts(arr, inst); one.Conflicts != want {
+		t.Errorf("instance conflicts = %d, want %d", one.Conflicts, want)
+	}
+
+	// Composite mode: two disjoint parts.
+	comp := template.Composite{Parts: []template.Instance{
+		{Kind: template.Subtree, Anchor: tree.V(0, 5), Size: 7},
+		{Kind: template.Level, Anchor: tree.V(100, 9), Size: 16},
+	}}
+	var cr TemplateCostResponse
+	if status := post(t, ts.Client(), ts.URL+"/v1/template-cost", TemplateCostRequest{
+		Mapping: spec,
+		Parts: []InstanceRef{
+			{Kind: "S", Anchor: NodeRef{0, 5}, Size: 7},
+			{Kind: "L", Anchor: NodeRef{100, 9}, Size: 16},
+		},
+	}, &cr); status != http.StatusOK {
+		t.Fatalf("composite status %d", status)
+	}
+	if want := coloring.CompositeConflicts(arr, comp); cr.Conflicts != want {
+		t.Errorf("composite conflicts = %d, want %d", cr.Conflicts, want)
+	}
+	if cr.Items != comp.Size() {
+		t.Errorf("composite items = %d, want %d", cr.Items, comp.Size())
+	}
+
+	// Family mode above the enumeration cap is a 400, not a hung worker.
+	if status := post(t, ts.Client(), ts.URL+"/v1/template-cost", TemplateCostRequest{
+		Mapping: MappingSpec{Alg: "color", Levels: 30, M: 3}, Kind: "P", Size: 6,
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("family above cap: status %d, want 400", status)
+	}
+
+	// Overlapping composite parts violate C(D,c) and are rejected.
+	if status := post(t, ts.Client(), ts.URL+"/v1/template-cost", TemplateCostRequest{
+		Mapping: spec,
+		Parts: []InstanceRef{
+			{Kind: "S", Anchor: NodeRef{0, 0}, Size: 7},
+			{Kind: "P", Anchor: NodeRef{0, 1}, Size: 2},
+		},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("overlapping parts: status %d, want 400", status)
+	}
+}
+
+func TestSimulateMatchesDirectReplay(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	spec := modSpec(10, 7)
+	batches := [][]int64{{0, 1, 2, 7, 14}, {3, 3, 3}, {1022, 0}}
+
+	var resp SimulateResponse
+	if status := post(t, ts.Client(), ts.URL+"/v1/simulate", SimulateRequest{
+		Mapping: spec, Batches: batches,
+	}, &resp); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+
+	m, _, err := spec.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := pms.NewSystem(m)
+	for _, idxs := range batches {
+		nodes := make([]tree.Node, len(idxs))
+		for i, h := range idxs {
+			nodes[i] = tree.FromHeapIndex(h)
+		}
+		sys.SubmitDrain(nodes)
+	}
+	st := sys.Stats()
+	if resp.Cycles != st.Cycles || resp.Conflicts != st.Conflicts || resp.Requests != st.Requests {
+		t.Errorf("got %+v, want cycles=%d conflicts=%d requests=%d", resp, st.Cycles, st.Conflicts, st.Requests)
+	}
+
+	// Out-of-range heap index is a 400.
+	if status := post(t, ts.Client(), ts.URL+"/v1/simulate", SimulateRequest{
+		Mapping: spec, Batches: [][]int64{{1 << 40}},
+	}, nil); status != http.StatusBadRequest {
+		t.Errorf("oversized index: status %d, want 400", status)
+	}
+}
+
+// TestCoalescing proves concurrent singleton lookups share batches: with
+// the worker gated, requests pile into the flush window and the server
+// must answer all of them from strictly fewer flushed batches.
+func TestCoalescing(t *testing.T) {
+	gate := make(chan struct{})
+	srv := New(Config{
+		Workers:     1,
+		FlushWindow: 2 * time.Millisecond,
+		MaxBatch:    64,
+		workerHook:  func() { <-gate },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 24
+	spec := modSpec(12, 5)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			n := tree.FromHeapIndex(int64(id * 31 % 4095))
+			var resp ColorResponse
+			status := post(t, ts.Client(), ts.URL+"/v1/color", ColorRequest{
+				Mapping: spec, Node: &NodeRef{Index: n.Index, Level: n.Level},
+			}, &resp)
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d", id, status)
+				return
+			}
+			if want := int(n.HeapIndex() % 5); resp.Colors[0] != want {
+				errs <- fmt.Errorf("client %d: color %d, want %d", id, resp.Colors[0], want)
+			}
+		}(c)
+	}
+	// Let requests accumulate in the window before releasing the worker.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := srv.Metrics().Snapshot()
+	if snap.BatchesFlushed >= clients {
+		t.Errorf("batches_flushed = %d, want < %d (no coalescing happened)", snap.BatchesFlushed, clients)
+	}
+	if snap.CoalescedJobs == 0 {
+		t.Error("coalesced_jobs = 0, want > 0")
+	}
+	if snap.Color.Requests != clients {
+		t.Errorf("color requests = %d, want %d", snap.Color.Requests, clients)
+	}
+}
+
+// TestBackpressure saturates the admission limit and checks that excess
+// requests get 429 + Retry-After while admitted ones still complete.
+func TestBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	const maxInflight = 4
+	srv := New(Config{
+		Workers:     1,
+		MaxInflight: maxInflight,
+		FlushWindow: -1, // no coalescing: one request = one task
+		workerHook:  func() { <-gate },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := modSpec(10, 3)
+	body, _ := json.Marshal(ColorRequest{Mapping: spec, Node: &NodeRef{Index: 2, Level: 2}})
+
+	// Fill the admission limit with requests the gated worker cannot finish.
+	statuses := make(chan int, maxInflight)
+	var admitted sync.WaitGroup
+	for i := 0; i < maxInflight; i++ {
+		admitted.Add(1)
+		go func() {
+			defer admitted.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/color", "application/json", bytes.NewReader(body))
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	// Wait until all four are admitted (inflight gauge reaches the limit).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().Snapshot().Inflight < maxInflight {
+		if time.Now().After(deadline) {
+			t.Fatal("inflight never reached the admission limit")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The saturated server must shed further load with 429 + Retry-After.
+	resp, err := ts.Client().Post(ts.URL+"/v1/color", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Releasing the worker completes every admitted request.
+	close(gate)
+	admitted.Wait()
+	close(statuses)
+	for status := range statuses {
+		if status != http.StatusOK {
+			t.Errorf("admitted request finished with %d, want 200", status)
+		}
+	}
+	if rej := srv.Metrics().Snapshot().Rejected429; rej < 1 {
+		t.Errorf("rejected_429 = %d, want ≥ 1", rej)
+	}
+}
+
+// TestGracefulShutdownDrains verifies that Shutdown completes every
+// accepted request while refusing new ones.
+func TestGracefulShutdownDrains(t *testing.T) {
+	gate := make(chan struct{})
+	srv := New(Config{
+		Workers:     2,
+		MaxInflight: 8,
+		FlushWindow: -1,
+		Addr:        "127.0.0.1:0",
+		workerHook:  func() { <-gate },
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + srv.Addr() + "/v1/color"
+	spec := modSpec(10, 3)
+	body, _ := json.Marshal(ColorRequest{Mapping: spec, Node: &NodeRef{Index: 1, Level: 1}})
+
+	const accepted = 4
+	statuses := make(chan int, accepted)
+	var wg sync.WaitGroup
+	for i := 0; i < accepted; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().Snapshot().Inflight < accepted {
+		if time.Now().After(deadline) {
+			t.Fatal("requests were not admitted in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// Draining: give Shutdown a moment to set the flag, then release the
+	// workers so the accepted requests can finish.
+	for !srv.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	wg.Wait()
+	close(statuses)
+	for status := range statuses {
+		if status != http.StatusOK {
+			t.Errorf("accepted request finished with %d, want 200", status)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+
+	// The listener is closed: new requests must fail.
+	if _, err := http.Post(url, "application/json", bytes.NewReader(body)); err == nil {
+		t.Error("request after shutdown unexpectedly succeeded")
+	}
+}
+
+func TestDebugVarsAndHealth(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	if status := post(t, ts.Client(), ts.URL+"/v1/color", ColorRequest{
+		Mapping: modSpec(8, 3), Node: &NodeRef{Index: 0, Level: 0},
+	}, nil); status != http.StatusOK {
+		t.Fatalf("color status %d", status)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Color.Requests != 1 {
+		t.Errorf("color requests = %d, want 1", snap.Color.Requests)
+	}
+	if snap.RegistryMisses != 1 {
+		t.Errorf("registry misses = %d, want 1", snap.RegistryMisses)
+	}
+
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", hr.StatusCode)
+	}
+
+	pr, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status %d", pr.StatusCode)
+	}
+}
+
+func TestDecodeRejectsMalformedBodies(t *testing.T) {
+	ts := httptest.NewServer(New(Config{MaxBodyBytes: 1 << 12}).Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty", "", http.StatusBadRequest},
+		{"not json", "hello", http.StatusBadRequest},
+		{"unknown field", `{"mapping":{"alg":"mod","levels":5,"modules":3},"nodee":{}}`, http.StatusBadRequest},
+		{"overflow index", `{"mapping":{"alg":"mod","levels":5,"modules":3},"node":{"index":99999999999999999999999999,"level":1}}`, http.StatusBadRequest},
+		{"trailing garbage", `{"mapping":{"alg":"mod","levels":5,"modules":3},"node":{"index":0,"level":0}} extra`, http.StatusBadRequest},
+		{"huge body", `{"mapping":{"alg":"mod","levels":5,"modules":3},"node":{"index":0,"level":0},"pad":"` + strings.Repeat("x", 1<<13) + `"}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp, err := ts.Client().Post(ts.URL+"/v1/color", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}

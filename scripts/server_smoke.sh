@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Smoke test for the pmsd serving layer (make server-smoke).
+#
+# Boots pmsd on a random port with a deliberately tiny capacity
+# (1 worker, 100ms injected access time, 4 admitted requests), then runs
+# a scripted request mix:
+#
+#   1. health + each API endpoint answers 200 with sane payloads;
+#   2. a parallel singleton burst must coalesce: /debug/vars has to
+#      report non-zero coalesced_jobs and fewer flushed batches than
+#      requests;
+#   3. a saturating burst must shed load with 429s while the admitted
+#      requests still complete with 200;
+#   4. SIGTERM drains gracefully and the process exits 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKDIR="$(mktemp -d)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+echo "== building pmsd"
+go build -o "$WORKDIR/pmsd" ./cmd/pmsd
+
+"$WORKDIR/pmsd" -addr 127.0.0.1:0 -workers 1 -max-inflight 4 \
+    -flush 20ms -max-batch 64 -worker-delay 100ms >"$WORKDIR/pmsd.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*pmsd listening on \([0-9.:]*\).*/\1/p' "$WORKDIR/pmsd.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+if [ -z "${ADDR:-}" ]; then
+    echo "FAIL: pmsd never reported its listen address" >&2
+    cat "$WORKDIR/pmsd.log" >&2
+    exit 1
+fi
+BASE="http://$ADDR"
+echo "== pmsd on $BASE"
+
+fail() { echo "FAIL: $*" >&2; cat "$WORKDIR/pmsd.log" >&2; exit 1; }
+
+MAPPING='{"alg":"color","levels":16,"m":3}'
+
+echo "== request mix"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/healthz")
+[ "$code" = 200 ] || fail "healthz returned $code"
+
+body=$(curl -s -X POST "$BASE/v1/color" -d '{"mapping":'"$MAPPING"',"node":{"index":5,"level":3}}')
+echo "$body" | grep -q '"colors":\[' || fail "singleton color reply malformed: $body"
+
+body=$(curl -s -X POST "$BASE/v1/color" \
+    -d '{"mapping":'"$MAPPING"',"nodes":[{"index":0,"level":0},{"index":7,"level":9}]}')
+echo "$body" | grep -q '"colors":\[' || fail "batched color reply malformed: $body"
+
+body=$(curl -s -X POST "$BASE/v1/template-cost" \
+    -d '{"mapping":'"$MAPPING"',"kind":"P","size":6,"anchor":{"index":100,"level":9}}')
+echo "$body" | grep -q '"conflicts":' || fail "template-cost reply malformed: $body"
+
+body=$(curl -s -X POST "$BASE/v1/simulate" \
+    -d '{"mapping":'"$MAPPING"',"batches":[[0,1,2,3],[7,7,7]]}')
+echo "$body" | grep -q '"cycles":' || fail "simulate reply malformed: $body"
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/color" -d 'not json')
+[ "$code" = 400 ] || fail "malformed body returned $code, want 400"
+
+echo "== coalescing burst"
+# 8 concurrent singletons against one spec; the 20ms flush window (and the
+# worker being busy) must merge them into fewer flushed batches.
+pids=()
+for i in $(seq 0 7); do
+    curl -s -o /dev/null -X POST "$BASE/v1/color" \
+        -d '{"mapping":'"$MAPPING"',"node":{"index":'"$i"',"level":5}}' &
+    pids+=($!)
+done
+wait "${pids[@]}"
+VARS=$(curl -s "$BASE/debug/vars")
+coalesced=$(echo "$VARS" | grep -o '"coalesced_jobs":[0-9]*' | cut -d: -f2)
+[ "${coalesced:-0}" -gt 0 ] || fail "metrics report zero batch coalescing: $VARS"
+echo "   coalesced_jobs=$coalesced"
+
+echo "== backpressure burst"
+# 12 concurrent requests against max-inflight 4: the overflow must get
+# 429 while the admitted requests still finish with 200.
+pids=()
+for i in $(seq 1 12); do
+    curl -s -o /dev/null -w '%{http_code}\n' -X POST "$BASE/v1/simulate" \
+        -d '{"mapping":'"$MAPPING"',"batches":[[0,1,2]]}' >"$WORKDIR/burst.$i" &
+    pids+=($!)
+done
+wait "${pids[@]}"
+oks=$(cat "$WORKDIR"/burst.* | grep -c '^200$' || true)
+rejects=$(cat "$WORKDIR"/burst.* | grep -c '^429$' || true)
+echo "   200s=$oks 429s=$rejects"
+[ "$rejects" -gt 0 ] || fail "saturating burst produced no 429s"
+[ "$oks" -gt 0 ] || fail "saturating burst starved every request"
+VARS=$(curl -s "$BASE/debug/vars")
+echo "$VARS" | grep -q '"rejected_429":0' && fail "metrics did not count the 429s: $VARS"
+
+echo "== graceful shutdown"
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+    fail "pmsd exited non-zero on SIGTERM"
+fi
+grep -q "pmsd stopped" "$WORKDIR/pmsd.log" || fail "no graceful-stop log line"
+
+echo "server-smoke: OK"
