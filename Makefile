@@ -6,12 +6,14 @@
 #   make bench-snapshot rewrite BENCH_pr1.json from the hot-path kernels
 #   make server-smoke   boot pmsd, scripted request mix incl. backpressure
 #   make bench-serving  rewrite BENCH_pr2.json from a pmsd -loadgen run
+#   make fuzz-smoke     run every Fuzz* target briefly (FUZZTIME=10s)
+#   make bench-chaos    rewrite BENCH_pr3.json from a pmsd -chaos-bench run
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving
+.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos
 
-check: vet race bench-smoke server-smoke
+check: vet race bench-smoke server-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,3 +46,16 @@ server-smoke:
 bench-serving:
 	$(GO) run ./cmd/pmsd -loadgen -requests 20000 -clients 32 -dist zipf \
 	    -bench-out $(CURDIR)/BENCH_pr2.json
+
+# Short fuzzing pass over every Fuzz* target in the module; crashers
+# fail the build. Budget per target via FUZZTIME (default 10s).
+fuzz-smoke:
+	FUZZTIME=$(FUZZTIME) ./scripts/fuzz_smoke.sh
+
+# Tail-latency under injected faults: the resilient client driving a
+# chaotic in-process server, hedging off vs on under the identical
+# seeded fault schedule, written to BENCH_pr3.json.
+bench-chaos:
+	$(GO) run ./cmd/pmsd -chaos-bench -requests 8000 -clients 16 \
+	    -chaos-seed 42 -chaos-latency 0.1 -levels 16 \
+	    -bench-out $(CURDIR)/BENCH_pr3.json

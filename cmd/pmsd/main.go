@@ -17,6 +17,20 @@
 // comparison as a JSON snapshot:
 //
 //	pmsd -loadgen -requests 20000 -clients 32 -dist zipf -bench-out BENCH_pr2.json
+//
+// Chaos mode wraps the serving path in the deterministic fault
+// injector (internal/faultinject): latency spikes, 5xx/429 bursts,
+// connection resets, slow-body drips and partial batch failures, all
+// keyed by -chaos-seed so a run can be replayed exactly:
+//
+//	pmsd -chaos -chaos-seed 42 -chaos-latency 0.1 -chaos-reset 0.02
+//
+// Chaos-bench mode drives the resilient client (internal/client)
+// against an in-process chaotic server twice — hedging off, then on —
+// under the identical fault schedule, and records the tail-latency
+// comparison:
+//
+//	pmsd -chaos-bench -chaos-seed 42 -chaos-latency 0.1 -bench-out BENCH_pr3.json
 package main
 
 import (
@@ -30,6 +44,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/client"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -52,7 +68,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "loadgen: workload seed")
 	levels := flag.Int("levels", 20, "loadgen: tree levels of the queried mapping")
 	mExp := flag.Int("m", 4, "loadgen: canonical COLOR exponent (modules = 2^m - 1)")
-	benchOut := flag.String("bench-out", "", "loadgen: write the JSON comparison snapshot to this file")
+	benchOut := flag.String("bench-out", "", "loadgen/chaos-bench: write the JSON comparison snapshot to this file")
+
+	chaos := flag.Bool("chaos", false, "serve with fault injection enabled")
+	chaosBench := flag.Bool("chaos-bench", false, "benchmark the resilient client against an in-process chaotic server (hedging off vs on)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault schedule seed (same seed = same schedule)")
+	chaosLatency := flag.Float64("chaos-latency", 0.1, "chaos: per-request latency-spike probability")
+	chaosLatencyMin := flag.Duration("chaos-latency-min", 10*time.Millisecond, "chaos: min latency spike")
+	chaosLatencyMax := flag.Duration("chaos-latency-max", 50*time.Millisecond, "chaos: max latency spike")
+	chaosError := flag.Float64("chaos-error", 0, "chaos: per-window 5xx-burst probability")
+	chaosRate := flag.Float64("chaos-rate", 0, "chaos: per-window 429-burst probability")
+	chaosBurst := flag.Int("chaos-burst", 8, "chaos: burst window length in requests")
+	chaosReset := flag.Float64("chaos-reset", 0, "chaos: per-request connection-reset probability")
+	chaosDrip := flag.Float64("chaos-drip", 0, "chaos: per-request slow-body-drip probability")
+	chaosPartial := flag.Float64("chaos-partial", 0, "chaos: per-request partial-body probability")
+	hedgeDelay := flag.Duration("hedge-delay", 5*time.Millisecond, "chaos-bench: hedged-read delay for the hedged run")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -80,6 +110,33 @@ func main() {
 	if *flush < 0 || *workerDelay < 0 {
 		fail("-flush and -worker-delay must be non-negative")
 	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"-chaos-latency", *chaosLatency}, {"-chaos-error", *chaosError},
+		{"-chaos-rate", *chaosRate}, {"-chaos-reset", *chaosReset},
+		{"-chaos-drip", *chaosDrip}, {"-chaos-partial", *chaosPartial},
+	} {
+		if p.v < 0 || p.v > 1 {
+			fail("%s must be a probability in [0,1], got %g", p.name, p.v)
+		}
+	}
+	if *chaosBurst < 1 {
+		fail("-chaos-burst must be at least 1, got %d", *chaosBurst)
+	}
+	chaosCfg := faultinject.Config{
+		Seed:          *chaosSeed,
+		LatencyProb:   *chaosLatency,
+		LatencyMin:    *chaosLatencyMin,
+		LatencyMax:    *chaosLatencyMax,
+		ErrorProb:     *chaosError,
+		RateLimitProb: *chaosRate,
+		BurstLen:      *chaosBurst,
+		ResetProb:     *chaosReset,
+		DripProb:      *chaosDrip,
+		PartialProb:   *chaosPartial,
+	}
 
 	cfg := server.Config{
 		Addr:             *addr,
@@ -92,6 +149,57 @@ func main() {
 	}
 	if *flush == 0 {
 		cfg.FlushWindow = -1 // Config treats 0 as "default"; negative disables
+	}
+
+	if *chaosBench {
+		cb := client.ChaosBenchConfig{
+			Mapping:    server.MappingSpec{Alg: "color", Levels: *levels, M: *mExp},
+			Clients:    *clients,
+			Requests:   *requests,
+			Seed:       *seed,
+			Chaos:      chaosCfg,
+			HedgeDelay: *hedgeDelay,
+			Client: client.Config{
+				MaxAttempts: 8,
+				BaseBackoff: 2 * time.Millisecond,
+				MaxBackoff:  100 * time.Millisecond,
+				Breaker:     client.BreakerConfig{FailureThreshold: -1},
+			},
+			Server: cfg,
+		}
+		switch *dist {
+		case "uniform":
+			cb.Dist = workload.Uniform
+		case "zipf":
+			cb.Dist = workload.Zipf
+		case "sequential":
+			cb.Dist = workload.Sequential
+		default:
+			fail("unknown distribution %q", *dist)
+		}
+		cmp, err := client.RunChaosBenchComparison(cb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("unhedged: p50 %.0fus p95 %.0fus p99 %.0fus (%d ok, %d errors, %d retries)\n",
+			cmp.Unhedged.P50us, cmp.Unhedged.P95us, cmp.Unhedged.P99us,
+			cmp.Unhedged.Calls, cmp.Unhedged.Errors, cmp.Unhedged.Retries)
+		fmt.Printf("hedged:   p50 %.0fus p95 %.0fus p99 %.0fus (%d ok, %d errors, %d retries, %d hedges, %d wins)\n",
+			cmp.Hedged.P50us, cmp.Hedged.P95us, cmp.Hedged.P99us,
+			cmp.Hedged.Calls, cmp.Hedged.Errors, cmp.Hedged.Retries,
+			cmp.Hedged.Hedges, cmp.Hedged.HedgeWins)
+		fmt.Printf("hedged p99 speedup: %.2fx (chaos seed %d)\n", cmp.P99Speedup, cmp.ChaosSeed)
+		if *benchOut != "" {
+			data, err := json.MarshalIndent(cmp, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("snapshot written to %s\n", *benchOut)
+		}
+		return
 	}
 
 	if *loadgen {
@@ -153,6 +261,11 @@ func main() {
 		return
 	}
 
+	if *chaos {
+		inj := faultinject.New(chaosCfg)
+		cfg.Middleware = inj.Middleware
+		log.Printf("pmsd CHAOS MODE: %s", inj)
+	}
 	srv := server.New(cfg)
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,166 @@
+// The circuit breaker: a three-state (closed → open → half-open) gate
+// that stops a client from hammering a backend that is failing hard.
+// Closed passes everything and counts consecutive transport-level
+// failures; at the threshold the breaker opens and fails calls locally
+// (ErrCircuitOpen) for a cooldown; after the cooldown it half-opens and
+// admits a bounded number of probe calls — one success closes it again,
+// one failure re-opens it for another cooldown.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned without touching the network while the
+// breaker is open. Errors.Is-able.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// BreakerConfig tunes the circuit breaker. Zero values take defaults;
+// a negative FailureThreshold disables the breaker entirely.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 8; negative disables).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before half-opening
+	// (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes bounds concurrent trial calls while half-open
+	// (default 1).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+type breakerState uint8
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// breaker is the mutex-guarded state machine. now is injectable so the
+// open→half-open transition is testable without real sleeps.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu        sync.Mutex
+	state     breakerState
+	failures  int       // consecutive failures while closed
+	openUntil time.Time // end of the current cooldown
+	probes    int       // in-flight probes while half-open
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// disabled reports whether the breaker is a no-op.
+func (b *breaker) disabled() bool { return b.cfg.FailureThreshold < 0 }
+
+// allow reports whether a call may proceed. Half-open callers consume a
+// probe slot that success/failure releases.
+func (b *breaker) allow() bool {
+	if b.disabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Before(b.openUntil) {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probes = 0
+		fallthrough
+	case stateHalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	}
+	return true
+}
+
+// success reports a call that reached the backend and got a usable
+// answer: the breaker closes and the failure streak resets.
+func (b *breaker) success() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.probes--
+	}
+	b.state = stateClosed
+	b.failures = 0
+}
+
+// failure reports a backend-health-relevant failure (5xx, transport
+// error, truncated body — not a 4xx). Returns true when this failure
+// tripped the breaker open.
+func (b *breaker) failure() bool {
+	if b.disabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateHalfOpen:
+		b.probes--
+		b.state = stateOpen
+		b.openUntil = b.now().Add(b.cfg.Cooldown)
+		return true
+	case stateClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.state = stateOpen
+			b.openUntil = b.now().Add(b.cfg.Cooldown)
+			return true
+		}
+	}
+	return false
+}
+
+// currentState reports the state for metrics/tests.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

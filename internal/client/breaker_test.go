@@ -1,0 +1,113 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's open→half-open transition without
+// real sleeps.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second}, clk.now)
+
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		if b.failure() {
+			t.Fatalf("breaker tripped after %d failures, threshold 3", i+1)
+		}
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused the third call")
+	}
+	if !b.failure() {
+		t.Fatal("third failure should trip the breaker")
+	}
+	if b.currentState() != stateOpen {
+		t.Fatalf("state %v, want open", b.currentState())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second, HalfOpenProbes: 1}, clk.now)
+
+	b.allow()
+	b.failure() // trips immediately
+	clk.advance(1500 * time.Millisecond)
+
+	// The cooldown elapsed: exactly one probe may pass.
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.currentState() != stateHalfOpen {
+		t.Fatalf("state %v, want half-open", b.currentState())
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.success()
+	if b.currentState() != stateClosed {
+		t.Fatalf("state %v after probe success, want closed", b.currentState())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refused traffic after recovery")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second}, clk.now)
+
+	b.allow()
+	b.failure()
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	if !b.failure() {
+		t.Fatal("failed probe should re-open the breaker")
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted traffic")
+	}
+	// The second cooldown starts at the probe failure, not the original trip.
+	clk.advance(1500 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second cooldown never ended")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(BreakerConfig{FailureThreshold: -1}, nil)
+	for i := 0; i < 100; i++ {
+		if !b.allow() {
+			t.Fatal("disabled breaker refused a call")
+		}
+		b.failure()
+	}
+	if b.currentState() != stateClosed {
+		t.Fatal("disabled breaker changed state")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[breakerState]string{stateClosed: "closed", stateOpen: "open", stateHalfOpen: "half-open"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if breakerState(9).String() != "state(9)" {
+		t.Error("unknown state rendering wrong")
+	}
+}

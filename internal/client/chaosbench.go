@@ -1,0 +1,228 @@
+// Chaos benchmarking: boots a pmsd server in-process with the
+// fault-injection middleware wrapped around it, drives singleton
+// /v1/color lookups through the resilient client, and reports tail
+// latency (p50/p95/p99) with hedging off and on under the identical
+// fault schedule. This is the measurement behind the "hedged reads cut
+// p99 under latency-spike faults" claim recorded in BENCH_pr3.json.
+package client
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// ChaosBenchConfig parameterizes one chaos run.
+type ChaosBenchConfig struct {
+	// Mapping is the spec every request queries (default: color, H=20, m=4).
+	Mapping server.MappingSpec
+	// Clients is the number of concurrent driver goroutines (default 16).
+	Clients int
+	// Requests is the total logical-call budget across clients (default 4000).
+	Requests int
+	// Dist selects the key distribution (uniform | zipf | sequential).
+	Dist workload.Distribution
+	// Seed seeds the per-client key streams (default 1).
+	Seed int64
+	// Chaos tunes the injected faults. Chaos.Seed keys the schedule; the
+	// hedged and unhedged runs each start a fresh injector from the same
+	// config, so both see the identical schedule.
+	Chaos faultinject.Config
+	// HedgeDelay arms hedging for the hedged run (default 5ms).
+	HedgeDelay time.Duration
+	// Client tunes the driving client (BaseURL is overwritten per run).
+	Client Config
+	// Server tunes the serving side. Addr is ignored; the server binds an
+	// ephemeral localhost port.
+	Server server.Config
+}
+
+func (c ChaosBenchConfig) withDefaults() ChaosBenchConfig {
+	if c.Mapping.Alg == "" {
+		c.Mapping = server.MappingSpec{Alg: "color", Levels: 20, M: 4}
+	}
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Requests <= 0 {
+		c.Requests = 4000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 5 * time.Millisecond
+	}
+	return c
+}
+
+// ChaosBenchResult is one measured chaos run.
+type ChaosBenchResult struct {
+	Mode           string           `json:"mode"` // "unhedged" or "hedged"
+	Calls          int64            `json:"calls"`
+	Errors         int64            `json:"errors"`
+	Seconds        float64          `json:"seconds"`
+	CallsPerSec    float64          `json:"calls_per_sec"`
+	P50us          float64          `json:"p50_us"`
+	P95us          float64          `json:"p95_us"`
+	P99us          float64          `json:"p99_us"`
+	MaxUS          float64          `json:"max_us"`
+	Retries        int64            `json:"retries"`
+	Hedges         int64            `json:"hedges"`
+	HedgeWins      int64            `json:"hedge_wins"`
+	InjectedFaults map[string]int64 `json:"injected_faults"`
+}
+
+// percentile reads the p-th percentile (0..100) from sorted latencies.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return float64(sorted[idx].Microseconds())
+}
+
+// RunChaosBench executes one run against a fresh in-process server with
+// a fresh injector, and returns the measured result. The server is shut
+// down before returning.
+func RunChaosBench(cfg ChaosBenchConfig, hedged bool) (ChaosBenchResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Mapping.Validate(); err != nil {
+		return ChaosBenchResult{}, fmt.Errorf("chaosbench mapping: %w", err)
+	}
+
+	inj := faultinject.New(cfg.Chaos)
+	srvCfg := cfg.Server
+	srvCfg.Addr = "127.0.0.1:0"
+	srvCfg.Middleware = inj.Middleware
+	srv := server.New(srvCfg)
+	if err := srv.Start(); err != nil {
+		return ChaosBenchResult{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	ccfg := cfg.Client
+	ccfg.BaseURL = "http://" + srv.Addr()
+	if hedged {
+		ccfg.HedgeDelay = cfg.HedgeDelay
+	} else {
+		ccfg.HedgeDelay = 0
+	}
+	cl, err := New(ccfg)
+	if err != nil {
+		return ChaosBenchResult{}, err
+	}
+	defer cl.CloseIdleConnections()
+
+	space := tree.New(cfg.Mapping.Levels).Nodes()
+	perClient := cfg.Requests / cfg.Clients
+	if perClient < 1 {
+		perClient = 1
+	}
+
+	var okCalls, errCalls atomic.Int64
+	lats := make([][]time.Duration, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			keys, kerr := workload.NewKeyStream(cfg.Dist, space, cfg.Seed+int64(id))
+			if kerr != nil {
+				errCalls.Add(int64(perClient))
+				return
+			}
+			mine := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				n := tree.FromHeapIndex(keys.Next())
+				t0 := time.Now()
+				_, cerr := cl.Color(context.Background(), cfg.Mapping,
+					server.NodeRef{Index: n.Index, Level: n.Level})
+				if cerr != nil {
+					errCalls.Add(1)
+					continue
+				}
+				okCalls.Add(1)
+				mine = append(mine, time.Since(t0))
+			}
+			lats[id] = mine
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	stats := cl.Stats()
+	mode := "unhedged"
+	if hedged {
+		mode = "hedged"
+	}
+	res := ChaosBenchResult{
+		Mode:           mode,
+		Calls:          okCalls.Load(),
+		Errors:         errCalls.Load(),
+		Seconds:        elapsed.Seconds(),
+		P50us:          percentile(all, 50),
+		P95us:          percentile(all, 95),
+		P99us:          percentile(all, 99),
+		Retries:        stats.Retries,
+		Hedges:         stats.Hedges,
+		HedgeWins:      stats.HedgeWins,
+		InjectedFaults: inj.Counts(),
+	}
+	if len(all) > 0 {
+		res.MaxUS = float64(all[len(all)-1].Microseconds())
+	}
+	if res.Calls > 0 {
+		res.CallsPerSec = float64(res.Calls) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// ChaosBenchComparison pairs the unhedged and hedged runs of one
+// workload under the identical fault schedule.
+type ChaosBenchComparison struct {
+	ChaosSeed int64            `json:"chaos_seed"`
+	Unhedged  ChaosBenchResult `json:"ChaosColorUnhedged"`
+	Hedged    ChaosBenchResult `json:"ChaosColorHedged"`
+	// P99Speedup is unhedged over hedged p99 latency: >1 means hedging
+	// cut the tail.
+	P99Speedup float64 `json:"HedgedP99Speedup"`
+}
+
+// RunChaosBenchComparison runs the workload twice — hedging off, then
+// on — against identical fault schedules, and reports both plus the
+// p99 ratio.
+func RunChaosBenchComparison(cfg ChaosBenchConfig) (ChaosBenchComparison, error) {
+	unhedged, err := RunChaosBench(cfg, false)
+	if err != nil {
+		return ChaosBenchComparison{}, err
+	}
+	hedged, err := RunChaosBench(cfg, true)
+	if err != nil {
+		return ChaosBenchComparison{}, err
+	}
+	cmp := ChaosBenchComparison{ChaosSeed: cfg.Chaos.Seed, Unhedged: unhedged, Hedged: hedged}
+	if hedged.P99us > 0 {
+		cmp.P99Speedup = unhedged.P99us / hedged.P99us
+	}
+	return cmp, nil
+}

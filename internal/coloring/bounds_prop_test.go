@@ -1,0 +1,237 @@
+// Property-test sweep: the paper's bounds checked over a seeded grid of
+// (m, H) parameterizations rather than the handful of fixed points the
+// per-package theorem tests pin down.
+//
+// For every COLOR grid point (canonical Section 4 parameters):
+//   - Theorem 4: S(M) and P(M) family costs are at most 1 conflict
+//     (exhaustive enumeration with a witness instance on failure);
+//   - Theorem 6: seeded random composites C(D,c) cost at most 4D/M + c;
+//   - differential: the O(H) Retrieve path agrees with the materialized
+//     forward coloring on every node of the tree.
+//
+// For every LABEL-TREE grid point (Balanced policy):
+//   - Theorem 7 (load balance): every module is used and the max/min
+//     load ratio is within 1+o(1) — concretely, it decays toward 1 as H
+//     grows and lands under 1.2 at the largest height of each module
+//     count;
+//   - differential: the O(1) Color path agrees with the O(log M)
+//     SlowColor path on every node.
+//
+// Every failure names the offending grid point and, where one exists,
+// the witness node or template instance.
+package coloring_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/labeltree"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// colorGridPoint is one canonical COLOR parameterization under test.
+type colorGridPoint struct {
+	m, levels int
+}
+
+// colorGrid returns the sweep: 21 (m, H) points, heights chosen so each
+// m sees trees from barely-taller-than-one-band up to several bands,
+// capped near 2^17 nodes to keep the -race run affordable.
+func colorGrid() []colorGridPoint {
+	var grid []colorGridPoint
+	for h := 4; h <= 11; h++ {
+		grid = append(grid, colorGridPoint{m: 2, levels: h})
+	}
+	for h := 7; h <= 13; h++ {
+		grid = append(grid, colorGridPoint{m: 3, levels: h})
+	}
+	for h := 12; h <= 17; h++ {
+		grid = append(grid, colorGridPoint{m: 4, levels: h})
+	}
+	return grid
+}
+
+func TestPropColorTheorem4Grid(t *testing.T) {
+	grid := colorGrid()
+	if len(grid) < 20 {
+		t.Fatalf("grid has %d points, want at least 20", len(grid))
+	}
+	for _, gp := range grid {
+		M := int64(colormap.CanonicalModules(gp.m))
+		p, err := colormap.Canonical(gp.levels, gp.m)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: %v", gp.m, gp.levels, err)
+		}
+		arr, err := colormap.Color(p)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: %v", gp.m, gp.levels, err)
+		}
+		sf, err := template.NewFamily(arr.Tree(), template.Subtree, M)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: S(%d) family: %v", gp.m, gp.levels, M, err)
+		}
+		if cost, witness := coloring.FamilyCost(arr, sf); cost > 1 {
+			t.Errorf("m=%d H=%d: S(%d) cost %d at witness %v, want ≤ 1", gp.m, gp.levels, M, cost, witness)
+		}
+		// P(M) needs a path of M levels, so only heights ≥ M carry the
+		// path-template half of Theorem 4.
+		if int64(gp.levels) >= M {
+			pf, err := template.NewFamily(arr.Tree(), template.Path, M)
+			if err != nil {
+				t.Fatalf("m=%d H=%d: P(%d) family: %v", gp.m, gp.levels, M, err)
+			}
+			if cost, witness := coloring.FamilyCost(arr, pf); cost > 1 {
+				t.Errorf("m=%d H=%d: P(%d) cost %d at witness %v, want ≤ 1", gp.m, gp.levels, M, cost, witness)
+			}
+		}
+	}
+}
+
+func TestPropColorTheorem6CompositeGrid(t *testing.T) {
+	for _, gp := range colorGrid() {
+		M := int64(colormap.CanonicalModules(gp.m))
+		p, err := colormap.Canonical(gp.levels, gp.m)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: %v", gp.m, gp.levels, err)
+		}
+		arr, err := colormap.Color(p)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: %v", gp.m, gp.levels, err)
+		}
+		// One seeded stream per grid point: failures reproduce from the
+		// printed (m, H) alone.
+		rng := rand.New(rand.NewSource(int64(gp.m)<<16 | int64(gp.levels)))
+		for trial := 0; trial < 20; trial++ {
+			D := M + rng.Int63n(5*M)
+			c := 1 + rng.Intn(5)
+			comp, err := template.RandomComposite(rng, arr.Tree(), D, c)
+			if err != nil {
+				continue // unplaceable on a small tree; fine
+			}
+			cost := coloring.CompositeConflicts(arr, comp)
+			bound := 4.0*float64(D)/float64(M) + float64(c)
+			if float64(cost) > bound {
+				t.Errorf("m=%d H=%d trial=%d: C(%d,%d) cost %d exceeds 4D/M+c = %.1f (composite %+v)",
+					gp.m, gp.levels, trial, D, c, cost, bound, comp)
+			}
+		}
+	}
+}
+
+func TestPropColorRetrieveMatchesForwardGrid(t *testing.T) {
+	for _, gp := range colorGrid() {
+		p, err := colormap.Canonical(gp.levels, gp.m)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: %v", gp.m, gp.levels, err)
+		}
+		arr, err := colormap.Color(p)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: %v", gp.m, gp.levels, err)
+		}
+		r, err := colormap.NewRetriever(p)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: retriever: %v", gp.m, gp.levels, err)
+		}
+		if same, n := coloring.Equal(arr, r.Mapping()); !same {
+			t.Errorf("m=%d H=%d: Retriever disagrees with forward COLOR at node %v (forward %d, retrieve %d)",
+				gp.m, gp.levels, n, arr.Color(n), r.Mapping().Color(n))
+		}
+		// The raw Retrieve entry point has its own error path; walk the
+		// whole tree through it as well.
+		tr := arr.Tree()
+		for j := 0; j < tr.Levels(); j++ {
+			for i := int64(0); i < tr.LevelWidth(j); i++ {
+				n := tree.V(i, j)
+				got, err := colormap.Retrieve(p, n)
+				if err != nil {
+					t.Fatalf("m=%d H=%d: Retrieve(%v): %v", gp.m, gp.levels, n, err)
+				}
+				if want := arr.Color(n); got != want {
+					t.Fatalf("m=%d H=%d: Retrieve(%v) = %d, forward COLOR says %d", gp.m, gp.levels, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// labelGridPoint is one LABEL-TREE parameterization under test.
+type labelGridPoint struct {
+	modules, levels int
+}
+
+// labelGrid returns the sweep: 20 (modules, H) points mixing the
+// power-of-two-minus-one module counts the paper centers on with
+// off-shape counts (8, 100) that exercise the ⌈log2⌉ and grouping
+// arithmetic.
+func labelGrid() []labelGridPoint {
+	var grid []labelGridPoint
+	for _, mod := range []int{8, 15, 31, 63, 100} {
+		for _, h := range []int{10, 12, 14, 16} {
+			grid = append(grid, labelGridPoint{modules: mod, levels: h})
+		}
+	}
+	return grid
+}
+
+func TestPropLabelTreeLoadBalanceGrid(t *testing.T) {
+	grid := labelGrid()
+	if len(grid) < 20 {
+		t.Fatalf("grid has %d points, want at least 20", len(grid))
+	}
+	prev := make(map[int]float64) // modules → ratio at the previous (smaller) height
+	last := make(map[int]float64) // modules → ratio at the largest height
+	for _, gp := range grid {
+		lt, err := labeltree.NewWithPolicy(gp.levels, gp.modules, labeltree.Balanced)
+		if err != nil {
+			t.Fatalf("modules=%d H=%d: %v", gp.modules, gp.levels, err)
+		}
+		stats := coloring.Load(lt)
+		if !stats.Balanced {
+			t.Errorf("modules=%d H=%d: some module received no node (min load %d)", gp.modules, gp.levels, stats.Min)
+			continue
+		}
+		// 1+o(1): the ratio must not grow as the tree deepens (small
+		// slack for integer effects) …
+		if p, ok := prev[gp.modules]; ok && stats.Ratio > p+0.05 {
+			t.Errorf("modules=%d H=%d: load ratio %.3f grew from %.3f at the previous height",
+				gp.modules, gp.levels, stats.Ratio, p)
+		}
+		prev[gp.modules] = stats.Ratio
+		last[gp.modules] = stats.Ratio
+	}
+	// … and must have decayed close to 1 by the deepest tree of each
+	// module count.
+	for mod, ratio := range last {
+		if ratio > 1.2 {
+			t.Errorf("modules=%d: load ratio %.3f at the largest height, want ≤ 1.2", mod, ratio)
+		}
+	}
+}
+
+func TestPropLabelTreeColorMatchesSlowColorGrid(t *testing.T) {
+	for _, gp := range labelGrid() {
+		lt, err := labeltree.NewWithPolicy(gp.levels, gp.modules, labeltree.Balanced)
+		if err != nil {
+			t.Fatalf("modules=%d H=%d: %v", gp.modules, gp.levels, err)
+		}
+		tr := lt.Tree()
+		for j := 0; j < tr.Levels(); j++ {
+			for i := int64(0); i < tr.LevelWidth(j); i++ {
+				n := tree.V(i, j)
+				fast, slow := lt.Color(n), lt.SlowColor(n)
+				if fast != slow {
+					t.Fatalf("modules=%d H=%d: Color(%v) = %d but SlowColor = %d",
+						gp.modules, gp.levels, n, fast, slow)
+				}
+			}
+		}
+		// The materialized table is a third independent path through the
+		// same mapping; it must agree node-for-node too.
+		if same, n := coloring.Equal(lt, lt.Materialize()); !same {
+			t.Errorf("modules=%d H=%d: Materialize disagrees with Color at node %v", gp.modules, gp.levels, n)
+		}
+	}
+}

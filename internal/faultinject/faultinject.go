@@ -1,0 +1,356 @@
+// Package faultinject is a deterministic, seeded fault-injection
+// middleware for the pmsd serving layer. It perturbs HTTP traffic with
+// the failure modes a production client must survive:
+//
+//   - latency spikes: the response is delayed by a pseudo-random spike;
+//   - 5xx bursts: windows of requests answered with 500;
+//   - 429 bursts: windows of requests shed with 429 + Retry-After;
+//   - connection resets: the TCP connection is torn down mid-request;
+//   - slow-body drips: the response body is written in tiny delayed
+//     chunks, exercising client read deadlines;
+//   - partial batch failures: the response advertises its full
+//     Content-Length but the body is cut off halfway, so clients see a
+//     syntactically broken payload (io.ErrUnexpectedEOF) rather than a
+//     clean error status.
+//
+// Determinism is the point: the fault assigned to the n-th admitted
+// request is a pure function of (seed, n) — a splitmix64 stream keyed by
+// the request's arrival index, with burst decisions keyed by the index's
+// window. Two runs with the same seed and the same request count see the
+// identical fault schedule regardless of goroutine interleaving, so any
+// chaos run can be replayed by re-running with its seed (only the
+// pairing of faults to request payloads varies with arrival order).
+// Schedule exposes the upcoming schedule for inspection.
+//
+// Only /v1/* paths are perturbed; health and debug endpoints always pass
+// through so probes and scrapes stay reliable during chaos runs.
+package faultinject
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// None passes the request through untouched.
+	None Kind = iota
+	// Latency delays the response by Fault.Delay.
+	Latency
+	// Error5xx answers 500 without running the handler.
+	Error5xx
+	// RateLimit answers 429 + Retry-After without running the handler.
+	RateLimit
+	// Reset tears the TCP connection down without a response.
+	Reset
+	// Drip serves the real response body in small delayed chunks.
+	Drip
+	// Partial truncates the real response body halfway through a
+	// full-length Content-Length, corrupting the payload in flight.
+	Partial
+
+	numKinds
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Latency:
+		return "latency"
+	case Error5xx:
+		return "error5xx"
+	case RateLimit:
+		return "ratelimit"
+	case Reset:
+		return "reset"
+	case Drip:
+		return "drip"
+	case Partial:
+		return "partial"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Config tunes the injector. Probabilities are per request in [0,1];
+// zero disables that fault class. Zero durations take the documented
+// defaults.
+type Config struct {
+	// Seed keys the whole fault schedule. Equal seeds (and equal knobs)
+	// yield byte-identical schedules.
+	Seed int64
+
+	// LatencyProb is the per-request latency-spike probability; spike
+	// durations are drawn uniformly from [LatencyMin, LatencyMax]
+	// (defaults 10ms, 50ms).
+	LatencyProb float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+
+	// ErrorProb / RateLimitProb are per-window burst probabilities: time
+	// is cut into windows of BurstLen consecutive request indices
+	// (default 8) and a burst window answers every request with 500
+	// (resp. 429). Error wins if a window draws both.
+	ErrorProb     float64
+	RateLimitProb float64
+	BurstLen      int
+
+	// ResetProb tears down the connection; DripProb slow-writes the
+	// body in DripChunk-byte pieces (default 64) separated by DripDelay
+	// (default 2ms); PartialProb truncates the body halfway.
+	ResetProb   float64
+	DripProb    float64
+	DripChunk   int
+	DripDelay   time.Duration
+	PartialProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LatencyMin <= 0 {
+		c.LatencyMin = 10 * time.Millisecond
+	}
+	if c.LatencyMax < c.LatencyMin {
+		c.LatencyMax = 5 * c.LatencyMin
+	}
+	if c.BurstLen <= 0 {
+		c.BurstLen = 8
+	}
+	if c.DripChunk <= 0 {
+		c.DripChunk = 64
+	}
+	if c.DripDelay <= 0 {
+		c.DripDelay = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Fault is one scheduled perturbation.
+type Fault struct {
+	Kind  Kind
+	Delay time.Duration // Latency only
+}
+
+// Injector assigns faults to requests by arrival index and implements
+// the HTTP middleware that applies them.
+type Injector struct {
+	cfg    Config
+	next   atomic.Int64
+	counts [numKinds]atomic.Int64
+}
+
+// New builds an injector from the config.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg.withDefaults()}
+}
+
+// splitmix64 is the standard SplitMix64 finalizer: a bijective mixer
+// whose outputs pass statistical tests even on sequential inputs. It is
+// the whole PRNG here — stateless, so the fault for index n never
+// depends on evaluation order.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a 64-bit draw onto [0,1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// draw returns the stream-th pseudo-random unit for request index n.
+func (in *Injector) draw(n int64, stream uint64) float64 {
+	return unit(splitmix64(uint64(in.cfg.Seed)<<8 ^ uint64(n)<<3 ^ stream))
+}
+
+// Decide returns the fault scheduled for the n-th request — a pure
+// function of (seed, n). Precedence: burst faults (5xx, then 429) mask
+// per-request faults; among per-request faults reset > partial > drip >
+// latency, so at most one fault fires per request.
+func (in *Injector) Decide(n int64) Fault {
+	c := in.cfg
+	window := n / int64(c.BurstLen)
+	if c.ErrorProb > 0 && unit(splitmix64(uint64(c.Seed)<<8^uint64(window)<<3^101)) < c.ErrorProb {
+		return Fault{Kind: Error5xx}
+	}
+	if c.RateLimitProb > 0 && unit(splitmix64(uint64(c.Seed)<<8^uint64(window)<<3^102)) < c.RateLimitProb {
+		return Fault{Kind: RateLimit}
+	}
+	if c.ResetProb > 0 && in.draw(n, 1) < c.ResetProb {
+		return Fault{Kind: Reset}
+	}
+	if c.PartialProb > 0 && in.draw(n, 2) < c.PartialProb {
+		return Fault{Kind: Partial}
+	}
+	if c.DripProb > 0 && in.draw(n, 3) < c.DripProb {
+		return Fault{Kind: Drip}
+	}
+	if c.LatencyProb > 0 && in.draw(n, 4) < c.LatencyProb {
+		span := c.LatencyMax - c.LatencyMin
+		d := c.LatencyMin + time.Duration(in.draw(n, 5)*float64(span))
+		return Fault{Kind: Latency, Delay: d}
+	}
+	return Fault{Kind: None}
+}
+
+// Schedule materializes the faults for request indices [from, to) —
+// replaying or pre-inspecting a chaos run.
+func (in *Injector) Schedule(from, to int64) []Fault {
+	if to < from {
+		to = from
+	}
+	out := make([]Fault, 0, to-from)
+	for n := from; n < to; n++ {
+		out = append(out, in.Decide(n))
+	}
+	return out
+}
+
+// Counts reports how many faults of each kind have been applied, keyed
+// by Kind.String(). None counts untouched /v1/* requests.
+func (in *Injector) Counts() map[string]int64 {
+	out := make(map[string]int64, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		out[k.String()] = in.counts[k].Load()
+	}
+	return out
+}
+
+// Requests returns how many requests have been scheduled so far.
+func (in *Injector) Requests() int64 { return in.next.Load() }
+
+// String summarizes the live knobs for startup logging.
+func (in *Injector) String() string {
+	c := in.cfg
+	return fmt.Sprintf("seed=%d latency=%.2f@[%s,%s] err=%.2f rate=%.2f burst=%d reset=%.2f drip=%.2f partial=%.2f",
+		c.Seed, c.LatencyProb, c.LatencyMin, c.LatencyMax,
+		c.ErrorProb, c.RateLimitProb, c.BurstLen, c.ResetProb, c.DripProb, c.PartialProb)
+}
+
+// Middleware wraps next with the fault schedule. Only /v1/* requests
+// consume schedule indices; everything else passes through untouched.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		n := in.next.Add(1) - 1
+		f := in.Decide(n)
+		in.counts[f.Kind].Add(1)
+		switch f.Kind {
+		case None:
+			next.ServeHTTP(w, r)
+		case Latency:
+			time.Sleep(f.Delay)
+			next.ServeHTTP(w, r)
+		case Error5xx:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, `{"error":"chaos: injected 500 (request %d)"}`+"\n", n)
+		case RateLimit:
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error":"chaos: injected 429 (request %d)"}`+"\n", n)
+		case Reset:
+			in.reset(w)
+		case Drip:
+			in.serveBuffered(w, r, next, func(w http.ResponseWriter, body []byte) {
+				flusher, _ := w.(http.Flusher)
+				for len(body) > 0 {
+					chunk := in.cfg.DripChunk
+					if chunk > len(body) {
+						chunk = len(body)
+					}
+					if _, err := w.Write(body[:chunk]); err != nil {
+						return
+					}
+					if flusher != nil {
+						flusher.Flush()
+					}
+					body = body[chunk:]
+					if len(body) > 0 {
+						time.Sleep(in.cfg.DripDelay)
+					}
+				}
+			})
+		case Partial:
+			in.serveBuffered(w, r, next, func(w http.ResponseWriter, body []byte) {
+				// Content-Length promises the whole body; delivering half
+				// forces the server to sever the connection, so the client
+				// observes a truncated payload, not a clean EOF.
+				_, _ = w.Write(body[:len(body)/2])
+				if hj, ok := w.(http.Hijacker); ok {
+					if conn, _, err := hj.Hijack(); err == nil {
+						_ = conn.Close()
+					}
+				}
+			})
+		}
+	})
+}
+
+// reset aborts the connection as abruptly as the stack allows: linger 0
+// turns Close into a TCP RST. Falls back to a 500 when the writer cannot
+// be hijacked (e.g. HTTP/2).
+func (in *Injector) reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = conn.Close()
+}
+
+// bufferedWriter captures a downstream response so the middleware can
+// re-serve its body under a fault (drip, partial).
+type bufferedWriter struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func (b *bufferedWriter) Header() http.Header { return b.header }
+func (b *bufferedWriter) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+func (b *bufferedWriter) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+// serveBuffered runs the real handler into a buffer, then hands the
+// finished (status, headers, body) to emit for faulty delivery.
+func (in *Injector) serveBuffered(w http.ResponseWriter, r *http.Request, next http.Handler, emit func(http.ResponseWriter, []byte)) {
+	buf := &bufferedWriter{header: make(http.Header)}
+	next.ServeHTTP(buf, r)
+	if buf.status == 0 {
+		buf.status = http.StatusOK
+	}
+	for k, vs := range buf.header {
+		w.Header()[k] = vs
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(len(buf.body)))
+	w.WriteHeader(buf.status)
+	emit(w, buf.body)
+}

@@ -1,0 +1,225 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The whole point of the injector: the schedule is a pure function of
+// the seed, independent of evaluation order or prior calls.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed: 42, LatencyProb: 0.2, ErrorProb: 0.1, RateLimitProb: 0.1,
+		ResetProb: 0.05, DripProb: 0.05, PartialProb: 0.05,
+	}
+	a := New(cfg).Schedule(0, 2000)
+	b := New(cfg).Schedule(0, 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Out-of-order evaluation agrees with the bulk schedule.
+	in := New(cfg)
+	for _, n := range []int64{1999, 0, 731, 64, 1} {
+		if got := in.Decide(n); got != a[n] {
+			t.Errorf("Decide(%d) = %v, schedule says %v", n, got, a[n])
+		}
+	}
+	// A different seed must actually change the schedule.
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c := New(cfg2).Schedule(0, 2000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("seed 43 produced the identical schedule as seed 42")
+	}
+}
+
+func TestScheduleRates(t *testing.T) {
+	const n = 20000
+	in := New(Config{Seed: 7, LatencyProb: 0.1, LatencyMin: time.Millisecond, LatencyMax: 4 * time.Millisecond})
+	var hits int
+	for _, f := range in.Schedule(0, n) {
+		switch f.Kind {
+		case Latency:
+			hits++
+			if f.Delay < time.Millisecond || f.Delay > 4*time.Millisecond {
+				t.Fatalf("spike %v outside [1ms,4ms]", f.Delay)
+			}
+		case None:
+		default:
+			t.Fatalf("unexpected fault %v with only latency enabled", f.Kind)
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.08 || rate > 0.12 {
+		t.Errorf("latency rate %.3f far from configured 0.10", rate)
+	}
+}
+
+// Bursts must arrive in whole windows: every request of a 5xx window
+// fails, every request of a clean window passes.
+func TestBurstsAreWindowed(t *testing.T) {
+	in := New(Config{Seed: 3, ErrorProb: 0.3, BurstLen: 16})
+	sched := in.Schedule(0, 16*100)
+	for w := 0; w < 100; w++ {
+		first := sched[w*16].Kind
+		for i := 1; i < 16; i++ {
+			if sched[w*16+i].Kind != first {
+				t.Fatalf("window %d mixes %v and %v", w, first, sched[w*16+i].Kind)
+			}
+		}
+	}
+}
+
+func TestScheduleEmptyRange(t *testing.T) {
+	if got := New(Config{Seed: 1}).Schedule(5, 3); len(got) != 0 {
+		t.Errorf("inverted range returned %d faults", len(got))
+	}
+}
+
+// echoHandler answers a fixed JSON body on /v1/echo.
+func echoHandler(body string) http.Handler {
+	mux := http.NewServeMux()
+	h := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, body)
+	}
+	mux.HandleFunc("/v1/echo", h)
+	mux.HandleFunc("/healthz", h)
+	return mux
+}
+
+func get(t *testing.T, c *http.Client, url string) (int, string, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), err
+}
+
+func TestMiddlewareError5xxAndRetryAfter(t *testing.T) {
+	const body = `{"ok":true}`
+	// ErrorProb 1 → every /v1 request is a 500; healthz must pass through.
+	in := New(Config{Seed: 1, ErrorProb: 1})
+	ts := httptest.NewServer(in.Middleware(echoHandler(body)))
+	defer ts.Close()
+
+	status, got, err := get(t, ts.Client(), ts.URL+"/v1/echo")
+	if err != nil || status != http.StatusInternalServerError {
+		t.Fatalf("status %d err %v, want injected 500", status, err)
+	}
+	if !strings.Contains(got, "chaos") {
+		t.Errorf("body %q does not mark the injected fault", got)
+	}
+	if status, got, err = get(t, ts.Client(), ts.URL+"/healthz"); err != nil || status != 200 || got != body {
+		t.Errorf("healthz perturbed: %d %q %v", status, got, err)
+	}
+	if c := in.Counts(); c["error5xx"] != 1 || c["none"] != 0 {
+		t.Errorf("counts %v, want one error5xx and no none", c)
+	}
+
+	rl := New(Config{Seed: 1, RateLimitProb: 1})
+	ts2 := httptest.NewServer(rl.Middleware(echoHandler(body)))
+	defer ts2.Close()
+	resp, err := ts2.Client().Get(ts2.URL + "/v1/echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("injected 429 missing Retry-After: %d %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestMiddlewareReset(t *testing.T) {
+	in := New(Config{Seed: 1, ResetProb: 1})
+	ts := httptest.NewServer(in.Middleware(echoHandler(`{}`)))
+	defer ts.Close()
+
+	if _, _, err := get(t, ts.Client(), ts.URL+"/v1/echo"); err == nil {
+		t.Fatal("reset fault produced a clean response")
+	}
+	if in.Counts()["reset"] != 1 {
+		t.Errorf("counts %v", in.Counts())
+	}
+}
+
+// Drip must deliver the body intact, just slowly.
+func TestMiddlewareDripDeliversFullBody(t *testing.T) {
+	const body = `{"payload":"0123456789012345678901234567890123456789"}`
+	in := New(Config{Seed: 1, DripProb: 1, DripChunk: 7, DripDelay: time.Millisecond})
+	ts := httptest.NewServer(in.Middleware(echoHandler(body)))
+	defer ts.Close()
+
+	status, got, err := get(t, ts.Client(), ts.URL+"/v1/echo")
+	if err != nil || status != 200 {
+		t.Fatalf("drip: %d %v", status, err)
+	}
+	if got != body {
+		t.Errorf("drip corrupted the body: %q", got)
+	}
+}
+
+// Partial must yield a truncated read, not a clean response.
+func TestMiddlewarePartialTruncates(t *testing.T) {
+	const body = `{"payload":"0123456789012345678901234567890123456789"}`
+	in := New(Config{Seed: 1, PartialProb: 1})
+	ts := httptest.NewServer(in.Middleware(echoHandler(body)))
+	defer ts.Close()
+
+	status, got, err := get(t, ts.Client(), ts.URL+"/v1/echo")
+	if status != 200 {
+		t.Fatalf("partial should keep the 200 status, got %d", status)
+	}
+	if err == nil && got == body {
+		t.Error("partial fault delivered the complete body")
+	}
+	if len(got) >= len(body) {
+		t.Errorf("partial delivered %d bytes of %d", len(got), len(body))
+	}
+}
+
+func TestMiddlewareLatencyDelays(t *testing.T) {
+	in := New(Config{Seed: 1, LatencyProb: 1, LatencyMin: 30 * time.Millisecond, LatencyMax: 30 * time.Millisecond})
+	ts := httptest.NewServer(in.Middleware(echoHandler(`{}`)))
+	defer ts.Close()
+
+	start := time.Now()
+	if status, _, err := get(t, ts.Client(), ts.URL+"/v1/echo"); err != nil || status != 200 {
+		t.Fatalf("latency: %d %v", status, err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("latency spike too short: %v", d)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{None: "none", Latency: "latency", Error5xx: "error5xx",
+		RateLimit: "ratelimit", Reset: "reset", Drip: "drip", Partial: "partial"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind rendering wrong")
+	}
+	if s := New(Config{Seed: 5}).String(); !strings.Contains(s, "seed=5") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -38,9 +38,9 @@ func (h *histogram) observe(v int64) {
 
 // HistogramSnapshot is the exported form of a histogram.
 type HistogramSnapshot struct {
-	Count   int64           `json:"count"`
-	Sum     int64           `json:"sum"`
-	Mean    float64         `json:"mean"`
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Mean    float64          `json:"mean"`
 	Buckets map[string]int64 `json:"buckets,omitempty"` // upper bound → count, zero buckets omitted
 }
 

@@ -67,6 +67,11 @@ type Config struct {
 	// WorkerDelay injects per-task latency in the worker pool. Load and
 	// backpressure testing only; leave zero in production.
 	WorkerDelay time.Duration
+	// Middleware, when set, wraps the route mux on the listener path
+	// (Start / the http.Server built by New). The fault-injection harness
+	// hooks in here; Handler() itself stays unwrapped so tests can reach
+	// the bare routes.
+	Middleware func(http.Handler) http.Handler
 
 	// workerHook runs before each pool task; tests use it to gate workers.
 	workerHook func()
@@ -147,8 +152,12 @@ func New(cfg Config) *Server {
 		pool: p,
 		coal: newCoalescer(cfg.FlushWindow, cfg.MaxBatch, p, reg, met),
 	}
+	h := http.Handler(s.Handler())
+	if cfg.Middleware != nil {
+		h = cfg.Middleware(h)
+	}
 	s.httpSrv = &http.Server{
-		Handler:           s.Handler(),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return s

@@ -1,0 +1,48 @@
+// Package testutil holds small shared test helpers. The only resident
+// today is the goroutine-leak check used around the serving layer's
+// drain path and the client's circuit-breaker and hedged-read
+// cancellation paths.
+package testutil
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and returns a function
+// to defer: it retries for up to two seconds while runtime-internal
+// goroutines (timer wheels, finished HTTP keep-alives, exiting workers)
+// wind down, and fails the test with a full goroutine dump if the count
+// never returns to the baseline (plus a small tolerance for goroutines
+// the runtime parks lazily).
+//
+//	defer testutil.CheckGoroutines(t)()
+//
+// Callers must stop whatever they started (shut servers down, close
+// idle connections) before the deferred check runs.
+func CheckGoroutines(t testing.TB) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		const tolerance = 2
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base+tolerance {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var buf bytes.Buffer
+		_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		t.Errorf("goroutine leak: %d goroutines, baseline %d\n%s", n, base, buf.String())
+	}
+}

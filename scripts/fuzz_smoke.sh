@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Fuzz smoke: discover every Fuzz* target in the module and run each one
+# for a short budget (FUZZTIME, default 10s). `go test -fuzz` accepts
+# only one target per invocation, so targets are enumerated with
+# `go test -list` and run one at a time. Any crasher fails the script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+FUZZTIME=${FUZZTIME:-10s}
+
+found=0
+for pkg in $($GO list ./...); do
+    targets=$($GO test -list '^Fuzz' "$pkg" 2>/dev/null | grep '^Fuzz' || true)
+    for target in $targets; do
+        found=$((found + 1))
+        echo "=== fuzz $pkg $target ($FUZZTIME)"
+        $GO test -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME" "$pkg"
+    done
+done
+
+if [ "$found" -eq 0 ]; then
+    echo "fuzz_smoke: no fuzz targets found" >&2
+    exit 1
+fi
+echo "fuzz_smoke: $found targets passed"
