@@ -8,17 +8,20 @@
 #   make bench-serving  rewrite BENCH_pr2.json from a pmsd -loadgen run
 #   make fuzz-smoke     run every Fuzz* target briefly (FUZZTIME=10s)
 #   make bench-chaos    rewrite BENCH_pr3.json from a pmsd -chaos-bench run
+#   make bench-obs      rewrite BENCH_pr4.json from a pmsd -trace-bench run
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos
+.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs
 
 check: vet race bench-smoke server-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
 
-test:
+# Tier-1 runs vet too: it is cheap and catches printf/struct-tag slips
+# that plain `go test` lets through.
+test: vet
 	$(GO) build ./... && $(GO) test ./...
 
 race:
@@ -59,3 +62,10 @@ bench-chaos:
 	$(GO) run ./cmd/pmsd -chaos-bench -requests 8000 -clients 16 \
 	    -chaos-seed 42 -chaos-latency 0.1 -levels 16 \
 	    -bench-out $(CURDIR)/BENCH_pr3.json
+
+# Request-tracing overhead snapshot: the identical loadgen workload with
+# tracing off, sampled at 0.01, and at full sampling, written to
+# BENCH_pr4.json. The claim under test: <3% p50 cost at full sampling.
+bench-obs:
+	$(GO) run ./cmd/pmsd -trace-bench -requests 12000 -clients 32 -dist zipf \
+	    -bench-out $(CURDIR)/BENCH_pr4.json

@@ -31,6 +31,16 @@
 // comparison:
 //
 //	pmsd -chaos-bench -chaos-seed 42 -chaos-latency 0.1 -bench-out BENCH_pr3.json
+//
+// Request tracing samples per-request stage spans (admission wait,
+// coalesce wait, registry acquire, batch compute, response write) into
+// GET /debug/requests; -trace-sample sets the sampling rate (0 turns it
+// off) and -trace-slowest sizes the slowest-trace buffer. Trace-bench
+// mode measures what the tracing layer itself costs by running the
+// loadgen workload with tracing off, sampled at 0.01, and at full
+// sampling:
+//
+//	pmsd -trace-bench -requests 12000 -clients 32 -dist zipf -bench-out BENCH_pr4.json
 package main
 
 import (
@@ -58,6 +68,8 @@ func main() {
 	maxBatch := flag.Int("max-batch", 64, "max coalesced batch size (1 disables batching)")
 	cacheMB := flag.Int64("cache-mb", 256, "mapping registry byte budget, in MiB")
 	workerDelay := flag.Duration("worker-delay", 0, "injected per-task latency (load/backpressure testing only)")
+	traceSample := flag.Float64("trace-sample", 1, "request-trace sampling rate in [0,1] (0 disables tracing)")
+	traceSlowest := flag.Int("trace-slowest", 32, "slowest-trace buffer size for /debug/requests")
 
 	loadgen := flag.Bool("loadgen", false, "run the load generator instead of serving")
 	accessTime := flag.Duration("access-time", time.Millisecond,
@@ -70,6 +82,7 @@ func main() {
 	mExp := flag.Int("m", 4, "loadgen: canonical COLOR exponent (modules = 2^m - 1)")
 	benchOut := flag.String("bench-out", "", "loadgen/chaos-bench: write the JSON comparison snapshot to this file")
 
+	traceBench := flag.Bool("trace-bench", false, "measure request-tracing overhead (off vs 0.01 vs full sampling)")
 	chaos := flag.Bool("chaos", false, "serve with fault injection enabled")
 	chaosBench := flag.Bool("chaos-bench", false, "benchmark the resilient client against an in-process chaotic server (hedging off vs on)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault schedule seed (same seed = same schedule)")
@@ -110,6 +123,12 @@ func main() {
 	if *flush < 0 || *workerDelay < 0 {
 		fail("-flush and -worker-delay must be non-negative")
 	}
+	if *traceSample < 0 || *traceSample > 1 {
+		fail("-trace-sample must be a probability in [0,1], got %g", *traceSample)
+	}
+	if *traceSlowest < 1 {
+		fail("-trace-slowest must be at least 1, got %d", *traceSlowest)
+	}
 	for _, p := range []struct {
 		name string
 		v    float64
@@ -146,9 +165,14 @@ func main() {
 		MaxBatch:         *maxBatch,
 		CacheBudgetBytes: *cacheMB << 20,
 		WorkerDelay:      *workerDelay,
+		TraceSampleRate:  *traceSample,
+		TraceSlowest:     *traceSlowest,
 	}
 	if *flush == 0 {
 		cfg.FlushWindow = -1 // Config treats 0 as "default"; negative disables
+	}
+	if *traceSample == 0 {
+		cfg.TraceSampleRate = -1 // same idiom: 0 means "default" to Config
 	}
 
 	if *chaosBench {
@@ -202,7 +226,7 @@ func main() {
 		return
 	}
 
-	if *loadgen {
+	if *loadgen || *traceBench {
 		var distribution workload.Distribution
 		switch *dist {
 		case "uniform":
@@ -238,6 +262,31 @@ func main() {
 			Seed:     *seed,
 			Server:   cfg,
 		}
+
+		if *traceBench {
+			cmp, err := server.RunTraceOverheadComparison(lg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range []server.LoadGenResult{cmp.Off, cmp.Sampled, cmp.Full} {
+				fmt.Printf("%-18s p50 %.0fus p95 %.0fus p99 %.0fus (%.0f req/s, %d ok)\n",
+					r.Mode+":", r.P50us, r.P95us, r.P99us, r.ReqPerSec, r.Requests)
+			}
+			fmt.Printf("p50 overhead: %+.2f%% sampled@0.01, %+.2f%% full sampling\n",
+				cmp.SampledP50OverheadPct, cmp.FullP50OverheadPct)
+			if *benchOut != "" {
+				data, err := json.MarshalIndent(cmp, "", "  ")
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("snapshot written to %s\n", *benchOut)
+			}
+			return
+		}
+
 		cmp, err := server.RunLoadGenComparison(lg)
 		if err != nil {
 			log.Fatal(err)

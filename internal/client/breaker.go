@@ -158,6 +158,21 @@ func (b *breaker) failure() bool {
 	return false
 }
 
+// failFast reports whether the breaker is open with cooldown still
+// remaining, without consuming a half-open probe slot. Client.do checks
+// this before paying a backoff sleep: an open breaker fails the call
+// immediately instead of sleeping first and discovering the open
+// breaker afterwards. (allow remains the authoritative gate — failFast
+// never transitions state.)
+func (b *breaker) failFast() bool {
+	if b.disabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == stateOpen && b.now().Before(b.openUntil)
+}
+
 // currentState reports the state for metrics/tests.
 func (b *breaker) currentState() breakerState {
 	b.mu.Lock()

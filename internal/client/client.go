@@ -15,7 +15,12 @@
 //     latency under latency-spike faults;
 //   - a half-open circuit breaker that fails fast (ErrCircuitOpen)
 //     while the backend is persistently unhealthy, with bounded probe
-//     traffic during recovery.
+//     traffic during recovery — checked before a backoff sleep, so an
+//     open breaker never pays the retry delay;
+//   - per-call request IDs: every attempt carries X-Request-Id plus the
+//     attempt number, elapsed call time and hedge flag, so the server's
+//     /debug/requests traces join client retry/hedge schedules with
+//     server-side stage spans under one ID.
 //
 // Non-retryable client errors (4xx other than 429) are returned as
 // *APIError without burning retry budget or breaker health.
@@ -35,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/server"
 )
 
@@ -230,6 +236,14 @@ type outcome struct {
 	hedge bool
 }
 
+// callIDKey carries the logical call's request ID through the hedging
+// path, so the primary and hedge attempts share one X-Request-Id and
+// join under one trace server-side. hedgeKey marks the hedge racer.
+type (
+	callIDKey struct{}
+	hedgeKey  struct{}
+)
+
 // hedged runs call, racing a second invocation launched after
 // HedgeDelay if the first has not finished. The first nil-error answer
 // wins and the loser's context is canceled; sends go to a buffered
@@ -241,10 +255,15 @@ func (c *Client) hedged(ctx context.Context, call func(context.Context) (server.
 	}
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	rctx = context.WithValue(rctx, callIDKey{}, obsv.NewRequestID())
 	results := make(chan outcome, 2)
 	launch := func(hedge bool) {
+		cctx := rctx
+		if hedge {
+			cctx = context.WithValue(cctx, hedgeKey{}, true)
+		}
 		go func() {
-			resp, err := call(rctx)
+			resp, err := call(cctx)
 			results <- outcome{resp: resp, err: err, hedge: hedge}
 		}()
 	}
@@ -288,10 +307,24 @@ func (c *Client) do(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
+	meta := attemptMeta{start: time.Now()}
+	if id, ok := ctx.Value(callIDKey{}).(string); ok {
+		meta.id = id // hedged call: both racers share the logical call's ID
+	} else {
+		meta.id = obsv.NewRequestID()
+	}
+	_, meta.hedge = ctx.Value(hedgeKey{}).(bool)
 	var lastErr error
 	var hint time.Duration // server Retry-After from the previous attempt
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			// An open breaker fails the retry before the backoff sleep, not
+			// after it: sleeping a full capped-exponential delay only to be
+			// rejected locally would stall the caller for nothing.
+			if c.br.failFast() {
+				c.breakerRejects.Add(1)
+				return fmt.Errorf("client: %s: %w", path, ErrCircuitOpen)
+			}
 			c.retries.Add(1)
 			if err := c.sleep(ctx, c.backoffDelay(attempt-1, hint)); err != nil {
 				return fmt.Errorf("client: %s retry aborted: %w (last error: %v)", path, err, lastErr)
@@ -302,7 +335,8 @@ func (c *Client) do(ctx context.Context, path string, in, out any) error {
 			return fmt.Errorf("client: %s: %w", path, ErrCircuitOpen)
 		}
 		c.attempts.Add(1)
-		res := c.attempt(ctx, path, body, out)
+		meta.attempt = attempt + 1
+		res := c.attempt(ctx, path, body, out, meta)
 		if res.err == nil {
 			c.br.success()
 			return nil
@@ -335,8 +369,17 @@ type attemptResult struct {
 	retryAfter   time.Duration // server backoff hint (429/503)
 }
 
+// attemptMeta is the per-attempt tracing identity stamped onto request
+// headers: the server joins its stage spans to these under one ID.
+type attemptMeta struct {
+	id      string    // logical-call request ID (shared by retries and hedges)
+	attempt int       // 1-based attempt number
+	start   time.Time // logical-call start (elapsed includes backoff sleeps)
+	hedge   bool      // this racer is the hedge
+}
+
 // attempt issues one HTTP POST and classifies the outcome.
-func (c *Client) attempt(ctx context.Context, path string, body []byte, out any) attemptResult {
+func (c *Client) attempt(ctx context.Context, path string, body []byte, out any, meta attemptMeta) attemptResult {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
@@ -344,6 +387,12 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out any)
 		return attemptResult{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obsv.HeaderRequestID, meta.id)
+	req.Header.Set(obsv.HeaderClientAttempt, strconv.Itoa(meta.attempt))
+	req.Header.Set(obsv.HeaderClientElapsedUS, strconv.FormatInt(time.Since(meta.start).Microseconds(), 10))
+	if meta.hedge {
+		req.Header.Set(obsv.HeaderClientHedge, "1")
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		// Connection resets, refused connections and attempt timeouts are
@@ -393,17 +442,27 @@ func errorMsg(payload []byte) string {
 	return string(bytes.TrimSpace(payload))
 }
 
-// parseRetryAfter parses a delay-seconds Retry-After value (the only
-// form pmsd emits), capped at 30s so a bogus header cannot stall a call.
+// parseRetryAfter parses a Retry-After value in either RFC 9110 form —
+// delay-seconds (the form pmsd emits) or HTTP-date — capped at 30s so a
+// bogus header cannot stall a call.
 func parseRetryAfter(v string) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if when, err := http.ParseTime(v); err == nil {
+		d = time.Until(when)
+		if d < 0 {
+			return 0
+		}
+	} else {
 		return 0
 	}
-	d := time.Duration(secs) * time.Second
 	if d > 30*time.Second {
 		d = 30 * time.Second
 	}

@@ -1,0 +1,183 @@
+// Tests for the client side of the tracing join (request-ID headers
+// across retries), the breaker-before-backoff fast path, and both RFC
+// 9110 Retry-After forms.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/server"
+)
+
+// TestOpenBreakerFailsFastBeforeBackoff pins the retry-loop ordering fix:
+// when the first attempt trips the breaker open, the retry must fail
+// before the backoff sleep, not after it. With a 10s base backoff the
+// pre-fix client slept (and counted a retry) before discovering the open
+// breaker; the fixed client returns ErrCircuitOpen with zero retries.
+func TestOpenBreakerFailsFastBeforeBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"down"}`)
+	}))
+	defer ts.Close()
+
+	cfg := Config{
+		BaseURL:        ts.URL,
+		MaxAttempts:    4,
+		BaseBackoff:    10 * time.Second,
+		MaxBackoff:     10 * time.Second,
+		AttemptTimeout: 2 * time.Second,
+		Breaker:        BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute},
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseIdleConnections()
+
+	start := time.Now()
+	_, err = c.Color(t.Context(), server.MappingSpec{Alg: "mod", Levels: 10, Modules: 3},
+		server.NodeRef{Index: 1, Level: 1})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	st := c.Stats()
+	if st.Attempts != 1 {
+		t.Errorf("attempts = %d, want exactly the breaker-tripping one", st.Attempts)
+	}
+	if st.Retries != 0 {
+		t.Errorf("retries = %d, want 0 — the open breaker must preempt the retry", st.Retries)
+	}
+	if st.BreakerRejects < 1 {
+		t.Errorf("breaker rejects = %d, want ≥ 1", st.BreakerRejects)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("call took %v — it slept the backoff before checking the breaker", elapsed)
+	}
+}
+
+// TestParseRetryAfterBothForms round-trips both RFC 9110 Retry-After
+// forms — delay-seconds and HTTP-date — through parseRetryAfter.
+func TestParseRetryAfterBothForms(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		name     string
+		v        string
+		min, max time.Duration
+	}{
+		{"empty", "", 0, 0},
+		{"seconds", "5", 5 * time.Second, 5 * time.Second},
+		{"zero seconds", "0", 0, 0},
+		{"negative seconds", "-3", 0, 0},
+		{"seconds capped", "97", 30 * time.Second, 30 * time.Second},
+		{"garbage", "soon", 0, 0},
+		// HTTP-date truncates to whole seconds, so allow 1s of slack
+		// below the nominal delay (plus scheduling time).
+		{"http-date future", now.Add(10 * time.Second).UTC().Format(http.TimeFormat),
+			8 * time.Second, 10 * time.Second},
+		{"http-date past", now.Add(-time.Minute).UTC().Format(http.TimeFormat), 0, 0},
+		{"http-date capped", now.Add(5 * time.Minute).UTC().Format(http.TimeFormat),
+			30 * time.Second, 30 * time.Second},
+		{"rfc850 future", now.Add(10 * time.Second).UTC().Format(time.RFC850),
+			8 * time.Second, 10 * time.Second},
+	}
+	for _, tc := range cases {
+		d := parseRetryAfter(tc.v)
+		if d < tc.min || d > tc.max {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want within [%v, %v]",
+				tc.name, tc.v, d, tc.min, tc.max)
+		}
+	}
+}
+
+// TestRetryJoinsClientAndServerSpans drives the acceptance criterion for
+// the tracing join: a request that survives injected faults by retrying
+// must show up in /debug/requests as one trace whose ID matches the ID
+// the client stamped on every attempt, carrying the client's attempt
+// metadata alongside the server's stage spans.
+func TestRetryJoinsClientAndServerSpans(t *testing.T) {
+	inner, stop := realHandler()
+	defer stop()
+
+	// Fault middleware: the first two /v1 requests die with 500 before
+	// reaching pmsd; every attempt's tracing headers are recorded.
+	var mu sync.Mutex
+	var ids []string
+	var attempts []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			mu.Lock()
+			ids = append(ids, r.Header.Get(obsv.HeaderRequestID))
+			attempts = append(attempts, r.Header.Get(obsv.HeaderClientAttempt))
+			n := len(ids)
+			mu.Unlock()
+			if n <= 2 {
+				w.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprint(w, `{"error":"injected"}`)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c, err := New(fastConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.CloseIdleConnections()
+	if _, err := c.Color(t.Context(), server.MappingSpec{Alg: "mod", Levels: 10, Modules: 3},
+		server.NodeRef{Index: 2, Level: 2}); err != nil {
+		t.Fatalf("call through faults: %v", err)
+	}
+
+	mu.Lock()
+	gotIDs, gotAttempts := ids, attempts
+	mu.Unlock()
+	if len(gotIDs) != 3 {
+		t.Fatalf("server saw %d attempts, want 3: %v", len(gotIDs), gotIDs)
+	}
+	for i, id := range gotIDs {
+		if id == "" || id != gotIDs[0] {
+			t.Fatalf("attempt %d carried request ID %q, want the shared %q", i+1, id, gotIDs[0])
+		}
+	}
+	if want := []string{"1", "2", "3"}; gotAttempts[0] != want[0] || gotAttempts[1] != want[1] || gotAttempts[2] != want[2] {
+		t.Errorf("attempt numbers = %v, want %v", gotAttempts, want)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obsv.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var joined *obsv.TraceSnapshot
+	for i := range snap.Slowest {
+		if snap.Slowest[i].ID == gotIDs[0] {
+			joined = &snap.Slowest[i]
+		}
+	}
+	if joined == nil {
+		t.Fatalf("no trace with the client's request ID %q in /debug/requests: %+v", gotIDs[0], snap.Slowest)
+	}
+	if joined.Client == nil || joined.Client.Attempt < 2 {
+		t.Fatalf("joined trace lacks retry metadata: %+v", joined.Client)
+	}
+	if len(joined.Spans) == 0 {
+		t.Errorf("joined trace carries no server spans")
+	}
+}

@@ -1,0 +1,22 @@
+// Context plumbing: the serving layer's instrument wrapper starts the
+// trace and the endpoint handlers pick it up from the request context.
+package obsv
+
+import "context"
+
+type ctxKey struct{}
+
+// WithTrace attaches the trace to the context. A nil trace is fine (the
+// lookup just returns nil again).
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace attached to ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

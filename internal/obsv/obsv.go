@@ -1,0 +1,457 @@
+// Package obsv is a zero-dependency, request-scoped tracing layer for
+// the pmsd serving path. Each traced request carries one *Trace with
+// child spans for the stages a request passes through — admission wait,
+// coalesce wait, registry acquire (split cache-hit vs. materialize),
+// batch compute, response write — so a slow request is attributable to a
+// specific stage instead of showing up only in an endpoint-level latency
+// histogram. The paper's evaluation turns on exactly this decomposition:
+// addressing cost (registry materialization, retrieval tables) versus
+// parallel-access cost (batch compute), and the tracer makes the two
+// separable in a live server.
+//
+// Design constraints, in order:
+//
+//   - near-zero cost when a request is not sampled: Tracer.Start returns
+//     a nil *Trace and every method on a nil *Trace is a no-op, so
+//     unsampled requests pay one atomic add and a branch;
+//   - lock-free recording on the sampled hot path for aggregates:
+//     per-stage histograms are atomic power-of-two buckets, written with
+//     plain atomic adds;
+//   - bounded memory: complete traces land in a fixed-size buffer that
+//     keeps only the slowest N, with an atomic threshold fast-path so
+//     fast traces skip the lock entirely once the buffer is full.
+//
+// Traces join across processes via the X-Request-Id header: the client
+// generates an ID per logical call and stamps every attempt with it
+// (plus attempt number, elapsed time and hedge flag), so the server-side
+// spans of a retried or hedged call group under one ID in
+// /debug/requests.
+package obsv
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header names that join client attempt spans with server traces.
+const (
+	// HeaderRequestID carries the client-generated request ID; the server
+	// adopts it as the trace ID (and generates one when absent).
+	HeaderRequestID = "X-Request-Id"
+	// HeaderClientAttempt is the 1-based attempt number of the logical call.
+	HeaderClientAttempt = "X-Client-Attempt"
+	// HeaderClientElapsedUS is the client-side elapsed time of the logical
+	// call, in microseconds, when this attempt was issued (includes
+	// backoff sleeps of earlier attempts).
+	HeaderClientElapsedUS = "X-Client-Elapsed-Us"
+	// HeaderClientHedge marks a hedged (racing) attempt.
+	HeaderClientHedge = "X-Client-Hedge"
+)
+
+// Stage identifies one serving-path stage of a traced request.
+type Stage uint8
+
+const (
+	// StageAdmissionWait is the time between submitting a task to the
+	// worker pool and a worker starting it (queueing delay).
+	StageAdmissionWait Stage = iota
+	// StageCoalesceWait is the time a singleton lookup spent parked in the
+	// coalescer's flush window before its batch was submitted.
+	StageCoalesceWait
+	// StageRegistryHit is a registry acquire answered from cache.
+	StageRegistryHit
+	// StageRegistryMaterialize is a registry acquire that built the
+	// mapping (or waited on another request's in-flight build).
+	StageRegistryMaterialize
+	// StageBatchCompute is the mapping/coloring/simulation compute itself.
+	StageBatchCompute
+	// StageResponseWrite is the time spent writing the HTTP response.
+	StageResponseWrite
+	// StageTotal is the whole request, recorded at Finish.
+	StageTotal
+
+	numStages
+)
+
+// String names the stage as it appears in snapshots.
+func (s Stage) String() string {
+	switch s {
+	case StageAdmissionWait:
+		return "admission_wait"
+	case StageCoalesceWait:
+		return "coalesce_wait"
+	case StageRegistryHit:
+		return "registry_acquire_hit"
+	case StageRegistryMaterialize:
+		return "registry_acquire_materialize"
+	case StageBatchCompute:
+		return "batch_compute"
+	case StageResponseWrite:
+		return "response_write"
+	case StageTotal:
+		return "total"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(s))
+	}
+}
+
+// histBuckets covers 2^0 … 2^27 µs (~134 s), mirroring the serving
+// metrics layer so the two /debug endpoints read the same way.
+const histBuckets = 28
+
+// histogram is a lock-free power-of-two bucketed distribution: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+type histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func (h *histogram) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[i].Add(1)
+}
+
+// StageSnapshot is the exported form of one stage histogram (µs).
+type StageSnapshot struct {
+	Count   int64            `json:"count"`
+	SumUS   int64            `json:"sum_us"`
+	MeanUS  float64          `json:"mean_us"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // µs upper bound → count
+}
+
+func (h *histogram) snapshot() StageSnapshot {
+	s := StageSnapshot{Count: h.count.Load(), SumUS: h.sum.Load()}
+	if s.Count > 0 {
+		s.MeanUS = float64(s.SumUS) / float64(s.Count)
+		s.Buckets = make(map[string]int64)
+		for i := range h.buckets {
+			if c := h.buckets[i].Load(); c > 0 {
+				s.Buckets[bucketLabel(i)] = c
+			}
+		}
+	}
+	return s
+}
+
+func bucketLabel(i int) string {
+	if i == histBuckets-1 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", (int64(1)<<uint(i))-1)
+}
+
+// Config tunes a Tracer. Zero values take the documented defaults.
+type Config struct {
+	// SampleRate is the fraction of requests traced: 1 traces everything,
+	// 0.01 every ~100th request (counter-based, so the rate is exact over
+	// a window), and <= 0 disables tracing entirely.
+	SampleRate float64
+	// SlowestN is how many of the slowest complete traces are retained
+	// for /debug/requests (default 32).
+	SlowestN int
+}
+
+// Tracer samples requests and aggregates their spans. Safe for
+// arbitrary concurrency; the zero Tracer is not usable — call New.
+type Tracer struct {
+	sampleEvery uint64 // 0 = disabled, 1 = always, k = every k-th request
+	rate        float64
+	counter     atomic.Uint64
+	started     atomic.Int64 // requests seen (sampled or not)
+	sampled     atomic.Int64 // traces started
+	finished    atomic.Int64 // traces finished
+	stages      [numStages]histogram
+	slow        slowBuffer
+}
+
+// New builds a tracer from the config.
+func New(cfg Config) *Tracer {
+	t := &Tracer{rate: cfg.SampleRate}
+	switch {
+	case cfg.SampleRate <= 0:
+		t.sampleEvery = 0
+	case cfg.SampleRate >= 1:
+		t.sampleEvery = 1
+		t.rate = 1
+	default:
+		t.sampleEvery = uint64(math.Round(1 / cfg.SampleRate))
+	}
+	n := cfg.SlowestN
+	if n <= 0 {
+		n = 32
+	}
+	t.slow.capacity = n
+	t.slow.min.Store(math.MinInt64)
+	return t
+}
+
+// Enabled reports whether the tracer samples at all.
+func (t *Tracer) Enabled() bool { return t != nil && t.sampleEvery > 0 }
+
+// Start begins a trace for one request, or returns nil when the request
+// falls outside the sample. All *Trace methods are nil-safe, so callers
+// thread the (possibly nil) trace through unconditionally.
+func (t *Tracer) Start(id, endpoint string) *Trace {
+	if t == nil || t.sampleEvery == 0 {
+		return nil
+	}
+	t.started.Add(1)
+	if t.sampleEvery > 1 && t.counter.Add(1)%t.sampleEvery != 0 {
+		return nil
+	}
+	t.sampled.Add(1)
+	return &Trace{
+		tracer:   t,
+		id:       id,
+		endpoint: endpoint,
+		start:    time.Now(),
+		spans:    make([]SpanSnapshot, 0, 6),
+	}
+}
+
+// ClientInfo is the client-side attempt metadata joined onto a server
+// trace via the X-Client-* headers.
+type ClientInfo struct {
+	Attempt   int   `json:"attempt"`              // 1-based attempt of the logical call
+	ElapsedUS int64 `json:"elapsed_us,omitempty"` // client call elapsed when this attempt was issued
+	Hedge     bool  `json:"hedge,omitempty"`      // this attempt is a hedge
+}
+
+// SpanSnapshot is one recorded stage span, offsets relative to the
+// trace start.
+type SpanSnapshot struct {
+	Stage   string `json:"stage"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// TraceSnapshot is one complete trace as served by /debug/requests.
+type TraceSnapshot struct {
+	ID       string         `json:"request_id"`
+	Endpoint string         `json:"endpoint"`
+	Status   int            `json:"status"`
+	TotalUS  int64          `json:"total_us"`
+	Client   *ClientInfo    `json:"client,omitempty"`
+	Spans    []SpanSnapshot `json:"spans"`
+}
+
+// Trace is one sampled request. Spans may be recorded from any
+// goroutine (the batch worker records on behalf of coalesced requests);
+// appends are mutex-guarded, aggregates are lock-free.
+type Trace struct {
+	tracer   *Tracer
+	id       string
+	endpoint string
+	start    time.Time
+
+	mu     sync.Mutex
+	spans  []SpanSnapshot
+	client *ClientInfo
+	done   bool
+}
+
+// ID returns the trace's request ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetClient attaches the client attempt metadata parsed from headers.
+func (t *Trace) SetClient(ci ClientInfo) {
+	if t == nil || ci.Attempt == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.client = &ci
+	t.mu.Unlock()
+}
+
+// RecordSpan records one stage span measured by the caller. start may
+// come from another goroutine's clock reading; a zero start is ignored.
+// The duration also feeds the tracer's lock-free per-stage histogram.
+func (t *Trace) RecordSpan(stage Stage, start time.Time, d time.Duration) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	us := d.Microseconds()
+	t.tracer.stages[stage].observe(us)
+	t.mu.Lock()
+	if !t.done {
+		t.spans = append(t.spans, SpanSnapshot{
+			Stage:   stage.String(),
+			StartUS: start.Sub(t.start).Microseconds(),
+			DurUS:   us,
+		})
+	}
+	t.mu.Unlock()
+}
+
+var noopEnd = func() {}
+
+// StartSpan opens a stage span on the calling goroutine and returns the
+// closure that ends it. On a nil trace both sides are free.
+func (t *Trace) StartSpan(stage Stage) func() {
+	if t == nil {
+		return noopEnd
+	}
+	start := time.Now()
+	return func() { t.RecordSpan(stage, start, time.Since(start)) }
+}
+
+// Finish completes the trace with the response status: the total lands
+// in the "total" histogram and the trace becomes a candidate for the
+// slowest-N buffer. Spans recorded after Finish are dropped.
+func (t *Trace) Finish(status int) {
+	if t == nil {
+		return
+	}
+	total := time.Since(t.start)
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	snap := TraceSnapshot{
+		ID:       t.id,
+		Endpoint: t.endpoint,
+		Status:   status,
+		TotalUS:  total.Microseconds(),
+		Client:   t.client,
+		Spans:    t.spans,
+	}
+	t.mu.Unlock()
+	t.tracer.stages[StageTotal].observe(total.Microseconds())
+	t.tracer.finished.Add(1)
+	t.tracer.slow.offer(snap)
+}
+
+// Snapshot is the /debug/requests JSON document.
+type Snapshot struct {
+	SampleRate float64                  `json:"sample_rate"`
+	Started    int64                    `json:"requests_seen"`
+	Sampled    int64                    `json:"traces_sampled"`
+	Finished   int64                    `json:"traces_finished"`
+	Stages     map[string]StageSnapshot `json:"stages"`
+	Slowest    []TraceSnapshot          `json:"slowest"`
+}
+
+// Snapshot captures the per-stage histograms and the slowest traces,
+// sorted slowest first. Nil-safe (a disabled tracer reports zeroes).
+func (t *Tracer) Snapshot() Snapshot {
+	s := Snapshot{Stages: map[string]StageSnapshot{}}
+	if t == nil {
+		return s
+	}
+	s.SampleRate = t.rate
+	s.Started = t.started.Load()
+	s.Sampled = t.sampled.Load()
+	s.Finished = t.finished.Load()
+	for i := Stage(0); i < numStages; i++ {
+		if snap := t.stages[i].snapshot(); snap.Count > 0 {
+			s.Stages[i.String()] = snap
+		}
+	}
+	s.Slowest = t.slow.snapshot()
+	return s
+}
+
+// slowBuffer keeps the slowest N complete traces in fixed storage. When
+// full, an atomic floor lets faster traces bail without the lock; a
+// slower trace replaces the current minimum in place.
+type slowBuffer struct {
+	capacity int
+	min      atomic.Int64 // TotalUS floor for admission once full; MinInt64 while filling
+	mu       sync.Mutex
+	entries  []TraceSnapshot
+}
+
+func (b *slowBuffer) offer(snap TraceSnapshot) {
+	if snap.TotalUS <= b.min.Load() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.entries) < b.capacity {
+		b.entries = append(b.entries, snap)
+		if len(b.entries) == b.capacity {
+			b.min.Store(b.minLocked())
+		}
+		return
+	}
+	// Replace the current minimum (the earlier fast-path check can race
+	// with a concurrent replacement; re-check under the lock).
+	idx, minTotal := 0, b.entries[0].TotalUS
+	for i, e := range b.entries[1:] {
+		if e.TotalUS < minTotal {
+			idx, minTotal = i+1, e.TotalUS
+		}
+	}
+	if snap.TotalUS <= minTotal {
+		return
+	}
+	b.entries[idx] = snap
+	b.min.Store(b.minLocked())
+}
+
+// minLocked returns the smallest TotalUS currently held. Caller holds mu
+// and the buffer is full.
+func (b *slowBuffer) minLocked() int64 {
+	m := b.entries[0].TotalUS
+	for _, e := range b.entries[1:] {
+		if e.TotalUS < m {
+			m = e.TotalUS
+		}
+	}
+	return m
+}
+
+func (b *slowBuffer) snapshot() []TraceSnapshot {
+	b.mu.Lock()
+	out := make([]TraceSnapshot, len(b.entries))
+	copy(out, b.entries)
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalUS > out[j].TotalUS })
+	return out
+}
+
+// idPrefix makes request IDs unique across processes; idCounter makes
+// them unique within one.
+var (
+	idPrefix  = randomPrefix()
+	idCounter atomic.Uint64
+)
+
+func randomPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// a fixed prefix rather than panic in an observability layer.
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewRequestID returns a process-unique request ID, e.g.
+// "3fa9c12b-000000a4". One atomic add per call.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%08x", idPrefix, idCounter.Add(1))
+}

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"repro/internal/baseline"
 	"repro/internal/coloring"
 	"repro/internal/colormap"
 	"repro/internal/labeltree"
+	"repro/internal/obsv"
 	"repro/internal/template"
 	"repro/internal/tree"
 )
@@ -291,6 +293,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// clientInfoFromHeaders parses the X-Client-* attempt metadata a
+// resilient client stamps on each attempt, so server traces join up
+// with the client's retry/hedge schedule under one request ID. Absent
+// or malformed headers yield the zero ClientInfo, which the trace
+// layer treats as "no client metadata".
+func clientInfoFromHeaders(h http.Header) obsv.ClientInfo {
+	attempt, err := strconv.Atoi(h.Get(obsv.HeaderClientAttempt))
+	if err != nil || attempt <= 0 {
+		return obsv.ClientInfo{}
+	}
+	elapsed, _ := strconv.ParseInt(h.Get(obsv.HeaderClientElapsedUS), 10, 64)
+	return obsv.ClientInfo{
+		Attempt:   attempt,
+		ElapsedUS: elapsed,
+		Hedge:     h.Get(obsv.HeaderClientHedge) == "1",
+	}
 }
 
 // writeError writes the error body; 429s additionally advertise a

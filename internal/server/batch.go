@@ -15,9 +15,12 @@
 package server
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/tree"
 )
 
@@ -78,16 +81,20 @@ type colorResult struct {
 
 // colorJob is one waiting singleton lookup.
 type colorJob struct {
-	node tree.Node
-	out  chan colorResult // buffered(1); the worker never blocks sending
+	node  tree.Node
+	out   chan colorResult // buffered(1); the worker never blocks sending
+	tr    *obsv.Trace      // nil unless the request is sampled
+	enq   time.Time        // enqueue time; set only when tr != nil
+	color int              // filled by the worker before the reply is sent
 }
 
 // colorGroup accumulates singleton lookups against one mapping spec.
 type colorGroup struct {
-	spec    MappingSpec
-	jobs    []colorJob
-	timer   *time.Timer
-	flushed bool
+	spec      MappingSpec
+	jobs      []colorJob
+	timer     *time.Timer
+	flushed   bool
+	submitted time.Time // when the group was handed to the pool
 }
 
 // coalescer merges singleton color lookups per mapping key.
@@ -122,8 +129,11 @@ func newCoalescer(window time.Duration, maxBatch int, pool *pool, reg *Registry,
 // armed group for its mapping key, which flushes when it reaches maxBatch
 // or when the flush window elapses, whichever comes first. ok=false means
 // the coalescer is shut down (the caller maps this to 503).
-func (c *coalescer) enqueue(spec MappingSpec, n tree.Node) (<-chan colorResult, bool) {
-	job := colorJob{node: n, out: make(chan colorResult, 1)}
+func (c *coalescer) enqueue(spec MappingSpec, n tree.Node, tr *obsv.Trace) (<-chan colorResult, bool) {
+	job := colorJob{node: n, out: make(chan colorResult, 1), tr: tr}
+	if tr != nil {
+		job.enq = time.Now()
+	}
 
 	c.mu.Lock()
 	if c.closed {
@@ -182,9 +192,14 @@ func (c *coalescer) flushKey(key string, g *colorGroup) {
 
 // submit hands a detached group to the worker pool. The queue is sized to
 // the admission limit, so a full queue here is a server bug or a shutdown
-// race; jobs are failed rather than dropped silently.
+// race; jobs are failed rather than dropped silently, and the rejection
+// is visible in /debug/vars: one batches_rejected tick plus one
+// rejected_429 tick per failed job (each surfaces to its caller as 429).
 func (c *coalescer) submit(g *colorGroup) {
+	g.submitted = time.Now()
 	if !c.pool.trySubmit(func() { c.runBatch(g) }) {
+		c.met.batchesRejected.Add(1)
+		c.met.rejected429.Add(int64(len(g.jobs)))
 		for _, job := range g.jobs {
 			job.out <- colorResult{err: errOverloaded}
 		}
@@ -192,23 +207,51 @@ func (c *coalescer) submit(g *colorGroup) {
 }
 
 // runBatch resolves the mapping once and answers every job in the group.
+// It runs on a pool worker under a pprof label carrying the mapping key,
+// so CPU profiles segment batch work by mapping spec.
 func (c *coalescer) runBatch(g *colorGroup) {
-	c.met.batchesFlushed.Add(1)
-	c.met.batchSize.observe(int64(len(g.jobs)))
-	if len(g.jobs) >= 2 {
-		c.met.coalescedJobs.Add(int64(len(g.jobs)))
-	}
-	m, err := c.reg.Acquire(g.spec)
-	if err != nil {
+	pprof.Do(context.Background(), pprof.Labels("mapping", g.spec.Key()), func(context.Context) {
+		begin := time.Now()
 		for _, job := range g.jobs {
-			job.out <- colorResult{err: err}
+			if job.tr != nil {
+				job.tr.RecordSpan(obsv.StageCoalesceWait, job.enq, g.submitted.Sub(job.enq))
+				job.tr.RecordSpan(obsv.StageAdmissionWait, g.submitted, begin.Sub(g.submitted))
+			}
 		}
-		return
-	}
-	modules := m.Modules()
-	for _, job := range g.jobs {
-		job.out <- colorResult{color: m.Color(job.node), modules: modules}
-	}
+		c.met.batchesFlushed.Add(1)
+		c.met.batchSize.observe(int64(len(g.jobs)))
+		if len(g.jobs) >= 2 {
+			c.met.coalescedJobs.Add(int64(len(g.jobs)))
+		}
+		acqStart := time.Now()
+		m, hit, err := c.reg.AcquireInfo(g.spec)
+		acqDur := time.Since(acqStart)
+		stage := obsv.StageRegistryMaterialize
+		if hit {
+			stage = obsv.StageRegistryHit
+		}
+		for _, job := range g.jobs {
+			job.tr.RecordSpan(stage, acqStart, acqDur)
+		}
+		if err != nil {
+			for _, job := range g.jobs {
+				job.out <- colorResult{err: err}
+			}
+			return
+		}
+		// Color every node first, reply second: spans must be fully
+		// recorded before a reply lets the handler Finish the trace.
+		modules := m.Modules()
+		computeStart := time.Now()
+		for i := range g.jobs {
+			g.jobs[i].color = m.Color(g.jobs[i].node)
+		}
+		computeDur := time.Since(computeStart)
+		for i := range g.jobs {
+			g.jobs[i].tr.RecordSpan(obsv.StageBatchCompute, computeStart, computeDur)
+			g.jobs[i].out <- colorResult{color: g.jobs[i].color, modules: modules}
+		}
+	})
 }
 
 // shutdown flushes every armed group and stops accepting new jobs. The

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,16 +57,29 @@ func (c LoadGenConfig) withDefaults() LoadGenConfig {
 
 // LoadGenResult is one measured run.
 type LoadGenResult struct {
-	Mode           string  `json:"mode"` // "batched" or "batch1"
+	Mode           string  `json:"mode"` // "batched", "batch1" or a trace_* overhead mode
 	Requests       int64   `json:"requests"`
 	Rejected       int64   `json:"rejected_429"`
 	Errors         int64   `json:"errors"`
 	Seconds        float64 `json:"seconds"`
 	ReqPerSec      float64 `json:"req_per_sec"`
 	MeanLatencyUS  float64 `json:"mean_latency_us"`
+	P50us          float64 `json:"p50_us"`
+	P95us          float64 `json:"p95_us"`
+	P99us          float64 `json:"p99_us"`
 	BatchesFlushed int64   `json:"batches_flushed"`
 	CoalescedJobs  int64   `json:"coalesced_jobs"`
 	MeanBatchSize  float64 `json:"mean_batch_size"`
+}
+
+// percentileUS reads the p-th percentile (0..100) from sorted latencies,
+// in microseconds.
+func percentileUS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return float64(sorted[idx].Microseconds())
 }
 
 // RunLoadGen executes one run against a fresh in-process server and
@@ -106,6 +120,7 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 	}
 
 	var ok, rejected, errs, latencyUS atomic.Int64
+	lats := make([][]time.Duration, cfg.Clients)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
@@ -117,6 +132,7 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 				errs.Add(int64(perClient))
 				return
 			}
+			mine := make([]time.Duration, 0, perClient)
 			var body bytes.Buffer
 			for i := 0; i < perClient; i++ {
 				n := tree.FromHeapIndex(keys.Next())
@@ -135,17 +151,26 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 				switch {
 				case resp.StatusCode == http.StatusOK:
 					ok.Add(1)
-					latencyUS.Add(time.Since(t0).Microseconds())
+					d := time.Since(t0)
+					latencyUS.Add(d.Microseconds())
+					mine = append(mine, d)
 				case resp.StatusCode == http.StatusTooManyRequests:
 					rejected.Add(1)
 				default:
 					errs.Add(1)
 				}
 			}
+			lats[id] = mine
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
 	snap := srv.Metrics().Snapshot()
 	res := LoadGenResult{
@@ -160,6 +185,9 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 	if res.Requests > 0 {
 		res.ReqPerSec = float64(res.Requests) / elapsed.Seconds()
 		res.MeanLatencyUS = float64(latencyUS.Load()) / float64(res.Requests)
+		res.P50us = percentileUS(all, 50)
+		res.P95us = percentileUS(all, 95)
+		res.P99us = percentileUS(all, 99)
 	}
 	if snap.BatchesFlushed > 0 {
 		res.MeanBatchSize = float64(snap.BatchSize.Sum) / float64(snap.BatchesFlushed)
@@ -189,6 +217,50 @@ func RunLoadGenComparison(cfg LoadGenConfig) (LoadGenComparison, error) {
 	cmp := LoadGenComparison{Batched: batched, Batch1: single}
 	if single.ReqPerSec > 0 {
 		cmp.Speedup = batched.ReqPerSec / single.ReqPerSec
+	}
+	return cmp, nil
+}
+
+// TraceOverheadComparison measures what request tracing costs on the
+// serving path: the identical workload with tracing off, sampled at
+// 0.01, and at full sampling. The overhead percentages compare p50
+// latency against the tracing-off run (the tentpole claim: <3% at full
+// sampling, ~0% at 0.01).
+type TraceOverheadComparison struct {
+	Off     LoadGenResult `json:"TraceOff"`
+	Sampled LoadGenResult `json:"TraceSampled1pct"`
+	Full    LoadGenResult `json:"TraceFull"`
+	// P50 overhead of each tracing mode vs. the off run, in percent.
+	SampledP50OverheadPct float64 `json:"SampledP50OverheadPct"`
+	FullP50OverheadPct    float64 `json:"FullP50OverheadPct"`
+}
+
+// RunTraceOverheadComparison runs the workload three times — tracing
+// off, sample rate 0.01, sample rate 1.0 — and reports the p50 cost.
+func RunTraceOverheadComparison(cfg LoadGenConfig) (TraceOverheadComparison, error) {
+	run := func(mode string, rate float64) (LoadGenResult, error) {
+		c := cfg
+		c.Server.TraceSampleRate = rate
+		res, err := RunLoadGen(c, "batched")
+		res.Mode = mode
+		return res, err
+	}
+	off, err := run("trace_off", -1)
+	if err != nil {
+		return TraceOverheadComparison{}, err
+	}
+	sampled, err := run("trace_sampled_0.01", 0.01)
+	if err != nil {
+		return TraceOverheadComparison{}, err
+	}
+	full, err := run("trace_full", 1)
+	if err != nil {
+		return TraceOverheadComparison{}, err
+	}
+	cmp := TraceOverheadComparison{Off: off, Sampled: sampled, Full: full}
+	if off.P50us > 0 {
+		cmp.SampledP50OverheadPct = (sampled.P50us - off.P50us) / off.P50us * 100
+		cmp.FullP50OverheadPct = (full.P50us - off.P50us) / off.P50us * 100
 	}
 	return cmp, nil
 }

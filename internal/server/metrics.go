@@ -103,11 +103,12 @@ type Metrics struct {
 	templateCost endpointMetrics
 	simulate     endpointMetrics
 
-	rejected429    atomic.Int64
-	inflight       atomic.Int64
-	batchesFlushed atomic.Int64
-	coalescedJobs  atomic.Int64 // singleton requests that shared a flushed batch of size ≥ 2
-	batchSize      histogram
+	rejected429     atomic.Int64
+	inflight        atomic.Int64
+	batchesFlushed  atomic.Int64
+	batchesRejected atomic.Int64 // coalesced batches failed because the pool queue was full
+	coalescedJobs   atomic.Int64 // singleton requests that shared a flushed batch of size ≥ 2
+	batchSize       histogram
 
 	registryHits      atomic.Int64
 	registryMisses    atomic.Int64
@@ -123,12 +124,13 @@ type MetricsSnapshot struct {
 	TemplateCost EndpointSnapshot `json:"template_cost"`
 	Simulate     EndpointSnapshot `json:"simulate"`
 
-	Rejected429    int64             `json:"rejected_429"`
-	Inflight       int64             `json:"inflight"`
-	QueueDepth     int               `json:"queue_depth"`
-	BatchesFlushed int64             `json:"batches_flushed"`
-	CoalescedJobs  int64             `json:"coalesced_jobs"`
-	BatchSize      HistogramSnapshot `json:"batch_size"`
+	Rejected429     int64             `json:"rejected_429"`
+	Inflight        int64             `json:"inflight"`
+	QueueDepth      int               `json:"queue_depth"`
+	BatchesFlushed  int64             `json:"batches_flushed"`
+	BatchesRejected int64             `json:"batches_rejected"`
+	CoalescedJobs   int64             `json:"coalesced_jobs"`
+	BatchSize       HistogramSnapshot `json:"batch_size"`
 
 	RegistryHits      int64 `json:"registry_hits"`
 	RegistryMisses    int64 `json:"registry_misses"`
@@ -154,11 +156,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		TemplateCost: m.templateCost.snapshot(),
 		Simulate:     m.simulate.snapshot(),
 
-		Rejected429:    m.rejected429.Load(),
-		Inflight:       m.inflight.Load(),
-		BatchesFlushed: m.batchesFlushed.Load(),
-		CoalescedJobs:  m.coalescedJobs.Load(),
-		BatchSize:      m.batchSize.snapshot(),
+		Rejected429:     m.rejected429.Load(),
+		Inflight:        m.inflight.Load(),
+		BatchesFlushed:  m.batchesFlushed.Load(),
+		BatchesRejected: m.batchesRejected.Load(),
+		CoalescedJobs:   m.coalescedJobs.Load(),
+		BatchSize:       m.batchSize.snapshot(),
 
 		RegistryHits:      m.registryHits.Load(),
 		RegistryMisses:    m.registryMisses.Load(),

@@ -68,19 +68,29 @@ func (r *Registry) shardFor(key string) *registryShard {
 // time. The returned mapping stays valid even if the entry is later
 // evicted (eviction only drops the cache reference).
 func (r *Registry) Acquire(spec MappingSpec) (coloring.Mapping, error) {
+	m, _, err := r.AcquireInfo(spec)
+	return m, err
+}
+
+// AcquireInfo is Acquire plus attribution: hit reports whether the call
+// was answered from a finished cache entry. A call that waits on another
+// request's in-flight build reports hit=false — its latency is build
+// latency, and the tracing layer buckets it with materializations.
+func (r *Registry) AcquireInfo(spec MappingSpec) (m coloring.Mapping, hit bool, err error) {
 	key := spec.Key()
 	sh := r.shardFor(key)
 
 	sh.mu.Lock()
 	if e, ok := sh.items[key]; ok {
 		sh.lru.MoveToFront(e.elem)
+		hit = e.done()
 		sh.mu.Unlock()
 		<-e.ready
 		if e.err != nil {
-			return nil, e.err
+			return nil, hit, e.err
 		}
 		r.met.registryHits.Add(1)
-		return e.m, nil
+		return e.m, hit, nil
 	}
 	e := &regEntry{key: key, ready: make(chan struct{})}
 	e.elem = sh.lru.PushFront(e)
@@ -99,7 +109,7 @@ func (r *Registry) Acquire(spec MappingSpec) (coloring.Mapping, error) {
 		sh.mu.Unlock()
 		e.err = err
 		close(e.ready)
-		return nil, err
+		return nil, false, err
 	}
 	e.m, e.bytes = m, bytes
 	sh.bytes += bytes
@@ -107,7 +117,7 @@ func (r *Registry) Acquire(spec MappingSpec) (coloring.Mapping, error) {
 	r.evictLocked(sh, e)
 	sh.mu.Unlock()
 	close(e.ready)
-	return m, nil
+	return m, false, nil
 }
 
 // evictLocked drops LRU-tail entries until the shard fits its budget,

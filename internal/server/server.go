@@ -14,10 +14,15 @@
 //   - shutdown is graceful: accepted requests drain to completion while
 //     new ones are refused;
 //   - /debug/vars exposes request counts, latency and batch-size
-//     histograms, queue depth and cache counters; /debug/pprof is wired.
+//     histograms, queue depth and cache counters; /debug/pprof is wired;
+//   - sampled requests carry an obsv trace with per-stage child spans
+//     (admission wait, coalesce wait, registry hit/materialize, batch
+//     compute, response write); /debug/requests serves the per-stage
+//     histograms and the slowest complete traces, and worker tasks run
+//     under pprof labels keyed by mapping spec.
 //
 // Endpoints: POST /v1/color, POST /v1/template-cost, POST /v1/simulate,
-// GET /debug/vars, GET /healthz, /debug/pprof/*.
+// GET /debug/vars, GET /debug/requests, GET /healthz, /debug/pprof/*.
 package server
 
 import (
@@ -26,10 +31,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	rpprof "runtime/pprof"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/coloring"
+	"repro/internal/obsv"
 	"repro/internal/pms"
 	"repro/internal/template"
 	"repro/internal/tree"
@@ -64,6 +71,13 @@ type Config struct {
 	// (defaults 4096 / 1<<20).
 	MaxSimBatches int
 	MaxSimItems   int
+	// TraceSampleRate is the fraction of requests traced by the obsv
+	// layer (default 1.0 — full-sampling overhead is a few µs against
+	// millisecond requests; negative disables tracing).
+	TraceSampleRate float64
+	// TraceSlowest is how many of the slowest complete traces
+	// /debug/requests retains (default 32).
+	TraceSlowest int
 	// WorkerDelay injects per-task latency in the worker pool. Load and
 	// backpressure testing only; leave zero in production.
 	WorkerDelay time.Duration
@@ -114,6 +128,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxSimItems <= 0 {
 		c.MaxSimItems = 1 << 20
 	}
+	if c.TraceSampleRate == 0 {
+		c.TraceSampleRate = 1
+	}
+	if c.TraceSampleRate < 0 {
+		c.TraceSampleRate = 0
+	}
+	if c.TraceSlowest <= 0 {
+		c.TraceSlowest = 32
+	}
 	return c
 }
 
@@ -130,6 +153,7 @@ type Server struct {
 	reg      *Registry
 	pool     *pool
 	coal     *coalescer
+	trc      *obsv.Tracer
 	httpSrv  *http.Server
 	listener net.Listener
 	draining atomic.Bool
@@ -151,6 +175,7 @@ func New(cfg Config) *Server {
 		reg:  reg,
 		pool: p,
 		coal: newCoalescer(cfg.FlushWindow, cfg.MaxBatch, p, reg, met),
+		trc:  obsv.New(obsv.Config{SampleRate: cfg.TraceSampleRate, SlowestN: cfg.TraceSlowest}),
 	}
 	h := http.Handler(s.Handler())
 	if cfg.Middleware != nil {
@@ -166,6 +191,9 @@ func New(cfg Config) *Server {
 // Metrics exposes the metrics registry (loadgen and tests read it).
 func (s *Server) Metrics() *Metrics { return s.met }
 
+// Tracer exposes the request tracer (benchmarks and tests read it).
+func (s *Server) Tracer() *obsv.Tracer { return s.trc }
+
 // Handler returns the full route mux, usable without a listener.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -173,6 +201,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/template-cost", s.instrument("template_cost", s.handleTemplateCost))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.HandleFunc("GET /debug/vars", s.met.varsHandler)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -219,26 +248,81 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// statusWriter records the status for per-endpoint error accounting.
+// statusWriter records the status for per-endpoint error accounting and,
+// on traced requests, the time spent writing the response.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status     int
+	traced     bool
+	writeStart time.Time     // first WriteHeader/Write call
+	writeDur   time.Duration // cumulative time inside the underlying writer
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	if !w.traced {
+		w.ResponseWriter.WriteHeader(code)
+		return
+	}
+	t0 := time.Now()
+	if w.writeStart.IsZero() {
+		w.writeStart = t0
+	}
 	w.ResponseWriter.WriteHeader(code)
+	w.writeDur += time.Since(t0)
 }
 
-// instrument wraps an endpoint with request/latency/error accounting.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if !w.traced {
+		return w.ResponseWriter.Write(p)
+	}
+	t0 := time.Now()
+	if w.writeStart.IsZero() {
+		w.writeStart = t0
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.writeDur += time.Since(t0)
+	return n, err
+}
+
+// instrument wraps an endpoint with request/latency/error accounting and
+// the obsv trace lifecycle: the request ID comes from the client's
+// X-Request-Id (generated server-side when absent) and is echoed back,
+// client attempt metadata is joined onto the trace, and the trace
+// finishes with the response status once the handler returns.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	em := s.met.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		var tr *obsv.Trace
+		id := r.Header.Get(obsv.HeaderRequestID)
+		if s.trc.Enabled() {
+			if id == "" {
+				id = obsv.NewRequestID()
+			}
+			tr = s.trc.Start(id, name)
+		}
+		if id != "" {
+			w.Header().Set(obsv.HeaderRequestID, id)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK, traced: tr != nil}
+		if tr != nil {
+			tr.SetClient(clientInfoFromHeaders(r.Header))
+			r = r.WithContext(obsv.WithTrace(r.Context(), tr))
+		}
 		h(sw, r)
+		if tr != nil {
+			tr.RecordSpan(obsv.StageResponseWrite, sw.writeStart, sw.writeDur)
+			tr.Finish(sw.status)
+		}
 		em.observe(sw.status, time.Since(start))
 	}
+}
+
+// handleDebugRequests serves the tracer snapshot: per-stage histograms
+// plus the slowest complete traces, slowest first.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.trc.Snapshot())
 }
 
 // admit reserves one inflight slot, or reports why not. release must be
@@ -257,15 +341,45 @@ func (s *Server) admit() (release func(), err *apiError) {
 
 // runTask executes fn on the worker pool and waits for completion.
 // The queue never rejects an admitted request (it is sized to the
-// admission limit); the fallback exists for defense in depth.
-func (s *Server) runTask(fn func()) *apiError {
+// admission limit); the fallback exists for defense in depth. The task
+// runs under a pprof label carrying the mapping key (CPU profiles
+// segment by spec) and, when traced, records the queueing delay as an
+// admission_wait span.
+func (s *Server) runTask(tr *obsv.Trace, spec MappingSpec, fn func()) *apiError {
+	var submitted time.Time
+	if tr != nil {
+		submitted = time.Now()
+	}
 	done := make(chan struct{})
-	if !s.pool.trySubmit(func() { defer close(done); fn() }) {
+	task := func() {
+		defer close(done)
+		if tr != nil {
+			tr.RecordSpan(obsv.StageAdmissionWait, submitted, time.Since(submitted))
+		}
+		rpprof.Do(context.Background(), rpprof.Labels("mapping", spec.Key()), func(context.Context) { fn() })
+	}
+	if !s.pool.trySubmit(task) {
 		s.met.rejected429.Add(1)
 		return errOverloaded
 	}
 	<-done
 	return nil
+}
+
+// acquireTraced resolves the mapping through the registry, recording the
+// acquire as a cache-hit or materialize span on the trace.
+func (s *Server) acquireTraced(spec MappingSpec, tr *obsv.Trace) (coloring.Mapping, error) {
+	if tr == nil {
+		return s.reg.Acquire(spec)
+	}
+	start := time.Now()
+	m, hit, err := s.reg.AcquireInfo(spec)
+	stage := obsv.StageRegistryMaterialize
+	if hit {
+		stage = obsv.StageRegistryHit
+	}
+	tr.RecordSpan(stage, start, time.Since(start))
+	return m, err
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -316,9 +430,10 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	tr := obsv.FromContext(r.Context())
 
 	if req.Node != nil {
-		out, ok := s.coal.enqueue(req.Mapping, req.Node.Node())
+		out, ok := s.coal.enqueue(req.Mapping, req.Node.Node(), tr)
 		if !ok {
 			writeError(w, errDraining)
 			return
@@ -334,19 +449,21 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 
 	var resp ColorResponse
 	var taskErr error
-	if aerr := s.runTask(func() {
-		m, err := s.reg.Acquire(req.Mapping)
+	if aerr := s.runTask(tr, req.Mapping, func() {
+		m, err := s.acquireTraced(req.Mapping, tr)
 		if err != nil {
 			taskErr = err
 			return
 		}
 		s.met.batchesFlushed.Add(1)
 		s.met.batchSize.observe(int64(len(nodes)))
+		endCompute := tr.StartSpan(obsv.StageBatchCompute)
 		resp.Modules = m.Modules()
 		resp.Colors = make([]int, len(nodes))
 		for i, nr := range nodes {
 			resp.Colors[i] = m.Color(nr.Node())
 		}
+		endCompute()
 	}); aerr != nil {
 		writeError(w, aerr)
 		return
@@ -466,15 +583,18 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	tr := obsv.FromContext(r.Context())
 	var resp TemplateCostResponse
 	var taskErr error
-	if aerr := s.runTask(func() {
-		m, err := s.reg.Acquire(req.Mapping)
+	if aerr := s.runTask(tr, req.Mapping, func() {
+		m, err := s.acquireTraced(req.Mapping, tr)
 		if err != nil {
 			taskErr = err
 			return
 		}
+		endCompute := tr.StartSpan(obsv.StageBatchCompute)
 		resp, taskErr = mode(m)
+		endCompute()
 	}); aerr != nil {
 		writeError(w, aerr)
 		return
@@ -528,14 +648,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	tr := obsv.FromContext(r.Context())
 	var resp SimulateResponse
 	var taskErr error
-	if aerr := s.runTask(func() {
-		m, err := s.reg.Acquire(req.Mapping)
+	if aerr := s.runTask(tr, req.Mapping, func() {
+		m, err := s.acquireTraced(req.Mapping, tr)
 		if err != nil {
 			taskErr = err
 			return
 		}
+		endCompute := tr.StartSpan(obsv.StageBatchCompute)
+		defer endCompute()
 		sys := pms.NewSystem(m)
 		batch := make([]tree.Node, 0, 64)
 		for _, idxs := range req.Batches {

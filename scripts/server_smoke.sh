@@ -79,6 +79,13 @@ coalesced=$(echo "$VARS" | grep -o '"coalesced_jobs":[0-9]*' | cut -d: -f2)
 [ "${coalesced:-0}" -gt 0 ] || fail "metrics report zero batch coalescing: $VARS"
 echo "   coalesced_jobs=$coalesced"
 
+echo "== request traces"
+# The coalescing burst above ran fully traced (default sample rate 1):
+# /debug/requests must hold per-stage histograms and slowest traces.
+TRACES=$(curl -s "$BASE/debug/requests")
+echo "$TRACES" | grep -q '"coalesce_wait"' || fail "no coalesce_wait stage in /debug/requests: $TRACES"
+echo "$TRACES" | grep -q '"request_id":' || fail "no slowest traces retained: $TRACES"
+
 echo "== backpressure burst"
 # 12 concurrent requests against max-inflight 4: the overflow must get
 # 429 while the admitted requests still finish with 200.
