@@ -9,10 +9,11 @@
 #   make fuzz-smoke     run every Fuzz* target briefly (FUZZTIME=10s)
 #   make bench-chaos    rewrite BENCH_pr3.json from a pmsd -chaos-bench run
 #   make bench-obs      rewrite BENCH_pr4.json from a pmsd -trace-bench run
+#   make bench-metrics  rewrite BENCH_pr5.json from a pmsd -metrics-bench run
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs
+.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics
 
 check: vet race bench-smoke server-smoke fuzz-smoke
 
@@ -69,3 +70,11 @@ bench-chaos:
 bench-obs:
 	$(GO) run ./cmd/pmsd -trace-bench -requests 12000 -clients 32 -dist zipf \
 	    -bench-out $(CURDIR)/BENCH_pr4.json
+
+# Domain-accounting overhead snapshot: the identical template-cost
+# workload with per-module accounting off vs on, written to
+# BENCH_pr5.json. The claim under test: <3% p50 cost with accounting on,
+# and zero theorem-bound violations across the accounted run.
+bench-metrics:
+	$(GO) run ./cmd/pmsd -metrics-bench -requests 12000 -clients 32 -dist zipf \
+	    -bench-out $(CURDIR)/BENCH_pr5.json

@@ -41,6 +41,15 @@
 // sampling:
 //
 //	pmsd -trace-bench -requests 12000 -clients 32 -dist zipf -bench-out BENCH_pr4.json
+//
+// Domain metrics (per-module access accounting, template-family conflict
+// histograms, the theorem-bound monitor) are on by default and rendered
+// by GET /metrics in Prometheus text format alongside /debug/vars;
+// -no-domain-metrics turns the accounting layer off. Metrics-bench mode
+// prices that layer by running the template-cost workload with
+// accounting off and on:
+//
+//	pmsd -metrics-bench -requests 12000 -clients 32 -dist zipf -bench-out BENCH_pr5.json
 package main
 
 import (
@@ -83,6 +92,8 @@ func main() {
 	benchOut := flag.String("bench-out", "", "loadgen/chaos-bench: write the JSON comparison snapshot to this file")
 
 	traceBench := flag.Bool("trace-bench", false, "measure request-tracing overhead (off vs 0.01 vs full sampling)")
+	metricsBench := flag.Bool("metrics-bench", false, "measure domain-accounting overhead (off vs on) on the template-cost path")
+	noDomainMetrics := flag.Bool("no-domain-metrics", false, "disable the domain-accounting layer (module loads, conflict histograms, bound monitor)")
 	chaos := flag.Bool("chaos", false, "serve with fault injection enabled")
 	chaosBench := flag.Bool("chaos-bench", false, "benchmark the resilient client against an in-process chaotic server (hedging off vs on)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault schedule seed (same seed = same schedule)")
@@ -167,6 +178,8 @@ func main() {
 		WorkerDelay:      *workerDelay,
 		TraceSampleRate:  *traceSample,
 		TraceSlowest:     *traceSlowest,
+
+		DisableDomainMetrics: *noDomainMetrics,
 	}
 	if *flush == 0 {
 		cfg.FlushWindow = -1 // Config treats 0 as "default"; negative disables
@@ -226,7 +239,7 @@ func main() {
 		return
 	}
 
-	if *loadgen || *traceBench {
+	if *loadgen || *traceBench || *metricsBench {
 		var distribution workload.Distribution
 		switch *dist {
 		case "uniform":
@@ -247,12 +260,17 @@ func main() {
 		// Each worker-pool task is one parallel memory operation; its
 		// service time is what coalescing amortizes across a batch,
 		// mirroring the paper's cycle model where a parallel access costs
-		// max-module-load cycles however many nodes it touches.
-		if cfg.WorkerDelay == 0 {
+		// max-module-load cycles however many nodes it touches. The
+		// metrics bench skips the modeled delay: a millisecond of injected
+		// service time would drown the few atomic adds being priced.
+		if cfg.WorkerDelay == 0 && !*metricsBench {
 			cfg.WorkerDelay = *accessTime
 		}
 		if cfg.Workers == 0 {
 			cfg.Workers = 2 // scarce memory ports by default, so capacity binds
+			if *metricsBench {
+				cfg.Workers = 4
+			}
 		}
 		lg := server.LoadGenConfig{
 			Mapping:  server.MappingSpec{Alg: "color", Levels: *levels, M: *mExp},
@@ -261,6 +279,31 @@ func main() {
 			Dist:     distribution,
 			Seed:     *seed,
 			Server:   cfg,
+		}
+
+		if *metricsBench {
+			cmp, err := server.RunMetricsOverheadComparison(lg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range []server.LoadGenResult{cmp.Off, cmp.On} {
+				fmt.Printf("%-12s p50 %.0fus p95 %.0fus p99 %.0fus (%.0f req/s, %d ok)\n",
+					r.Mode+":", r.P50us, r.P95us, r.P99us, r.ReqPerSec, r.Requests)
+			}
+			fmt.Printf("p50 overhead with accounting: %+.2f%%\n", cmp.OnP50OverheadPct)
+			fmt.Printf("bound checks %d, violations %d, load ratio %.3f, accesses %d\n",
+				cmp.BoundChecks, cmp.BoundViolations, cmp.LoadRatio, cmp.AccessesTotal)
+			if *benchOut != "" {
+				data, err := json.MarshalIndent(cmp, "", "  ")
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("snapshot written to %s\n", *benchOut)
+			}
+			return
 		}
 
 		if *traceBench {

@@ -9,7 +9,11 @@
 // runnable examples under examples/, command-line tools under cmd/, and
 // the per-theorem benchmark harness in bench_test.go. internal/server and
 // cmd/pmsd expose the mappings and simulator as a concurrent HTTP/JSON
-// service with request coalescing and backpressure. DESIGN.md maps every
-// paper result to the module and experiment that reproduces it;
-// EXPERIMENTS.md records claimed-versus-measured numbers.
+// service with request coalescing and backpressure; internal/metrics
+// adds the domain observability layer (per-module access accounting,
+// template-family conflict histograms, a live monitor of the paper's
+// theorem bounds) rendered at GET /metrics in Prometheus text format
+// and watched by cmd/pmsstat. DESIGN.md maps every paper result to the
+// module and experiment that reproduces it; EXPERIMENTS.md records
+// claimed-versus-measured numbers.
 package repro

@@ -9,12 +9,12 @@ package client
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/report"
 	"repro/internal/server"
 	"repro/internal/tree"
 	"repro/internal/workload"
@@ -79,15 +79,6 @@ type ChaosBenchResult struct {
 	Hedges         int64            `json:"hedges"`
 	HedgeWins      int64            `json:"hedge_wins"`
 	InjectedFaults map[string]int64 `json:"injected_faults"`
-}
-
-// percentile reads the p-th percentile (0..100) from sorted latencies.
-func percentile(sorted []time.Duration, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p / 100 * float64(len(sorted)-1))
-	return float64(sorted[idx].Microseconds())
 }
 
 // RunChaosBench executes one run against a fresh in-process server with
@@ -168,7 +159,7 @@ func RunChaosBench(cfg ChaosBenchConfig, hedged bool) (ChaosBenchResult, error) 
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	report.SortDurations(all)
 
 	stats := cl.Stats()
 	mode := "unhedged"
@@ -180,9 +171,9 @@ func RunChaosBench(cfg ChaosBenchConfig, hedged bool) (ChaosBenchResult, error) 
 		Calls:          okCalls.Load(),
 		Errors:         errCalls.Load(),
 		Seconds:        elapsed.Seconds(),
-		P50us:          percentile(all, 50),
-		P95us:          percentile(all, 95),
-		P99us:          percentile(all, 99),
+		P50us:          report.PercentileUS(all, 50),
+		P95us:          report.PercentileUS(all, 95),
+		P99us:          report.PercentileUS(all, 99),
 		Retries:        stats.Retries,
 		Hedges:         stats.Hedges,
 		HedgeWins:      stats.HedgeWins,

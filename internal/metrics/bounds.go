@@ -1,0 +1,116 @@
+package metrics
+
+// The bound monitor turns the paper's closed-form conflict theorems into
+// an online invariant: every served template-cost observation is checked
+// against the bound that applies to its (mapping, template) pair, and a
+// violation ticks a counter that must stay zero.
+//
+// Soundness rests on a containment argument. template.Instance.Validate
+// requires instances to fit entirely inside the tree, and per-color node
+// counts are monotone under subsets, so an instance's conflict count is
+// bounded by the family cost of ANY family whose some member contains
+// it. For the canonical COLOR mapping of Section 4 (parameter m, with
+// K = 2^(m-1)-1, N = 2^(m-1)+m-1, M = 2^m-1 modules):
+//
+//   - every valid S(s) with s <= M is contained in a valid S(M) member
+//     once the tree has at least m levels (anchor the m-level subtree at
+//     the ancestor max(0, level+levels(s)-m) levels up);
+//   - every valid P(s) with s <= M is contained in a valid P(M) member
+//     once the tree has at least M levels (extend the path downward to a
+//     descendant so the M-node window covers it);
+//   - identically for the conflict-free sizes K (subtrees, needing m-1
+//     levels) and N (paths, needing N levels) of Theorem 3.
+//
+// Theorem 4 bounds S(M)/P(M) family costs by 1, Theorem 3 gives 0 for
+// S(K)/P(N), and Theorem 6 bounds any composite C(D, c) by 4*ceil(D/M)+c
+// with no height precondition. L-template observations and non-canonical
+// mappings have no closed form here and are reported as skipped.
+
+// BoundQuery identifies one observation for the bound monitor.
+type BoundQuery struct {
+	// Alg is the mapping algorithm name; only "color" (the canonical
+	// Section 4 parameterization) has closed-form bounds.
+	Alg string
+	// M is the paper's m parameter of the canonical COLOR mapping
+	// (2^m - 1 memory modules).
+	M int
+	// Levels is the number of levels of the mapped tree.
+	Levels int
+	// Kind is the template family: "S", "L", "P", or "C" for composite.
+	Kind string
+	// Size is the elementary instance (or family worst-case) size in
+	// nodes. Unused for composites.
+	Size int64
+	// Total and Parts are the composite's D and c. Unused for
+	// elementary kinds.
+	Total int64
+	Parts int
+}
+
+// CanonicalSizes returns the canonical COLOR template parameters of
+// Section 4 for parameter m: K = 2^(m-1)-1, N = 2^(m-1)+m-1, and the
+// module count M = 2^m-1.
+func CanonicalSizes(m int) (k, n, modules int64) {
+	if m < 1 || m > 62 {
+		return 0, 0, 0
+	}
+	half := int64(1) << (m - 1)
+	return half - 1, half + int64(m) - 1, 2*half - 1
+}
+
+// ConflictBound returns the tightest applicable closed-form conflict
+// bound for the query, or ok=false when no theorem covers it (unknown
+// algorithm, L templates, oversized instances, or trees too shallow for
+// the containment argument).
+func ConflictBound(q BoundQuery) (bound int, ok bool) {
+	if q.Alg != "color" {
+		return 0, false
+	}
+	k, n, modules := CanonicalSizes(q.M)
+	if modules == 0 {
+		return 0, false
+	}
+	switch q.Kind {
+	case "C":
+		// Theorem 6: C(D, c) costs at most 4*ceil(D/M) + c.
+		if q.Total < 1 || q.Parts < 1 {
+			return 0, false
+		}
+		ceil := (q.Total + modules - 1) / modules
+		b := 4*ceil + int64(q.Parts)
+		const maxInt = int64(^uint(0) >> 1)
+		if b > maxInt {
+			return 0, false
+		}
+		return int(b), true
+	case "S":
+		if q.Size < 1 {
+			return 0, false
+		}
+		// Theorem 3: S(K) is conflict-free.
+		if q.Size <= k && q.Levels >= q.M-1 {
+			return 0, true
+		}
+		// Theorem 4: S(M) costs at most 1.
+		if q.Size <= modules && q.Levels >= q.M {
+			return 1, true
+		}
+		return 0, false
+	case "P":
+		if q.Size < 1 {
+			return 0, false
+		}
+		// Theorem 3: P(N) is conflict-free.
+		if q.Size <= n && int64(q.Levels) >= n {
+			return 0, true
+		}
+		// Theorem 4: P(M) costs at most 1.
+		if q.Size <= modules && int64(q.Levels) >= modules {
+			return 1, true
+		}
+		return 0, false
+	default:
+		// L templates (and unknown kinds) have no closed form here.
+		return 0, false
+	}
+}

@@ -1,0 +1,165 @@
+package metrics_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/metrics"
+	"repro/internal/template"
+)
+
+func TestCanonicalSizes(t *testing.T) {
+	cases := []struct {
+		m       int
+		k, n, M int64
+	}{
+		{2, 1, 3, 3},
+		{3, 3, 6, 7},
+		{4, 7, 11, 15},
+		{5, 15, 20, 31},
+	}
+	for _, c := range cases {
+		k, n, M := metrics.CanonicalSizes(c.m)
+		if k != c.k || n != c.n || M != c.M {
+			t.Errorf("CanonicalSizes(%d) = (%d,%d,%d), want (%d,%d,%d)", c.m, k, n, M, c.k, c.n, c.M)
+		}
+	}
+	if _, _, M := metrics.CanonicalSizes(0); M != 0 {
+		t.Error("CanonicalSizes(0) did not report invalid")
+	}
+	if _, _, M := metrics.CanonicalSizes(63); M != 0 {
+		t.Error("CanonicalSizes(63) did not report invalid")
+	}
+}
+
+func TestConflictBoundTable(t *testing.T) {
+	// m=3: K=3, N=6, M=7.
+	cases := []struct {
+		name  string
+		q     metrics.BoundQuery
+		bound int
+		ok    bool
+	}{
+		{"S small conflict-free", metrics.BoundQuery{Alg: "color", M: 3, Levels: 10, Kind: "S", Size: 3}, 0, true},
+		{"S at K exactly", metrics.BoundQuery{Alg: "color", M: 3, Levels: 2, Kind: "S", Size: 3}, 0, true},
+		{"S at M", metrics.BoundQuery{Alg: "color", M: 3, Levels: 10, Kind: "S", Size: 7}, 1, true},
+		{"S too big", metrics.BoundQuery{Alg: "color", M: 3, Levels: 10, Kind: "S", Size: 15}, 0, false},
+		{"S tree too shallow for Thm4", metrics.BoundQuery{Alg: "color", M: 3, Levels: 2, Kind: "S", Size: 7}, 0, false},
+		{"P conflict-free at N", metrics.BoundQuery{Alg: "color", M: 3, Levels: 6, Kind: "P", Size: 6}, 0, true},
+		{"P cost 1 at M", metrics.BoundQuery{Alg: "color", M: 3, Levels: 7, Kind: "P", Size: 7}, 1, true},
+		{"P shallow tree skipped", metrics.BoundQuery{Alg: "color", M: 3, Levels: 5, Kind: "P", Size: 6}, 0, false},
+		{"L never bounded", metrics.BoundQuery{Alg: "color", M: 3, Levels: 16, Kind: "L", Size: 2}, 0, false},
+		{"composite", metrics.BoundQuery{Alg: "color", M: 3, Levels: 10, Kind: "C", Total: 20, Parts: 3}, 15, true},
+		{"composite exact multiple", metrics.BoundQuery{Alg: "color", M: 3, Levels: 10, Kind: "C", Total: 14, Parts: 2}, 10, true},
+		{"composite no parts", metrics.BoundQuery{Alg: "color", M: 3, Levels: 10, Kind: "C", Total: 14, Parts: 0}, 0, false},
+		{"non-canonical alg", metrics.BoundQuery{Alg: "label", M: 3, Levels: 10, Kind: "S", Size: 3}, 0, false},
+		{"bad m", metrics.BoundQuery{Alg: "color", M: 0, Levels: 10, Kind: "S", Size: 3}, 0, false},
+		{"zero size", metrics.BoundQuery{Alg: "color", M: 3, Levels: 10, Kind: "S", Size: 0}, 0, false},
+	}
+	for _, c := range cases {
+		bound, ok := metrics.ConflictBound(c.q)
+		if bound != c.bound || ok != c.ok {
+			t.Errorf("%s: ConflictBound(%+v) = (%d,%v), want (%d,%v)", c.name, c.q, bound, ok, c.bound, c.ok)
+		}
+	}
+}
+
+// TestBoundsSoundAgainstExhaustiveCosts is the cross-check that makes
+// the online monitor trustworthy: over a grid of canonical COLOR
+// parameterizations, whenever ConflictBound claims a bound applies to an
+// elementary family, the exhaustively-enumerated worst case
+// (coloring.FamilyCost over every instance of that size) must respect
+// it. Any unsound precondition in bounds.go shows up here as a witness
+// instance, not as a production bound_violations tick.
+func TestBoundsSoundAgainstExhaustiveCosts(t *testing.T) {
+	grid := []struct{ m, levels int }{
+		{2, 4}, {2, 7}, {2, 10},
+		{3, 7}, {3, 9}, {3, 12},
+		{4, 15},
+	}
+	for _, gp := range grid {
+		p, err := colormap.Canonical(gp.levels, gp.m)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: %v", gp.m, gp.levels, err)
+		}
+		arr, err := colormap.Color(p)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: %v", gp.m, gp.levels, err)
+		}
+		_, _, modules := metrics.CanonicalSizes(gp.m)
+		checked := 0
+		// Subtree sizes are 2^k - 1; sweep every one up to M.
+		for size := int64(1); size <= modules; size = size*2 + 1 {
+			checked += crossCheckFamily(t, arr, gp.m, gp.levels, template.Subtree, "S", size)
+		}
+		// Paths come in every size; sweep 1..M.
+		for size := int64(1); size <= modules; size++ {
+			checked += crossCheckFamily(t, arr, gp.m, gp.levels, template.Path, "P", size)
+		}
+		if checked == 0 {
+			t.Errorf("m=%d H=%d: no applicable bound on the whole sweep", gp.m, gp.levels)
+		}
+	}
+}
+
+func crossCheckFamily(t *testing.T, arr coloring.Mapping, m, levels int, kind template.Kind, label string, size int64) int {
+	t.Helper()
+	bound, ok := metrics.ConflictBound(metrics.BoundQuery{
+		Alg: "color", M: m, Levels: levels, Kind: label, Size: size,
+	})
+	if !ok {
+		return 0
+	}
+	f, err := template.NewFamily(arr.Tree(), kind, size)
+	if err != nil {
+		// The monitor claimed a bound for a family the tree cannot even
+		// host — preconditions are too loose.
+		t.Errorf("m=%d H=%d: bound %d claimed for %s(%d) but family invalid: %v", m, levels, bound, label, size, err)
+		return 0
+	}
+	cost, witness := coloring.FamilyCost(arr, f)
+	if cost > bound {
+		t.Errorf("m=%d H=%d: %s(%d) exhaustive cost %d exceeds monitored bound %d (witness %v)",
+			m, levels, label, size, cost, bound, witness)
+	}
+	return 1
+}
+
+// TestCompositeBoundSoundOnRandomComposites mirrors the Theorem 6 sweep:
+// seeded random composites never exceed the monitor's 4*ceil(D/M)+c.
+func TestCompositeBoundSoundOnRandomComposites(t *testing.T) {
+	grid := []struct{ m, levels int }{{2, 6}, {3, 9}, {4, 15}}
+	for _, gp := range grid {
+		p, err := colormap.Canonical(gp.levels, gp.m)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: %v", gp.m, gp.levels, err)
+		}
+		arr, err := colormap.Color(p)
+		if err != nil {
+			t.Fatalf("m=%d H=%d: %v", gp.m, gp.levels, err)
+		}
+		_, _, modules := metrics.CanonicalSizes(gp.m)
+		rng := rand.New(rand.NewSource(int64(gp.m)*1000 + int64(gp.levels)))
+		for trial := 0; trial < 15; trial++ {
+			D := modules + rng.Int63n(4*modules)
+			c := 1 + rng.Intn(4)
+			comp, err := template.RandomComposite(rng, arr.Tree(), D, c)
+			if err != nil {
+				continue
+			}
+			cost := coloring.CompositeConflicts(arr, comp)
+			bound, ok := metrics.ConflictBound(metrics.BoundQuery{
+				Alg: "color", M: gp.m, Levels: gp.levels, Kind: "C", Total: D, Parts: c,
+			})
+			if !ok {
+				t.Fatalf("m=%d H=%d: composite bound inapplicable for D=%d c=%d", gp.m, gp.levels, D, c)
+			}
+			if cost > bound {
+				t.Errorf("m=%d H=%d trial=%d: C(%d,%d) cost %d exceeds bound %d",
+					gp.m, gp.levels, trial, D, c, cost, bound)
+			}
+		}
+	}
+}

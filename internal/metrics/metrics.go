@@ -1,0 +1,303 @@
+// Package metrics is the domain-observability layer of the repository:
+// where internal/obsv watches the *serving* path (how long a request
+// spent in which stage), this package watches the *model* — which memory
+// modules the served workload actually hits, how many conflicts each
+// template family incurs, and whether any observed access pattern ever
+// exceeds the paper's closed-form theorem bounds.
+//
+// Three pieces compose:
+//
+//   - Domain / Recorder: sharded, allocation-free per-module access and
+//     conflict counters. Recording is one atomic add per touched module;
+//     recorders are striped across independent counter banks so
+//     concurrent simulator engines and batch workers do not contend on
+//     the same cache lines. The pms and scheduler engines accept a
+//     Recorder and tick it on their submit paths.
+//   - Per-family conflict histograms: every template-cost evaluation
+//     feeds its observed conflict count into an S/L/P/C histogram
+//     (reusing obsv's power-of-two Histogram, so all histograms in the
+//     system bucket identically).
+//   - The bound monitor (bounds.go): each template-cost observation is
+//     compared against the closed-form Theorem 4/6 bound for its
+//     (mapping, template); a violation ticks a counter that must stay
+//     zero, turning the paper's theorems into a production invariant.
+//
+// Everything is exported through DomainSnapshot, rendered by the serving
+// layer's GET /metrics Prometheus endpoint (prom.go holds both the text
+// exposition writer and the matching parser used by cmd/pmsstat).
+package metrics
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obsv"
+)
+
+// stripeCount is the number of independent counter banks. Recorders are
+// dealt round-robin across stripes, so up to stripeCount concurrent
+// writers tick disjoint cache lines; snapshots sum across stripes.
+const stripeCount = 8
+
+// DefaultMaxModules bounds the per-module counter arrays (and therefore
+// the per-module series cardinality of the Prometheus exposition).
+// Accesses to modules at or above the bound are still counted, in the
+// aggregate Overflow counter. The paper's parameterizations use module
+// counts in the tens; 1024 leaves generous headroom.
+const DefaultMaxModules = 1024
+
+// familyCount indexes the per-family conflict histograms: the paper's
+// S, L, P elementary templates plus the composite C template.
+const familyCount = 4
+
+// Families lists the template-family labels in histogram index order.
+var Families = [familyCount]string{"S", "L", "P", "C"}
+
+// FamilyIndex maps a template-family label (S|L|P|C) to its histogram
+// index, or -1 for an unknown label.
+func FamilyIndex(family string) int {
+	for i, f := range Families {
+		if f == family {
+			return i
+		}
+	}
+	return -1
+}
+
+// stripe is one counter bank. The trailing pad keeps adjacent stripes'
+// scalar counters on distinct cache lines; the per-module slices are
+// separate allocations and need no padding between stripes.
+type stripe struct {
+	accesses  []atomic.Int64 // per-module access counts
+	conflicts atomic.Int64   // simulator batch conflicts (max load - 1 per batch)
+	batches   atomic.Int64   // parallel batches accounted
+	overflow  atomic.Int64   // accesses to modules >= len(accesses)
+	_         [64]byte
+}
+
+// Domain aggregates the model-level counters of one process. Safe for
+// arbitrary concurrency. A nil *Domain is a valid disabled domain: every
+// method no-ops and Recorder returns a disabled Recorder, so callers
+// wire it through unconditionally.
+type Domain struct {
+	maxModules int
+	next       atomic.Uint32 // round-robin stripe cursor for Recorder
+	stripes    [stripeCount]stripe
+
+	families [familyCount]obsv.Histogram
+
+	boundChecks     atomic.Int64
+	boundViolations atomic.Int64
+	boundSkipped    atomic.Int64
+}
+
+// NewDomain builds a domain sized for maxModules per-module counters
+// (DefaultMaxModules when <= 0).
+func NewDomain(maxModules int) *Domain {
+	if maxModules <= 0 {
+		maxModules = DefaultMaxModules
+	}
+	d := &Domain{maxModules: maxModules}
+	for i := range d.stripes {
+		d.stripes[i].accesses = make([]atomic.Int64, maxModules)
+	}
+	return d
+}
+
+// Recorder returns a recorder bound to one stripe, dealt round-robin.
+// Recorders are plain values (no allocation) and are cheap enough to
+// create per request; a single recorder must not be shared by goroutines
+// that record concurrently at high rate (they would contend on one
+// stripe — correctness is unaffected). The nil domain returns a disabled
+// Recorder whose methods no-op.
+func (d *Domain) Recorder() Recorder {
+	if d == nil {
+		return Recorder{}
+	}
+	return Recorder{d: d, s: &d.stripes[d.next.Add(1)%stripeCount]}
+}
+
+// Recorder is the allocation-free write handle to one Domain stripe.
+// The zero Recorder is disabled: every method no-ops.
+type Recorder struct {
+	d *Domain
+	s *stripe
+}
+
+// Enabled reports whether records reach a live Domain.
+func (r Recorder) Enabled() bool { return r.d != nil }
+
+// Access records n accesses landing on the given module. Out-of-range
+// modules count toward the aggregate overflow instead of a per-module
+// series.
+func (r Recorder) Access(module int, n int64) {
+	if r.d == nil || n == 0 {
+		return
+	}
+	if module < 0 || module >= r.d.maxModules {
+		r.s.overflow.Add(n)
+		return
+	}
+	r.s.accesses[module].Add(n)
+}
+
+// Batch records one parallel batch with the given conflict count
+// (max module load - 1; the paper's per-access cost).
+func (r Recorder) Batch(conflicts int64) {
+	if r.d == nil {
+		return
+	}
+	r.s.batches.Add(1)
+	if conflicts > 0 {
+		r.s.conflicts.Add(conflicts)
+	}
+}
+
+// ObserveFamily records one template-cost observation: the conflict
+// count of a costed instance (or family worst case) of the given family
+// label (S|L|P|C). Unknown labels are ignored.
+func (d *Domain) ObserveFamily(family string, conflicts int) {
+	if d == nil {
+		return
+	}
+	if i := FamilyIndex(family); i >= 0 {
+		d.families[i].Observe(int64(conflicts))
+	}
+}
+
+// CheckBound compares an observed conflict count against the closed-form
+// theorem bound for its query, when one applies. Returns true when the
+// observation violated an applicable bound (the counter that must stay
+// zero). Queries outside the theorems' preconditions tick the skipped
+// counter instead of silently passing.
+func (d *Domain) CheckBound(q BoundQuery, observed int) (violated bool) {
+	if d == nil {
+		return false
+	}
+	bound, ok := ConflictBound(q)
+	if !ok {
+		d.boundSkipped.Add(1)
+		return false
+	}
+	d.boundChecks.Add(1)
+	if observed > bound {
+		d.boundViolations.Add(1)
+		return true
+	}
+	return false
+}
+
+// FamilySnapshot is the exported form of one family conflict histogram.
+type FamilySnapshot struct {
+	Family  string           `json:"family"`
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"` // upper bound → count
+}
+
+// DomainSnapshot is the exported form of a Domain: per-module loads, the
+// derived load-balance gauges, family conflict histograms and the bound
+// monitor counters.
+type DomainSnapshot struct {
+	// ModuleAccesses[i] is the access count of module i, trimmed to the
+	// highest touched module.
+	ModuleAccesses []int64 `json:"module_accesses"`
+	// TotalAccesses sums ModuleAccesses (overflow excluded).
+	TotalAccesses int64 `json:"total_accesses"`
+	// Overflow counts accesses to modules beyond the counter bound.
+	Overflow int64 `json:"overflow"`
+	// ActiveModules is the number of modules with at least one access.
+	ActiveModules int `json:"active_modules"`
+	// MaxLoad / MaxModule locate the hottest module.
+	MaxLoad   int64 `json:"max_load"`
+	MaxModule int   `json:"max_module"`
+	// MeanLoad is TotalAccesses / ActiveModules (0 when idle).
+	MeanLoad float64 `json:"mean_load"`
+	// LoadRatio is MaxLoad / MeanLoad — the observed analogue of the
+	// paper's memory-load balance ratio; 1.0 is perfectly balanced.
+	LoadRatio float64 `json:"load_ratio"`
+
+	// Batches / Conflicts aggregate the simulator engines' accounting.
+	Batches   int64 `json:"batches"`
+	Conflicts int64 `json:"conflicts"`
+
+	Families []FamilySnapshot `json:"families,omitempty"`
+
+	BoundChecks     int64 `json:"bound_checks"`
+	BoundViolations int64 `json:"bound_violations"`
+	BoundSkipped    int64 `json:"bound_checks_skipped"`
+}
+
+// Snapshot sums the stripes into one consistent-enough view (individual
+// counters are read atomically; cross-counter skew during concurrent
+// recording is acceptable). Nil-safe: a disabled domain reports zeroes.
+func (d *Domain) Snapshot() DomainSnapshot {
+	var s DomainSnapshot
+	if d == nil {
+		return s
+	}
+	loads := make([]int64, d.maxModules)
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		for mod := range st.accesses {
+			loads[mod] += st.accesses[mod].Load()
+		}
+		s.Conflicts += st.conflicts.Load()
+		s.Batches += st.batches.Load()
+		s.Overflow += st.overflow.Load()
+	}
+	top := 0
+	for mod, n := range loads {
+		if n == 0 {
+			continue
+		}
+		top = mod + 1
+		s.ActiveModules++
+		s.TotalAccesses += n
+		if n > s.MaxLoad {
+			s.MaxLoad = n
+			s.MaxModule = mod
+		}
+	}
+	s.ModuleAccesses = loads[:top]
+	if s.ActiveModules > 0 {
+		s.MeanLoad = float64(s.TotalAccesses) / float64(s.ActiveModules)
+		s.LoadRatio = float64(s.MaxLoad) / s.MeanLoad
+	}
+	for i := range d.families {
+		count, sum, buckets := d.families[i].Load()
+		if count == 0 {
+			continue
+		}
+		fs := FamilySnapshot{
+			Family:  Families[i],
+			Count:   count,
+			Sum:     sum,
+			Mean:    float64(sum) / float64(count),
+			Buckets: make(map[string]int64),
+		}
+		for b, c := range buckets {
+			if c > 0 {
+				fs.Buckets[obsv.BucketLabel(b)] = c
+			}
+		}
+		s.Families = append(s.Families, fs)
+	}
+	s.BoundChecks = d.boundChecks.Load()
+	s.BoundViolations = d.boundViolations.Load()
+	s.BoundSkipped = d.boundSkipped.Load()
+	return s
+}
+
+// FamilyHist exposes the aggregate histogram for one family label (nil
+// for unknown labels or a nil domain); the Prometheus renderer reads raw
+// ordered buckets through it.
+func (d *Domain) FamilyHist(family string) *obsv.Histogram {
+	if d == nil {
+		return nil
+	}
+	if i := FamilyIndex(family); i >= 0 {
+		return &d.families[i]
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package metrics_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/obsv"
+)
+
+func TestExpoWriterFormat(t *testing.T) {
+	var b strings.Builder
+	e := metrics.NewExpo(&b)
+	e.Counter("pmsd_reqs_total", []metrics.Label{{Name: "endpoint", Value: "color"}}, 42)
+	e.Counter("pmsd_reqs_total", []metrics.Label{{Name: "endpoint", Value: "simulate"}}, 7)
+	e.Gauge("pmsd_ratio", nil, 1.25)
+	e.GaugeInt("pmsd_depth", nil, 3)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE pmsd_reqs_total counter",
+		`pmsd_reqs_total{endpoint="color"} 42`,
+		`pmsd_reqs_total{endpoint="simulate"} 7`,
+		"# TYPE pmsd_ratio gauge",
+		"pmsd_ratio 1.25",
+		"# TYPE pmsd_depth gauge",
+		"pmsd_depth 3",
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n got: %q\nwant: %q", b.String(), want)
+	}
+}
+
+func TestExpoHistogramCumulative(t *testing.T) {
+	var h obsv.Histogram
+	h.Observe(0) // bucket 0 (le 0)
+	h.Observe(1) // bucket 1 (le 1)
+	h.Observe(1)
+	h.Observe(6) // bucket 3 (le 7)
+	var b strings.Builder
+	e := metrics.NewExpo(&b)
+	e.Histogram("x_conflicts", []metrics.Label{{Name: "family", Value: "S"}}, &h)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE x_conflicts histogram",
+		`x_conflicts_bucket{family="S",le="0"} 1`,
+		`x_conflicts_bucket{family="S",le="1"} 3`,
+		`x_conflicts_bucket{family="S",le="7"} 4`,
+		`x_conflicts_bucket{family="S",le="+Inf"} 4`,
+		`x_conflicts_sum{family="S"} 8`,
+		`x_conflicts_count{family="S"} 4`,
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Fatalf("histogram exposition mismatch:\n got: %q\nwant: %q", b.String(), want)
+	}
+}
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	d := metrics.NewDomain(16)
+	r := d.Recorder()
+	r.Access(0, 5)
+	r.Access(3, 10)
+	r.Batch(1)
+	d.ObserveFamily("P", 1)
+	d.CheckBound(metrics.BoundQuery{Alg: "color", M: 3, Levels: 16, Kind: "S", Size: 7}, 1)
+
+	var b strings.Builder
+	e := metrics.NewExpo(&b)
+	metrics.WriteDomain(e, "pmsd", d)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := metrics.ParseExposition(b.String())
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\nexposition:\n%s", err, b.String())
+	}
+	if v, ok := sc.Value("pmsd_module_accesses_total", metrics.Label{Name: "module", Value: "3"}); !ok || v != 10 {
+		t.Fatalf("module 3 accesses = %v,%v, want 10", v, ok)
+	}
+	if v, ok := sc.Value("pmsd_module_load_ratio"); !ok || v != 10.0/7.5 {
+		t.Fatalf("load ratio = %v,%v", v, ok)
+	}
+	if v, ok := sc.Value("pmsd_bound_checks_total"); !ok || v != 1 {
+		t.Fatalf("bound checks = %v,%v", v, ok)
+	}
+	if v, ok := sc.Value("pmsd_bound_violations_total"); !ok || v != 0 {
+		t.Fatalf("bound violations = %v,%v, want present and 0", v, ok)
+	}
+	if v, ok := sc.Value("pmsd_template_conflicts_count", metrics.Label{Name: "family", Value: "P"}); !ok || v != 1 {
+		t.Fatalf("P conflicts count = %v,%v", v, ok)
+	}
+	if v, ok := sc.Value("pmsd_template_conflicts_bucket",
+		metrics.Label{Name: "family", Value: "P"}, metrics.Label{Name: "le", Value: "+Inf"}); !ok || v != 1 {
+		t.Fatalf("P +Inf bucket = %v,%v", v, ok)
+	}
+}
+
+func TestParseExpositionLabelEscapes(t *testing.T) {
+	sc, err := metrics.ParseExposition("m{a=\"x\\\"y\\\\z\\n\"} 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sc.Series("m")
+	if len(s) != 1 || s[0].Label("a") != "x\"y\\z\n" {
+		t.Fatalf("escape parse got %+v", s)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value\n",
+		"x{unterminated 3\n",
+		"x{a=b} 3\n",
+		"x NaNope\n",
+	} {
+		if _, err := metrics.ParseExposition(bad); err == nil {
+			t.Errorf("ParseExposition(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestParseExpositionSkipsCommentsAndTimestamps(t *testing.T) {
+	sc, err := metrics.ParseExposition("# HELP x y\n# TYPE x counter\nx 3 1700000000\n\n+Inf_is_a_value 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("x"); !ok || v != 3 {
+		t.Fatalf("x = %v,%v", v, ok)
+	}
+	if len(sc.Names()) != 2 {
+		t.Fatalf("names = %v", sc.Names())
+	}
+}
+
+func TestWriteDomainNilStableSchema(t *testing.T) {
+	var b strings.Builder
+	e := metrics.NewExpo(&b)
+	metrics.WriteDomain(e, "pmsd", nil)
+	sc, err := metrics.ParseExposition(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The invariant counter must be present (and zero) even when domain
+	// accounting is disabled, so alerts never fire on a missing series.
+	if v, ok := sc.Value("pmsd_bound_violations_total"); !ok || v != 0 {
+		t.Fatalf("disabled domain: bound_violations = %v,%v", v, ok)
+	}
+	if v, ok := sc.Value("pmsd_module_load_ratio"); !ok || v != 0 {
+		t.Fatalf("disabled domain: load ratio = %v,%v", v, ok)
+	}
+}

@@ -102,29 +102,56 @@ func (s Stage) String() string {
 	}
 }
 
-// histBuckets covers 2^0 … 2^27 µs (~134 s), mirroring the serving
-// metrics layer so the two /debug endpoints read the same way.
-const histBuckets = 28
+// NumBuckets is the bucket count of Histogram: buckets cover
+// 2^0 … 2^27 (~134 s in µs), mirroring the serving metrics layer so the
+// two /debug endpoints read the same way.
+const NumBuckets = 28
 
-// histogram is a lock-free power-of-two bucketed distribution: bucket i
-// counts observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
-type histogram struct {
+// Histogram is a lock-free power-of-two bucketed distribution: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i),
+// so bucket i's inclusive upper bound is 2^i - 1. Recording is a few
+// atomic adds; the zero Histogram is ready to use. It is shared beyond
+// this package: internal/metrics reuses it for the domain-level conflict
+// histograms so every histogram in the system buckets identically.
+type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
-	buckets [histBuckets]atomic.Int64
+	buckets [NumBuckets]atomic.Int64
 }
 
-func (h *histogram) observe(v int64) {
+// Observe records one value (negatives clamp to 0).
+func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
 	i := bits.Len64(uint64(v))
-	if i >= histBuckets {
-		i = histBuckets - 1
+	if i >= NumBuckets {
+		i = NumBuckets - 1
 	}
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.buckets[i].Add(1)
+}
+
+// Load atomically reads the counters: total observations, their sum, and
+// the per-bucket counts in ascending bucket order. Cross-counter skew
+// under concurrent Observe calls is acceptable for observability.
+func (h *Histogram) Load() (count, sum int64, buckets [NumBuckets]int64) {
+	count = h.count.Load()
+	sum = h.sum.Load()
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return count, sum, buckets
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (2^i - 1);
+// the last bucket is unbounded and reports math.MaxInt64.
+func BucketUpper(i int) int64 {
+	if i >= NumBuckets-1 {
+		return math.MaxInt64
+	}
+	return (int64(1) << uint(i)) - 1
 }
 
 // StageSnapshot is the exported form of one stage histogram (µs).
@@ -135,22 +162,24 @@ type StageSnapshot struct {
 	Buckets map[string]int64 `json:"buckets,omitempty"` // µs upper bound → count
 }
 
-func (h *histogram) snapshot() StageSnapshot {
+func (h *Histogram) snapshot() StageSnapshot {
 	s := StageSnapshot{Count: h.count.Load(), SumUS: h.sum.Load()}
 	if s.Count > 0 {
 		s.MeanUS = float64(s.SumUS) / float64(s.Count)
 		s.Buckets = make(map[string]int64)
 		for i := range h.buckets {
 			if c := h.buckets[i].Load(); c > 0 {
-				s.Buckets[bucketLabel(i)] = c
+				s.Buckets[BucketLabel(i)] = c
 			}
 		}
 	}
 	return s
 }
 
-func bucketLabel(i int) string {
-	if i == histBuckets-1 {
+// BucketLabel renders bucket i's inclusive upper bound ("inf" for the
+// last, unbounded bucket), as used in snapshot bucket maps.
+func BucketLabel(i int) string {
+	if i == NumBuckets-1 {
 		return "inf"
 	}
 	return fmt.Sprintf("%d", (int64(1)<<uint(i))-1)
@@ -176,7 +205,7 @@ type Tracer struct {
 	started     atomic.Int64 // requests seen (sampled or not)
 	sampled     atomic.Int64 // traces started
 	finished    atomic.Int64 // traces finished
-	stages      [numStages]histogram
+	stages      [numStages]Histogram
 	slow        slowBuffer
 }
 
@@ -292,7 +321,7 @@ func (t *Trace) RecordSpan(stage Stage, start time.Time, d time.Duration) {
 		return
 	}
 	us := d.Microseconds()
-	t.tracer.stages[stage].observe(us)
+	t.tracer.stages[stage].Observe(us)
 	t.mu.Lock()
 	if !t.done {
 		t.spans = append(t.spans, SpanSnapshot{
@@ -339,7 +368,7 @@ func (t *Trace) Finish(status int) {
 		Spans:    t.spans,
 	}
 	t.mu.Unlock()
-	t.tracer.stages[StageTotal].observe(total.Microseconds())
+	t.tracer.stages[StageTotal].Observe(total.Microseconds())
 	t.tracer.finished.Add(1)
 	t.tracer.slow.offer(snap)
 }
@@ -372,6 +401,19 @@ func (t *Tracer) Snapshot() Snapshot {
 	}
 	s.Slowest = t.slow.snapshot()
 	return s
+}
+
+// ForEachStage calls fn for every stage in declaration order with the
+// tracer's aggregate histogram for that stage, giving exporters (the
+// Prometheus renderer) raw ordered buckets instead of the label-keyed
+// snapshot map. Nil-safe: a disabled tracer visits nothing.
+func (t *Tracer) ForEachStage(fn func(s Stage, h *Histogram)) {
+	if t == nil {
+		return
+	}
+	for i := Stage(0); i < numStages; i++ {
+		fn(i, &t.stages[i])
+	}
 }
 
 // slowBuffer keeps the slowest N complete traces in fixed storage. When

@@ -1,0 +1,89 @@
+package pms
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tree"
+)
+
+// The accounting recorder must mirror the engine's own counters exactly:
+// domain totals equal Stats.Requests, domain conflicts equal
+// Stats.Conflicts, and the per-module distribution sums to the total.
+func TestSubmitAccountingMatchesStats(t *testing.T) {
+	tr := tree.New(8)
+	m := mapMod(tr, 5)
+	sys := NewSystem(m)
+	dom := metrics.NewDomain(8)
+	sys.SetAccounting(dom.Recorder())
+
+	rng := rand.New(rand.NewSource(7))
+	for batch := 0; batch < 50; batch++ {
+		nodes := make([]tree.Node, rng.Intn(20))
+		for i := range nodes {
+			nodes[i] = tree.FromHeapIndex(rng.Int63n(tr.Nodes()))
+		}
+		sys.SubmitDrain(nodes)
+	}
+	st := sys.Stats()
+	ds := dom.Snapshot()
+	if ds.TotalAccesses != st.Requests {
+		t.Fatalf("domain total %d != engine requests %d", ds.TotalAccesses, st.Requests)
+	}
+	if ds.Conflicts != st.Conflicts {
+		t.Fatalf("domain conflicts %d != engine conflicts %d", ds.Conflicts, st.Conflicts)
+	}
+	var perModule int64
+	for _, n := range ds.ModuleAccesses {
+		perModule += n
+	}
+	if perModule != st.Requests {
+		t.Fatalf("per-module sum %d != requests %d", perModule, st.Requests)
+	}
+	if ds.Overflow != 0 {
+		t.Fatalf("overflow %d on an in-range workload", ds.Overflow)
+	}
+}
+
+// The zero Recorder must leave the engine's behavior and counters
+// untouched — accounting off is the default path.
+func TestSubmitAccountingDisabledNoEffect(t *testing.T) {
+	tr := tree.New(6)
+	m := mapMod(tr, 3)
+	ref := NewSystem(m)
+	acc := NewSystem(m)
+	acc.SetAccounting(metrics.Recorder{}) // explicitly disabled
+
+	nodes := []tree.Node{tree.FromHeapIndex(0), tree.FromHeapIndex(3), tree.FromHeapIndex(6)}
+	if got, want := acc.SubmitDrain(nodes), ref.SubmitDrain(nodes); got != want {
+		t.Fatalf("disabled accounting changed drain cycles: %d vs %d", got, want)
+	}
+	if acc.Stats() != ref.Stats() {
+		t.Fatalf("disabled accounting changed stats: %+v vs %+v", acc.Stats(), ref.Stats())
+	}
+}
+
+func BenchmarkSubmitDrainAccounting(b *testing.B) {
+	tr := tree.New(16)
+	m := mapMod(tr, 31)
+	nodes := make([]tree.Node, 31)
+	for i := range nodes {
+		nodes[i] = tree.FromHeapIndex(int64(i))
+	}
+	b.Run("off", func(b *testing.B) {
+		sys := NewSystem(m)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys.SubmitDrain(nodes)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		sys := NewSystem(m)
+		sys.SetAccounting(metrics.NewDomain(64).Recorder())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys.SubmitDrain(nodes)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/coloring"
+	"repro/internal/metrics"
 	"repro/internal/tree"
 )
 
@@ -64,6 +65,7 @@ type System struct {
 	pending  int64 // sum of queues, maintained incrementally
 	stats    Stats
 	observer func([]tree.Node)
+	acct     metrics.Recorder
 
 	// Scratch for allocation-free Submit: per-module load of the batch
 	// being submitted, plus the list of touched modules so the reset is
@@ -75,6 +77,13 @@ type System struct {
 // SetObserver installs a callback invoked with every submitted batch
 // (before queuing). Used by the trace recorder; pass nil to remove.
 func (s *System) SetObserver(fn func([]tree.Node)) { s.observer = fn }
+
+// SetAccounting installs a domain-metrics recorder ticked with every
+// submitted batch: one Access per touched module with that module's
+// batch load, plus the batch conflict count. The zero Recorder disables
+// accounting (the default); the cost when disabled is one nil check per
+// touched module.
+func (s *System) SetAccounting(rec metrics.Recorder) { s.acct = rec }
 
 // Stats accumulates simulation counters.
 type Stats struct {
@@ -129,11 +138,13 @@ func (s *System) Submit(nodes []tree.Node) {
 		}
 	}
 	for _, mod := range s.batchTouched {
+		s.acct.Access(int(mod), int64(s.batchLoad[mod]))
 		s.batchLoad[mod] = 0
 	}
 	s.batchTouched = s.batchTouched[:0]
 	if max > 0 {
 		s.stats.Conflicts += int64(max - 1)
+		s.acct.Batch(int64(max - 1))
 	}
 	s.pending += int64(len(nodes))
 	s.stats.Requests += int64(len(nodes))

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileUSExact pins the estimator on known order statistics:
+// lower nearest-rank on the (len-1)-scaled index.
+func TestPercentileUSExact(t *testing.T) {
+	us := func(vs ...int64) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Microsecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   float64
+	}{
+		{"empty", nil, 50, 0},
+		{"single p0", us(7), 0, 7},
+		{"single p50", us(7), 50, 7},
+		{"single p100", us(7), 100, 7},
+		{"two p50", us(1, 9), 50, 1},                                     // idx = 0.5*1 → 0
+		{"two p100", us(1, 9), 100, 9},                                   // idx = 1
+		{"five p50", us(1, 2, 3, 4, 5), 50, 3},                           // idx = 0.5*4 = 2
+		{"five p95", us(1, 2, 3, 4, 5), 95, 4},                           // idx = 3.8 → 3
+		{"five p99", us(1, 2, 3, 4, 5), 99, 4},                           // idx = 3.96 → 3
+		{"five p100", us(1, 2, 3, 4, 5), 100, 5},                         // idx = 4
+		{"ten p90", us(10, 20, 30, 40, 50, 60, 70, 80, 90, 100), 90, 90}, // idx = 8.1 → 8
+		{"ten p99", us(10, 20, 30, 40, 50, 60, 70, 80, 90, 100), 99, 90}, // idx = 8.91 → 8
+		{"hundred-one p95", linearUS(101), 95, 95},                       // idx = 95 exactly
+		{"clamp low", us(1, 2, 3), -5, 1},
+		{"clamp high", us(1, 2, 3), 150, 3},
+		{"sub-microsecond truncates", []time.Duration{1500 * time.Nanosecond}, 50, 1},
+	}
+	for _, c := range cases {
+		if got := PercentileUS(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: PercentileUS(p=%v) = %v, want %v", c.name, c.p, got, c.want)
+		}
+	}
+}
+
+// linearUS builds [0us, 1us, ..., (n-1)us].
+func linearUS(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i) * time.Microsecond
+	}
+	return out
+}
+
+func TestSortDurations(t *testing.T) {
+	d := []time.Duration{5, 1, 4, 2, 3}
+	SortDurations(d)
+	for i := 1; i < len(d); i++ {
+		if d[i-1] > d[i] {
+			t.Fatalf("not sorted: %v", d)
+		}
+	}
+	if PercentileUS(d, 0) != 0 { // all sub-microsecond → 0
+		t.Error("sub-microsecond minimum should read 0")
+	}
+}

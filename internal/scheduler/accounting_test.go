@@ -1,0 +1,76 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tree"
+)
+
+// Accounting must tally exactly the issued workload — total accesses
+// equal Result.Items and batches equal the non-empty accesses — and
+// must not perturb the simulation itself (results bit-identical to an
+// unaccounted run).
+func TestRunOptionsAccountingExactAndInert(t *testing.T) {
+	m := colorMap(t, 12)
+	rng := rand.New(rand.NewSource(11))
+	var stream []Access
+	nonEmpty := int64(0)
+	for i := 0; i < 60; i++ {
+		var nodes []tree.Node
+		if size := rng.Intn(8); size > 0 {
+			anchor := tree.V(rng.Int63n(m.Tree().LevelWidth(9)), 9)
+			nodes = tree.PathNodes(anchor, size)
+			nonEmpty++
+		}
+		stream = append(stream, Access{Nodes: nodes})
+	}
+	queues, err := SplitRoundRobin(stream, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := RunOptions(m, queues, Options{EventSkip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := metrics.NewDomain(64)
+	got, err := RunOptions(m, queues, Options{EventSkip: true, Accounting: dom.Recorder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan != ref.Makespan || got.BusyCycles != ref.BusyCycles || got.Items != ref.Items {
+		t.Fatalf("accounting perturbed the simulation: %+v vs %+v", got, ref)
+	}
+
+	ds := dom.Snapshot()
+	if ds.TotalAccesses != ref.Items {
+		t.Fatalf("domain total %d != simulated items %d", ds.TotalAccesses, ref.Items)
+	}
+	if ds.Batches != nonEmpty {
+		t.Fatalf("domain batches %d != non-empty accesses %d", ds.Batches, nonEmpty)
+	}
+	// Conflicts of each access are ≥ 0 and ≤ items-1; just sanity-bound.
+	if ds.Conflicts < 0 || ds.Conflicts > ref.Items {
+		t.Fatalf("domain conflicts %d out of range", ds.Conflicts)
+	}
+}
+
+func TestRunOptionsAccountingPerAccessConflicts(t *testing.T) {
+	m := colorMap(t, 10)
+	// One access hitting one module 3 times: exactly 2 conflicts.
+	n := tree.V(0, 5)
+	acc := Access{Nodes: []tree.Node{n, n, n}}
+	dom := metrics.NewDomain(64)
+	if _, err := RunOptions(m, [][]Access{{acc}}, Options{Accounting: dom.Recorder()}); err != nil {
+		t.Fatal(err)
+	}
+	ds := dom.Snapshot()
+	if ds.Conflicts != 2 || ds.Batches != 1 || ds.TotalAccesses != 3 {
+		t.Fatalf("conflicts=%d batches=%d total=%d, want 2/1/3", ds.Conflicts, ds.Batches, ds.TotalAccesses)
+	}
+	if ds.MaxLoad != 3 || ds.ActiveModules != 1 {
+		t.Fatalf("max=%d active=%d, want 3/1", ds.MaxLoad, ds.ActiveModules)
+	}
+}

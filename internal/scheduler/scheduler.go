@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/coloring"
+	"repro/internal/metrics"
 	"repro/internal/tree"
 )
 
@@ -54,6 +55,11 @@ type Options struct {
 	// can be served in one arithmetic update. Results are bit-identical
 	// with and without it; skipping only removes per-cycle loop overhead.
 	EventSkip bool
+	// Accounting, when enabled, receives one Access per (issued access,
+	// touched module) pair with that access's module load, plus the
+	// access's conflict count. The zero Recorder (the default) disables
+	// accounting entirely — the issue path then skips the tally loop.
+	Accounting metrics.Recorder
 }
 
 // runawayGuardSlack pads the runaway-simulation bound below. It is a
@@ -146,6 +152,12 @@ type engine struct {
 	next        []int   // per processor: next access index
 	pending     int64   // items enqueued across all rings
 	res         Result
+
+	// Domain-metrics accounting; accLoad/accTouched are scratch for the
+	// per-access module tally, allocated only when acct is enabled.
+	acct       metrics.Recorder
+	accLoad    []int32
+	accTouched []int32
 }
 
 func (e *engine) allocFlight(remaining int) int32 {
@@ -182,6 +194,24 @@ func (e *engine) issue(p int) {
 			e.runLen[mod] = 0
 		}
 		r.push(id)
+		if e.accLoad != nil {
+			if e.accLoad[mod] == 0 {
+				e.accTouched = append(e.accTouched, int32(mod))
+			}
+			e.accLoad[mod]++
+		}
+	}
+	if e.accLoad != nil && len(e.accTouched) > 0 {
+		max := int32(0)
+		for _, mod := range e.accTouched {
+			e.acct.Access(int(mod), int64(e.accLoad[mod]))
+			if e.accLoad[mod] > max {
+				max = e.accLoad[mod]
+			}
+			e.accLoad[mod] = 0
+		}
+		e.accTouched = e.accTouched[:0]
+		e.acct.Batch(int64(max - 1))
 	}
 	e.pending += int64(len(acc.Nodes))
 	if e.flights[id].remaining == 0 {
@@ -275,6 +305,11 @@ func RunOptions(m coloring.Mapping, queues [][]Access, opt Options) (Result, err
 	}
 	for p := range e.inFlight {
 		e.inFlight[p] = -1
+	}
+	if opt.Accounting.Enabled() {
+		e.acct = opt.Accounting
+		e.accLoad = make([]int32, modules)
+		e.accTouched = make([]int32, 0, modules)
 	}
 
 	// Initial issues: one access per processor, before the first cycle.

@@ -247,6 +247,11 @@ type SimulateResponse struct {
 	Conflicts   int64   `json:"conflicts"`
 	MaxQueue    int     `json:"max_queue"`
 	Utilization float64 `json:"utilization"`
+	// IdleSteps counts Step calls on an idle system. The SubmitDrain
+	// replay never steps idle, so it is 0 today, but the field is carried
+	// so the wire format matches pms.Stats rather than silently dropping
+	// a counter.
+	IdleSteps int64 `json:"idle_steps"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx reply.

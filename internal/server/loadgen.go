@@ -13,11 +13,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	dm "repro/internal/metrics"
+	"repro/internal/report"
 	"repro/internal/tree"
 	"repro/internal/workload"
 )
@@ -34,6 +35,11 @@ type LoadGenConfig struct {
 	Dist workload.Distribution
 	// Seed seeds the per-client key streams.
 	Seed int64
+	// Endpoint selects the driven API: "" (or "color") posts singleton
+	// /v1/color lookups; "template-cost" posts anchored ascending-path
+	// template costs (the path with per-node domain accounting), which is
+	// what the metrics-overhead bench prices.
+	Endpoint string
 	// Server tunes the serving side under test. Addr is ignored; the
 	// server always binds an ephemeral localhost port.
 	Server Config
@@ -70,16 +76,9 @@ type LoadGenResult struct {
 	BatchesFlushed int64   `json:"batches_flushed"`
 	CoalescedJobs  int64   `json:"coalesced_jobs"`
 	MeanBatchSize  float64 `json:"mean_batch_size"`
-}
-
-// percentileUS reads the p-th percentile (0..100) from sorted latencies,
-// in microseconds.
-func percentileUS(sorted []time.Duration, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p / 100 * float64(len(sorted)-1))
-	return float64(sorted[idx].Microseconds())
+	// Domain carries the model-level accounting observed during the run
+	// (nil when domain metrics were disabled for the run).
+	Domain *dm.DomainSnapshot `json:"domain,omitempty"`
 }
 
 // RunLoadGen executes one run against a fresh in-process server and
@@ -105,7 +104,11 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 		_ = srv.Shutdown(ctx)
 	}()
 
-	url := "http://" + srv.Addr() + "/v1/color"
+	path := "/v1/color"
+	if cfg.Endpoint == "template-cost" {
+		path = "/v1/template-cost"
+	}
+	url := "http://" + srv.Addr() + path
 	transport := &http.Transport{
 		MaxIdleConns:        cfg.Clients * 2,
 		MaxIdleConnsPerHost: cfg.Clients * 2,
@@ -137,10 +140,21 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 			for i := 0; i < perClient; i++ {
 				n := tree.FromHeapIndex(keys.Next())
 				body.Reset()
-				_ = json.NewEncoder(&body).Encode(ColorRequest{
-					Mapping: cfg.Mapping,
-					Node:    &NodeRef{Index: n.Index, Level: n.Level},
-				})
+				if cfg.Endpoint == "template-cost" {
+					// Ascending path to the root: valid from every node, and
+					// every node of the instance ticks the domain recorder.
+					_ = json.NewEncoder(&body).Encode(TemplateCostRequest{
+						Mapping: cfg.Mapping,
+						Kind:    "P",
+						Size:    int64(n.Level) + 1,
+						Anchor:  &NodeRef{Index: n.Index, Level: n.Level},
+					})
+				} else {
+					_ = json.NewEncoder(&body).Encode(ColorRequest{
+						Mapping: cfg.Mapping,
+						Node:    &NodeRef{Index: n.Index, Level: n.Level},
+					})
+				}
 				t0 := time.Now()
 				resp, err := client.Post(url, "application/json", bytes.NewReader(body.Bytes()))
 				if err != nil {
@@ -170,7 +184,7 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 	for _, l := range lats {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	report.SortDurations(all)
 
 	snap := srv.Metrics().Snapshot()
 	res := LoadGenResult{
@@ -185,13 +199,14 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 	if res.Requests > 0 {
 		res.ReqPerSec = float64(res.Requests) / elapsed.Seconds()
 		res.MeanLatencyUS = float64(latencyUS.Load()) / float64(res.Requests)
-		res.P50us = percentileUS(all, 50)
-		res.P95us = percentileUS(all, 95)
-		res.P99us = percentileUS(all, 99)
+		res.P50us = report.PercentileUS(all, 50)
+		res.P95us = report.PercentileUS(all, 95)
+		res.P99us = report.PercentileUS(all, 99)
 	}
 	if snap.BatchesFlushed > 0 {
 		res.MeanBatchSize = float64(snap.BatchSize.Sum) / float64(snap.BatchesFlushed)
 	}
+	res.Domain = snap.Domain
 	return res, nil
 }
 
@@ -261,6 +276,57 @@ func RunTraceOverheadComparison(cfg LoadGenConfig) (TraceOverheadComparison, err
 	if off.P50us > 0 {
 		cmp.SampledP50OverheadPct = (sampled.P50us - off.P50us) / off.P50us * 100
 		cmp.FullP50OverheadPct = (full.P50us - off.P50us) / off.P50us * 100
+	}
+	return cmp, nil
+}
+
+// MetricsOverheadComparison measures what the domain-accounting layer
+// costs on the serving path: the identical template-cost workload with
+// accounting disabled and enabled. The accounted run also carries the
+// domain snapshot, so the BENCH_pr5.json record shows the bound monitor
+// staying at zero violations alongside the overhead percentage (the
+// tentpole claim: <3% at p50).
+type MetricsOverheadComparison struct {
+	Off LoadGenResult `json:"MetricsOff"`
+	On  LoadGenResult `json:"MetricsOn"`
+	// P50 overhead of the accounted run vs. the unaccounted one, percent.
+	OnP50OverheadPct float64 `json:"MetricsP50OverheadPct"`
+	// Invariants of the accounted run, hoisted for one-line inspection.
+	BoundChecks     int64   `json:"BoundChecks"`
+	BoundViolations int64   `json:"BoundViolations"`
+	LoadRatio       float64 `json:"LoadRatio"`
+	AccessesTotal   int64   `json:"AccessesTotal"`
+}
+
+// RunMetricsOverheadComparison runs the template-cost workload twice —
+// domain metrics off, then on — and reports the p50 cost plus the
+// accounted run's domain invariants.
+func RunMetricsOverheadComparison(cfg LoadGenConfig) (MetricsOverheadComparison, error) {
+	cfg.Endpoint = "template-cost"
+	run := func(mode string, disabled bool) (LoadGenResult, error) {
+		c := cfg
+		c.Server.DisableDomainMetrics = disabled
+		res, err := RunLoadGen(c, "batched")
+		res.Mode = mode
+		return res, err
+	}
+	off, err := run("metrics_off", true)
+	if err != nil {
+		return MetricsOverheadComparison{}, err
+	}
+	on, err := run("metrics_on", false)
+	if err != nil {
+		return MetricsOverheadComparison{}, err
+	}
+	cmp := MetricsOverheadComparison{Off: off, On: on}
+	if off.P50us > 0 {
+		cmp.OnP50OverheadPct = (on.P50us - off.P50us) / off.P50us * 100
+	}
+	if d := on.Domain; d != nil {
+		cmp.BoundChecks = d.BoundChecks
+		cmp.BoundViolations = d.BoundViolations
+		cmp.LoadRatio = d.LoadRatio
+		cmp.AccessesTotal = d.TotalAccesses
 	}
 	return cmp, nil
 }

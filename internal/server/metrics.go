@@ -9,6 +9,9 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	dm "repro/internal/metrics"
+	"repro/internal/pms"
 )
 
 // histBuckets covers 2^0 … 2^27 (µs buckets reach ~134 s; batch-size
@@ -114,8 +117,24 @@ type Metrics struct {
 	registryMisses    atomic.Int64
 	registryEvictions atomic.Int64
 	registryBytes     atomic.Int64
+	// Acquire attribution, split the way the tracing layer splits its
+	// registry spans: a hit is an acquire answered from a finished cache
+	// entry; everything else (fresh build or a wait on another request's
+	// in-flight build) pays materialization latency.
+	registryAcquireHits         atomic.Int64
+	registryAcquireMaterializes atomic.Int64
+
+	// Aggregated pms counters from /v1/simulate replays, including the
+	// IdleSteps counter the simulator has tracked since PR 1 but the
+	// serving layer never surfaced.
+	simBatches   atomic.Int64
+	simRequests  atomic.Int64
+	simCycles    atomic.Int64
+	simConflicts atomic.Int64
+	simIdleSteps atomic.Int64
 
 	queueDepth func() int // wired to the worker pool at server construction
+	domain     *dm.Domain // wired at server construction; nil when disabled
 }
 
 // MetricsSnapshot is the /debug/vars JSON document.
@@ -132,10 +151,23 @@ type MetricsSnapshot struct {
 	CoalescedJobs   int64             `json:"coalesced_jobs"`
 	BatchSize       HistogramSnapshot `json:"batch_size"`
 
-	RegistryHits      int64 `json:"registry_hits"`
-	RegistryMisses    int64 `json:"registry_misses"`
-	RegistryEvictions int64 `json:"registry_evictions"`
-	RegistryBytes     int64 `json:"registry_bytes"`
+	RegistryHits                int64 `json:"registry_hits"`
+	RegistryMisses              int64 `json:"registry_misses"`
+	RegistryEvictions           int64 `json:"registry_evictions"`
+	RegistryBytes               int64 `json:"registry_bytes"`
+	RegistryAcquireHits         int64 `json:"registry_acquire_hits"`
+	RegistryAcquireMaterializes int64 `json:"registry_acquire_materializes"`
+
+	SimBatches   int64 `json:"sim_batches"`
+	SimRequests  int64 `json:"sim_requests"`
+	SimCycles    int64 `json:"sim_cycles"`
+	SimConflicts int64 `json:"sim_conflicts"`
+	SimIdleSteps int64 `json:"sim_idle_steps"`
+
+	// Domain is the model-level accounting snapshot (module loads, family
+	// conflict histograms, bound monitor); omitted when accounting is
+	// disabled.
+	Domain *dm.DomainSnapshot `json:"domain,omitempty"`
 }
 
 func (em *endpointMetrics) snapshot() EndpointSnapshot {
@@ -163,15 +195,37 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CoalescedJobs:   m.coalescedJobs.Load(),
 		BatchSize:       m.batchSize.snapshot(),
 
-		RegistryHits:      m.registryHits.Load(),
-		RegistryMisses:    m.registryMisses.Load(),
-		RegistryEvictions: m.registryEvictions.Load(),
-		RegistryBytes:     m.registryBytes.Load(),
+		RegistryHits:                m.registryHits.Load(),
+		RegistryMisses:              m.registryMisses.Load(),
+		RegistryEvictions:           m.registryEvictions.Load(),
+		RegistryBytes:               m.registryBytes.Load(),
+		RegistryAcquireHits:         m.registryAcquireHits.Load(),
+		RegistryAcquireMaterializes: m.registryAcquireMaterializes.Load(),
+
+		SimBatches:   m.simBatches.Load(),
+		SimRequests:  m.simRequests.Load(),
+		SimCycles:    m.simCycles.Load(),
+		SimConflicts: m.simConflicts.Load(),
+		SimIdleSteps: m.simIdleSteps.Load(),
 	}
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()
 	}
+	if m.domain != nil {
+		d := m.domain.Snapshot()
+		s.Domain = &d
+	}
 	return s
+}
+
+// recordSim folds one /v1/simulate replay's engine counters into the
+// server-wide aggregates.
+func (m *Metrics) recordSim(st pms.Stats) {
+	m.simBatches.Add(st.Batches)
+	m.simRequests.Add(st.Requests)
+	m.simCycles.Add(st.Cycles)
+	m.simConflicts.Add(st.Conflicts)
+	m.simIdleSteps.Add(st.IdleSteps)
 }
 
 // endpoint returns the per-endpoint metrics for a handler name.

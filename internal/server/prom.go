@@ -1,0 +1,104 @@
+// GET /metrics: the Prometheus text-exposition surface of pmsd. It
+// renders every counter already served by /debug/vars (endpoint
+// request/error/latency series, backpressure and coalescing counters,
+// registry counters with acquire attribution, aggregated simulate
+// counters including idle steps), the obsv per-stage trace histograms,
+// and the domain-observability layer (per-module loads, load-balance
+// gauges, per-family conflict histograms, the theorem-bound monitor).
+// The rendering order is fixed and the wire format is pinned by golden
+// tests — treat any diff in the exposition as an API change.
+package server
+
+import (
+	"net/http"
+
+	dm "repro/internal/metrics"
+	"repro/internal/obsv"
+)
+
+// promPrefix namespaces every pmsd series.
+const promPrefix = "pmsd"
+
+// handleMetrics serves the exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e := dm.NewExpo(w)
+	writeServerMetrics(e, s.met)
+	writeTracerMetrics(e, s.trc)
+	dm.WriteDomain(e, promPrefix, s.dom)
+}
+
+// writeHistogram renders the server's private power-of-two histogram
+// (identical bucketing to obsv.Histogram: 28 buckets by bits.Len64)
+// as a cumulative Prometheus histogram. It reads the atomic buckets
+// directly; like every snapshot in this package, cross-bucket skew
+// under concurrent writes is acceptable.
+func writeHistogram(e *dm.Expo, name string, labels []dm.Label, h *histogram) {
+	var buckets [obsv.NumBuckets]int64
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	e.HistogramData(name, labels, h.count.Load(), h.sum.Load(), buckets)
+}
+
+func writeServerMetrics(e *dm.Expo, m *Metrics) {
+	endpoints := []struct {
+		name string
+		em   *endpointMetrics
+	}{
+		{"color", &m.color},
+		{"template_cost", &m.templateCost},
+		{"simulate", &m.simulate},
+	}
+	for _, ep := range endpoints {
+		e.Counter(promPrefix+"_endpoint_requests_total", []dm.Label{{Name: "endpoint", Value: ep.name}}, ep.em.requests.Load())
+	}
+	for _, ep := range endpoints {
+		e.Counter(promPrefix+"_endpoint_errors_4xx_total", []dm.Label{{Name: "endpoint", Value: ep.name}}, ep.em.errors4xx.Load())
+	}
+	for _, ep := range endpoints {
+		e.Counter(promPrefix+"_endpoint_errors_5xx_total", []dm.Label{{Name: "endpoint", Value: ep.name}}, ep.em.errors5xx.Load())
+	}
+	for _, ep := range endpoints {
+		writeHistogram(e, promPrefix+"_endpoint_latency_us", []dm.Label{{Name: "endpoint", Value: ep.name}}, &ep.em.latencyUS)
+	}
+
+	e.Counter(promPrefix+"_rejected_429_total", nil, m.rejected429.Load())
+	e.GaugeInt(promPrefix+"_inflight", nil, m.inflight.Load())
+	depth := 0
+	if m.queueDepth != nil {
+		depth = m.queueDepth()
+	}
+	e.GaugeInt(promPrefix+"_queue_depth", nil, int64(depth))
+	e.Counter(promPrefix+"_batches_flushed_total", nil, m.batchesFlushed.Load())
+	e.Counter(promPrefix+"_batches_rejected_total", nil, m.batchesRejected.Load())
+	e.Counter(promPrefix+"_coalesced_jobs_total", nil, m.coalescedJobs.Load())
+	writeHistogram(e, promPrefix+"_batch_size", nil, &m.batchSize)
+
+	e.Counter(promPrefix+"_registry_hits_total", nil, m.registryHits.Load())
+	e.Counter(promPrefix+"_registry_misses_total", nil, m.registryMisses.Load())
+	e.Counter(promPrefix+"_registry_evictions_total", nil, m.registryEvictions.Load())
+	e.GaugeInt(promPrefix+"_registry_bytes", nil, m.registryBytes.Load())
+	e.Counter(promPrefix+"_registry_acquire_hits_total", nil, m.registryAcquireHits.Load())
+	e.Counter(promPrefix+"_registry_acquire_materializes_total", nil, m.registryAcquireMaterializes.Load())
+
+	e.Counter(promPrefix+"_sim_batches_total", nil, m.simBatches.Load())
+	e.Counter(promPrefix+"_sim_requests_total", nil, m.simRequests.Load())
+	e.Counter(promPrefix+"_sim_cycles_total", nil, m.simCycles.Load())
+	e.Counter(promPrefix+"_sim_conflicts_total", nil, m.simConflicts.Load())
+	e.Counter(promPrefix+"_sim_idle_steps_total", nil, m.simIdleSteps.Load())
+}
+
+func writeTracerMetrics(e *dm.Expo, trc *obsv.Tracer) {
+	snap := trc.Snapshot()
+	e.Gauge(promPrefix+"_trace_sample_rate", nil, snap.SampleRate)
+	e.Counter(promPrefix+"_trace_requests_seen_total", nil, snap.Started)
+	e.Counter(promPrefix+"_trace_sampled_total", nil, snap.Sampled)
+	e.Counter(promPrefix+"_trace_finished_total", nil, snap.Finished)
+	trc.ForEachStage(func(st obsv.Stage, h *obsv.Histogram) {
+		if c, _, _ := h.Load(); c == 0 {
+			return
+		}
+		e.Histogram(promPrefix+"_trace_stage_us", []dm.Label{{Name: "stage", Value: st.String()}}, h)
+	})
+}

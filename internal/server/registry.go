@@ -90,6 +90,11 @@ func (r *Registry) AcquireInfo(spec MappingSpec) (m coloring.Mapping, hit bool, 
 			return nil, hit, e.err
 		}
 		r.met.registryHits.Add(1)
+		if hit {
+			r.met.registryAcquireHits.Add(1)
+		} else {
+			r.met.registryAcquireMaterializes.Add(1)
+		}
 		return e.m, hit, nil
 	}
 	e := &regEntry{key: key, ready: make(chan struct{})}
@@ -117,6 +122,7 @@ func (r *Registry) AcquireInfo(spec MappingSpec) (m coloring.Mapping, hit bool, 
 	r.evictLocked(sh, e)
 	sh.mu.Unlock()
 	close(e.ready)
+	r.met.registryAcquireMaterializes.Add(1)
 	return m, false, nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/coloring"
+	dm "repro/internal/metrics"
 	"repro/internal/obsv"
 	"repro/internal/pms"
 	"repro/internal/template"
@@ -71,6 +72,11 @@ type Config struct {
 	// (defaults 4096 / 1<<20).
 	MaxSimBatches int
 	MaxSimItems   int
+	// DisableDomainMetrics turns off the model-level accounting layer
+	// (per-module loads, family conflict histograms, the theorem-bound
+	// monitor). On by default: recording is a handful of atomic adds per
+	// request, priced by the -metrics-bench mode.
+	DisableDomainMetrics bool
 	// TraceSampleRate is the fraction of requests traced by the obsv
 	// layer (default 1.0 — full-sampling overhead is a few µs against
 	// millisecond requests; negative disables tracing).
@@ -154,6 +160,7 @@ type Server struct {
 	pool     *pool
 	coal     *coalescer
 	trc      *obsv.Tracer
+	dom      *dm.Domain // nil when domain metrics are disabled
 	httpSrv  *http.Server
 	listener net.Listener
 	draining atomic.Bool
@@ -177,6 +184,10 @@ func New(cfg Config) *Server {
 		coal: newCoalescer(cfg.FlushWindow, cfg.MaxBatch, p, reg, met),
 		trc:  obsv.New(obsv.Config{SampleRate: cfg.TraceSampleRate, SlowestN: cfg.TraceSlowest}),
 	}
+	if !cfg.DisableDomainMetrics {
+		s.dom = dm.NewDomain(0)
+	}
+	met.domain = s.dom
 	h := http.Handler(s.Handler())
 	if cfg.Middleware != nil {
 		h = cfg.Middleware(h)
@@ -194,6 +205,9 @@ func (s *Server) Metrics() *Metrics { return s.met }
 // Tracer exposes the request tracer (benchmarks and tests read it).
 func (s *Server) Tracer() *obsv.Tracer { return s.trc }
 
+// Domain exposes the domain-metrics accounting (nil when disabled).
+func (s *Server) Domain() *dm.Domain { return s.dom }
+
 // Handler returns the full route mux, usable without a listener.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -201,6 +215,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/template-cost", s.instrument("template_cost", s.handleTemplateCost))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	mux.HandleFunc("GET /debug/vars", s.met.varsHandler)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -522,10 +537,20 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		mode = func(m coloring.Mapping) (TemplateCostResponse, error) {
-			return TemplateCostResponse{
+			resp := TemplateCostResponse{
 				Conflicts: coloring.CompositeConflicts(m, comp),
 				Items:     comp.Size(),
-			}, nil
+			}
+			if rec := s.dom.Recorder(); rec.Enabled() {
+				comp.Walk(func(n tree.Node) bool { rec.Access(m.Color(n), 1); return true })
+				rec.Batch(int64(resp.Conflicts))
+			}
+			s.dom.ObserveFamily("C", resp.Conflicts)
+			s.dom.CheckBound(dm.BoundQuery{
+				Alg: req.Mapping.Alg, M: req.Mapping.M, Levels: req.Mapping.Levels,
+				Kind: "C", Total: comp.Size(), Parts: len(comp.Parts),
+			}, resp.Conflicts)
+			return resp, nil
 		}
 	case req.Anchor != nil:
 		inst, err := InstanceRef{Kind: req.Kind, Anchor: *req.Anchor, Size: req.Size}.instance()
@@ -538,10 +563,20 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		mode = func(m coloring.Mapping) (TemplateCostResponse, error) {
-			return TemplateCostResponse{
+			resp := TemplateCostResponse{
 				Conflicts: coloring.InstanceConflicts(m, inst),
 				Items:     inst.Size,
-			}, nil
+			}
+			if rec := s.dom.Recorder(); rec.Enabled() {
+				inst.Walk(func(n tree.Node) bool { rec.Access(m.Color(n), 1); return true })
+				rec.Batch(int64(resp.Conflicts))
+			}
+			s.dom.ObserveFamily(req.Kind, resp.Conflicts)
+			s.dom.CheckBound(dm.BoundQuery{
+				Alg: req.Mapping.Alg, M: req.Mapping.M, Levels: req.Mapping.Levels,
+				Kind: req.Kind, Size: inst.Size,
+			}, resp.Conflicts)
+			return resp, nil
 		}
 	default:
 		// Family mode enumerates every instance of the tree: bound the
@@ -564,6 +599,14 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 		}
 		mode = func(m coloring.Mapping) (TemplateCostResponse, error) {
 			cost, witness := coloring.FamilyCost(m, fam)
+			// Family mode observes the worst case; per-module accounting is
+			// skipped — the enumeration touches every node of the tree and
+			// would drown the served access distribution.
+			s.dom.ObserveFamily(req.Kind, cost)
+			s.dom.CheckBound(dm.BoundQuery{
+				Alg: req.Mapping.Alg, M: req.Mapping.M, Levels: req.Mapping.Levels,
+				Kind: req.Kind, Size: req.Size,
+			}, cost)
 			return TemplateCostResponse{
 				Conflicts: cost,
 				Items:     req.Size,
@@ -660,6 +703,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		endCompute := tr.StartSpan(obsv.StageBatchCompute)
 		defer endCompute()
 		sys := pms.NewSystem(m)
+		sys.SetAccounting(s.dom.Recorder())
 		batch := make([]tree.Node, 0, 64)
 		for _, idxs := range req.Batches {
 			batch = batch[:0]
@@ -669,6 +713,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			sys.SubmitDrain(batch)
 		}
 		st := sys.Stats()
+		s.met.recordSim(st)
 		resp = SimulateResponse{
 			Batches:     st.Batches,
 			Requests:    st.Requests,
@@ -676,6 +721,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			Conflicts:   st.Conflicts,
 			MaxQueue:    st.MaxQueue,
 			Utilization: st.Utilization(m.Modules()),
+			IdleSteps:   st.IdleSteps,
 		}
 	}); aerr != nil {
 		writeError(w, aerr)

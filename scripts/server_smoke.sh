@@ -79,6 +79,25 @@ coalesced=$(echo "$VARS" | grep -o '"coalesced_jobs":[0-9]*' | cut -d: -f2)
 [ "${coalesced:-0}" -gt 0 ] || fail "metrics report zero batch coalescing: $VARS"
 echo "   coalesced_jobs=$coalesced"
 
+echo "== prometheus exposition"
+# The request mix above exercised every accounted path: /metrics must
+# render the domain gauges and the bound monitor must report zero
+# violations of the paper's theorems.
+METRICS=$(curl -s "$BASE/metrics")
+echo "$METRICS" | grep -q '^pmsd_module_load_ratio ' || fail "no pmsd_module_load_ratio in /metrics: $METRICS"
+echo "$METRICS" | grep -q '^pmsd_bound_violations_total 0$' || fail "bound monitor not at zero violations: $METRICS"
+echo "$METRICS" | grep -q '^pmsd_module_accesses_total{module=' || fail "no per-module series in /metrics: $METRICS"
+checks=$(echo "$METRICS" | sed -n 's/^pmsd_bound_checks_total \([0-9]*\)$/\1/p')
+echo "   bound_checks=$checks violations=0"
+
+echo "== pmsstat"
+# The monitor must parse the live exposition and render a clean frame.
+go build -o "$WORKDIR/pmsstat" ./cmd/pmsstat
+"$WORKDIR/pmsstat" -addr "$ADDR" -once >"$WORKDIR/pmsstat.out"
+grep -q 'bound monitor' "$WORKDIR/pmsstat.out" || fail "pmsstat frame missing bound monitor: $(cat "$WORKDIR/pmsstat.out")"
+grep -q '\[ok\]' "$WORKDIR/pmsstat.out" || fail "pmsstat bound monitor not ok: $(cat "$WORKDIR/pmsstat.out")"
+grep -q 'module heatmap' "$WORKDIR/pmsstat.out" || fail "pmsstat frame missing heatmap: $(cat "$WORKDIR/pmsstat.out")"
+
 echo "== request traces"
 # The coalescing burst above ran fully traced (default sample rate 1):
 # /debug/requests must hold per-stage histograms and slowest traces.
