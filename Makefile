@@ -10,10 +10,11 @@
 #   make bench-chaos    rewrite BENCH_pr3.json from a pmsd -chaos-bench run
 #   make bench-obs      rewrite BENCH_pr4.json from a pmsd -trace-bench run
 #   make bench-metrics  rewrite BENCH_pr5.json from a pmsd -metrics-bench run
+#   make bench-retrieval rewrite BENCH_pr6.json from a pmsd -retrieval-bench run
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics
+.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics bench-retrieval
 
 check: vet race bench-smoke server-smoke fuzz-smoke
 
@@ -78,3 +79,11 @@ bench-obs:
 bench-metrics:
 	$(GO) run ./cmd/pmsd -metrics-bench -requests 12000 -clients 32 -dist zipf \
 	    -bench-out $(CURDIR)/BENCH_pr5.json
+
+# Batch-kernel throughput snapshot: every mapping's ColorBatch kernel
+# against the per-node interface path at batch 64/256/1024, plus an
+# end-to-end serving A/B with the kernel disabled. The claim under test:
+# >=5x kernel speedup at batch >=64 on at least two mapping algorithms.
+bench-retrieval:
+	$(GO) run ./cmd/pmsd -retrieval-bench -levels 20 \
+	    -bench-out $(CURDIR)/BENCH_pr6.json

@@ -50,6 +50,14 @@
 // accounting off and on:
 //
 //	pmsd -metrics-bench -requests 12000 -clients 32 -dist zipf -bench-out BENCH_pr5.json
+//
+// Retrieval-bench mode prices the ColorBatch kernels against the
+// per-node Mapping.Color interface path, in-process per (alg, batch
+// size) and then on the real serving path with the kernel enabled and
+// disabled (the kernel metrics series and batch_compute stage
+// histograms are the evidence trail):
+//
+//	pmsd -retrieval-bench -levels 20 -bench-out BENCH_pr6.json
 package main
 
 import (
@@ -92,7 +100,10 @@ func main() {
 	benchOut := flag.String("bench-out", "", "loadgen/chaos-bench: write the JSON comparison snapshot to this file")
 
 	traceBench := flag.Bool("trace-bench", false, "measure request-tracing overhead (off vs 0.01 vs full sampling)")
+	retrievalBench := flag.Bool("retrieval-bench", false, "price the ColorBatch kernels vs the per-node interface path")
+	benchNodes := flag.Int("bench-nodes", 2_000_000, "retrieval-bench: node budget per (alg, batch size) case")
 	metricsBench := flag.Bool("metrics-bench", false, "measure domain-accounting overhead (off vs on) on the template-cost path")
+	disableKernel := flag.Bool("disable-batch-kernel", false, "force the per-node Color interface loop (kernel A/B baseline)")
 	noDomainMetrics := flag.Bool("no-domain-metrics", false, "disable the domain-accounting layer (module loads, conflict histograms, bound monitor)")
 	chaos := flag.Bool("chaos", false, "serve with fault injection enabled")
 	chaosBench := flag.Bool("chaos-bench", false, "benchmark the resilient client against an in-process chaotic server (hedging off vs on)")
@@ -180,6 +191,7 @@ func main() {
 		TraceSlowest:     *traceSlowest,
 
 		DisableDomainMetrics: *noDomainMetrics,
+		DisableBatchKernel:   *disableKernel,
 	}
 	if *flush == 0 {
 		cfg.FlushWindow = -1 // Config treats 0 as "default"; negative disables
@@ -228,6 +240,41 @@ func main() {
 		fmt.Printf("hedged p99 speedup: %.2fx (chaos seed %d)\n", cmp.P99Speedup, cmp.ChaosSeed)
 		if *benchOut != "" {
 			data, err := json.MarshalIndent(cmp, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("snapshot written to %s\n", *benchOut)
+		}
+		return
+	}
+
+	if *retrievalBench {
+		if *benchNodes < 1 {
+			fail("-bench-nodes must be at least 1, got %d", *benchNodes)
+		}
+		rep, err := server.RunRetrievalBench(server.RetrievalBenchConfig{
+			Levels:       *levels,
+			NodesPerCase: *benchNodes,
+			Seed:         *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, k := range rep.Kernels {
+			fmt.Printf("%-32s batch %-5d kernel %6.2f ns/node, per-node %6.2f ns/node, speedup %5.2fx\n",
+				k.Mapping, k.BatchSize, k.KernelNSPerNode, k.PerNodeNSPerNode, k.Speedup)
+		}
+		for _, s := range rep.Serving {
+			fmt.Printf("serving %-24s batch %d: kernel %.0f nodes/s (compute %.0f ns/batch), per-node %.0f nodes/s (compute %.0f ns/batch), compute speedup %.2fx\n",
+				s.Mapping.Key(), s.BatchSize,
+				s.Kernel.NodesPerSec, s.Kernel.BatchComputeMeanNS,
+				s.PerNode.NodesPerSec, s.PerNode.BatchComputeMeanNS, s.ComputeSpeedup)
+		}
+		if *benchOut != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -13,7 +13,10 @@
 // adds the domain observability layer (per-module access accounting,
 // template-family conflict histograms, a live monitor of the paper's
 // theorem bounds) rendered at GET /metrics in Prometheus text format
-// and watched by cmd/pmsstat. DESIGN.md maps every paper result to the
+// and watched by cmd/pmsstat. Batched color retrieval in the serving
+// hot path runs through per-mapping kernels (coloring.BatchColorer,
+// dispatched by coloring.ColorBatch; see README "Raw-speed retrieval"
+// and EXPERIMENTS.md E21). DESIGN.md maps every paper result to the
 // module and experiment that reproduces it; EXPERIMENTS.md records
 // claimed-versus-measured numbers.
 package repro

@@ -25,25 +25,86 @@ import (
 	"repro/internal/tree"
 )
 
+// arithMapping is the shared shape of the closed-form baselines: a pure
+// per-node color function plus a batch kernel that evaluates the same
+// formula in one pass with the module count held in a register (no
+// per-node interface dispatch). Each baseline supplies its formula as a
+// method on a named kind so Color and ColorBatch provably share it.
+type arithMapping struct {
+	t       tree.Tree
+	modules int64
+	name    string
+	kind    arithKind
+}
+
+type arithKind uint8
+
+const (
+	arithMod arithKind = iota
+	arithLevelCyclic
+	arithBitReversal
+)
+
+// eval is the single source of truth for the baseline formulas.
+func (k arithKind) eval(n tree.Node, modules int64) int {
+	switch k {
+	case arithMod:
+		return int(((int64(1)<<uint(n.Level) - 1) + n.Index) % modules)
+	case arithLevelCyclic:
+		return int((int64(n.Level) + n.Index) % modules)
+	default: // arithBitReversal
+		rev := bits.Reverse64(uint64(n.Index)) >> uint(64-n.Level)
+		if n.Level == 0 {
+			rev = 0
+		}
+		return int((int64(rev) + int64(n.Level)) % modules)
+	}
+}
+
+// Color implements coloring.Mapping.
+func (a arithMapping) Color(n tree.Node) int { return a.kind.eval(n, a.modules) }
+
+// Modules implements coloring.Mapping.
+func (a arithMapping) Modules() int { return int(a.modules) }
+
+// Tree implements coloring.Mapping.
+func (a arithMapping) Tree() tree.Tree { return a.t }
+
+// Name implements coloring.Named.
+func (a arithMapping) Name() string { return a.name }
+
+// ColorBatch implements coloring.BatchColorer.
+func (a arithMapping) ColorBatch(dst []int, nodes []tree.Node) {
+	modules := a.modules
+	switch a.kind {
+	case arithMod:
+		for i, n := range nodes {
+			dst[i] = int(((int64(1)<<uint(n.Level) - 1) + n.Index) % modules)
+		}
+	case arithLevelCyclic:
+		for i, n := range nodes {
+			dst[i] = int((int64(n.Level) + n.Index) % modules)
+		}
+	default:
+		for i, n := range nodes {
+			dst[i] = a.kind.eval(n, modules)
+		}
+	}
+}
+
 // Modulo returns the BFS-index-mod-M mapping.
 func Modulo(t tree.Tree, modules int) coloring.Mapping {
 	mustModules(modules)
-	return coloring.FuncMapping{
-		T: t, M: modules, AlgName: fmt.Sprintf("MOD(M=%d)", modules),
-		Fn: func(n tree.Node) int { return int(n.HeapIndex() % int64(modules)) },
-	}
+	return arithMapping{t: t, modules: int64(modules), kind: arithMod,
+		name: fmt.Sprintf("MOD(M=%d)", modules)}
 }
 
 // LevelCyclic returns the per-level cyclic mapping: within level j colors
 // cycle starting at offset j, so vertically adjacent nodes differ.
 func LevelCyclic(t tree.Tree, modules int) coloring.Mapping {
 	mustModules(modules)
-	return coloring.FuncMapping{
-		T: t, M: modules, AlgName: fmt.Sprintf("LEVEL-CYCLIC(M=%d)", modules),
-		Fn: func(n tree.Node) int {
-			return int((int64(n.Level) + n.Index) % int64(modules))
-		},
-	}
+	return arithMapping{t: t, modules: int64(modules), kind: arithLevelCyclic,
+		name: fmt.Sprintf("LEVEL-CYCLIC(M=%d)", modules)}
 }
 
 // Random returns a materialized uniformly random mapping with the given
@@ -62,16 +123,8 @@ func Random(t tree.Tree, modules int, seed int64) coloring.Mapping {
 // (over the level's width) before taking it modulo M.
 func BitReversal(t tree.Tree, modules int) coloring.Mapping {
 	mustModules(modules)
-	return coloring.FuncMapping{
-		T: t, M: modules, AlgName: fmt.Sprintf("BIT-REVERSAL(M=%d)", modules),
-		Fn: func(n tree.Node) int {
-			rev := bits.Reverse64(uint64(n.Index)) >> uint(64-n.Level)
-			if n.Level == 0 {
-				rev = 0
-			}
-			return int((int64(rev) + int64(n.Level)) % int64(modules))
-		},
-	}
+	return arithMapping{t: t, modules: int64(modules), kind: arithBitReversal,
+		name: fmt.Sprintf("BIT-REVERSAL(M=%d)", modules)}
 }
 
 func mustModules(modules int) {

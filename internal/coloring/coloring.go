@@ -31,6 +31,48 @@ type Mapping interface {
 	Tree() tree.Tree
 }
 
+// BatchColorer is the optional fast path of the Mapping contract: color
+// many nodes in one pass. Implementations fill dst[i] with the color of
+// nodes[i] (dst and nodes must have equal length) and must be
+// bit-identical to calling Color per node — the serving layer's
+// differential tests enforce this for every registry algorithm. Batches
+// make the work cache-friendly (one walk over the implementation's
+// tables, parameters held in registers) and remove the per-node
+// interface dispatch the serving hot path otherwise pays.
+//
+// Nodes may arrive in any order and may repeat; implementations must not
+// assume sortedness or uniqueness. Like Color, ColorBatch must be safe
+// for concurrent readers.
+type BatchColorer interface {
+	ColorBatch(dst []int, nodes []tree.Node)
+}
+
+// ColorBatch colors nodes[i] into dst[i], using the mapping's batch
+// kernel when it implements BatchColorer and a per-node fallback loop
+// otherwise. It reports whether the kernel fast path was taken, so the
+// serving layer can account kernel versus fallback batches.
+func ColorBatch(m Mapping, dst []int, nodes []tree.Node) (kernel bool) {
+	if len(dst) != len(nodes) {
+		panic(fmt.Sprintf("coloring: ColorBatch dst has %d slots for %d nodes", len(dst), len(nodes)))
+	}
+	if bc, ok := m.(BatchColorer); ok {
+		bc.ColorBatch(dst, nodes)
+		return true
+	}
+	for i, n := range nodes {
+		dst[i] = m.Color(n)
+	}
+	return false
+}
+
+// Sized is implemented by mappings that can report their measured
+// resident size in bytes (dominant tables plus fixed overhead). The
+// serving registry uses it to keep LRU byte accounting honest instead of
+// guessing from parameters.
+type Sized interface {
+	SizeBytes() int64
+}
+
 // Named is implemented by mappings that can report a human-readable
 // algorithm name for tables and reports.
 type Named interface {
@@ -75,6 +117,20 @@ func (a *ArrayMapping) Tree() tree.Tree { return a.T }
 
 // Name implements Named.
 func (a *ArrayMapping) Name() string { return a.AlgName }
+
+// ColorBatch implements BatchColorer: one pass over the dense color
+// array with no per-node interface dispatch.
+func (a *ArrayMapping) ColorBatch(dst []int, nodes []tree.Node) {
+	colors := a.Colors
+	for i, n := range nodes {
+		dst[i] = int(colors[(int64(1)<<uint(n.Level))-1+n.Index])
+	}
+}
+
+// SizeBytes implements Sized: the dense color array dominates.
+func (a *ArrayMapping) SizeBytes() int64 {
+	return int64(len(a.Colors))*4 + 64
+}
 
 // Set assigns the color of node n.
 func (a *ArrayMapping) Set(n tree.Node, color int) {

@@ -35,7 +35,7 @@ type Params struct {
 	SubtreeLevels int // k: CF subtree template has K = 2^k - 1 nodes
 }
 
-// Validate checks 1 ≤ 2k ≤ N and H ≥ 1.
+// Validate checks 1 ≤ 2k ≤ N and 1 ≤ H ≤ 62.
 func (p Params) Validate() error {
 	if p.SubtreeLevels < 1 {
 		return fmt.Errorf("colormap: k = %d must be at least 1", p.SubtreeLevels)
@@ -189,11 +189,34 @@ const (
 // sources, the position's color comes either from a top-k node of the same
 // subtree (classTop) or from the Γ entry of a block-last node (classGamma).
 // Local coordinates: level within the subtree and index within that level.
+// The struct is packed to 8 bytes so the 2^N-entry table stays
+// cache-friendly and the registry's byte accounting can charge the real
+// slot size; index fits int32 because NewRetriever caps N at
+// maxRetrieverBandLevels.
 type localResolution struct {
+	index int32 // resolved local index
+	level uint8 // resolved local level
 	class localClass
-	level int   // resolved local level
-	index int64 // resolved local index
 }
+
+// bandInfo is the per-global-level band location, precomputed so the
+// batch kernel never divides: the band's root level, the node's level ℓ
+// within the band subtree (the output of Params.bandOf), and the heap
+// mask 2^ℓ-1, which is both the within-band index mask and the base
+// offset of level ℓ in the local table — one field serves as both, so
+// a hop computes its table slot with a single AND and ADD. The kernel
+// only reads rows for levels ≥ N; shallower rows hold an identity hop
+// (ℓ = 0, rootLevel = level) so every row is well-formed.
+type bandInfo struct {
+	mask      int32 // 2^ℓ - 1
+	rootLevel int16 // jj · step
+	ell       uint8 // k ≤ ℓ ≤ N-1 for levels ≥ N; 0 (identity) below
+}
+
+// maxRetrieverBandLevels bounds N for table construction: the local table
+// has 2^N slots, so anything beyond this would be hundreds of GiB anyway;
+// the cap keeps local indices inside int32.
+const maxRetrieverBandLevels = 30
 
 // Retriever answers single-node color queries in O(H / (N-k)) time after an
 // O(2^N)-space preprocessing pass, the complexity the paper obtains with
@@ -208,7 +231,51 @@ type localResolution struct {
 type Retriever struct {
 	p     Params
 	local []localResolution // indexed by local heap index within a band subtree
+	// band0 holds the fully resolved color of every node in the first
+	// min(N, H) levels. Every resolution chain lands in this region after
+	// at most ⌈H/(N-k)⌉ hops, so the batch kernel finishes each node with
+	// a single table load instead of walking the chain to the top.
+	band0 []int32
+	// bands is indexed by global level: the division-free bandOf.
+	bands []bandInfo
+	// Composed-hop acceleration (built when the total fits
+	// maxHopTableEntries, nil otherwise): every resolution step — Σ
+	// inheritance and Γ jump alike — is the affine bit transform
+	// index' = (index>>S)<<W | V, level' = L, and two such transforms
+	// compose back into the same form whenever the second step's table
+	// slot is determined by the low bits the first table is indexed
+	// by. hopMeta[level] locates a per-level region of hops indexed by
+	// the node's low q bits (q ≤ N), each entry carrying the longest
+	// prefix of the node's resolution chain those q bits determine —
+	// one load per chain for every realistic tree instead of one per
+	// band. This is the per-level materialization of the paper's
+	// PRE-COLOR tables: O((H/(N−k))·2^N) space in the worst case,
+	// measured exactly by SizeBytes for the registry budget.
+	hopMeta []hopMeta
+	hops    []hopEntry
 }
+
+// hopEntry is one composed resolution step: from a node at the level
+// owning the entry, index' = (index>>s)<<w | v lands at level newLevel,
+// which is below N (chain fully composed) or the level of the next
+// composed hop. w < N keeps v inside int32; s ≤ H ≤ 62.
+type hopEntry struct {
+	v        int32
+	newLevel int16
+	s, w     uint8
+}
+
+// hopMeta locates a level's composed-hop region: entries are indexed by
+// the node's low q bits, mask = 2^q - 1.
+type hopMeta struct {
+	base int32
+	mask int32
+}
+
+// maxHopTableEntries caps the composed-hop tables (8 B per entry).
+// Realistic serving shapes need a few thousand entries; parameter
+// corners with huge N fall back to the two-load band-walk kernel.
+const maxHopTableEntries = 1 << 20
 
 // NewRetriever preprocesses the band-local inheritance structure.
 func NewRetriever(p Params) (*Retriever, error) {
@@ -217,11 +284,14 @@ func NewRetriever(p Params) (*Retriever, error) {
 	}
 	k := p.SubtreeLevels
 	N := p.BandLevels
+	if N > maxRetrieverBandLevels {
+		return nil, fmt.Errorf("colormap: retriever table for N = %d would need 2^%d slots (cap %d)", N, N, maxRetrieverBandLevels)
+	}
 	local := make([]localResolution, tree.SubtreeSize(N))
 	// Top k levels resolve to themselves.
 	for lvl := 0; lvl < k; lvl++ {
 		for i := int64(0); i < tree.Pow2(lvl); i++ {
-			local[tree.V(i, lvl).HeapIndex()] = localResolution{class: classTop, level: lvl, index: i}
+			local[tree.V(i, lvl).HeapIndex()] = localResolution{class: classTop, level: uint8(lvl), index: int32(i)}
 		}
 	}
 	// Deeper levels resolve through one inheritance step into an
@@ -231,13 +301,157 @@ func NewRetriever(p Params) (*Retriever, error) {
 			n := tree.V(i, lvl)
 			src, last := basiccolor.InheritanceSource(k, n)
 			if last {
-				local[n.HeapIndex()] = localResolution{class: classGamma, level: lvl, index: i}
+				local[n.HeapIndex()] = localResolution{class: classGamma, level: uint8(lvl), index: int32(i)}
 				continue
 			}
 			local[n.HeapIndex()] = local[src.HeapIndex()]
 		}
 	}
-	return &Retriever{p: p, local: local}, nil
+	r := &Retriever{p: p, local: local}
+
+	r.bands = make([]bandInfo, p.Levels)
+	for lvl := 0; lvl < p.Levels; lvl++ {
+		if lvl < N {
+			// Identity hop: resolved nodes pass through unchanged.
+			r.bands[lvl] = bandInfo{mask: 0, rootLevel: int16(lvl), ell: 0}
+			continue
+		}
+		jj, ell := p.bandOf(lvl)
+		r.bands[lvl] = bandInfo{
+			mask:      int32(tree.Pow2(ell) - 1),
+			rootLevel: int16(jj * p.Step()),
+			ell:       uint8(ell),
+		}
+	}
+
+	top := N
+	if p.Levels < top {
+		top = p.Levels
+	}
+	r.band0 = make([]int32, tree.SubtreeSize(top))
+	for lvl := 0; lvl < top; lvl++ {
+		for i := int64(0); i < tree.Pow2(lvl); i++ {
+			n := tree.V(i, lvl)
+			c, err := r.Color(n)
+			if err != nil {
+				return nil, err
+			}
+			r.band0[n.HeapIndex()] = int32(c)
+		}
+	}
+	r.buildHopTables()
+	return r, nil
+}
+
+// singleHop expresses one resolution step of a node at global level lvl
+// with within-band index li (li < 2^ℓ) in the affine hop form
+// index' = (index>>s)<<w | v, level' = newLevel. Σ inheritance keeps the
+// band prefix and replaces the low ℓ bits with the resolved top-k
+// position; a Γ jump to the ancestor N levels up is the pure shift
+// index >> (ℓ + N - res.level), because the appended low bits (and
+// N - res.level band-prefix bits) all fall away.
+func (r *Retriever) singleHop(lvl int, li int64) hopEntry {
+	b := r.bands[lvl]
+	N := r.p.BandLevels
+	res := r.local[int64(b.mask)+li]
+	if res.class == classGamma {
+		return hopEntry{
+			s:        uint8(int(b.ell) + N - int(res.level)),
+			w:        0,
+			v:        0,
+			newLevel: int16(int(b.rootLevel) + int(res.level) - N),
+		}
+	}
+	return hopEntry{
+		s:        b.ell,
+		w:        res.level,
+		v:        res.index,
+		newLevel: int16(int(b.rootLevel) + int(res.level)),
+	}
+}
+
+// buildHopTables materializes the per-level composed-hop regions. For a
+// level whose region is indexed by the node's low q bits, each entry
+// starts as the level's single hop and greedily composes the next hop
+// while (a) the chain is still at a level ≥ N and (b) the next hop's
+// table slot — the low ℓ₂ bits of the transformed index — is fully
+// determined by the q known bits. The composition algebra stays closed
+// in the hop form:
+//
+//	apply (s₁,w₁,v₁) then (s₂,w₂,v₂):
+//	  s₂ ≥ w₁: (s₁+s₂-w₁, w₂, v₂)          — v₁ is consumed entirely
+//	  s₂ < w₁: (s₁, w₁-s₂+w₂, (v₁>>s₂)<<w₂ | v₂)
+//
+// and w < N is invariant (a Σ step has w₂ < k ≤ s₂ and a Γ step has
+// w₂ = 0), so v always fits int32. A level that cannot fully compose
+// within q bits keeps the longest determined prefix; the kernel loops,
+// and every entry strictly decreases the level, so it terminates.
+func (r *Retriever) buildHopTables() {
+	p := r.p
+	N := p.BandLevels
+	step := p.Step()
+	if p.Levels <= N {
+		return
+	}
+	// Pick q per level: the within-band ℓ bits always determine the
+	// first hop; one extra step of bits composes the second hop of
+	// deep chains. Cap at N so no region outgrows the local table.
+	qs := make([]int, p.Levels)
+	total := int64(0)
+	for lvl := N; lvl < p.Levels; lvl++ {
+		q := int(r.bands[lvl].ell)
+		if deep := int(r.bands[lvl].rootLevel) >= N; deep {
+			// A Σ continuation lands in the parent band's bottom
+			// region, so a second hop is possible; widen by one step.
+			q += step
+		}
+		if q > N {
+			q = N
+		}
+		qs[lvl] = q
+		total += tree.Pow2(q)
+	}
+	if total > maxHopTableEntries {
+		return
+	}
+	r.hopMeta = make([]hopMeta, p.Levels)
+	r.hops = make([]hopEntry, 0, total)
+	for lvl := N; lvl < p.Levels; lvl++ {
+		q := qs[lvl]
+		r.hopMeta[lvl] = hopMeta{base: int32(len(r.hops)), mask: int32(tree.Pow2(q) - 1)}
+		ell := int(r.bands[lvl].ell)
+		for li := int64(0); li < tree.Pow2(q); li++ {
+			e := r.singleHop(lvl, li&(tree.Pow2(ell)-1))
+			for int(e.newLevel) >= N {
+				ell2 := int(r.bands[e.newLevel].ell)
+				s1, w1 := int(e.s), int(e.w)
+				// Low ℓ₂ bits of (index>>s₁)<<w₁ | v₁, using only the
+				// q known low bits of index.
+				var li2 int64
+				if ell2 <= w1 {
+					li2 = int64(e.v) & (tree.Pow2(ell2) - 1)
+				} else {
+					if s1+ell2-w1 > q {
+						break // slot not determined; kernel hops again
+					}
+					li2 = (li>>uint(s1))&(tree.Pow2(ell2-w1)-1)<<uint(w1) | int64(e.v)
+				}
+				next := r.singleHop(int(e.newLevel), li2)
+				s2, w2 := int(next.s), int(next.w)
+				if s2 >= w1 {
+					e = hopEntry{s: uint8(s1 + s2 - w1), w: next.w, v: next.v, newLevel: next.newLevel}
+				} else {
+					e = hopEntry{
+						s:        e.s,
+						w:        uint8(w1 - s2 + w2),
+						v:        int32(int64(e.v)>>uint(s2)<<uint(w2)) | next.v,
+						newLevel: next.newLevel,
+					}
+				}
+			}
+			r.hops = append(r.hops, e)
+		}
+	}
 }
 
 // Params returns the parameters the retriever was built for.
@@ -265,32 +479,143 @@ func (r *Retriever) Color(n tree.Node) (int, error) {
 		case classTop:
 			// Shared with the parent band (or the global top when jj == 0):
 			// continue resolving from the global position of the top-k node.
-			n = tree.V(rootIndex<<uint(res.level)|res.index, rootLevel+res.level)
+			n = tree.V(rootIndex<<uint(res.level)|int64(res.index), rootLevel+int(res.level))
 			if jj == 0 { // now strictly inside the global top k levels
 				return int(tree.Pow2(n.Level) - 1 + n.Index), nil
 			}
 		case classGamma:
 			if jj == 0 {
-				return K + res.level - k, nil
+				return K + int(res.level) - k, nil
 			}
-			b := tree.V(rootIndex<<uint(res.level)|res.index, rootLevel+res.level)
+			b := tree.V(rootIndex<<uint(res.level)|int64(res.index), rootLevel+int(res.level))
 			n = b.Ancestor(p.BandLevels)
 		}
 	}
 }
 
-// Mapping wraps the retriever as a coloring.Mapping for a given tree view.
-func (r *Retriever) Mapping() coloring.Mapping {
-	return coloring.FuncMapping{
-		T:       tree.New(r.p.Levels),
-		M:       r.p.Colors(),
-		AlgName: fmt.Sprintf("COLOR-retriever(H=%d,N=%d,k=%d)", r.p.Levels, r.p.BandLevels, r.p.SubtreeLevels),
-		Fn: func(n tree.Node) int {
-			c, err := r.Color(n)
-			if err != nil {
-				panic(err)
-			}
-			return c
-		},
+// ColorBatch colors nodes[i] into dst[i] in one cache-friendly pass:
+// the shared-prefix band walk. Instead of following each node's full
+// inheritance chain to the top of the tree (the per-node Color path),
+// the kernel hops bands only while the node sits below the first N
+// levels — normally a single composed-hop load, since the per-level
+// hop tables carry whole chain prefixes in affine form — and finishes
+// with one load from the resolved band-0 color table. Parameter
+// corners whose hop tables would outgrow maxHopTableEntries walk the
+// chain with the two-load band/local tables instead. nodes may be
+// unsorted and may repeat; dst and nodes must have equal length.
+// Bit-identical to Color (differential- and fuzz-tested); out-of-tree
+// nodes panic as the Mapping wrapper does.
+func (r *Retriever) ColorBatch(dst []int, nodes []tree.Node) {
+	if len(dst) != len(nodes) {
+		panic(fmt.Sprintf("colormap: ColorBatch dst has %d slots for %d nodes", len(dst), len(nodes)))
 	}
+	local := r.local
+	band0 := r.band0
+	bands := r.bands
+	N := r.p.BandLevels
+	H := r.p.Levels
+	uN := uint(N)
+	if meta := r.hopMeta; meta != nil {
+		hops := r.hops
+		for i, n := range nodes {
+			level, index := n.Level, n.Index
+			// uint(level) >= uint(H) folds the negative-level check
+			// into the range check; index>>level != 0 folds negative
+			// (sign-extended) and too-large indices into one test. The
+			// &63 shift masks are no-ops (H <= 62, so every amount is
+			// < 64) that elide Go's oversized-shift clamp sequences in
+			// the hot loop.
+			if uint(level) >= uint(H) || uint64(index)>>(uint(level)&63) != 0 {
+				panic(fmt.Sprintf("colormap: node %v outside %d-level tree", n, H))
+			}
+			for level >= N {
+				m := meta[level]
+				e := hops[int64(m.base)+index&int64(m.mask)]
+				index = index>>(uint(e.s)&63)<<(uint(e.w)&63) | int64(e.v)
+				level = int(e.newLevel)
+			}
+			dst[i] = int(band0[int64(1)<<(uint(level)&63)-1+index])
+		}
+		return
+	}
+	for i, n := range nodes {
+		level, index := n.Level, n.Index
+		if uint(level) >= uint(H) || uint64(index)>>(uint(level)&63) != 0 {
+			panic(fmt.Sprintf("colormap: node %v outside %d-level tree", n, H))
+		}
+		for level >= N {
+			// level >= N = step+k implies the node's band jj is >= 1, so
+			// classTop continues into the parent band's bottom region and
+			// classGamma jumps to the ancestor exactly N levels up; either
+			// way the level strictly decreases and eventually drops below
+			// N. The gamma adjustment stays a branch on purpose: it
+			// predicts well enough that speculation overlaps neighboring
+			// nodes' chains, which measures faster than the branch-free
+			// shift-by-N*class form that lengthens every node's
+			// loop-carried dependency.
+			b := bands[level]
+			mask := int64(b.mask)
+			rootIndex := index >> (uint(b.ell) & 63)
+			res := local[mask+index&mask]
+			level = int(b.rootLevel) + int(res.level)
+			index = rootIndex<<(uint(res.level)&63) | int64(res.index)
+			if res.class == classGamma {
+				index >>= uN
+				level -= N
+			}
+		}
+		dst[i] = int(band0[int64(1)<<(uint(level)&63)-1+index])
+	}
+}
+
+// SizeBytes reports the measured resident size of the retriever: the
+// packed local-resolution table, the resolved band-0 color table, the
+// per-level band table and the composed-hop tables, plus fixed
+// overhead. The serving registry charges this against its LRU byte
+// budget.
+func (r *Retriever) SizeBytes() int64 {
+	return int64(len(r.local))*8 + int64(len(r.band0))*4 + int64(len(r.bands))*8 +
+		int64(len(r.hopMeta))*8 + int64(len(r.hops))*8 + 64
+}
+
+// retrieverMapping adapts a Retriever to the coloring.Mapping contract.
+// Color keeps the paper's per-node chain walk (it is the differential
+// oracle for the kernel); ColorBatch exposes the batch kernel to the
+// serving layer through coloring.BatchColorer.
+type retrieverMapping struct {
+	r *Retriever
+	t tree.Tree
+}
+
+// Color implements coloring.Mapping.
+func (m retrieverMapping) Color(n tree.Node) int {
+	c, err := m.r.Color(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Modules implements coloring.Mapping.
+func (m retrieverMapping) Modules() int { return m.r.p.Colors() }
+
+// Tree implements coloring.Mapping.
+func (m retrieverMapping) Tree() tree.Tree { return m.t }
+
+// Name implements coloring.Named.
+func (m retrieverMapping) Name() string {
+	return fmt.Sprintf("COLOR-retriever(H=%d,N=%d,k=%d)", m.r.p.Levels, m.r.p.BandLevels, m.r.p.SubtreeLevels)
+}
+
+// ColorBatch implements coloring.BatchColorer.
+func (m retrieverMapping) ColorBatch(dst []int, nodes []tree.Node) { m.r.ColorBatch(dst, nodes) }
+
+// SizeBytes implements coloring.Sized.
+func (m retrieverMapping) SizeBytes() int64 { return m.r.SizeBytes() }
+
+// Mapping wraps the retriever as a coloring.Mapping for a given tree
+// view. The returned mapping also implements coloring.BatchColorer
+// (batch color kernel) and coloring.Sized (measured table footprint).
+func (r *Retriever) Mapping() coloring.Mapping {
+	return retrieverMapping{r: r, t: tree.New(r.p.Levels)}
 }

@@ -1,0 +1,53 @@
+// Size-accounting pins for the retriever tables: SizeBytes multiplies
+// live slice lengths by per-slot constants, and those constants must
+// equal the real in-memory struct sizes — the serving registry's LRU
+// byte budget is only as honest as these numbers.
+package colormap
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestRetrieverSlotSizesPinned locks the packed table layouts. The local
+// table was 24 B/slot before packing (int index, int level, class +
+// padding); the registry's old 16 B/slot estimate under-accounted it.
+// Packing to {int32, uint8, uint8} makes the slot 8 B and the SizeBytes
+// accounting exact.
+func TestRetrieverSlotSizesPinned(t *testing.T) {
+	if got := unsafe.Sizeof(localResolution{}); got != 8 {
+		t.Errorf("localResolution is %d bytes, SizeBytes charges 8", got)
+	}
+	if got := unsafe.Sizeof(bandInfo{}); got != 8 {
+		t.Errorf("bandInfo is %d bytes, SizeBytes charges 8", got)
+	}
+	if got := unsafe.Sizeof(hopEntry{}); got != 8 {
+		t.Errorf("hopEntry is %d bytes, SizeBytes charges 8", got)
+	}
+	if got := unsafe.Sizeof(hopMeta{}); got != 8 {
+		t.Errorf("hopMeta is %d bytes, SizeBytes charges 8", got)
+	}
+}
+
+// TestRetrieverSizeBytesMeasured checks SizeBytes against the actual
+// table lengths for several canonical parameterizations.
+func TestRetrieverSizeBytesMeasured(t *testing.T) {
+	for _, c := range []struct{ levels, m int }{{12, 2}, {16, 3}, {20, 4}} {
+		p, err := Canonical(c.levels, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRetriever(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(len(r.local))*int64(unsafe.Sizeof(localResolution{})) +
+			int64(len(r.band0))*4 +
+			int64(len(r.bands))*int64(unsafe.Sizeof(bandInfo{})) +
+			int64(len(r.hopMeta))*int64(unsafe.Sizeof(hopMeta{})) +
+			int64(len(r.hops))*int64(unsafe.Sizeof(hopEntry{})) + 64
+		if got := r.SizeBytes(); got != want {
+			t.Errorf("H=%d m=%d: SizeBytes = %d, measured %d", c.levels, c.m, got, want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Size-accounting pins for the materialized retrieval table, plus the
+// fastmod boundary sweep: the division-free kernel is only exact while
+// (n+d)·d < 2^64, so the sweep exercises the deepest levels and the
+// largest module counts the serving layer admits and cross-checks the
+// per-node path bit-for-bit.
+package labeltree
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// TestRetrievalSlotSizesPinned locks SizeBytes' per-slot constants to
+// the real struct sizes, keeping the registry's byte budget honest.
+func TestRetrievalSlotSizesPinned(t *testing.T) {
+	if got := unsafe.Sizeof(ltLevel{}); int64(got) != ltLevelBytes {
+		t.Errorf("ltLevel is %d bytes, SizeBytes charges %d", got, ltLevelBytes)
+	}
+	if got := unsafe.Sizeof(ltGroup{}); int64(got) != ltGroupBytes {
+		t.Errorf("ltGroup is %d bytes, SizeBytes charges %d", got, ltGroupBytes)
+	}
+}
+
+// TestSizeBytesMeasured checks SizeBytes against the live table lengths.
+func TestSizeBytesMeasured(t *testing.T) {
+	for _, c := range []struct{ levels, modules int }{{10, 3}, {20, 7}, {30, 1 << 16}, {50, 7}} {
+		lt, err := New(c.levels, c.modules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(len(lt.micro))*4 + 64
+		if lt.rt != nil {
+			want += int64(len(lt.rt.levels))*ltLevelBytes + int64(len(lt.rt.groups))*ltGroupBytes + 32
+		}
+		if got := lt.SizeBytes(); got != want {
+			t.Errorf("H=%d M=%d: SizeBytes = %d, measured %d", c.levels, c.modules, got, want)
+		}
+	}
+}
+
+// TestColorBatchFastmodBoundary sweeps the exactness frontier of the
+// Lemire reciprocals: the deepest admitted levels (retrievalSafeLevels)
+// at the largest admitted module count (2^16), including the extreme
+// within-level indices where n is largest. One step past the gate the
+// kernel must fall back (rt == nil) and still agree.
+func TestColorBatchFastmodBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, modules := range []int{3, 7, 255, 1 << 16} {
+		for _, opts := range []Options{{Macro: BandCyclic}, {Macro: Balanced}, {Macro: BandCyclic, DisableRotate: true}} {
+			lt, err := NewWithOptions(retrievalSafeLevels, modules, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lt.rt == nil {
+				t.Fatalf("M=%d %v: kernel gate rejected in-range parameters", modules, opts.Macro)
+			}
+			var batch []tree.Node
+			for lvl := retrievalSafeLevels - 6; lvl < retrievalSafeLevels; lvl++ {
+				width := tree.Pow2(lvl)
+				batch = append(batch, tree.V(0, lvl), tree.V(width-1, lvl), tree.V(width/2, lvl))
+				for i := 0; i < 8; i++ {
+					batch = append(batch, tree.V(rng.Int63n(width), lvl))
+				}
+			}
+			dst := make([]int, len(batch))
+			lt.ColorBatch(dst, batch)
+			for i, n := range batch {
+				if want := lt.Color(n); dst[i] != want {
+					t.Fatalf("M=%d %v node %v: kernel %d, Color %d", modules, opts.Macro, n, dst[i], want)
+				}
+			}
+		}
+	}
+
+	// Past the gate: rt is nil, ColorBatch must still be exact via the
+	// per-node fallback.
+	deep, err := New(retrievalSafeLevels+1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.rt != nil {
+		t.Fatal("kernel gate admitted levels past the fastmod-provable range")
+	}
+	nodes := []tree.Node{
+		tree.V(0, retrievalSafeLevels),
+		tree.V(tree.Pow2(retrievalSafeLevels)-1, retrievalSafeLevels),
+		tree.V(12345, 20),
+	}
+	dst := make([]int, len(nodes))
+	var _ coloring.BatchColorer = deep
+	deep.ColorBatch(dst, nodes)
+	for i, n := range nodes {
+		if want := deep.Color(n); dst[i] != want {
+			t.Fatalf("fallback node %v: kernel %d, Color %d", n, dst[i], want)
+		}
+	}
+}
+
+// TestDivmodExhaustiveSmall brute-forces the reciprocal arithmetic over
+// small divisors and boundary dividends, including d == 1 whose
+// reciprocal constant overflows to zero and takes the explicit branch.
+func TestDivmodExhaustiveSmall(t *testing.T) {
+	dividends := []uint64{0, 1, 2, 255, 1 << 20, 1<<44 - 1, 1 << 44, 1<<44 + 65536}
+	for d := uint64(1); d <= 70000; d += 1 + d/3 {
+		dm := newDivmod(d)
+		for _, n := range dividends {
+			if got, want := dm.mod(n), n%d; got != want {
+				t.Fatalf("mod(%d, %d) = %d, want %d", n, d, got, want)
+			}
+			if got, want := dm.div(n), n/d; got != want {
+				t.Fatalf("div(%d, %d) = %d, want %d", n, d, got, want)
+			}
+		}
+	}
+}

@@ -33,6 +33,12 @@ const (
 	maxRandomLevels = 22      // 2^22 × 4 B ≈ 16 MiB dense array
 )
 
+// specAlgs is the closed list of registry algorithms. Validate, Key and
+// build must agree on it exactly — the drift test locks the three
+// together, so an alg added to one surface cannot silently pass (or
+// poison the cache) through another.
+var specAlgs = []string{"color", "labeltree", "mod", "levelcyclic", "random"}
+
 // MappingSpec identifies one mapping instance in the registry. It is the
 // cache key of the serving layer: requests carrying the same spec share
 // one lazily built Retriever / Mapping.
@@ -110,26 +116,54 @@ func (sp MappingSpec) Key() string {
 		return fmt.Sprintf("labeltree/H=%d/M=%d/%s", sp.Levels, sp.Modules, policy)
 	case "random":
 		return fmt.Sprintf("random/H=%d/M=%d/seed=%d", sp.Levels, sp.Modules, sp.Seed)
-	default: // mod, levelcyclic
+	case "mod", "levelcyclic":
 		return fmt.Sprintf("%s/H=%d/M=%d", sp.Alg, sp.Levels, sp.Modules)
+	default:
+		// Unknown algs never reach the registry (Validate rejects them up
+		// front); the sentinel prefix keeps a validator/key drift from
+		// minting a valid-looking, cacheable key.
+		return "!invalid/" + sp.Alg
 	}
 }
 
-// build materializes the mapping and estimates its resident size for the
-// registry's byte budget. Validate must have succeeded.
+// specRejected marks a registry build failure caused by the spec itself
+// rather than server state. Validate is meant to reject these before
+// admission; if one slips through (validator/build drift), the serving
+// layer still answers 400, never a 500 for a request-shaped problem.
+type specRejected struct{ err error }
+
+func (e *specRejected) Error() string { return e.err.Error() }
+func (e *specRejected) Unwrap() error { return e.err }
+
+// sizeOf returns the mapping's measured resident size when it reports
+// one, falling back to a fixed overhead for the closed-form mappings
+// that keep no per-node state.
+func sizeOf(m coloring.Mapping) int64 {
+	if s, ok := m.(coloring.Sized); ok {
+		return s.SizeBytes()
+	}
+	return 64
+}
+
+// build materializes the mapping and measures its resident size for the
+// registry's byte budget. Sizes come from the mappings' own SizeBytes
+// (live table lengths), not parameter-derived estimates — the
+// size-accounting test pins the two against each other so LRU eviction
+// stays honest. Validate must have succeeded; any error here is wrapped
+// as specRejected so a drift surfaces as a 400.
 func (sp MappingSpec) build() (coloring.Mapping, int64, error) {
 	switch sp.Alg {
 	case "color":
 		p, err := colormap.Canonical(sp.Levels, sp.M)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, &specRejected{err}
 		}
 		r, err := colormap.NewRetriever(p)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, &specRejected{err}
 		}
-		// localResolution is ~16 B per 2^N table slot.
-		return r.Mapping(), tree.SubtreeSize(p.BandLevels) * 16, nil
+		m := r.Mapping()
+		return m, sizeOf(m), nil
 	case "labeltree":
 		policy := labeltree.BandCyclic
 		if sp.Policy == "balanced" {
@@ -137,17 +171,20 @@ func (sp MappingSpec) build() (coloring.Mapping, int64, error) {
 		}
 		lt, err := labeltree.NewWithPolicy(sp.Levels, sp.Modules, policy)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, &specRejected{err}
 		}
-		return lt, tree.SubtreeSize(lt.Params().M) * 4, nil
+		return lt, sizeOf(lt), nil
 	case "mod":
-		return baseline.Modulo(tree.New(sp.Levels), sp.Modules), 64, nil
+		m := baseline.Modulo(tree.New(sp.Levels), sp.Modules)
+		return m, sizeOf(m), nil
 	case "levelcyclic":
-		return baseline.LevelCyclic(tree.New(sp.Levels), sp.Modules), 64, nil
+		m := baseline.LevelCyclic(tree.New(sp.Levels), sp.Modules)
+		return m, sizeOf(m), nil
 	case "random":
-		return baseline.Random(tree.New(sp.Levels), sp.Modules, sp.Seed), tree.New(sp.Levels).Nodes() * 4, nil
+		m := baseline.Random(tree.New(sp.Levels), sp.Modules, sp.Seed)
+		return m, sizeOf(m), nil
 	default:
-		return nil, 0, fmt.Errorf("unknown mapping alg %q", sp.Alg)
+		return nil, 0, &specRejected{fmt.Errorf("unknown mapping alg %q", sp.Alg)}
 	}
 }
 

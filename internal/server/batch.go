@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coloring"
 	"repro/internal/obsv"
 	"repro/internal/tree"
 )
@@ -81,11 +82,10 @@ type colorResult struct {
 
 // colorJob is one waiting singleton lookup.
 type colorJob struct {
-	node  tree.Node
-	out   chan colorResult // buffered(1); the worker never blocks sending
-	tr    *obsv.Trace      // nil unless the request is sampled
-	enq   time.Time        // enqueue time; set only when tr != nil
-	color int              // filled by the worker before the reply is sent
+	node tree.Node
+	out  chan colorResult // buffered(1); the worker never blocks sending
+	tr   *obsv.Trace      // nil unless the request is sampled
+	enq  time.Time        // enqueue time; set only when tr != nil
 }
 
 // colorGroup accumulates singleton lookups against one mapping spec.
@@ -99,27 +99,29 @@ type colorGroup struct {
 
 // coalescer merges singleton color lookups per mapping key.
 type coalescer struct {
-	mu       sync.Mutex
-	groups   map[string]*colorGroup
-	window   time.Duration
-	maxBatch int
-	pool     *pool
-	reg      *Registry
-	met      *Metrics
-	closed   bool
+	mu            sync.Mutex
+	groups        map[string]*colorGroup
+	window        time.Duration
+	maxBatch      int
+	pool          *pool
+	reg           *Registry
+	met           *Metrics
+	disableKernel bool // force the per-node fallback (A/B benchmarking)
+	closed        bool
 }
 
-func newCoalescer(window time.Duration, maxBatch int, pool *pool, reg *Registry, met *Metrics) *coalescer {
+func newCoalescer(window time.Duration, maxBatch int, pool *pool, reg *Registry, met *Metrics, disableKernel bool) *coalescer {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
 	return &coalescer{
-		groups:   make(map[string]*colorGroup),
-		window:   window,
-		maxBatch: maxBatch,
-		pool:     pool,
-		reg:      reg,
-		met:      met,
+		groups:        make(map[string]*colorGroup),
+		window:        window,
+		maxBatch:      maxBatch,
+		pool:          pool,
+		reg:           reg,
+		met:           met,
+		disableKernel: disableKernel,
 	}
 }
 
@@ -242,14 +244,25 @@ func (c *coalescer) runBatch(g *colorGroup) {
 		// Color every node first, reply second: spans must be fully
 		// recorded before a reply lets the handler Finish the trace.
 		modules := m.Modules()
-		computeStart := time.Now()
+		nodes := make([]tree.Node, len(g.jobs))
 		for i := range g.jobs {
-			g.jobs[i].color = m.Color(g.jobs[i].node)
+			nodes[i] = g.jobs[i].node
+		}
+		dst := make([]int, len(g.jobs))
+		computeStart := time.Now()
+		kernel := false
+		if c.disableKernel {
+			for i, n := range nodes {
+				dst[i] = m.Color(n)
+			}
+		} else {
+			kernel = coloring.ColorBatch(m, dst, nodes)
 		}
 		computeDur := time.Since(computeStart)
+		c.met.recordBatchCompute(kernel, computeDur)
 		for i := range g.jobs {
 			g.jobs[i].tr.RecordSpan(obsv.StageBatchCompute, computeStart, computeDur)
-			g.jobs[i].out <- colorResult{color: g.jobs[i].color, modules: modules}
+			g.jobs[i].out <- colorResult{color: dst[i], modules: modules}
 		}
 	})
 }

@@ -113,6 +113,16 @@ type Metrics struct {
 	coalescedJobs   atomic.Int64 // singleton requests that shared a flushed batch of size ≥ 2
 	batchSize       histogram
 
+	// Batch-compute path attribution: a kernel batch was colored by the
+	// mapping's ColorBatch kernel in one pass; a fallback batch paid the
+	// per-node Color interface loop (mapping without a kernel, or the
+	// kernel disabled for A/B benching). batchComputeNS times the compute
+	// itself, whichever path ran — nanoseconds, because a kernel batch of
+	// 64 completes well under a microsecond.
+	kernelBatches   atomic.Int64
+	fallbackBatches atomic.Int64
+	batchComputeNS  histogram
+
 	registryHits      atomic.Int64
 	registryMisses    atomic.Int64
 	registryEvictions atomic.Int64
@@ -150,6 +160,9 @@ type MetricsSnapshot struct {
 	BatchesRejected int64             `json:"batches_rejected"`
 	CoalescedJobs   int64             `json:"coalesced_jobs"`
 	BatchSize       HistogramSnapshot `json:"batch_size"`
+	KernelBatches   int64             `json:"kernel_batches"`
+	FallbackBatches int64             `json:"fallback_batches"`
+	BatchComputeNS  HistogramSnapshot `json:"batch_compute_ns"`
 
 	RegistryHits                int64 `json:"registry_hits"`
 	RegistryMisses              int64 `json:"registry_misses"`
@@ -194,6 +207,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BatchesRejected: m.batchesRejected.Load(),
 		CoalescedJobs:   m.coalescedJobs.Load(),
 		BatchSize:       m.batchSize.snapshot(),
+		KernelBatches:   m.kernelBatches.Load(),
+		FallbackBatches: m.fallbackBatches.Load(),
+		BatchComputeNS:  m.batchComputeNS.snapshot(),
 
 		RegistryHits:                m.registryHits.Load(),
 		RegistryMisses:              m.registryMisses.Load(),
@@ -216,6 +232,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		s.Domain = &d
 	}
 	return s
+}
+
+// recordBatchCompute accounts one colored batch: which path colored it
+// (ColorBatch kernel vs per-node fallback) and how long the compute took.
+func (m *Metrics) recordBatchCompute(kernel bool, d time.Duration) {
+	if kernel {
+		m.kernelBatches.Add(1)
+	} else {
+		m.fallbackBatches.Add(1)
+	}
+	m.batchComputeNS.observe(d.Nanoseconds())
 }
 
 // recordSim folds one /v1/simulate replay's engine counters into the

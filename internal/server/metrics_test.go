@@ -129,7 +129,7 @@ func TestCoalescerOverloadRecordsRejection(t *testing.T) {
 
 	// Window 0 disables coalescing, so enqueue submits immediately and
 	// hits the full queue.
-	c := newCoalescer(0, 1, p, reg, met)
+	c := newCoalescer(0, 1, p, reg, met, false)
 	out, ok := c.enqueue(modSpec(8, 3), NodeRef{Index: 0, Level: 0}.Node(), nil)
 	if !ok {
 		t.Fatal("enqueue refused before shutdown")

@@ -74,6 +74,9 @@ func writeServerMetrics(e *dm.Expo, m *Metrics) {
 	e.Counter(promPrefix+"_batches_rejected_total", nil, m.batchesRejected.Load())
 	e.Counter(promPrefix+"_coalesced_jobs_total", nil, m.coalescedJobs.Load())
 	writeHistogram(e, promPrefix+"_batch_size", nil, &m.batchSize)
+	e.Counter(promPrefix+"_kernel_batches_total", nil, m.kernelBatches.Load())
+	e.Counter(promPrefix+"_fallback_batches_total", nil, m.fallbackBatches.Load())
+	writeHistogram(e, promPrefix+"_batch_compute_ns", nil, &m.batchComputeNS)
 
 	e.Counter(promPrefix+"_registry_hits_total", nil, m.registryHits.Load())
 	e.Counter(promPrefix+"_registry_misses_total", nil, m.registryMisses.Load())

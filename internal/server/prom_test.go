@@ -44,6 +44,10 @@ func populateDeterministic(s *Server) {
 	m.coalescedJobs.Store(3)
 	m.batchSize.observe(1)
 	m.batchSize.observe(6)
+	m.kernelBatches.Store(3)
+	m.fallbackBatches.Store(1)
+	m.batchComputeNS.observe(800)
+	m.batchComputeNS.observe(12000)
 	m.registryHits.Store(7)
 	m.registryMisses.Store(2)
 	m.registryEvictions.Store(1)
@@ -155,6 +159,9 @@ var serverSeries = map[string]string{
 	"batches_rejected":              "pmsd_batches_rejected_total",
 	"coalesced_jobs":                "pmsd_coalesced_jobs_total",
 	"batch_size":                    "pmsd_batch_size_count",
+	"kernel_batches":                "pmsd_kernel_batches_total",
+	"fallback_batches":              "pmsd_fallback_batches_total",
+	"batch_compute_ns":              "pmsd_batch_compute_ns_count",
 	"registry_hits":                 "pmsd_registry_hits_total",
 	"registry_misses":               "pmsd_registry_misses_total",
 	"registry_evictions":            "pmsd_registry_evictions_total",

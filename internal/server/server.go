@@ -27,6 +27,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -87,6 +88,11 @@ type Config struct {
 	// WorkerDelay injects per-task latency in the worker pool. Load and
 	// backpressure testing only; leave zero in production.
 	WorkerDelay time.Duration
+	// DisableBatchKernel forces the per-node Color interface loop in both
+	// batch paths instead of the mappings' ColorBatch kernels. A/B
+	// benchmarking only (-retrieval-bench uses it to price the kernels);
+	// leave false in production.
+	DisableBatchKernel bool
 	// Middleware, when set, wraps the route mux on the listener path
 	// (Start / the http.Server built by New). The fault-injection harness
 	// hooks in here; Handler() itself stays unwrapped so tests can reach
@@ -181,7 +187,7 @@ func New(cfg Config) *Server {
 		met:  met,
 		reg:  reg,
 		pool: p,
-		coal: newCoalescer(cfg.FlushWindow, cfg.MaxBatch, p, reg, met),
+		coal: newCoalescer(cfg.FlushWindow, cfg.MaxBatch, p, reg, met, cfg.DisableBatchKernel),
 		trc:  obsv.New(obsv.Config{SampleRate: cfg.TraceSampleRate, SlowestN: cfg.TraceSlowest}),
 	}
 	if !cfg.DisableDomainMetrics {
@@ -475,9 +481,20 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		endCompute := tr.StartSpan(obsv.StageBatchCompute)
 		resp.Modules = m.Modules()
 		resp.Colors = make([]int, len(nodes))
+		batch := make([]tree.Node, len(nodes))
 		for i, nr := range nodes {
-			resp.Colors[i] = m.Color(nr.Node())
+			batch[i] = nr.Node()
 		}
+		computeStart := time.Now()
+		kernel := false
+		if s.cfg.DisableBatchKernel {
+			for i, n := range batch {
+				resp.Colors[i] = m.Color(n)
+			}
+		} else {
+			kernel = coloring.ColorBatch(m, resp.Colors, batch)
+		}
+		s.met.recordBatchCompute(kernel, time.Since(computeStart))
 		endCompute()
 	}); aerr != nil {
 		writeError(w, aerr)
@@ -490,14 +507,21 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// writeResultError maps worker-side errors onto HTTP statuses.
+// writeResultError maps worker-side errors onto HTTP statuses. Registry
+// build failures caused by the spec itself (specRejected) are client
+// errors even though Validate should have caught them up front — a
+// validator/build drift must surface as a 400, not a 500.
 func writeResultError(w http.ResponseWriter, err error) {
 	if aerr, ok := err.(*apiError); ok {
 		writeError(w, aerr)
 		return
 	}
-	// Specs are validated before admission, so a build failure here is a
-	// server-side condition, not client error.
+	var sr *specRejected
+	if errors.As(err, &sr) {
+		writeError(w, badRequest("mapping: %v", sr.err))
+		return
+	}
+	// Anything else is a server-side condition.
 	writeError(w, &apiError{status: http.StatusInternalServerError, msg: err.Error()})
 }
 

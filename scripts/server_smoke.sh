@@ -89,6 +89,11 @@ echo "$METRICS" | grep -q '^pmsd_bound_violations_total 0$' || fail "bound monit
 echo "$METRICS" | grep -q '^pmsd_module_accesses_total{module=' || fail "no per-module series in /metrics: $METRICS"
 checks=$(echo "$METRICS" | sed -n 's/^pmsd_bound_checks_total \([0-9]*\)$/\1/p')
 echo "   bound_checks=$checks violations=0"
+# Every flush above went through a COLOR retriever, which carries a
+# batch kernel: the fast path must actually have been taken.
+kernel=$(echo "$METRICS" | sed -n 's/^pmsd_kernel_batches_total \([0-9]*\)$/\1/p')
+[ "${kernel:-0}" -gt 0 ] || fail "batch kernel never engaged (pmsd_kernel_batches_total=$kernel): $METRICS"
+echo "   kernel_batches=$kernel"
 
 echo "== pmsstat"
 # The monitor must parse the live exposition and render a clean frame.
