@@ -11,10 +11,11 @@
 #   make bench-obs      rewrite BENCH_pr4.json from a pmsd -trace-bench run
 #   make bench-metrics  rewrite BENCH_pr5.json from a pmsd -metrics-bench run
 #   make bench-retrieval rewrite BENCH_pr6.json from a pmsd -retrieval-bench run
+#   make bench-store    rewrite BENCH_pr7.json from a pmsd -store-bench run
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics bench-retrieval
+.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics bench-retrieval bench-store
 
 check: vet race bench-smoke server-smoke fuzz-smoke
 
@@ -87,3 +88,10 @@ bench-metrics:
 bench-retrieval:
 	$(GO) run ./cmd/pmsd -retrieval-bench -levels 20 \
 	    -bench-out $(CURDIR)/BENCH_pr6.json
+
+# Disk-tier snapshot: cold materialization vs warm mmap acquire per spec
+# (min-of-reps, headlined by the largest COLOR retriever table) plus the
+# tier hit ratio under a Zipf spec mix through a tiny memory tier. The
+# claim under test: >=5x faster warm acquire for the large-H spec.
+bench-store:
+	$(GO) run ./cmd/pmsd -store-bench -bench-out $(CURDIR)/BENCH_pr7.json

@@ -58,6 +58,21 @@
 // histograms are the evidence trail):
 //
 //	pmsd -retrieval-bench -levels 20 -bench-out BENCH_pr6.json
+//
+// With -store-dir the mapping registry gains a disk tier: evicted
+// table-backed mappings spill into a crash-safe mmap store instead of
+// being discarded, registry misses consult the store before paying a
+// materialization, and a restart with the same directory warm-starts by
+// pre-admitting the -store-warm hottest specs from the manifest:
+//
+//	pmsd -addr :8080 -store-dir /var/lib/pmsd -store-budget 1024 -store-warm 64
+//
+// Store-bench mode prices the tier: cold materialization vs warm
+// disk acquire per spec (min-of-reps, headlined by the largest COLOR
+// retriever table) plus the tier hit ratio under a Zipf spec mix
+// through a deliberately tiny memory tier:
+//
+//	pmsd -store-bench -bench-out BENCH_pr7.json
 package main
 
 import (
@@ -73,6 +88,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/faultinject"
+	"repro/internal/mapstore"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -98,6 +114,12 @@ func main() {
 	levels := flag.Int("levels", 20, "loadgen: tree levels of the queried mapping")
 	mExp := flag.Int("m", 4, "loadgen: canonical COLOR exponent (modules = 2^m - 1)")
 	benchOut := flag.String("bench-out", "", "loadgen/chaos-bench: write the JSON comparison snapshot to this file")
+
+	storeDir := flag.String("store-dir", "", "disk-tier store directory (empty disables the tier)")
+	storeBudget := flag.Int64("store-budget", 1024, "disk-tier byte budget, in MiB")
+	storeTTL := flag.Duration("store-ttl", 0, "disk-tier entry TTL (0 keeps entries until the budget evicts them)")
+	storeWarm := flag.Int("store-warm", 64, "warm-start: pre-admit up to this many of the store's hottest specs")
+	storeBench := flag.Bool("store-bench", false, "price the disk tier (cold materialize vs warm disk acquire, Zipf tier hit ratio)")
 
 	traceBench := flag.Bool("trace-bench", false, "measure request-tracing overhead (off vs 0.01 vs full sampling)")
 	retrievalBench := flag.Bool("retrieval-bench", false, "price the ColorBatch kernels vs the per-node interface path")
@@ -144,6 +166,15 @@ func main() {
 	}
 	if *flush < 0 || *workerDelay < 0 {
 		fail("-flush and -worker-delay must be non-negative")
+	}
+	if *storeBudget < 1 {
+		fail("-store-budget must be at least 1 MiB, got %d", *storeBudget)
+	}
+	if *storeTTL < 0 {
+		fail("-store-ttl must be non-negative")
+	}
+	if *storeWarm < 0 {
+		fail("-store-warm must be non-negative, got %d", *storeWarm)
 	}
 	if *traceSample < 0 || *traceSample > 1 {
 		fail("-trace-sample must be a probability in [0,1], got %g", *traceSample)
@@ -240,6 +271,35 @@ func main() {
 		fmt.Printf("hedged p99 speedup: %.2fx (chaos seed %d)\n", cmp.P99Speedup, cmp.ChaosSeed)
 		if *benchOut != "" {
 			data, err := json.MarshalIndent(cmp, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("snapshot written to %s\n", *benchOut)
+		}
+		return
+	}
+
+	if *storeBench {
+		rep, err := server.RunStoreBench(server.StoreBenchConfig{
+			Dir:    *storeDir,
+			Levels: *levels,
+			Seed:   *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, cw := range rep.ColdWarm {
+			fmt.Printf("%-32s cold %8.2fms, warm %8.3fms, speedup %6.1fx (%d bytes on disk)\n",
+				cw.Key, float64(cw.ColdNS)/1e6, float64(cw.WarmNS)/1e6, cw.Speedup, cw.EntryBytes)
+		}
+		fmt.Printf("zipf mix: %d acquires over %d specs — %d memory hits, %d disk hits, %d materializations (tier hit ratio %.3f)\n",
+			rep.Mix.Requests, rep.Mix.Specs, rep.Mix.MemoryHits, rep.Mix.DiskHits,
+			rep.Mix.Materializes, rep.Mix.TierHitRatio)
+		if *benchOut != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -405,7 +465,24 @@ func main() {
 		cfg.Middleware = inj.Middleware
 		log.Printf("pmsd CHAOS MODE: %s", inj)
 	}
+	if *storeDir != "" {
+		st, err := mapstore.Open(mapstore.Options{
+			Dir:         *storeDir,
+			BudgetBytes: *storeBudget << 20,
+			TTL:         *storeTTL,
+		})
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		cfg.Store = st
+		log.Printf("pmsd store at %s (budget %d MiB)", *storeDir, *storeBudget)
+	}
 	srv := server.New(cfg)
+	if cfg.Store != nil && *storeWarm > 0 {
+		if admitted := srv.WarmStart(*storeWarm); admitted > 0 {
+			log.Printf("pmsd warm start: %d mappings pre-admitted from the store", admitted)
+		}
+	}
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)
 	}

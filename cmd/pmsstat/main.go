@@ -141,10 +141,25 @@ func render(prev, cur *metrics.Scrape, elapsed time.Duration, barWidth int) stri
 	w("\n")
 	w("backpressure  inflight %.0f  queue %.0f  rejected_429 %.0f\n",
 		val(cur, "pmsd_inflight"), val(cur, "pmsd_queue_depth"), val(cur, "pmsd_rejected_429_total"))
-	w("registry      acquire hits %.0f  materializes %.0f  bytes %.0f\n\n",
-		val(cur, "pmsd_registry_acquire_hits_total"),
-		val(cur, "pmsd_registry_acquire_materializes_total"),
-		val(cur, "pmsd_registry_bytes"))
+	memHits := val(cur, "pmsd_registry_acquire_hits_total")
+	diskHits := val(cur, "pmsd_registry_acquire_disk_hits_total")
+	materializes := val(cur, "pmsd_registry_acquire_materializes_total")
+	w("registry      acquire hits %.0f  disk hits %.0f  materializes %.0f  bytes %.0f\n",
+		memHits, diskHits, materializes, val(cur, "pmsd_registry_bytes"))
+	// pmsd exports the pmsd_store_* series unconditionally (zeros when
+	// memory-only), so this line normally always renders; gating on the
+	// series keeps pmsstat graceful against scrapes that predate the
+	// disk tier.
+	if entries, ok := cur.Value("pmsd_store_entries"); ok {
+		ratio := "-"
+		if total := memHits + diskHits + materializes; total > 0 {
+			ratio = fmt.Sprintf("%.3f", (memHits+diskHits)/total)
+		}
+		w("disk tier     entries %.0f (%.1f MiB)  spills %.0f  corrupt %.0f  tier hit ratio %s\n",
+			entries, val(cur, "pmsd_store_bytes")/(1<<20),
+			val(cur, "pmsd_store_spills_total"), val(cur, "pmsd_store_corrupt_total"), ratio)
+	}
+	w("\n")
 
 	// Domain: accesses, conflicts and the load-balance gauges.
 	batches := val(cur, "pmsd_batches_total")

@@ -49,6 +49,20 @@ pmsd_bound_checks_total 10
 pmsd_bound_violations_total 0
 # TYPE pmsd_bound_checks_skipped_total counter
 pmsd_bound_checks_skipped_total 1
+# TYPE pmsd_registry_acquire_hits_total counter
+pmsd_registry_acquire_hits_total 70
+# TYPE pmsd_registry_acquire_disk_hits_total counter
+pmsd_registry_acquire_disk_hits_total 20
+# TYPE pmsd_registry_acquire_materializes_total counter
+pmsd_registry_acquire_materializes_total 10
+# TYPE pmsd_store_entries gauge
+pmsd_store_entries 4
+# TYPE pmsd_store_bytes gauge
+pmsd_store_bytes 3145728
+# TYPE pmsd_store_spills_total counter
+pmsd_store_spills_total 6
+# TYPE pmsd_store_corrupt_total counter
+pmsd_store_corrupt_total 0
 # TYPE pmsd_template_conflicts histogram
 pmsd_template_conflicts_bucket{family="S",le="0"} 4
 pmsd_template_conflicts_bucket{family="S",le="1"} 8
@@ -100,6 +114,8 @@ func TestRenderRatesAndGauges(t *testing.T) {
 		"conflicts 25 (0.500/batch)",
 		"max 1200 @ module 0",
 		"ratio 1.200",
+		"acquire hits 70  disk hits 20  materializes 10",
+		"disk tier     entries 4 (3.0 MiB)  spills 6  corrupt 0  tier hit ratio 0.900",
 		"checks 10  skipped 1  violations 0  [ok]",
 		"S  observations 8  mean 0.500  max bucket le=1",
 		"m0         1200 (60.0/s) " + strings.Repeat("#", 20),
@@ -128,5 +144,14 @@ func TestRenderEmptyScrape(t *testing.T) {
 	out := render(nil, parse(t, ""), 0, 10)
 	if !strings.Contains(out, "no accesses recorded yet") {
 		t.Errorf("empty scrape frame:\n%s", out)
+	}
+}
+
+// TestRenderNoStore: a pmsd without -store-dir exports no pmsd_store_*
+// series, and the disk-tier line must stay out of the frame.
+func TestRenderNoStore(t *testing.T) {
+	out := render(nil, parse(t, expoT0), 0, 10)
+	if strings.Contains(out, "disk tier") {
+		t.Errorf("storeless scrape must not render a disk-tier line:\n%s", out)
 	}
 }

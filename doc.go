@@ -16,7 +16,10 @@
 // and watched by cmd/pmsstat. Batched color retrieval in the serving
 // hot path runs through per-mapping kernels (coloring.BatchColorer,
 // dispatched by coloring.ColorBatch; see README "Raw-speed retrieval"
-// and EXPERIMENTS.md E21). DESIGN.md maps every paper result to the
+// and EXPERIMENTS.md E21). internal/mapstore is the disk tier under the
+// serving registry — checksummed block-aligned mapping artifacts,
+// mmap'd warm starts, crash-safe spills (pmsd -store-dir; see README
+// "Tiered storage" and EXPERIMENTS.md E22). DESIGN.md maps every paper result to the
 // module and experiment that reproduces it; EXPERIMENTS.md records
 // claimed-versus-measured numbers.
 package repro

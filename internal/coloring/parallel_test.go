@@ -187,7 +187,7 @@ func TestLoadMappingRejectsCorruption(t *testing.T) {
 func TestLoadMappingRejectsBadHeaderValues(t *testing.T) {
 	// Hand-craft a header with levels = 0.
 	var buf bytes.Buffer
-	buf.Write(magic[:])
+	buf.Write(magicV1[:])
 	buf.Write([]byte{0, 0, 0, 0}) // levels = 0
 	buf.Write([]byte{1, 0, 0, 0}) // modules = 1
 	buf.Write([]byte{0, 0, 0, 0}) // nameLen = 0
@@ -196,7 +196,7 @@ func TestLoadMappingRejectsBadHeaderValues(t *testing.T) {
 	}
 	// Excessive name length.
 	buf.Reset()
-	buf.Write(magic[:])
+	buf.Write(magicV1[:])
 	buf.Write([]byte{2, 0, 0, 0})
 	buf.Write([]byte{1, 0, 0, 0})
 	buf.Write([]byte{255, 255, 0, 0})

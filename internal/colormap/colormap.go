@@ -308,21 +308,7 @@ func NewRetriever(p Params) (*Retriever, error) {
 		}
 	}
 	r := &Retriever{p: p, local: local}
-
-	r.bands = make([]bandInfo, p.Levels)
-	for lvl := 0; lvl < p.Levels; lvl++ {
-		if lvl < N {
-			// Identity hop: resolved nodes pass through unchanged.
-			r.bands[lvl] = bandInfo{mask: 0, rootLevel: int16(lvl), ell: 0}
-			continue
-		}
-		jj, ell := p.bandOf(lvl)
-		r.bands[lvl] = bandInfo{
-			mask:      int32(tree.Pow2(ell) - 1),
-			rootLevel: int16(jj * p.Step()),
-			ell:       uint8(ell),
-		}
-	}
+	r.buildBands()
 
 	top := N
 	if p.Levels < top {
@@ -341,6 +327,27 @@ func NewRetriever(p Params) (*Retriever, error) {
 	}
 	r.buildHopTables()
 	return r, nil
+}
+
+// buildBands materializes the per-global-level band table (the
+// division-free bandOf), derived purely from the parameters.
+func (r *Retriever) buildBands() {
+	p := r.p
+	N := p.BandLevels
+	r.bands = make([]bandInfo, p.Levels)
+	for lvl := 0; lvl < p.Levels; lvl++ {
+		if lvl < N {
+			// Identity hop: resolved nodes pass through unchanged.
+			r.bands[lvl] = bandInfo{mask: 0, rootLevel: int16(lvl), ell: 0}
+			continue
+		}
+		jj, ell := p.bandOf(lvl)
+		r.bands[lvl] = bandInfo{
+			mask:      int32(tree.Pow2(ell) - 1),
+			rootLevel: int16(jj * p.Step()),
+			ell:       uint8(ell),
+		}
+	}
 }
 
 // singleHop expresses one resolution step of a node at global level lvl

@@ -1,0 +1,242 @@
+// Disk codec for the Retriever's precomputed tables, feeding the
+// internal/mapstore tier. Only the tables that are expensive to rebuild
+// are stored: the 2^N-slot local-resolution table and the resolved
+// band-0 color table (whose construction walks a full inheritance chain
+// per node). The per-level band rows and the composed-hop tables are
+// derived from the parameters and the local table in O(H + hop entries)
+// at decode, so the artifact cannot smuggle inconsistent acceleration
+// tables past the invariants the kernels rely on.
+package colormap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// Section IDs of the Retriever artifact (kind "color" in mapstore).
+const (
+	SectionRetrieverMeta  = 0 // levels u32, bandLevels u32, subtreeLevels u32
+	SectionRetrieverLocal = 1 // [2^N-1]localResolution, 8-byte records
+	SectionRetrieverBand0 = 2 // [2^min(N,H)-1]int32
+)
+
+// localResolutionBytes is the wire (and in-memory) record size of the
+// local table: index i32 | level u8 | class u8 | pad u16. The zero-copy
+// decode casts mmap'd bytes straight to []localResolution, so the Go
+// struct layout must match the wire layout exactly; the compile-time
+// assertions below and TestLocalResolutionLayout pin it.
+const localResolutionBytes = 8
+
+var (
+	_ = [1]struct{}{}[localResolutionBytes-unsafe.Sizeof(localResolution{})]
+	_ = [1]struct{}{}[0-unsafe.Offsetof(localResolution{}.index)]
+	_ = [1]struct{}{}[4-unsafe.Offsetof(localResolution{}.level)]
+	_ = [1]struct{}{}[5-unsafe.Offsetof(localResolution{}.class)]
+)
+
+// hostLittleEndian mirrors the coloring package's host probe for the
+// struct-record cast, which needs the same precondition.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// EncodeSections serializes the retriever's tables. Records are packed
+// explicitly (never memcpy'd out of Go structs), so the artifact bytes
+// are deterministic — padding included — and the golden fixtures can pin
+// them.
+func (r *Retriever) EncodeSections() []coloring.Section {
+	meta := make([]byte, 12)
+	binary.LittleEndian.PutUint32(meta[0:4], uint32(r.p.Levels))
+	binary.LittleEndian.PutUint32(meta[4:8], uint32(r.p.BandLevels))
+	binary.LittleEndian.PutUint32(meta[8:12], uint32(r.p.SubtreeLevels))
+	local := make([]byte, localResolutionBytes*len(r.local))
+	for i, res := range r.local {
+		off := localResolutionBytes * i
+		binary.LittleEndian.PutUint32(local[off:], uint32(res.index))
+		local[off+4] = res.level
+		local[off+5] = byte(res.class)
+	}
+	return []coloring.Section{
+		{ID: SectionRetrieverMeta, ElemSize: 1, Data: meta},
+		{ID: SectionRetrieverLocal, ElemSize: localResolutionBytes, Data: local},
+		{ID: SectionRetrieverBand0, ElemSize: 4, Data: coloring.AppendInt32sLE(nil, r.band0)},
+	}
+}
+
+// localResolutionsLE decodes the packed local table. With zeroCopy on a
+// little-endian host the returned slice aliases b (the mmap fast path);
+// otherwise records are decoded field by field — the portable fallback.
+func localResolutionsLE(b []byte, zeroCopy bool) ([]localResolution, error) {
+	if len(b)%localResolutionBytes != 0 {
+		return nil, fmt.Errorf("colormap: local section of %d bytes not a record multiple", len(b))
+	}
+	n := len(b) / localResolutionBytes
+	if n == 0 {
+		return nil, nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%localResolutionBytes == 0 {
+		return unsafe.Slice((*localResolution)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]localResolution, n)
+	for i := range out {
+		off := localResolutionBytes * i
+		out[i] = localResolution{
+			index: int32(binary.LittleEndian.Uint32(b[off:])),
+			level: b[off+4],
+			class: localClass(b[off+5]),
+		}
+	}
+	return out, nil
+}
+
+// DecodeRetrieverSections rebuilds a Retriever from its serialized
+// tables. Parameters are validated as in NewRetriever; both tables must
+// have exactly the parameter-derived lengths (lengths are never taken
+// from the artifact, so a lying header cannot drive allocation); every
+// local record is checked against the invariants the retrieval kernels
+// need for bounded, terminating chains (class ∈ {top, gamma}, top
+// resolutions inside the shared k levels, gamma resolutions at a
+// block-last level, indices inside their level); and every band-0 color
+// must be a valid module. The band rows and composed-hop tables are then
+// rebuilt from the validated local table. The checks read every record
+// once — the same pages the framing checksum already touched.
+func DecodeRetrieverSections(secs []coloring.Section, zeroCopy bool) (*Retriever, error) {
+	meta, err := coloring.SectionByID(secs, SectionRetrieverMeta)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta.Data) != 12 {
+		return nil, fmt.Errorf("colormap: retriever meta section of %d bytes", len(meta.Data))
+	}
+	p := Params{
+		Levels:        int(binary.LittleEndian.Uint32(meta.Data[0:4])),
+		BandLevels:    int(binary.LittleEndian.Uint32(meta.Data[4:8])),
+		SubtreeLevels: int(binary.LittleEndian.Uint32(meta.Data[8:12])),
+	}
+	if p.Levels < 0 || p.BandLevels < 0 || p.SubtreeLevels < 0 {
+		return nil, fmt.Errorf("colormap: negative parameter in retriever meta")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	N := p.BandLevels
+	if N > maxRetrieverBandLevels {
+		return nil, fmt.Errorf("colormap: retriever table for N = %d above cap %d", N, maxRetrieverBandLevels)
+	}
+	localSec, err := coloring.SectionByID(secs, SectionRetrieverLocal)
+	if err != nil {
+		return nil, err
+	}
+	band0Sec, err := coloring.SectionByID(secs, SectionRetrieverBand0)
+	if err != nil {
+		return nil, err
+	}
+	local, err := localResolutionsLE(localSec.Data, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(local)) != tree.SubtreeSize(N) {
+		return nil, fmt.Errorf("colormap: local table of %d slots for N = %d (want %d)", len(local), N, tree.SubtreeSize(N))
+	}
+	band0, err := coloring.Int32sLE(band0Sec.Data, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	top := N
+	if p.Levels < top {
+		top = p.Levels
+	}
+	if int64(len(band0)) != tree.SubtreeSize(top) {
+		return nil, fmt.Errorf("colormap: band-0 table of %d slots (want %d)", len(band0), tree.SubtreeSize(top))
+	}
+	k := p.SubtreeLevels
+	if err := validateLocalTable(local, k, N); err != nil {
+		return nil, err
+	}
+	colors := int32(p.Colors())
+	for i, c := range band0 {
+		if uint32(c) >= uint32(colors) {
+			return nil, fmt.Errorf("colormap: band-0 slot %d: color %d outside [0,%d)", i, c, colors)
+		}
+	}
+	r := &Retriever{p: p, local: local, band0: band0}
+	r.buildBands()
+	r.buildHopTables()
+	return r, nil
+}
+
+// validateLocalTable checks every local record against the kernel
+// invariants. This pass dominates the warm load of a large artifact (a
+// million records for N = 20), so on a little-endian host it runs over
+// the raw 8-byte records: the (class, level) pair selects the exclusive
+// index bound from a 512-entry table (0 marks an invalid pair), and one
+// unsigned compare covers both "index negative" and "index outside
+// level". The table indices mirror the wire layout — bits 32..47 of a
+// record are level | class<<8 — so the whole per-record check is two
+// shifts, a lookup and two compares. validateLocalRecord is the portable
+// scalar form, and re-derives the precise error when the fast pass
+// rejects a record.
+func validateLocalTable(local []localResolution, k, N int) error {
+	if hostLittleEndian && len(local) > 0 && uintptr(unsafe.Pointer(&local[0]))%8 == 0 {
+		var bound [512]int32
+		for lvl := 0; lvl < k; lvl++ {
+			bound[int(classTop)<<8|lvl] = int32(tree.Pow2(lvl))
+		}
+		for lvl := k; lvl < N; lvl++ {
+			bound[int(classGamma)<<8|lvl] = int32(tree.Pow2(lvl))
+		}
+		words := unsafe.Slice((*uint64)(unsafe.Pointer(&local[0])), len(local))
+		for i, w := range words {
+			key := uint32(w>>32) & 0xFFFF // level | class<<8 (pad shifted away)
+			if key >= uint32(len(bound)) || uint32(w) >= uint32(bound[key]) {
+				return validateLocalRecord(i, local[i], k, N)
+			}
+		}
+		return nil
+	}
+	for i, res := range local {
+		if err := validateLocalRecord(i, res, k, N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateLocalRecord is the one-record invariant check: class must be a
+// known resolution kind, a top resolution must land inside the shared k
+// levels, a gamma resolution at a block-last level below N, and the
+// index inside its level.
+func validateLocalRecord(i int, res localResolution, k, N int) error {
+	switch res.class {
+	case classTop:
+		if int(res.level) >= k {
+			return fmt.Errorf("colormap: local slot %d: top resolution at level %d (k = %d)", i, res.level, k)
+		}
+	case classGamma:
+		if int(res.level) < k || int(res.level) >= N {
+			return fmt.Errorf("colormap: local slot %d: gamma resolution at level %d outside [%d,%d)", i, res.level, k, N)
+		}
+	default:
+		return fmt.Errorf("colormap: local slot %d: unknown class %d", i, res.class)
+	}
+	if res.index < 0 || int64(res.index) >= tree.Pow2(int(res.level)) {
+		return fmt.Errorf("colormap: local slot %d: index %d outside level %d", i, res.index, res.level)
+	}
+	return nil
+}
+
+// RetrieverOf unwraps the Retriever behind a mapping returned by
+// Retriever.Mapping, so the disk tier can reach the tables of a cached
+// entry without the server layer knowing colormap internals.
+func RetrieverOf(m coloring.Mapping) (*Retriever, bool) {
+	rm, ok := m.(retrieverMapping)
+	if !ok {
+		return nil, false
+	}
+	return rm.r, true
+}

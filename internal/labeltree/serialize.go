@@ -1,0 +1,90 @@
+// Disk codec for the LABEL-TREE mapping, feeding the internal/mapstore
+// tier. Only the micro table — the paper's O(M) preprocessing — and the
+// construction parameters are stored; the per-level/per-group retrieval
+// windows are rebuilt by newRetrieval in O(H + p) at decode, so the
+// artifact stays small and cannot carry inconsistent fastmod reciprocals.
+package labeltree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/tree"
+)
+
+// Section IDs of the LABEL-TREE artifact (kind "labeltree" in mapstore).
+const (
+	SectionLabelTreeMeta  = 0 // levels u32, modules u32, policy u32, noRotate u32
+	SectionLabelTreeMicro = 1 // [2^m-1]int32 Σ-list indices
+)
+
+// EncodeSections serializes the mapping's parameters and micro table.
+func (lt *Mapping) EncodeSections() []coloring.Section {
+	meta := make([]byte, 16)
+	binary.LittleEndian.PutUint32(meta[0:4], uint32(lt.p.Levels))
+	binary.LittleEndian.PutUint32(meta[4:8], uint32(lt.p.Modules))
+	binary.LittleEndian.PutUint32(meta[8:12], uint32(lt.p.Macro))
+	var rot uint32
+	if lt.noRotate {
+		rot = 1
+	}
+	binary.LittleEndian.PutUint32(meta[12:16], rot)
+	return []coloring.Section{
+		{ID: SectionLabelTreeMeta, ElemSize: 1, Data: meta},
+		{ID: SectionLabelTreeMicro, ElemSize: 4, Data: coloring.AppendInt32sLE(nil, lt.micro)},
+	}
+}
+
+// DecodeMappingSections rebuilds a Mapping from its serialized form.
+// Parameters are re-derived (and validated) by NewParams, the micro
+// table must have exactly the parameter-derived length with every
+// Σ-list index inside [0, ℓ), and the retrieval windows are rebuilt
+// from the parameters. With zeroCopy the micro table aliases the
+// section data (the mmap contract of coloring.Int32sLE).
+func DecodeMappingSections(secs []coloring.Section, zeroCopy bool) (*Mapping, error) {
+	meta, err := coloring.SectionByID(secs, SectionLabelTreeMeta)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta.Data) != 16 {
+		return nil, fmt.Errorf("labeltree: meta section of %d bytes", len(meta.Data))
+	}
+	levels := int(binary.LittleEndian.Uint32(meta.Data[0:4]))
+	modules := int(binary.LittleEndian.Uint32(meta.Data[4:8]))
+	policy := binary.LittleEndian.Uint32(meta.Data[8:12])
+	rot := binary.LittleEndian.Uint32(meta.Data[12:16])
+	if levels < 0 || modules < 0 {
+		return nil, fmt.Errorf("labeltree: negative parameter in meta")
+	}
+	p, err := NewParams(levels, modules)
+	if err != nil {
+		return nil, err
+	}
+	switch Policy(policy) {
+	case BandCyclic, Balanced:
+		p.Macro = Policy(policy)
+	default:
+		return nil, fmt.Errorf("labeltree: unknown policy %d", policy)
+	}
+	if rot > 1 {
+		return nil, fmt.Errorf("labeltree: rotate flag %d", rot)
+	}
+	microSec, err := coloring.SectionByID(secs, SectionLabelTreeMicro)
+	if err != nil {
+		return nil, err
+	}
+	micro, err := coloring.Int32sLE(microSec.Data, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(micro)) != tree.SubtreeSize(p.M) {
+		return nil, fmt.Errorf("labeltree: micro table of %d slots for m = %d (want %d)", len(micro), p.M, tree.SubtreeSize(p.M))
+	}
+	for i, sigma := range micro {
+		if sigma < 0 || int(sigma) >= p.ListLen {
+			return nil, fmt.Errorf("labeltree: micro slot %d: Σ index %d outside [0,%d)", i, sigma, p.ListLen)
+		}
+	}
+	return &Mapping{p: p, t: tree.New(levels), micro: micro, rt: newRetrieval(p), noRotate: rot == 1}, nil
+}

@@ -1,0 +1,56 @@
+package mapstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/colormap"
+)
+
+// BenchmarkGetColdLoad prices one disk load of the largest COLOR
+// artifact the registry admits (H=40, m=5: a 2^20-slot local table plus
+// a 2^20-slot band-0 table, ~12.6 MB on disk) — the per-load cost a warm
+// restart pays instead of the full table build.
+func BenchmarkGetColdLoad(b *testing.B) {
+	p, err := colormap.Canonical(40, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := colormap.NewRetriever(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	st, err := Open(Options{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const key = "color/H=40/m=5"
+	if err := st.Put(key, r.Mapping()); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, entryFileName(key)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fi.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Reopen per iteration so neither the decoded-entry cache nor a
+		// prior mmap region short-circuits the load.
+		st, err := Open(Options{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := st.Get(key); !ok {
+			b.Fatal("stored entry did not load")
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

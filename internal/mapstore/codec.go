@@ -1,0 +1,75 @@
+// Kind dispatch: which mappings can be spilled, and how each kind's
+// sections are encoded and decoded. The per-kind codecs live with their
+// types (coloring, colormap, labeltree); this file only routes.
+package mapstore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/colormap"
+	"repro/internal/labeltree"
+)
+
+// ErrUnsupported marks a mapping kind the store cannot serialize (the
+// closed-form baselines keep no per-node state worth spilling).
+var ErrUnsupported = errors.New("mapstore: mapping kind not storable")
+
+// CanStore reports whether the mapping has a disk codec. The registry's
+// spiller skips unsupported kinds: mod / levelcyclic-style closed-form
+// mappings cost 64 bytes to keep and nothing to rebuild.
+func CanStore(m coloring.Mapping) bool {
+	switch m.(type) {
+	case *coloring.ArrayMapping, *labeltree.Mapping:
+		return true
+	}
+	_, ok := colormap.RetrieverOf(m)
+	return ok
+}
+
+// encodeMapping serializes a storable mapping into one entry image.
+func encodeMapping(key string, m coloring.Mapping) ([]byte, error) {
+	switch v := m.(type) {
+	case *coloring.ArrayMapping:
+		return encodeEntry(key, kindArray, v.EncodeSections())
+	case *labeltree.Mapping:
+		return encodeEntry(key, kindLabelTree, v.EncodeSections())
+	}
+	if r, ok := colormap.RetrieverOf(m); ok {
+		return encodeEntry(key, kindRetriever, r.EncodeSections())
+	}
+	return nil, fmt.Errorf("%w: %T", ErrUnsupported, m)
+}
+
+// decodeMapping validates and decodes one entry image. With zeroCopy the
+// returned mapping's tables alias data; the caller owns keeping data
+// alive (and mapped) until the mapping is unreachable.
+func decodeMapping(data []byte, zeroCopy bool) (string, coloring.Mapping, error) {
+	h, secs, err := decodeEntry(data)
+	if err != nil {
+		return "", nil, err
+	}
+	switch h.kind {
+	case kindArray:
+		a, err := coloring.DecodeArraySections(secs, zeroCopy)
+		if err != nil {
+			return "", nil, err
+		}
+		return h.key, a, nil
+	case kindRetriever:
+		r, err := colormap.DecodeRetrieverSections(secs, zeroCopy)
+		if err != nil {
+			return "", nil, err
+		}
+		return h.key, r.Mapping(), nil
+	case kindLabelTree:
+		lt, err := labeltree.DecodeMappingSections(secs, zeroCopy)
+		if err != nil {
+			return "", nil, err
+		}
+		return h.key, lt, nil
+	default:
+		return "", nil, fmt.Errorf("mapstore: unknown mapping kind %d", h.kind)
+	}
+}

@@ -1,0 +1,125 @@
+package mapstore
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/coloring"
+)
+
+// seedEntries returns one valid encoded entry per mapping kind, the
+// corpus the decode fuzzers mutate from.
+func seedEntries(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	for key, m := range map[string]coloring.Mapping{
+		"seed/array":     testArray(tb, 5, 3),
+		"seed/retriever": testRetriever(tb),
+		"seed/labeltree": testLabelTree(tb),
+	} {
+		data, err := encodeMapping(key, m)
+		if err != nil {
+			tb.Fatalf("encodeMapping(%s): %v", key, err)
+		}
+		seeds = append(seeds, data)
+	}
+	return seeds
+}
+
+// FuzzDecodeEntry locks in the hardening contract of the entry decoder:
+// arbitrary bytes — truncations, bit flips, stale versions, lying
+// headers — must produce an error or a valid mapping, never a panic, and
+// must never allocate proportionally to a declared (unverified) length.
+func FuzzDecodeEntry(f *testing.F) {
+	seeds := seedEntries(f)
+	for _, seed := range seeds {
+		f.Add(seed)
+	}
+	// Stale version and short-prefix seeds steer the mutator. The bare
+	// header block is a cheap (4 KiB) seed for exploring header
+	// validation; the full entries above are ~8-24 KiB.
+	stale := append([]byte{}, seeds[0]...)
+	binary.LittleEndian.PutUint32(stale[8:12], 99)
+	f.Add(stale)
+	f.Add(append([]byte{}, seeds[0][:headerBlock]...))
+	f.Add([]byte("PMSTORE1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, zeroCopy := range []bool{false, true} {
+			key, m, err := decodeMapping(data, zeroCopy)
+			if err != nil {
+				continue
+			}
+			if key == "" || m == nil {
+				t.Fatalf("decodeMapping returned no error but key=%q m=%v", key, m)
+			}
+			// A decode that passes validation must be safely usable: color
+			// the root and a leaf through the batch kernel.
+			h := m.Tree().Levels()
+			nodes := sampleNodes(h)
+			dst := make([]int, len(nodes))
+			coloring.ColorBatch(m, dst, nodes)
+			for i, c := range dst {
+				if c < 0 || c >= m.Modules() {
+					t.Fatalf("node %v colored %d outside [0,%d)", nodes[i], c, m.Modules())
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeManifest: same contract for the manifest sidecar.
+func FuzzDecodeManifest(f *testing.F) {
+	man := manifest{Entries: []manifestEntry{
+		{Key: "color/H=20/N=8/k=2", File: "color-deadbeef.pme", Bytes: 4096, Hits: 3, LastAccess: 1},
+	}}
+	seed, err := encodeManifest(man)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("PMSMANI1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeManifest(data)
+	})
+}
+
+// TestEntryEveryBitFlipDetected proves the checksums leave no blind
+// spot: flipping any single bit anywhere in a valid entry image must
+// fail the decode. (Header bytes are covered by the header CRC, payload
+// bytes — including alignment padding — by the payload CRC.)
+func TestEntryEveryBitFlipDetected(t *testing.T) {
+	data, err := encodeMapping("flip/target", testArray(t, 5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			data[i] ^= 1 << bit
+			if _, _, err := decodeMapping(data, false); err == nil {
+				t.Fatalf("bit %d of byte %d flipped undetected", bit, i)
+			}
+			data[i] ^= 1 << bit
+		}
+	}
+	// And the pristine image still decodes.
+	if _, _, err := decodeMapping(data, false); err != nil {
+		t.Fatalf("pristine image rejected after flip sweep: %v", err)
+	}
+}
+
+// TestEntryTruncationsDetected walks every truncation length of a valid
+// entry through the decoder.
+func TestEntryTruncationsDetected(t *testing.T) {
+	data, err := encodeMapping("trunc/target", testArray(t, 5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n += 97 {
+		if _, _, err := decodeMapping(data[:n], false); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", n)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// The store manifest: a small checksummed sidecar holding per-entry heat
+// (hit counts, last access) so a restarted pmsd can pre-admit the
+// hottest specs. The manifest is advisory — entry files are fully
+// self-describing (key in the header, payload CRC), so a missing or
+// corrupt manifest costs only the heat ordering, never data. It is
+// written with the same temp-file + fsync + rename protocol as entries,
+// so a crash leaves either the old or the new manifest, never a torn one.
+//
+// Format: magic "PMSMANI1" | version u32 | payloadLen u32 |
+// payloadCRC u32 | JSON payload.
+package mapstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/coloring"
+)
+
+const (
+	manifestName    = "MANIFEST"
+	manifestVersion = 1
+	// maxManifestLen bounds the declared payload so a corrupt length
+	// cannot drive allocation (the JSON for even millions of entries
+	// stays far below this).
+	maxManifestLen = 1 << 26
+)
+
+var manifestMagic = [8]byte{'P', 'M', 'S', 'M', 'A', 'N', 'I', '1'}
+
+// manifestEntry is one entry's persisted heat record.
+type manifestEntry struct {
+	Key        string `json:"key"`
+	File       string `json:"file"`
+	Bytes      int64  `json:"bytes"`
+	Hits       int64  `json:"hits"`
+	LastAccess int64  `json:"last_access_unix_ns"`
+}
+
+type manifest struct {
+	Entries []manifestEntry `json:"entries"`
+}
+
+// encodeManifest frames the manifest JSON with magic and checksum.
+func encodeManifest(m manifest) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 20, 20+len(payload))
+	copy(buf[0:8], manifestMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], manifestVersion)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[16:20], coloring.ChecksumLE(payload))
+	return append(buf, payload...), nil
+}
+
+// decodeManifest validates and parses a manifest image.
+func decodeManifest(data []byte) (manifest, error) {
+	var m manifest
+	if len(data) < 20 {
+		return m, fmt.Errorf("mapstore: manifest of %d bytes below header", len(data))
+	}
+	if [8]byte(data[0:8]) != manifestMagic {
+		return m, fmt.Errorf("mapstore: bad manifest magic %q", data[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != manifestVersion {
+		return m, fmt.Errorf("mapstore: unsupported manifest version %d", v)
+	}
+	payloadLen := binary.LittleEndian.Uint32(data[12:16])
+	if payloadLen > maxManifestLen || int64(payloadLen) != int64(len(data)-20) {
+		return m, fmt.Errorf("mapstore: declared manifest payload of %d bytes, file carries %d", payloadLen, len(data)-20)
+	}
+	payload := data[20:]
+	if got, want := binary.LittleEndian.Uint32(data[16:20]), coloring.ChecksumLE(payload); got != want {
+		return m, fmt.Errorf("mapstore: manifest checksum mismatch: file %#x, computed %#x", got, want)
+	}
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return m, fmt.Errorf("mapstore: manifest JSON: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,30 @@
+//go:build linux
+
+package mapstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy load path at runtime.
+const mmapSupported = true
+
+// mmapFile maps the file read-only. The mapping stays valid after the
+// file is unlinked (the store's GC relies on this: eviction removes the
+// directory entry; the pages live until munmap), and resident pages are
+// clean page cache the kernel can reclaim under pressure.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapBytes releases a region returned by mmapFile.
+func munmapBytes(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package mapstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the zero-copy load path at runtime: on platforms
+// without a wired mmap the store always takes the read()+copy fallback.
+const mmapSupported = false
+
+var errNoMmap = errors.New("mapstore: mmap not supported on this platform")
+
+func mmapFile(*os.File, int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapBytes([]byte) error { return nil }

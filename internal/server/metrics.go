@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mapstore"
 	dm "repro/internal/metrics"
 	"repro/internal/pms"
 )
@@ -17,6 +18,10 @@ import (
 // histBuckets covers 2^0 … 2^27 (µs buckets reach ~134 s; batch-size
 // buckets reach 2^27 items, far above any admitted batch).
 const histBuckets = 28
+
+// The disk tier's load histogram must share this geometry for its
+// buckets to translate label-for-label.
+var _ = [1]struct{}{}[histBuckets-mapstore.LoadBuckets]
 
 // histogram is a power-of-two bucketed distribution: bucket i counts
 // observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
@@ -129,10 +134,17 @@ type Metrics struct {
 	registryBytes     atomic.Int64
 	// Acquire attribution, split the way the tracing layer splits its
 	// registry spans: a hit is an acquire answered from a finished cache
-	// entry; everything else (fresh build or a wait on another request's
-	// in-flight build) pays materialization latency.
+	// entry; a disk hit was resolved from the mapping store (mmap load,
+	// no build); everything else (fresh build or a wait on another
+	// request's in-flight build) pays materialization latency.
 	registryAcquireHits         atomic.Int64
+	registryAcquireDiskHits     atomic.Int64
 	registryAcquireMaterializes atomic.Int64
+
+	// store is the attached disk tier; nil when pmsd runs memory-only.
+	// Its counters live in the mapstore package and are snapshotted on
+	// scrape.
+	store *mapstore.Store
 
 	// Aggregated pms counters from /v1/simulate replays, including the
 	// IdleSteps counter the simulator has tracked since PR 1 but the
@@ -169,7 +181,11 @@ type MetricsSnapshot struct {
 	RegistryEvictions           int64 `json:"registry_evictions"`
 	RegistryBytes               int64 `json:"registry_bytes"`
 	RegistryAcquireHits         int64 `json:"registry_acquire_hits"`
+	RegistryAcquireDiskHits     int64 `json:"registry_acquire_disk_hits"`
 	RegistryAcquireMaterializes int64 `json:"registry_acquire_materializes"`
+
+	// Store is the disk-tier snapshot; omitted when no store is attached.
+	Store *StoreSnapshot `json:"store,omitempty"`
 
 	SimBatches   int64 `json:"sim_batches"`
 	SimRequests  int64 `json:"sim_requests"`
@@ -216,6 +232,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RegistryEvictions:           m.registryEvictions.Load(),
 		RegistryBytes:               m.registryBytes.Load(),
 		RegistryAcquireHits:         m.registryAcquireHits.Load(),
+		RegistryAcquireDiskHits:     m.registryAcquireDiskHits.Load(),
 		RegistryAcquireMaterializes: m.registryAcquireMaterializes.Load(),
 
 		SimBatches:   m.simBatches.Load(),
@@ -231,7 +248,51 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		d := m.domain.Snapshot()
 		s.Domain = &d
 	}
+	if m.store != nil {
+		ss := storeSnapshot(m.store.Stats())
+		s.Store = &ss
+	}
 	return s
+}
+
+// StoreSnapshot is the disk tier's exported counters.
+type StoreSnapshot struct {
+	Hits       int64             `json:"hits"`
+	Misses     int64             `json:"misses"`
+	Spills     int64             `json:"spills"`
+	SpillDrops int64             `json:"spill_drops"`
+	Corrupt    int64             `json:"corrupt"`
+	Evictions  int64             `json:"evictions"`
+	Bytes      int64             `json:"bytes"`
+	Entries    int64             `json:"entries"`
+	LoadNS     HistogramSnapshot `json:"load_ns"`
+}
+
+// storeSnapshot converts mapstore counters into the exported form. The
+// store's load histogram uses the same power-of-two bucketing as the
+// serving histograms, so the labels translate directly.
+func storeSnapshot(st mapstore.Stats) StoreSnapshot {
+	ss := StoreSnapshot{
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		Spills:     st.Spills,
+		SpillDrops: st.SpillDrops,
+		Corrupt:    st.Corrupt,
+		Evictions:  st.Evictions,
+		Bytes:      st.Bytes,
+		Entries:    st.Entries,
+		LoadNS:     HistogramSnapshot{Count: st.LoadNSCount, Sum: st.LoadNSSum},
+	}
+	if ss.LoadNS.Count > 0 {
+		ss.LoadNS.Mean = float64(ss.LoadNS.Sum) / float64(ss.LoadNS.Count)
+		ss.LoadNS.Buckets = make(map[string]int64)
+		for i, c := range st.LoadNSBuckets {
+			if c > 0 {
+				ss.LoadNS.Buckets[bucketLabel(i)] = c
+			}
+		}
+	}
+	return ss
 }
 
 // recordBatchCompute accounts one colored batch: which path colored it

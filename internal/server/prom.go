@@ -12,6 +12,7 @@ package server
 import (
 	"net/http"
 
+	"repro/internal/mapstore"
 	dm "repro/internal/metrics"
 	"repro/internal/obsv"
 )
@@ -83,7 +84,24 @@ func writeServerMetrics(e *dm.Expo, m *Metrics) {
 	e.Counter(promPrefix+"_registry_evictions_total", nil, m.registryEvictions.Load())
 	e.GaugeInt(promPrefix+"_registry_bytes", nil, m.registryBytes.Load())
 	e.Counter(promPrefix+"_registry_acquire_hits_total", nil, m.registryAcquireHits.Load())
+	e.Counter(promPrefix+"_registry_acquire_disk_hits_total", nil, m.registryAcquireDiskHits.Load())
 	e.Counter(promPrefix+"_registry_acquire_materializes_total", nil, m.registryAcquireMaterializes.Load())
+
+	// Disk-tier series are written unconditionally (zeros when pmsd runs
+	// memory-only) so dashboards keep a stable shape across deployments.
+	var st mapstore.Stats
+	if m.store != nil {
+		st = m.store.Stats()
+	}
+	e.Counter(promPrefix+"_store_hits_total", nil, st.Hits)
+	e.Counter(promPrefix+"_store_misses_total", nil, st.Misses)
+	e.Counter(promPrefix+"_store_spills_total", nil, st.Spills)
+	e.Counter(promPrefix+"_store_spill_drops_total", nil, st.SpillDrops)
+	e.Counter(promPrefix+"_store_corrupt_total", nil, st.Corrupt)
+	e.Counter(promPrefix+"_store_evictions_total", nil, st.Evictions)
+	e.GaugeInt(promPrefix+"_store_bytes", nil, st.Bytes)
+	e.GaugeInt(promPrefix+"_store_entries", nil, st.Entries)
+	e.HistogramData(promPrefix+"_store_load_ns", nil, st.LoadNSCount, st.LoadNSSum, st.LoadNSBuckets)
 
 	e.Counter(promPrefix+"_sim_batches_total", nil, m.simBatches.Load())
 	e.Counter(promPrefix+"_sim_requests_total", nil, m.simRequests.Load())

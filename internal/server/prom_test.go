@@ -167,6 +167,7 @@ var serverSeries = map[string]string{
 	"registry_evictions":            "pmsd_registry_evictions_total",
 	"registry_bytes":                "pmsd_registry_bytes",
 	"registry_acquire_hits":         "pmsd_registry_acquire_hits_total",
+	"registry_acquire_disk_hits":    "pmsd_registry_acquire_disk_hits_total",
 	"registry_acquire_materializes": "pmsd_registry_acquire_materializes_total",
 	"sim_batches":                   "pmsd_sim_batches_total",
 	"sim_requests":                  "pmsd_sim_requests_total",
@@ -181,6 +182,19 @@ var endpointSeries = map[string]string{
 	"errors_4xx": "pmsd_endpoint_errors_4xx_total",
 	"errors_5xx": "pmsd_endpoint_errors_5xx_total",
 	"latency_us": "pmsd_endpoint_latency_us_count",
+}
+
+// storeSeries maps StoreSnapshot fields to their series.
+var storeSeries = map[string]string{
+	"hits":        "pmsd_store_hits_total",
+	"misses":      "pmsd_store_misses_total",
+	"spills":      "pmsd_store_spills_total",
+	"spill_drops": "pmsd_store_spill_drops_total",
+	"corrupt":     "pmsd_store_corrupt_total",
+	"evictions":   "pmsd_store_evictions_total",
+	"bytes":       "pmsd_store_bytes",
+	"entries":     "pmsd_store_entries",
+	"load_ns":     "pmsd_store_load_ns_count",
 }
 
 // domainSeries maps DomainSnapshot fields to their series.
@@ -257,6 +271,12 @@ func TestExpositionCoversSnapshotFields(t *testing.T) {
 			for j := 0; j < dt.NumField(); j++ {
 				inner := jsonTag(dt.Field(j))
 				requireSeries("domain."+inner, domainSeries[inner])
+			}
+		case f.Type == reflect.TypeOf((*StoreSnapshot)(nil)):
+			st := reflect.TypeOf(StoreSnapshot{})
+			for j := 0; j < st.NumField(); j++ {
+				inner := jsonTag(st.Field(j))
+				requireSeries("store."+inner, storeSeries[inner])
 			}
 		default:
 			requireSeries(tag, serverSeries[tag])

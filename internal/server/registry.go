@@ -5,6 +5,13 @@
 // instead of duplicating it) and every later request is a shard-local map
 // hit. Least-recently-used entries are evicted when a shard exceeds its
 // slice of the byte budget.
+//
+// With a mapstore attached the registry becomes the memory tier of a
+// two-tier cache: eviction spills table-backed mappings to disk instead
+// of discarding them, and a miss consults the store (an mmap load plus
+// revalidation) before paying a materialization. The disk probe runs
+// inside the single-flight window — concurrent requests for the same key
+// wait on one load exactly as they wait on one build.
 package server
 
 import (
@@ -13,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/coloring"
+	"repro/internal/mapstore"
 )
 
 const registryShards = 8
@@ -23,6 +31,7 @@ type Registry struct {
 	seed           maphash.Seed
 	shards         [registryShards]registryShard
 	met            *Metrics
+	store          *mapstore.Store // nil without a disk tier
 }
 
 type registryShard struct {
@@ -58,6 +67,11 @@ func NewRegistry(budgetBytes int64, met *Metrics) *Registry {
 	}
 	return r
 }
+
+// AttachStore wires the disk tier under the registry. Call before
+// serving traffic; the registry takes no ownership (the server closes
+// the store at shutdown, after flushing resident entries into it).
+func (r *Registry) AttachStore(st *mapstore.Store) { r.store = st }
 
 func (r *Registry) shardFor(key string) *registryShard {
 	return &r.shards[maphash.String(r.seed, key)%registryShards]
@@ -103,10 +117,24 @@ func (r *Registry) AcquireInfo(spec MappingSpec) (m coloring.Mapping, hit bool, 
 	sh.mu.Unlock()
 	r.met.registryMisses.Add(1)
 
+	// Tier 2: the disk store. The probe (and on a hit, the mmap load and
+	// revalidation) runs inside the single-flight window opened by the
+	// placeholder above, so concurrent requests for this key wait on one
+	// load. A disk hit is attributed separately from memory hits and from
+	// materializations — it pays I/O latency, not build latency.
+	if r.store != nil {
+		if m, ok := r.store.Get(key); ok {
+			victims := r.commitLocked(sh, e, m, sizeOf(m))
+			r.met.registryAcquireDiskHits.Add(1)
+			r.spill(victims)
+			return m, false, nil
+		}
+	}
+
 	m, bytes, err := spec.build()
 
-	sh.mu.Lock()
 	if err != nil {
+		sh.mu.Lock()
 		// Build errors are not cached: remove the placeholder so a later
 		// request can retry (e.g. after a transient resource condition).
 		delete(sh.items, key)
@@ -116,19 +144,104 @@ func (r *Registry) AcquireInfo(spec MappingSpec) (m coloring.Mapping, hit bool, 
 		close(e.ready)
 		return nil, false, err
 	}
+	victims := r.commitLocked(sh, e, m, bytes)
+	r.met.registryAcquireMaterializes.Add(1)
+	r.spill(victims)
+	return m, false, nil
+}
+
+// commitLocked finishes a placeholder entry with its mapping, charges
+// the shard, runs eviction, releases waiters, and returns the evicted
+// entries for the caller to spill outside the shard lock.
+func (r *Registry) commitLocked(sh *registryShard, e *regEntry, m coloring.Mapping, bytes int64) []*regEntry {
+	sh.mu.Lock()
 	e.m, e.bytes = m, bytes
 	sh.bytes += bytes
 	r.met.registryBytes.Add(bytes)
-	r.evictLocked(sh, e)
+	victims := r.evictLocked(sh, e)
 	sh.mu.Unlock()
 	close(e.ready)
-	r.met.registryAcquireMaterializes.Add(1)
-	return m, false, nil
+	return victims
+}
+
+// spill hands evicted mappings to the disk tier. PutAsync never blocks
+// (a full spill queue drops and counts), so eviction latency stays off
+// the request path.
+func (r *Registry) spill(victims []*regEntry) {
+	if r.store == nil {
+		return
+	}
+	for _, v := range victims {
+		r.store.PutAsync(v.key, v.m)
+	}
+}
+
+// Preadmit warm-starts one key: the mapping is loaded from the attached
+// store and inserted as a finished entry, so the first real request is a
+// memory hit, not a materialization. Reports whether the key is resident
+// afterwards.
+func (r *Registry) Preadmit(key string) bool {
+	if r.store == nil {
+		return false
+	}
+	sh := r.shardFor(key)
+	sh.mu.Lock()
+	_, resident := sh.items[key]
+	sh.mu.Unlock()
+	if resident {
+		return true
+	}
+	m, ok := r.store.Get(key)
+	if !ok {
+		return false
+	}
+	sh.mu.Lock()
+	if _, raced := sh.items[key]; raced {
+		sh.mu.Unlock()
+		return true
+	}
+	e := &regEntry{key: key, ready: make(chan struct{})}
+	e.elem = sh.lru.PushFront(e)
+	sh.items[key] = e
+	sh.mu.Unlock()
+	victims := r.commitLocked(sh, e, m, sizeOf(m))
+	r.spill(victims)
+	return true
+}
+
+// FlushToStore synchronously spills every finished resident mapping with
+// a disk codec, so a graceful shutdown persists the memory tier for the
+// next process's warm start. Returns the number of spilled entries.
+func (r *Registry) FlushToStore() int {
+	if r.store == nil {
+		return 0
+	}
+	flushed := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		done := make([]*regEntry, 0, len(sh.items))
+		for _, e := range sh.items {
+			if e.done() && e.err == nil {
+				done = append(done, e)
+			}
+		}
+		sh.mu.Unlock()
+		for _, e := range done {
+			if mapstore.CanStore(e.m) && r.store.Put(e.key, e.m) == nil {
+				flushed++
+			}
+		}
+	}
+	return flushed
 }
 
 // evictLocked drops LRU-tail entries until the shard fits its budget,
 // skipping the just-finished entry keep and any build still in flight.
-func (r *Registry) evictLocked(sh *registryShard, keep *regEntry) {
+// The evicted entries are returned so the caller can spill them to the
+// disk tier after releasing the shard lock.
+func (r *Registry) evictLocked(sh *registryShard, keep *regEntry) []*regEntry {
+	var victims []*regEntry
 	for sh.bytes > r.perShardBudget {
 		el := sh.lru.Back()
 		evicted := false
@@ -141,15 +254,17 @@ func (r *Registry) evictLocked(sh *registryShard, keep *regEntry) {
 				sh.bytes -= v.bytes
 				r.met.registryBytes.Add(-v.bytes)
 				r.met.registryEvictions.Add(1)
+				victims = append(victims, v)
 				evicted = true
 				break
 			}
 			el = prev
 		}
 		if !evicted {
-			return // only keep and in-flight builds remain
+			return victims // only keep and in-flight builds remain
 		}
 	}
+	return victims
 }
 
 // done reports whether the entry's build has finished.

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/coloring"
+	"repro/internal/mapstore"
 	dm "repro/internal/metrics"
 	"repro/internal/obsv"
 	"repro/internal/pms"
@@ -93,6 +94,12 @@ type Config struct {
 	// benchmarking only (-retrieval-bench uses it to price the kernels);
 	// leave false in production.
 	DisableBatchKernel bool
+	// Store, when set, is the disk tier under the mapping registry:
+	// evicted table-backed mappings spill into it, registry misses probe
+	// it (mmap load) before materializing, and Shutdown flushes resident
+	// mappings into it for the next process's warm start. The server
+	// takes ownership and closes it during Shutdown.
+	Store *mapstore.Store
 	// Middleware, when set, wraps the route mux on the listener path
 	// (Start / the http.Server built by New). The fault-injection harness
 	// hooks in here; Handler() itself stays unwrapped so tests can reach
@@ -178,6 +185,10 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	met := &Metrics{}
 	reg := NewRegistry(cfg.CacheBudgetBytes, met)
+	if cfg.Store != nil {
+		reg.AttachStore(cfg.Store)
+		met.store = cfg.Store
+	}
 	// Queue depth equals the admission limit: every admitted request maps
 	// to at most one queued unit, so admission is the only shed point.
 	p := newPool(cfg.Workers, cfg.MaxInflight, cfg.WorkerDelay, cfg.workerHook)
@@ -254,7 +265,10 @@ func (s *Server) Addr() string {
 
 // Shutdown drains gracefully: new requests are refused with 503, armed
 // batches are flushed, in-flight handlers run to completion (bounded by
-// ctx), and only then do the workers exit.
+// ctx), and only then do the workers exit. With a store attached, the
+// resident memory tier is then flushed to disk (persisting the warm set)
+// and the store closed — strictly after the workers, because mmap-backed
+// mappings are invalid once the store unmaps its regions.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.coal.shutdown()
@@ -266,7 +280,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		time.Sleep(100 * time.Microsecond)
 	}
 	s.pool.close()
+	if s.cfg.Store != nil {
+		s.reg.FlushToStore()
+		if cerr := s.cfg.Store.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
+}
+
+// WarmStart pre-admits up to n of the store's hottest mappings into the
+// registry, so the first requests after a restart are memory hits
+// instead of materializations. Returns how many keys were admitted.
+func (s *Server) WarmStart(n int) int {
+	if s.cfg.Store == nil || n <= 0 {
+		return 0
+	}
+	admitted := 0
+	for _, key := range s.cfg.Store.Hottest(n) {
+		if s.reg.Preadmit(key) {
+			admitted++
+		}
+	}
+	return admitted
 }
 
 // statusWriter records the status for per-endpoint error accounting and,

@@ -1,0 +1,248 @@
+// The store benchmark: prices the disk tier against rematerialization.
+// Phase one measures, per spec, a cold acquire (fresh registry, no store
+// — the full table build) against a warm acquire (fresh registry over a
+// store already holding the spec — an mmap load plus revalidation),
+// min-of-reps on both sides. The headline spec is the largest COLOR
+// retriever the registry admits (H=40, m=5: a 2^20-entry table whose
+// build walks a Σ/Γ chain per slot), where the paper's
+// expensive-to-build / cheap-to-reuse asymmetry is widest. Phase two
+// drives a Zipf-skewed spec mix through a deliberately tiny memory tier
+// so the registry constantly evicts and re-admits, and reports how much
+// of that traffic the two cache tiers absorbed.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/mapstore"
+)
+
+// StoreBenchConfig parameterizes one store benchmark run.
+type StoreBenchConfig struct {
+	// Dir is the benchmark's store directory; empty means a temp dir
+	// removed when the run finishes.
+	Dir string
+	// Levels is the tree height of the non-headline cold/warm specs
+	// (default 20); the headline COLOR spec is always H=40, m=5.
+	Levels int
+	// Reps is the min-of-reps repetition count per measurement (default 5).
+	Reps int
+	// MixSpecs is the spec-universe size of the Zipf phase (default 48).
+	MixSpecs int
+	// MixRequests is how many acquires the Zipf phase issues (default 4000).
+	MixRequests int
+	// MixCacheBytes is the memory-tier budget of the Zipf phase (default
+	// 512 KiB — roughly one resident entry per registry shard, so the
+	// disk tier does real work).
+	MixCacheBytes int64
+	// Seed seeds the Zipf draw.
+	Seed int64
+}
+
+func (c StoreBenchConfig) withDefaults() StoreBenchConfig {
+	if c.Levels <= 0 {
+		c.Levels = 20
+	}
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.MixSpecs <= 0 {
+		c.MixSpecs = 48
+	}
+	if c.MixRequests <= 0 {
+		c.MixRequests = 4000
+	}
+	if c.MixCacheBytes <= 0 {
+		c.MixCacheBytes = 512 << 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// storeBenchSpecs are the cold/warm specs: the headline large-H COLOR
+// table first, then one of each storable kind at the configured height.
+func storeBenchSpecs(levels int) []MappingSpec {
+	rnd := levels
+	if rnd > maxRandomLevels {
+		rnd = maxRandomLevels
+	}
+	return []MappingSpec{
+		{Alg: "color", Levels: 40, M: 5},
+		{Alg: "color", Levels: levels, M: 4},
+		{Alg: "labeltree", Levels: levels, Modules: 1024, Policy: "balanced"},
+		{Alg: "random", Levels: rnd, Modules: 1021, Seed: 7},
+	}
+}
+
+// StoreBenchSpecResult is one cold-vs-warm comparison.
+type StoreBenchSpecResult struct {
+	Mapping MappingSpec `json:"mapping"`
+	Key     string      `json:"key"`
+	// EntryBytes is the on-disk artifact size (header + aligned payload).
+	EntryBytes int64 `json:"entry_bytes"`
+	// ColdNS is the best-of-reps fresh materialization through the
+	// registry; WarmNS is the best-of-reps disk-tier acquire through a
+	// fresh registry and freshly opened store.
+	ColdNS  int64   `json:"cold_ns"`
+	WarmNS  int64   `json:"warm_ns"`
+	Speedup float64 `json:"speedup"` // cold / warm
+}
+
+// StoreBenchMixResult is the Zipf-mix tiering outcome.
+type StoreBenchMixResult struct {
+	Specs    int `json:"specs"`
+	Requests int `json:"requests"`
+	// Acquire attribution over the run: memory hits answered by the
+	// resident tier, disk hits by the store, materializations by a build.
+	MemoryHits   int64 `json:"memory_hits"`
+	DiskHits     int64 `json:"disk_hits"`
+	Materializes int64 `json:"materializes"`
+	// TierHitRatio is (memory + disk hits) / acquires — the fraction of
+	// traffic the two cache tiers absorbed.
+	TierHitRatio float64       `json:"tier_hit_ratio"`
+	Store        StoreSnapshot `json:"store"`
+}
+
+// StoreBenchReport is the BENCH_pr7.json document.
+type StoreBenchReport struct {
+	ColdWarm []StoreBenchSpecResult `json:"cold_warm"`
+	Mix      StoreBenchMixResult    `json:"mix"`
+}
+
+// benchColdWarm measures one spec. The cold side rebuilds through a
+// fresh registry each rep; the warm side reopens the store each rep so
+// the decoded-entry cache never short-circuits the disk load (the OS
+// page cache stays warm, as it would across a real restart).
+func benchColdWarm(dir string, sp MappingSpec, reps int) (StoreBenchSpecResult, error) {
+	res := StoreBenchSpecResult{Mapping: sp, Key: sp.Key()}
+	var cold coloring.Mapping
+	for rep := 0; rep < reps; rep++ {
+		reg := NewRegistry(1<<30, &Metrics{})
+		start := time.Now()
+		m, err := reg.Acquire(sp)
+		d := time.Since(start).Nanoseconds()
+		if err != nil {
+			return res, fmt.Errorf("cold acquire %s: %w", res.Key, err)
+		}
+		if rep == 0 || d < res.ColdNS {
+			res.ColdNS = d
+		}
+		cold = m
+	}
+
+	// Seed the store with the artifact once, synchronously.
+	st, err := mapstore.Open(mapstore.Options{Dir: dir})
+	if err != nil {
+		return res, err
+	}
+	if err := st.Put(res.Key, cold); err != nil {
+		st.Close()
+		return res, fmt.Errorf("spill %s: %w", res.Key, err)
+	}
+	res.EntryBytes = st.Stats().Bytes
+	if err := st.Close(); err != nil {
+		return res, err
+	}
+
+	for rep := 0; rep < reps; rep++ {
+		st, err := mapstore.Open(mapstore.Options{Dir: dir})
+		if err != nil {
+			return res, err
+		}
+		met := &Metrics{}
+		reg := NewRegistry(1<<30, met)
+		reg.AttachStore(st)
+		start := time.Now()
+		if _, err := reg.Acquire(sp); err != nil {
+			st.Close()
+			return res, fmt.Errorf("warm acquire %s: %w", res.Key, err)
+		}
+		d := time.Since(start).Nanoseconds()
+		if got := met.registryAcquireDiskHits.Load(); got != 1 {
+			st.Close()
+			return res, fmt.Errorf("warm acquire %s was not a disk hit (disk_hits=%d)", res.Key, got)
+		}
+		if rep == 0 || d < res.WarmNS {
+			res.WarmNS = d
+		}
+		if err := st.Close(); err != nil {
+			return res, err
+		}
+	}
+	if res.WarmNS > 0 {
+		res.Speedup = float64(res.ColdNS) / float64(res.WarmNS)
+	}
+	return res, nil
+}
+
+// runStoreMix drives the Zipf spec mix through a tiny memory tier over
+// the store and attributes every acquire.
+func runStoreMix(dir string, cfg StoreBenchConfig) (StoreBenchMixResult, error) {
+	res := StoreBenchMixResult{Specs: cfg.MixSpecs, Requests: cfg.MixRequests}
+	st, err := mapstore.Open(mapstore.Options{Dir: dir, SpillQueue: 1024})
+	if err != nil {
+		return res, err
+	}
+	met := &Metrics{}
+	met.store = st
+	reg := NewRegistry(cfg.MixCacheBytes, met)
+	reg.AttachStore(st)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(cfg.MixSpecs-1))
+	for i := 0; i < cfg.MixRequests; i++ {
+		sp := MappingSpec{Alg: "random", Levels: 14, Modules: 257, Seed: int64(zipf.Uint64()) + 1}
+		if _, err := reg.Acquire(sp); err != nil {
+			st.Close()
+			return res, fmt.Errorf("mix acquire %s: %w", sp.Key(), err)
+		}
+	}
+
+	res.MemoryHits = met.registryAcquireHits.Load()
+	res.DiskHits = met.registryAcquireDiskHits.Load()
+	res.Materializes = met.registryAcquireMaterializes.Load()
+	if total := res.MemoryHits + res.DiskHits + res.Materializes; total > 0 {
+		res.TierHitRatio = float64(res.MemoryHits+res.DiskHits) / float64(total)
+	}
+	res.Store = storeSnapshot(st.Stats())
+	return res, st.Close()
+}
+
+// RunStoreBench executes the full benchmark: the cold/warm sweep, then
+// the Zipf tiering mix, each spec in its own store directory.
+func RunStoreBench(cfg StoreBenchConfig) (StoreBenchReport, error) {
+	cfg = cfg.withDefaults()
+	var rep StoreBenchReport
+	dir := cfg.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "pmsd-storebench")
+		if err != nil {
+			return rep, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	for i, sp := range storeBenchSpecs(cfg.Levels) {
+		if err := sp.Validate(); err != nil {
+			return rep, fmt.Errorf("bench spec %s: %w", sp.Key(), err)
+		}
+		res, err := benchColdWarm(filepath.Join(dir, fmt.Sprintf("coldwarm-%d", i)), sp, cfg.Reps)
+		if err != nil {
+			return rep, err
+		}
+		rep.ColdWarm = append(rep.ColdWarm, res)
+	}
+	mix, err := runStoreMix(filepath.Join(dir, "mix"), cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Mix = mix
+	return rep, nil
+}

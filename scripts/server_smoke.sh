@@ -11,7 +11,11 @@
 #      requests;
 #   3. a saturating burst must shed load with 429s while the admitted
 #      requests still complete with 200;
-#   4. SIGTERM drains gracefully and the process exits 0.
+#   4. SIGTERM drains gracefully and the process exits 0;
+#   5. a second pmsd with -store-dir serves traffic, drains on SIGTERM
+#      (persisting its memory tier to the store), and a relaunch over the
+#      same directory warm-starts: the pre-warmed spec is served without
+#      a single rematerialization and the bound monitor stays at zero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -134,5 +138,59 @@ if ! wait "$SERVER_PID"; then
     fail "pmsd exited non-zero on SIGTERM"
 fi
 grep -q "pmsd stopped" "$WORKDIR/pmsd.log" || fail "no graceful-stop log line"
+
+echo "== tiered store: cold run"
+# A fresh pmsd with a disk tier: serve one table-backed spec, then drain.
+# The graceful shutdown must flush the resident memory tier into the
+# store so the next process can warm-start from it.
+STOREDIR="$WORKDIR/store"
+"$WORKDIR/pmsd" -addr 127.0.0.1:0 -store-dir "$STOREDIR" \
+    >"$WORKDIR/pmsd-store1.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*pmsd listening on \([0-9.:]*\).*/\1/p' "$WORKDIR/pmsd-store1.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "${ADDR:-}" ] || fail "store-backed pmsd never reported its listen address: $(cat "$WORKDIR/pmsd-store1.log")"
+BASE="http://$ADDR"
+body=$(curl -s -X POST "$BASE/v1/color" -d '{"mapping":'"$MAPPING"',"node":{"index":5,"level":3}}')
+echo "$body" | grep -q '"colors":\[' || fail "store-backed color reply malformed: $body"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "store-backed pmsd exited non-zero on SIGTERM"
+[ -f "$STOREDIR/MANIFEST" ] || fail "store drain left no manifest in $STOREDIR"
+ls "$STOREDIR"/*.pme >/dev/null 2>&1 || fail "store drain left no entries in $STOREDIR"
+
+echo "== tiered store: warm restart"
+# Relaunch over the same directory: the hot spec must be pre-admitted
+# from the manifest and served without a single rematerialization.
+"$WORKDIR/pmsd" -addr 127.0.0.1:0 -store-dir "$STOREDIR" -store-warm 16 \
+    >"$WORKDIR/pmsd-store2.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*pmsd listening on \([0-9.:]*\).*/\1/p' "$WORKDIR/pmsd-store2.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "${ADDR:-}" ] || fail "warm pmsd never reported its listen address: $(cat "$WORKDIR/pmsd-store2.log")"
+BASE="http://$ADDR"
+grep -q "warm start" "$WORKDIR/pmsd-store2.log" || fail "no warm-start log line: $(cat "$WORKDIR/pmsd-store2.log")"
+body=$(curl -s -X POST "$BASE/v1/color" -d '{"mapping":'"$MAPPING"',"node":{"index":5,"level":3}}')
+echo "$body" | grep -q '"colors":\[' || fail "warm color reply malformed: $body"
+body=$(curl -s -X POST "$BASE/v1/template-cost" \
+    -d '{"mapping":'"$MAPPING"',"kind":"P","size":6,"anchor":{"index":100,"level":9}}')
+echo "$body" | grep -q '"conflicts":' || fail "warm template-cost reply malformed: $body"
+VARS=$(curl -s "$BASE/debug/vars")
+mat=$(echo "$VARS" | grep -o '"registry_acquire_materializes":[0-9]*' | cut -d: -f2)
+[ "${mat:-1}" = 0 ] || fail "warm restart paid $mat rematerializations: $VARS"
+hits=$(echo "$VARS" | grep -o '"registry_acquire_hits":[0-9]*' | cut -d: -f2)
+[ "${hits:-0}" -gt 0 ] || fail "warm restart served no memory hits: $VARS"
+METRICS=$(curl -s "$BASE/metrics")
+echo "$METRICS" | grep -q '^pmsd_store_entries ' || fail "no pmsd_store_* series in /metrics: $METRICS"
+echo "$METRICS" | grep -q '^pmsd_store_corrupt_total 0$' || fail "store reports corrupt entries: $METRICS"
+echo "$METRICS" | grep -q '^pmsd_bound_violations_total 0$' || fail "bound monitor not at zero violations after warm restart: $METRICS"
+echo "   warm restart: materializes=0 acquire_hits=$hits"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "warm pmsd exited non-zero on SIGTERM"
 
 echo "server-smoke: OK"
