@@ -12,12 +12,13 @@
 #   make bench-metrics  rewrite BENCH_pr5.json from a pmsd -metrics-bench run
 #   make bench-retrieval rewrite BENCH_pr6.json from a pmsd -retrieval-bench run
 #   make bench-store    rewrite BENCH_pr7.json from a pmsd -store-bench run
+#   make bench-replay   rewrite BENCH_pr8.json from a pmsd -replay-bench run
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics bench-retrieval bench-store
+.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics bench-retrieval bench-store bench-replay
 
-check: vet race bench-smoke server-smoke fuzz-smoke
+check: vet race bench-smoke server-smoke fuzz-smoke bench-replay
 
 vet:
 	$(GO) vet ./...
@@ -95,3 +96,12 @@ bench-retrieval:
 # claim under test: >=5x faster warm acquire for the large-H spec.
 bench-store:
 	$(GO) run ./cmd/pmsd -store-bench -bench-out $(CURDIR)/BENCH_pr7.json
+
+# Record/replay determinism snapshot: a Zipf-skewed multi-tenant mixed
+# workload (color / template-cost / range / heap endpoints) is recorded
+# through the trace middleware, then replayed twice against fresh
+# deterministic servers. The claims under test: bit-identical response
+# digests across the two replays, and zero theorem-bound violations.
+bench-replay:
+	$(GO) run ./cmd/pmsd -replay-bench -requests 4000 -clients 16 -tenants 8 \
+	    -levels 14 -bench-out $(CURDIR)/BENCH_pr8.json

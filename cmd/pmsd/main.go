@@ -73,6 +73,20 @@
 // through a deliberately tiny memory tier:
 //
 //	pmsd -store-bench -bench-out BENCH_pr7.json
+//
+// Trace record/replay: -record FILE captures every mutating request
+// (method, path, tenant, body) into a checksummed PMSTRC1 trace file on
+// shutdown; -replay FILE replays a trace sequentially against a fresh
+// in-process deterministic server (coalescing and trace sampling off)
+// and prints the response digest — the same trace always yields the
+// same digest. Replay-bench mode records a Zipf-skewed multi-tenant
+// mixed workload (color / template-cost / range / heap endpoints),
+// replays it twice and verifies the digests match bit for bit with the
+// theorem-bound monitor at zero violations:
+//
+//	pmsd -addr :8080 -record /tmp/run.pmstrc
+//	pmsd -replay /tmp/run.pmstrc
+//	pmsd -replay-bench -requests 4000 -tenants 8 -bench-out BENCH_pr8.json
 package main
 
 import (
@@ -86,9 +100,12 @@ import (
 	"syscall"
 	"time"
 
+	"net/http"
+
 	"repro/internal/client"
 	"repro/internal/faultinject"
 	"repro/internal/mapstore"
+	"repro/internal/replay"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -140,6 +157,13 @@ func main() {
 	chaosDrip := flag.Float64("chaos-drip", 0, "chaos: per-request slow-body-drip probability")
 	chaosPartial := flag.Float64("chaos-partial", 0, "chaos: per-request partial-body probability")
 	hedgeDelay := flag.Duration("hedge-delay", 5*time.Millisecond, "chaos-bench: hedged-read delay for the hedged run")
+
+	recordFile := flag.String("record", "", "serve mode: record mutating requests into this PMSTRC1 trace file on shutdown")
+	replayFile := flag.String("replay", "", "replay a PMSTRC1 trace against a fresh deterministic in-process server, print the digest, exit")
+	replayBench := flag.Bool("replay-bench", false, "record a Zipf multi-tenant mixed workload, replay it twice, verify determinism")
+	tenants := flag.Int("tenants", 8, "loadgen/replay-bench: tenant population for Zipf-skewed X-Tenant traffic (0 disables)")
+	tenantMaxInflight := flag.Int("tenant-max-inflight", 0, "per-tenant admitted-request cap (0 = the global limit, i.e. fairness off)")
+	maxTenants := flag.Int("max-tenants", 64, "bounded per-tenant accounting table size (overflow lands in the 'other' bucket)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -221,6 +245,9 @@ func main() {
 		TraceSampleRate:  *traceSample,
 		TraceSlowest:     *traceSlowest,
 
+		TenantMaxInflight: *tenantMaxInflight,
+		MaxTenants:        *maxTenants,
+
 		DisableDomainMetrics: *noDomainMetrics,
 		DisableBatchKernel:   *disableKernel,
 	}
@@ -229,6 +256,68 @@ func main() {
 	}
 	if *traceSample == 0 {
 		cfg.TraceSampleRate = -1 // same idiom: 0 means "default" to Config
+	}
+
+	if *tenants < 0 {
+		fail("-tenants must be non-negative, got %d", *tenants)
+	}
+	if *tenantMaxInflight < 0 {
+		fail("-tenant-max-inflight must be non-negative, got %d", *tenantMaxInflight)
+	}
+	if *maxTenants < 1 {
+		fail("-max-tenants must be at least 1, got %d", *maxTenants)
+	}
+
+	if *replayFile != "" {
+		tr0 := time.Now()
+		res, checks, violations, err := server.ReplayFile(cfg, *replayFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replayed %d requests in %.3fs\n", res.Requests, time.Since(tr0).Seconds())
+		for status, n := range res.StatusCounts {
+			fmt.Printf("  status %d: %d\n", status, n)
+		}
+		fmt.Printf("digest: %s\n", res.Digest)
+		fmt.Printf("bound checks %d, violations %d\n", checks, violations)
+		if violations != 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *replayBench {
+		res, err := server.RunReplayBench(server.ReplayBenchConfig{
+			Load: server.LoadGenConfig{
+				Mapping:  server.MappingSpec{Alg: "color", Levels: *levels, M: *mExp},
+				Clients:  *clients,
+				Requests: *requests,
+				Seed:     *seed,
+				Tenants:  *tenants,
+				Server:   cfg,
+			},
+			TracePath: *recordFile,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d requests (%d dropped, %d bytes on the wire, %d tenants, live %.0f req/s)\n",
+			res.Recorded, res.Dropped, res.TraceBytes, res.Tenants, res.RecordRPS)
+		fmt.Printf("replayed %d requests twice: deterministic=%v (%.0f req/s)\n",
+			res.ReplayRequests, res.Deterministic, res.ReplayRPS)
+		fmt.Printf("digest: %s\n", res.Digest)
+		fmt.Printf("bound checks %d, violations %d\n", res.BoundChecks, res.BoundViolations)
+		if *benchOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("snapshot written to %s\n", *benchOut)
+		}
+		return
 	}
 
 	if *chaosBench {
@@ -465,6 +554,20 @@ func main() {
 		cfg.Middleware = inj.Middleware
 		log.Printf("pmsd CHAOS MODE: %s", inj)
 	}
+	var rec *replay.Recorder
+	if *recordFile != "" {
+		rec = replay.NewRecorder(replay.RecorderConfig{Seed: *seed})
+		// The recorder wraps outermost so the trace captures every offered
+		// request — including ones chaos or admission later refuses.
+		inner := cfg.Middleware
+		cfg.Middleware = func(next http.Handler) http.Handler {
+			if inner != nil {
+				next = inner(next)
+			}
+			return rec.Middleware(next)
+		}
+		log.Printf("pmsd recording mutating requests to %s", *recordFile)
+	}
 	if *storeDir != "" {
 		st, err := mapstore.Open(mapstore.Options{
 			Dir:         *storeDir,
@@ -496,6 +599,14 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Fatalf("shutdown: %v", err)
+	}
+	if rec != nil {
+		stats := rec.Stats()
+		trace := rec.Close()
+		if err := trace.Save(*recordFile); err != nil {
+			log.Fatalf("saving trace: %v", err)
+		}
+		log.Printf("pmsd trace saved to %s (%d recorded, %d dropped)", *recordFile, stats.Recorded, stats.Dropped)
 	}
 	log.Printf("pmsd stopped")
 }

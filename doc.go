@@ -19,7 +19,12 @@
 // and EXPERIMENTS.md E21). internal/mapstore is the disk tier under the
 // serving registry — checksummed block-aligned mapping artifacts,
 // mmap'd warm starts, crash-safe spills (pmsd -store-dir; see README
-// "Tiered storage" and EXPERIMENTS.md E22). DESIGN.md maps every paper result to the
+// "Tiered storage" and EXPERIMENTS.md E22). The workload scenario layer
+// serves the paper's applications end to end — /v1/heap/* and /v1/range
+// with per-tenant admission — and internal/replay records live traffic
+// into checksummed PMSTRC1 traces that replay deterministically
+// (pmsd -record / -replay / -replay-bench; see README "Workloads" and
+// EXPERIMENTS.md E23). DESIGN.md maps every paper result to the
 // module and experiment that reproduces it; EXPERIMENTS.md records
 // claimed-versus-measured numbers.
 package repro

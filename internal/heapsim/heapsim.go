@@ -24,7 +24,17 @@ type Heap struct {
 	t    tree.Tree
 	keys []int64 // keys[h] for heap index h; only [0,size) valid
 	size int64
+	obs  PathObserver
 }
+
+// PathObserver sees every P-template path charge: the number of nodes
+// in the path and the cycles the memory system spent serving it. The
+// server uses it to feed per-family domain accounting and theorem-bound
+// checks without heapsim depending on the metrics layer.
+type PathObserver func(pathLen int, cycles int64)
+
+// SetObserver installs a path-charge observer (nil to remove).
+func (h *Heap) SetObserver(obs PathObserver) { h.obs = obs }
 
 // New builds an empty heap over the mapping's tree, accounting memory
 // traffic against sys.
@@ -52,7 +62,12 @@ func (h *Heap) pathNodes(idx int64) []tree.Node {
 // chargePath submits the path from slot idx to the root as one parallel
 // batch and drains it, returning the cycles consumed.
 func (h *Heap) chargePath(idx int64) int64 {
-	return h.sys.SubmitDrain(h.pathNodes(idx))
+	nodes := h.pathNodes(idx)
+	cycles := h.sys.SubmitDrain(nodes)
+	if h.obs != nil {
+		h.obs(len(nodes), cycles)
+	}
+	return cycles
 }
 
 // Insert adds a key, returning the memory cycles charged, or an error if
@@ -198,6 +213,7 @@ func (h *Heap) Verify() error {
 type WorkloadResult struct {
 	Ops         int
 	TotalCycles int64
+	FinalLen    int64 // keys left in the heap after the sequence
 	Stats       pms.Stats
 }
 
@@ -230,7 +246,14 @@ const (
 // that are inapplicable (delete on empty, insert on full), and returns the
 // aggregate memory cost.
 func Run(sys *pms.System, ops []Op) (WorkloadResult, error) {
+	return RunObserved(sys, ops, nil)
+}
+
+// RunObserved is Run with a path-charge observer installed for the whole
+// sequence (nil behaves exactly like Run).
+func RunObserved(sys *pms.System, ops []Op, obs PathObserver) (WorkloadResult, error) {
 	h := New(sys)
+	h.SetObserver(obs)
 	var res WorkloadResult
 	for _, op := range ops {
 		var cycles int64
@@ -264,6 +287,7 @@ func Run(sys *pms.System, ops []Op) (WorkloadResult, error) {
 		res.Ops++
 		res.TotalCycles += cycles
 	}
+	res.FinalLen = h.Len()
 	res.Stats = sys.Stats()
 	return res, h.Verify()
 }

@@ -1,0 +1,89 @@
+// Package proptest is a minimal gopter-style shrinking harness for the
+// theorem property sweeps. A property sweep that finds a failing
+// witness (an (m, H, template) point violating a bound) should not
+// report the first counterexample it stumbled on — large witnesses bury
+// the actual defect. Minimize greedily descends through caller-supplied
+// shrink candidates until no smaller value still fails, and reports the
+// minimal witness alongside the original and the number of shrink steps
+// taken, mirroring gopter's "ORIGINAL (n shrinks)" output.
+//
+// The harness is deliberately tiny: no generators, no run loops — the
+// existing grid sweeps already enumerate the space deterministically.
+// Only the shrinking half of property-based testing is reproduced here.
+package proptest
+
+// Failure reports a minimized counterexample.
+type Failure[T any] struct {
+	// Original is the witness the sweep first found.
+	Original T
+	// Minimal is the smallest witness that still fails.
+	Minimal T
+	// Label is the failure label of the minimal witness (the property's
+	// explanation of what went wrong there).
+	Label string
+	// Shrinks is the number of accepted shrink steps from Original to
+	// Minimal.
+	Shrinks int
+}
+
+// maxShrinkSteps bounds the greedy descent so a pathological candidate
+// function (one that regrows its input) cannot loop forever.
+const maxShrinkSteps = 10000
+
+// Minimize shrinks a failing witness. fails reports whether a value
+// violates the property (and with what label); candidates proposes
+// strictly "smaller" variants of a value, tried in order. Starting from
+// a failing v, Minimize repeatedly moves to the first candidate that
+// still fails, until none does or the step cap is hit.
+//
+// The caller guarantees fails(v) is true on entry; Minimize re-checks
+// and panics otherwise, since shrinking a passing value is a harness
+// bug, not a property failure.
+func Minimize[T any](v T, fails func(T) (label string, failed bool), candidates func(T) []T) Failure[T] {
+	label, failed := fails(v)
+	if !failed {
+		panic("proptest: Minimize called with a passing witness")
+	}
+	f := Failure[T]{Original: v, Minimal: v, Label: label}
+	for f.Shrinks < maxShrinkSteps {
+		advanced := false
+		for _, c := range candidates(f.Minimal) {
+			if l, bad := fails(c); bad {
+				f.Minimal, f.Label = c, l
+				f.Shrinks++
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return f
+		}
+	}
+	return f
+}
+
+// ShrinkInt proposes smaller candidates for an integer witness
+// component, holding low as the floor: the floor itself, then halvings
+// toward it, then the predecessor. This is the standard integer shrink
+// ladder (try the smallest value first so one accepted step can jump
+// most of the distance).
+func ShrinkInt(v, low int) []int {
+	if v <= low {
+		return nil
+	}
+	var out []int
+	seen := map[int]bool{v: true}
+	add := func(c int) {
+		if c >= low && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	add(low)
+	// Halve the distance to the floor repeatedly: low + (v-low)/2, ...
+	for d := (v - low) / 2; d > 0; d /= 2 {
+		add(low + d)
+	}
+	add(v - 1)
+	return out
+}

@@ -1,0 +1,117 @@
+package proptest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMinimizeFindsMinimalInt mirrors the classic gopter falsification
+// demo: the property "v < 100" fails for v >= 100, and shrinking any
+// large failing witness must land exactly on 100.
+func TestMinimizeFindsMinimalInt(t *testing.T) {
+	fails := func(v int) (string, bool) {
+		if v >= 100 {
+			return fmt.Sprintf("v=%d breaches the < 100 bound", v), true
+		}
+		return "", false
+	}
+	cands := func(v int) []int { return ShrinkInt(v, 0) }
+
+	for _, start := range []int{100, 101, 1000, 1 << 20} {
+		f := Minimize(start, fails, cands)
+		if f.Minimal != 100 {
+			t.Errorf("Minimize(%d) = %d, want minimal witness 100", start, f.Minimal)
+		}
+		if f.Original != start {
+			t.Errorf("Minimize(%d) lost the original witness: %d", start, f.Original)
+		}
+		if f.Label == "" {
+			t.Errorf("Minimize(%d) returned no label", start)
+		}
+		if start > 100 && f.Shrinks == 0 {
+			t.Errorf("Minimize(%d) reported 0 shrinks for a shrinkable witness", start)
+		}
+		if start == 100 && f.Shrinks != 0 {
+			t.Errorf("Minimize(100) shrank an already-minimal witness %d times", f.Shrinks)
+		}
+	}
+}
+
+// TestMinimizeMultiDimensional shrinks a two-field witness (the shape
+// of the theorem sweeps' (m, H) grid points): the property fails when
+// both fields are at least their threshold, and the minimal witness is
+// the corner (3, 8) regardless of the starting point.
+func TestMinimizeMultiDimensional(t *testing.T) {
+	type point struct{ m, h int }
+	fails := func(p point) (string, bool) {
+		if p.m >= 3 && p.h >= 8 {
+			return fmt.Sprintf("m=%d H=%d", p.m, p.h), true
+		}
+		return "", false
+	}
+	cands := func(p point) []point {
+		var out []point
+		for _, m := range ShrinkInt(p.m, 2) {
+			out = append(out, point{m, p.h})
+		}
+		for _, h := range ShrinkInt(p.h, 1) {
+			out = append(out, point{p.m, h})
+		}
+		return out
+	}
+	f := Minimize(point{7, 1024}, fails, cands)
+	if f.Minimal != (point{3, 8}) {
+		t.Fatalf("minimal witness = %+v, want {3 8}", f.Minimal)
+	}
+	if f.Label != "m=3 H=8" {
+		t.Fatalf("label = %q, want the minimal witness's label", f.Label)
+	}
+	if f.Shrinks == 0 {
+		t.Fatal("no shrink steps recorded")
+	}
+}
+
+// TestMinimizeBoundedSteps proves the step cap halts a candidate
+// function that keeps proposing failing values forever.
+func TestMinimizeBoundedSteps(t *testing.T) {
+	fails := func(v int) (string, bool) { return "always", true }
+	cands := func(v int) []int { return []int{v + 1} } // regrows forever
+	f := Minimize(0, fails, cands)
+	if f.Shrinks != maxShrinkSteps {
+		t.Fatalf("shrinks = %d, want the %d-step cap", f.Shrinks, maxShrinkSteps)
+	}
+}
+
+// TestMinimizePanicsOnPassingWitness: shrinking a passing value is a
+// harness bug and must fail loudly.
+func TestMinimizePanicsOnPassingWitness(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Minimize accepted a passing witness without panicking")
+		}
+	}()
+	Minimize(1, func(int) (string, bool) { return "", false }, func(int) []int { return nil })
+}
+
+func TestShrinkInt(t *testing.T) {
+	if got := ShrinkInt(2, 2); got != nil {
+		t.Fatalf("ShrinkInt(2,2) = %v, want nil (already at floor)", got)
+	}
+	got := ShrinkInt(10, 2)
+	if len(got) == 0 || got[0] != 2 {
+		t.Fatalf("ShrinkInt(10,2) = %v, want the floor first", got)
+	}
+	seen := map[int]bool{}
+	for _, c := range got {
+		if c < 2 || c >= 10 {
+			t.Errorf("candidate %d outside [2,10)", c)
+		}
+		if seen[c] {
+			t.Errorf("duplicate candidate %d", c)
+		}
+		seen[c] = true
+	}
+	if !seen[9] {
+		t.Errorf("ShrinkInt(10,2) = %v, missing predecessor 9", got)
+	}
+}

@@ -1,0 +1,37 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode locks in the decoder's corruption contract: arbitrary
+// bytes — truncations, bit flips, lying length prefixes — must either
+// decode cleanly or return an error. Never a panic, never an
+// unvalidated allocation. Valid decodes must re-encode canonically.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(Encode(&Trace{Seed: 0}))
+	f.Add(Encode(sampleTrace()))
+	big := Encode(&Trace{Seed: -1, Records: []Record{
+		{Path: "/v1/heap/workload", Tenant: "tenant-00", Body: bytes.Repeat([]byte("x"), 512)},
+		{Path: "/v1/range", Tenant: "t", Body: []byte(`{"ranges":[[0,1]]}`)},
+	}})
+	f.Add(big)
+	// A seeded truncation and a seeded bit flip to steer the fuzzer.
+	f.Add(big[:len(big)-3])
+	flip := append([]byte(nil), big...)
+	flip[headerSize+5] ^= 0x10
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(Encode(tr), data) {
+			t.Fatalf("accepted input is not canonical: re-encode differs")
+		}
+	})
+}

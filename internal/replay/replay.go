@@ -1,0 +1,417 @@
+// Package replay captures a live pmsd request stream into a versioned,
+// checksummed trace file and replays it deterministically, so a captured
+// production-like workload becomes a reproducible benchmark.
+//
+// Three pieces compose:
+//
+//   - the trace format (PMSTRC1): a checksummed header carrying the
+//     workload seed, followed by self-delimiting records — one per
+//     captured request, each holding the endpoint path, the tenant and
+//     the raw JSON body under its own CRC-32C. Truncation, bit flips and
+//     lying length prefixes are decode errors, never panics, and every
+//     allocation is validated against the remaining input first;
+//   - the Recorder: an http.Handler middleware that copies each POST
+//     body into a bounded ring buffer drained by a single background
+//     goroutine, so capture never blocks the serving hot path. When the
+//     ring is full the record is dropped and counted rather than
+//     stalling a request;
+//   - the Replayer: drives a handler with the recorded requests, one at
+//     a time in recorded order, folding every response into one SHA-256
+//     digest over (status, body) pairs. Sequential replay is the
+//     determinism contract: the same trace against the same server
+//     configuration and seed produces a bit-identical digest, because no
+//     scheduling race can reorder requests or regroup coalesced batches.
+//
+// What is and is not guaranteed: replay-to-replay determinism, not
+// live-to-replay identity. A live run answers requests concurrently
+// (batches coalesce differently, admission may shed load), so the
+// responses captured live are not the replay baseline — the first replay
+// is, and every later replay must match it bit for bit.
+package replay
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+)
+
+// Format constants. The magic pins both the format family and, via the
+// trailing digit, the major version; the header version field tracks
+// compatible revisions.
+const (
+	magic   = "PMSTRC1\n"
+	version = 1
+
+	headerSize = 28 // magic(8) + version(4) + seed(8) + count(4) + crc(4)
+
+	// maxRecords bounds the header's record count so a corrupt count
+	// cannot drive a huge allocation.
+	maxRecords = 1 << 24
+
+	// MaxFrame bounds one record's encoded frame; a length prefix above
+	// it is rejected before any allocation.
+	MaxFrame = 4 << 20
+
+	// TenantHeader is the HTTP header the recorder captures and the
+	// replayer restores, so per-tenant admission replays identically.
+	TenantHeader = "X-Tenant"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one captured request: the endpoint path, the tenant it was
+// issued under, and the raw request body.
+type Record struct {
+	Path   string
+	Tenant string
+	Body   []byte
+}
+
+// Trace is a decoded trace file: the seed of the workload that produced
+// the stream plus the captured records in arrival order.
+type Trace struct {
+	Seed    int64
+	Records []Record
+}
+
+// Encode renders the trace in the PMSTRC1 wire format. Encoding is
+// canonical: Decode(Encode(tr)) round-trips to byte-identical output.
+func Encode(tr *Trace) []byte {
+	var buf bytes.Buffer
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(tr.Seed))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(tr.Records)))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32.Checksum(hdr[:24], castagnoli))
+	buf.Write(hdr[:])
+
+	var u32 [4]byte
+	for _, r := range tr.Records {
+		frame := make([]byte, 0, 12+len(r.Path)+len(r.Tenant)+len(r.Body))
+		frame = appendChunk(frame, []byte(r.Path))
+		frame = appendChunk(frame, []byte(r.Tenant))
+		frame = appendChunk(frame, r.Body)
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(frame)))
+		buf.Write(u32[:])
+		buf.Write(frame)
+		binary.LittleEndian.PutUint32(u32[:], crc32.Checksum(frame, castagnoli))
+		buf.Write(u32[:])
+	}
+	return buf.Bytes()
+}
+
+func appendChunk(dst, chunk []byte) []byte {
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(chunk)))
+	dst = append(dst, u32[:]...)
+	return append(dst, chunk...)
+}
+
+// Decode parses a PMSTRC1 trace. Any corruption — truncation, a flipped
+// bit under a CRC, a length prefix past the input — is an error; the
+// fuzz target locks in that no input panics or over-allocates.
+func Decode(data []byte) (*Trace, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("replay: trace truncated at %d bytes (header is %d)", len(data), headerSize)
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("replay: bad magic %q", data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != version {
+		return nil, fmt.Errorf("replay: unsupported trace version %d (want %d)", v, version)
+	}
+	if got, want := crc32.Checksum(data[:24], castagnoli), binary.LittleEndian.Uint32(data[24:28]); got != want {
+		return nil, fmt.Errorf("replay: header checksum mismatch (%08x != %08x)", got, want)
+	}
+	count := binary.LittleEndian.Uint32(data[20:24])
+	if count > maxRecords {
+		return nil, fmt.Errorf("replay: record count %d above cap %d", count, maxRecords)
+	}
+	tr := &Trace{Seed: int64(binary.LittleEndian.Uint64(data[12:20]))}
+
+	rest := data[headerSize:]
+	for uint32(len(tr.Records)) < count {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("replay: record %d truncated in length prefix", len(tr.Records))
+		}
+		frameLen := binary.LittleEndian.Uint32(rest[:4])
+		if frameLen > MaxFrame {
+			return nil, fmt.Errorf("replay: record %d frame of %d bytes above cap %d", len(tr.Records), frameLen, MaxFrame)
+		}
+		if uint64(len(rest)) < 8+uint64(frameLen) {
+			return nil, fmt.Errorf("replay: record %d truncated (frame %d, %d bytes left)", len(tr.Records), frameLen, len(rest)-4)
+		}
+		frame := rest[4 : 4+frameLen]
+		crc := binary.LittleEndian.Uint32(rest[4+frameLen : 8+frameLen])
+		if got := crc32.Checksum(frame, castagnoli); got != crc {
+			return nil, fmt.Errorf("replay: record %d checksum mismatch (%08x != %08x)", len(tr.Records), got, crc)
+		}
+		var rec Record
+		var chunk []byte
+		var err error
+		if chunk, frame, err = readChunk(frame); err != nil {
+			return nil, fmt.Errorf("replay: record %d path: %w", len(tr.Records), err)
+		}
+		rec.Path = string(chunk)
+		if chunk, frame, err = readChunk(frame); err != nil {
+			return nil, fmt.Errorf("replay: record %d tenant: %w", len(tr.Records), err)
+		}
+		rec.Tenant = string(chunk)
+		if chunk, frame, err = readChunk(frame); err != nil {
+			return nil, fmt.Errorf("replay: record %d body: %w", len(tr.Records), err)
+		}
+		rec.Body = append([]byte(nil), chunk...)
+		if len(frame) != 0 {
+			return nil, fmt.Errorf("replay: record %d has %d trailing frame bytes", len(tr.Records), len(frame))
+		}
+		tr.Records = append(tr.Records, rec)
+		rest = rest[8+frameLen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("replay: %d trailing bytes after %d records", len(rest), count)
+	}
+	return tr, nil
+}
+
+// readChunk pops one u32-length-prefixed chunk off the frame.
+func readChunk(frame []byte) (chunk, rest []byte, err error) {
+	if len(frame) < 4 {
+		return nil, nil, fmt.Errorf("truncated in length prefix (%d bytes left)", len(frame))
+	}
+	n := binary.LittleEndian.Uint32(frame[:4])
+	if uint64(len(frame)) < 4+uint64(n) {
+		return nil, nil, fmt.Errorf("chunk of %d bytes past frame end (%d left)", n, len(frame)-4)
+	}
+	return frame[4 : 4+n], frame[4+n:], nil
+}
+
+// Save writes the trace to path via a temp file + rename, so a crash
+// mid-write never leaves a half-trace under the final name.
+func (tr *Trace) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(Encode(tr)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads and decodes a trace file.
+func Load(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// RecorderConfig tunes a Recorder. Zero values take the defaults.
+type RecorderConfig struct {
+	// Seed is stamped into the trace header (the seed of the workload
+	// generator that produced the stream, for provenance).
+	Seed int64
+	// RingSize bounds the capture ring (default 4096 records). When the
+	// drainer falls behind and the ring fills, new records are dropped
+	// and counted — capture never blocks a request.
+	RingSize int
+	// MaxBody bounds one captured body (default 1 MiB); larger bodies
+	// pass through unrecorded and count as dropped.
+	MaxBody int64
+}
+
+func (c RecorderConfig) withDefaults() RecorderConfig {
+	if c.RingSize <= 0 {
+		c.RingSize = 4096
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	return c
+}
+
+// RecorderStats counts the capture outcome.
+type RecorderStats struct {
+	Recorded int64 `json:"recorded"`
+	Dropped  int64 `json:"dropped"`
+}
+
+// Recorder captures POST requests flowing through an http.Handler into
+// a ring buffer drained by one background goroutine. Safe for arbitrary
+// handler concurrency; Close stops the drainer and returns the trace.
+type Recorder struct {
+	cfg RecorderConfig
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []Record // fixed-capacity ring storage
+	head   int      // next slot to read
+	count  int      // occupied slots
+	closed bool
+
+	recorded int64
+	dropped  int64
+
+	records []Record // drained, in arrival order
+	done    chan struct{}
+}
+
+// NewRecorder builds a recorder and starts its drainer.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	cfg = cfg.withDefaults()
+	rec := &Recorder{
+		cfg:  cfg,
+		ring: make([]Record, cfg.RingSize),
+		done: make(chan struct{}),
+	}
+	rec.cond = sync.NewCond(&rec.mu)
+	go rec.drain()
+	return rec
+}
+
+// Middleware wraps next with request capture. Only POST requests with a
+// readable body at or under MaxBody are recorded; everything is passed
+// through to next either way, with the body restored.
+func (rec *Recorder) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.Body == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, rec.cfg.MaxBody+1))
+		r.Body.Close()
+		if err != nil || int64(len(body)) > rec.cfg.MaxBody {
+			rec.drop()
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			next.ServeHTTP(w, r)
+			return
+		}
+		rec.offer(Record{Path: r.URL.Path, Tenant: r.Header.Get(TenantHeader), Body: body})
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		next.ServeHTTP(w, r)
+	})
+}
+
+// offer pushes one record into the ring, dropping (and counting) when
+// full or closed. Never blocks.
+func (rec *Recorder) offer(r Record) {
+	rec.mu.Lock()
+	if rec.closed || rec.count == len(rec.ring) {
+		rec.dropped++
+		rec.mu.Unlock()
+		return
+	}
+	rec.ring[(rec.head+rec.count)%len(rec.ring)] = r
+	rec.count++
+	rec.recorded++
+	rec.mu.Unlock()
+	rec.cond.Signal()
+}
+
+func (rec *Recorder) drop() {
+	rec.mu.Lock()
+	rec.dropped++
+	rec.mu.Unlock()
+}
+
+// drain moves records from the ring to the ordered slice until Close.
+func (rec *Recorder) drain() {
+	defer close(rec.done)
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for {
+		for rec.count == 0 {
+			if rec.closed {
+				return
+			}
+			rec.cond.Wait()
+		}
+		r := rec.ring[rec.head]
+		rec.ring[rec.head] = Record{}
+		rec.head = (rec.head + 1) % len(rec.ring)
+		rec.count--
+		rec.records = append(rec.records, r)
+	}
+}
+
+// Stats returns the capture counters.
+func (rec *Recorder) Stats() RecorderStats {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return RecorderStats{Recorded: rec.recorded, Dropped: rec.dropped}
+}
+
+// Close stops capture, waits for the drainer to empty the ring, and
+// returns the trace. Records offered after Close are dropped.
+func (rec *Recorder) Close() *Trace {
+	rec.mu.Lock()
+	rec.closed = true
+	rec.mu.Unlock()
+	rec.cond.Signal()
+	<-rec.done
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return &Trace{Seed: rec.cfg.Seed, Records: rec.records}
+}
+
+// Result summarizes one replay.
+type Result struct {
+	// Requests is the number of records replayed.
+	Requests int `json:"requests"`
+	// StatusCounts maps HTTP status → responses with that status.
+	StatusCounts map[int]int64 `json:"status_counts"`
+	// Digest is the hex SHA-256 over every (status, body) response pair
+	// in replay order — the bit-identity witness. Headers are excluded
+	// by design (request IDs are random).
+	Digest string `json:"digest"`
+}
+
+// Replay drives the handler with the trace's records, one at a time in
+// recorded order, and digests the responses. Sequential issue is what
+// makes the digest deterministic: run it twice against identically
+// configured servers and the digests must be equal.
+func Replay(h http.Handler, tr *Trace) Result {
+	res := Result{Requests: len(tr.Records), StatusCounts: make(map[int]int64)}
+	dig := sha256.New()
+	var u32 [4]byte
+	for _, r := range tr.Records {
+		req := httptest.NewRequest(http.MethodPost, "http://replay"+r.Path, bytes.NewReader(r.Body))
+		req.Header.Set("Content-Type", "application/json")
+		if r.Tenant != "" {
+			req.Header.Set(TenantHeader, r.Tenant)
+		}
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		res.StatusCounts[rr.Code]++
+		binary.LittleEndian.PutUint32(u32[:], uint32(rr.Code))
+		dig.Write(u32[:])
+		body := rr.Body.Bytes()
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(body)))
+		dig.Write(u32[:])
+		dig.Write(body)
+	}
+	res.Digest = hex.EncodeToString(dig.Sum(nil))
+	return res
+}

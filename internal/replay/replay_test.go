@@ -1,0 +1,254 @@
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Seed: 42,
+		Records: []Record{
+			{Path: "/v1/color", Tenant: "alpha", Body: []byte(`{"nodes":[{"index":3,"level":2}]}`)},
+			{Path: "/v1/range", Tenant: "", Body: []byte(`{"ranges":[[1,9]]}`)},
+			{Path: "/v1/heap/run", Tenant: "beta", Body: []byte{}},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	data := Encode(tr)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Seed != tr.Seed {
+		t.Fatalf("seed = %d, want %d", got.Seed, tr.Seed)
+	}
+	if len(got.Records) != len(tr.Records) {
+		t.Fatalf("records = %d, want %d", len(got.Records), len(tr.Records))
+	}
+	for i, r := range got.Records {
+		want := tr.Records[i]
+		if r.Path != want.Path || r.Tenant != want.Tenant || !bytes.Equal(r.Body, want.Body) {
+			t.Errorf("record %d = %+v, want %+v", i, r, want)
+		}
+	}
+	// Encoding is canonical: re-encoding the decoded trace must be
+	// byte-identical.
+	if !bytes.Equal(Encode(got), data) {
+		t.Fatalf("re-encode is not byte-identical to the original")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := Encode(sampleTrace())
+
+	// Every truncation point must error, never panic.
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("Decode accepted truncation at %d/%d bytes", n, len(data))
+		}
+	}
+	// Every single-bit flip must error: each region of the file is under
+	// a CRC or is a validated length/magic/version field.
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("Decode accepted bit flip at byte %d bit %d", i, bit)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsOversizedFrame(t *testing.T) {
+	data := Encode(&Trace{Seed: 1, Records: []Record{{Path: "/p", Body: []byte("x")}}})
+	// Lie in the first record's frame-length prefix: claim a frame far
+	// above the cap. Decode must reject it before allocating.
+	data[headerSize] = 0xff
+	data[headerSize+1] = 0xff
+	data[headerSize+2] = 0xff
+	data[headerSize+3] = 0x7f
+	if _, err := Decode(data); err == nil {
+		t.Fatal("Decode accepted a frame length above MaxFrame")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "run.pmstrc")
+	if err := tr.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !bytes.Equal(Encode(got), Encode(tr)) {
+		t.Fatal("Load round-trip differs from saved trace")
+	}
+}
+
+func TestRecorderCapturesInOrder(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	rec := NewRecorder(RecorderConfig{Seed: 7})
+	var served int
+	h := rec.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		// The middleware must restore the body for the handler.
+		if len(body) == 0 {
+			t.Error("handler saw an empty body")
+		}
+		served++
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(h)
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"i":%d}`, i)
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/color", bytes.NewBufferString(body))
+		req.Header.Set(TenantHeader, fmt.Sprintf("t%d", i%2))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	srv.Close()
+	tr := rec.Close()
+	if served != 5 {
+		t.Fatalf("handler served %d requests, want 5", served)
+	}
+	if tr.Seed != 7 {
+		t.Fatalf("trace seed = %d, want 7", tr.Seed)
+	}
+	if len(tr.Records) != 5 {
+		t.Fatalf("captured %d records, want 5", len(tr.Records))
+	}
+	for i, r := range tr.Records {
+		wantBody := fmt.Sprintf(`{"i":%d}`, i)
+		wantTenant := fmt.Sprintf("t%d", i%2)
+		if r.Path != "/v1/color" || string(r.Body) != wantBody || r.Tenant != wantTenant {
+			t.Errorf("record %d = %+v, want path=/v1/color body=%s tenant=%s", i, r, wantBody, wantTenant)
+		}
+	}
+	if st := rec.Stats(); st.Recorded != 5 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want 5 recorded / 0 dropped", st)
+	}
+}
+
+func TestRecorderSkipsNonPostAndOversized(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	rec := NewRecorder(RecorderConfig{MaxBody: 8})
+	h := rec.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	get := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	h.ServeHTTP(httptest.NewRecorder(), get)
+
+	big := httptest.NewRequest(http.MethodPost, "/v1/color", bytes.NewBufferString(`{"nodes":[1,2,3]}`))
+	h.ServeHTTP(httptest.NewRecorder(), big)
+
+	small := httptest.NewRequest(http.MethodPost, "/v1/color", bytes.NewBufferString(`{"a":1}`))
+	h.ServeHTTP(httptest.NewRecorder(), small)
+
+	tr := rec.Close()
+	if len(tr.Records) != 1 || string(tr.Records[0].Body) != `{"a":1}` {
+		t.Fatalf("records = %+v, want only the small POST body", tr.Records)
+	}
+	if st := rec.Stats(); st.Recorded != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 recorded / 1 dropped (oversized)", st)
+	}
+}
+
+// TestRecorderRingHammer pounds the ring from many concurrent writers
+// with a tiny ring so the full-drop path is exercised, then checks the
+// books balance and nothing leaks. Run under -race this doubles as the
+// ring's race check.
+func TestRecorderRingHammer(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	rec := NewRecorder(RecorderConfig{RingSize: 8})
+	h := rec.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+	}))
+	const writers, perWriter = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/color",
+					bytes.NewBufferString(fmt.Sprintf(`{"w":%d,"i":%d}`, w, i)))
+				h.ServeHTTP(httptest.NewRecorder(), req)
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr := rec.Close()
+	st := rec.Stats()
+	if st.Recorded+st.Dropped != writers*perWriter {
+		t.Fatalf("recorded %d + dropped %d != %d offered", st.Recorded, st.Dropped, writers*perWriter)
+	}
+	if int64(len(tr.Records)) != st.Recorded {
+		t.Fatalf("trace holds %d records, stats say %d recorded", len(tr.Records), st.Recorded)
+	}
+	if st.Recorded == 0 {
+		t.Fatal("hammer recorded nothing")
+	}
+}
+
+func TestReplayDigestDeterministic(t *testing.T) {
+	// A handler whose responses depend only on the request stream.
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "%s:%s", r.URL.Path, body)
+	})
+	tr := sampleTrace()
+	a := Replay(h, tr)
+	b := Replay(h, tr)
+	if a.Digest == "" || a.Digest != b.Digest {
+		t.Fatalf("digests differ: %s vs %s", a.Digest, b.Digest)
+	}
+	if a.Requests != len(tr.Records) {
+		t.Fatalf("requests = %d, want %d", a.Requests, len(tr.Records))
+	}
+	if a.StatusCounts[http.StatusOK] != int64(len(tr.Records)) {
+		t.Fatalf("status counts = %v, want all 200", a.StatusCounts)
+	}
+	// A different stream must change the digest.
+	tr2 := sampleTrace()
+	tr2.Records[0].Body = []byte(`{"nodes":[{"index":1,"level":1}]}`)
+	if c := Replay(h, tr2); c.Digest == a.Digest {
+		t.Fatal("digest did not change with the request stream")
+	}
+}
+
+func TestReplayRestoresTenantHeader(t *testing.T) {
+	var tenants []string
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tenants = append(tenants, r.Header.Get(TenantHeader))
+	})
+	Replay(h, sampleTrace())
+	want := []string{"alpha", "", "beta"}
+	if len(tenants) != len(want) {
+		t.Fatalf("saw %d tenants, want %d", len(tenants), len(want))
+	}
+	for i := range want {
+		if tenants[i] != want[i] {
+			t.Errorf("tenant %d = %q, want %q", i, tenants[i], want[i])
+		}
+	}
+}

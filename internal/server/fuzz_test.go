@@ -35,6 +35,17 @@ func FuzzRequestDecoding(f *testing.F) {
 		`{"mapping":{"alg":"mod","levels":5,"modules":3},"batches":[[9223372036854775807]]}`,
 		`{"mapping":{"alg":"mod","levels":5,"modules":3},"batches":[[-1]]}`,
 		`{"node":` + strings.Repeat(`{"index":`, 100) + `0` + strings.Repeat(`}`, 100) + `}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"ops":[{"op":"insert","key":5},{"op":"delete-min"}]}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"ops":[{"op":"decrease-key","slot":-1}]}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"ops":[{"op":"pop"}]}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"n":4,"dist":"zipf","seed":1}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"n":-1}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"n":4,"dist":"pareto"}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"n":4,"mix":{"insert":0,"delete_min":0,"decrease_key":0}}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"ranges":[[0,10]]}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"ranges":[[10,0]]}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"ranges":[[-1,9223372036854775807]]}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"ranges":[[0,1],[0,1],[0,1]]}`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -42,10 +53,10 @@ func FuzzRequestDecoding(f *testing.F) {
 
 	// A small queue keeps fuzz iterations cheap; decoding and validation
 	// happen before admission, so limits never mask a decode panic.
-	srv := New(Config{Workers: 2, MaxInflight: 8, MaxBodyBytes: 1 << 16, MaxColorNodes: 16, MaxSimBatches: 8, MaxSimItems: 64})
+	srv := New(Config{Workers: 2, MaxInflight: 8, MaxBodyBytes: 1 << 16, MaxColorNodes: 16, MaxSimBatches: 8, MaxSimItems: 64, MaxHeapOps: 16, MaxRangeQueries: 2})
 	ts := httptest.NewServer(srv.Handler())
 	f.Cleanup(ts.Close)
-	endpoints := []string{"/v1/color", "/v1/template-cost", "/v1/simulate"}
+	endpoints := []string{"/v1/color", "/v1/template-cost", "/v1/simulate", "/v1/heap/run", "/v1/heap/workload", "/v1/range"}
 
 	f.Fuzz(func(t *testing.T, body string) {
 		for _, ep := range endpoints {

@@ -38,8 +38,14 @@ type LoadGenConfig struct {
 	// Endpoint selects the driven API: "" (or "color") posts singleton
 	// /v1/color lookups; "template-cost" posts anchored ascending-path
 	// template costs (the path with per-node domain accounting), which is
-	// what the metrics-overhead bench prices.
+	// what the metrics-overhead bench prices; "mix" draws the request kind
+	// per call from a Zipf-weighted mix over color, template-cost, range
+	// and heap workloads — the composite scenario the replay bench records.
 	Endpoint string
+	// Tenants, when positive, stamps each request with an X-Tenant header
+	// drawn Zipf-skewed over that many tenant names, so a few tenants are
+	// hot and the tail is cold — the multi-tenant traffic shape.
+	Tenants int
 	// Server tunes the serving side under test. Addr is ignored; the
 	// server always binds an ephemeral localhost port.
 	Server Config
@@ -59,6 +65,57 @@ func (c LoadGenConfig) withDefaults() LoadGenConfig {
 		c.Seed = 1
 	}
 	return c
+}
+
+// mixKinds orders the request kinds of the "mix" endpoint hottest-first;
+// ZipfWeights over this slice makes color lookups dominate and heap
+// workloads rare, roughly the shape of a serving fleet fronting the
+// occasional analytical replay.
+var mixKinds = []string{"color", "template-cost", "range", "heap-workload"}
+
+// encodeLoadRequest writes the JSON body for one request of the given
+// kind and returns its URL path. The i counter diversifies seeds and
+// range spans deterministically.
+func encodeLoadRequest(body *bytes.Buffer, cfg LoadGenConfig, kind string, n tree.Node, space, i int64) string {
+	enc := json.NewEncoder(body)
+	switch kind {
+	case "template-cost":
+		// Ascending path to the root: valid from every node, and every
+		// node of the instance ticks the domain recorder.
+		_ = enc.Encode(TemplateCostRequest{
+			Mapping: cfg.Mapping,
+			Kind:    "P",
+			Size:    int64(n.Level) + 1,
+			Anchor:  &NodeRef{Index: n.Index, Level: n.Level},
+		})
+		return "/v1/template-cost"
+	case "range":
+		// A short scan anchored at the key's heap index (any value in
+		// [0, space) is a valid in-order position).
+		lo := n.HeapIndex()
+		if lo >= space {
+			lo = space - 1
+		}
+		hi := lo + 16 + i%48
+		if hi >= space {
+			hi = space - 1
+		}
+		_ = enc.Encode(RangeRequest{Mapping: cfg.Mapping, Ranges: [][2]int64{{lo, hi}}})
+		return "/v1/range"
+	case "heap-workload":
+		// A small seeded heap burst; the seed varies per request so
+		// distinct requests replay distinct (but reproducible) sequences.
+		_ = enc.Encode(HeapWorkloadRequest{
+			Mapping: cfg.Mapping, N: 64, Dist: "zipf", Seed: cfg.Seed + i,
+		})
+		return "/v1/heap/workload"
+	default: // "color"
+		_ = enc.Encode(ColorRequest{
+			Mapping: cfg.Mapping,
+			Node:    &NodeRef{Index: n.Index, Level: n.Level},
+		})
+		return "/v1/color"
+	}
 }
 
 // LoadGenResult is one measured run.
@@ -104,11 +161,7 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 		_ = srv.Shutdown(ctx)
 	}()
 
-	path := "/v1/color"
-	if cfg.Endpoint == "template-cost" {
-		path = "/v1/template-cost"
-	}
-	url := "http://" + srv.Addr() + path
+	base := "http://" + srv.Addr()
 	transport := &http.Transport{
 		MaxIdleConns:        cfg.Clients * 2,
 		MaxIdleConnsPerHost: cfg.Clients * 2,
@@ -135,28 +188,49 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 				errs.Add(int64(perClient))
 				return
 			}
+			// The mix picker draws the request kind Zipf-skewed (color
+			// hottest, heap workloads rare); the tenant picker draws the
+			// X-Tenant identity Zipf-skewed over the tenant population.
+			// Both are seeded per client, so one (cfg, seed) names the
+			// entire traffic shape deterministically.
+			var kindPick, tenantPick *workload.WeightedPicker
+			if cfg.Endpoint == "mix" {
+				kindPick, err = workload.NewWeightedPicker(workload.ZipfWeights(len(mixKinds), 1.1), cfg.Seed+int64(id)*7919)
+				if err != nil {
+					errs.Add(int64(perClient))
+					return
+				}
+			}
+			var tenants []string
+			if cfg.Tenants > 0 {
+				tenants = workload.TenantNames(cfg.Tenants)
+				tenantPick, err = workload.NewWeightedPicker(workload.ZipfWeights(cfg.Tenants, 1.2), cfg.Seed+int64(id)*104729+1)
+				if err != nil {
+					errs.Add(int64(perClient))
+					return
+				}
+			}
 			mine := make([]time.Duration, 0, perClient)
 			var body bytes.Buffer
 			for i := 0; i < perClient; i++ {
 				n := tree.FromHeapIndex(keys.Next())
+				kind := cfg.Endpoint
+				if kindPick != nil {
+					kind = mixKinds[kindPick.Next()]
+				}
 				body.Reset()
-				if cfg.Endpoint == "template-cost" {
-					// Ascending path to the root: valid from every node, and
-					// every node of the instance ticks the domain recorder.
-					_ = json.NewEncoder(&body).Encode(TemplateCostRequest{
-						Mapping: cfg.Mapping,
-						Kind:    "P",
-						Size:    int64(n.Level) + 1,
-						Anchor:  &NodeRef{Index: n.Index, Level: n.Level},
-					})
-				} else {
-					_ = json.NewEncoder(&body).Encode(ColorRequest{
-						Mapping: cfg.Mapping,
-						Node:    &NodeRef{Index: n.Index, Level: n.Level},
-					})
+				path := encodeLoadRequest(&body, cfg, kind, n, space, int64(id)*int64(perClient)+int64(i))
+				req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body.Bytes()))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if tenantPick != nil {
+					req.Header.Set(TenantHeader, tenants[tenantPick.Next()])
 				}
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body.Bytes()))
+				resp, err := client.Do(req)
 				if err != nil {
 					errs.Add(1)
 					continue

@@ -110,6 +110,12 @@ type Metrics struct {
 	color        endpointMetrics
 	templateCost endpointMetrics
 	simulate     endpointMetrics
+	heapRun      endpointMetrics
+	heapWorkload endpointMetrics
+	rangeQuery   endpointMetrics
+
+	// tenants is the per-tenant admission table, wired at construction.
+	tenants *tenantTable
 
 	rejected429     atomic.Int64
 	inflight        atomic.Int64
@@ -164,6 +170,13 @@ type MetricsSnapshot struct {
 	Color        EndpointSnapshot `json:"color"`
 	TemplateCost EndpointSnapshot `json:"template_cost"`
 	Simulate     EndpointSnapshot `json:"simulate"`
+	HeapRun      EndpointSnapshot `json:"heap_run"`
+	HeapWorkload EndpointSnapshot `json:"heap_workload"`
+	RangeQuery   EndpointSnapshot `json:"range_query"`
+
+	// Tenants lists per-tenant admission counters, sorted by tenant
+	// name; empty until the first request arrives.
+	Tenants []TenantSnapshot `json:"tenants,omitempty"`
 
 	Rejected429     int64             `json:"rejected_429"`
 	Inflight        int64             `json:"inflight"`
@@ -216,6 +229,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Color:        m.color.snapshot(),
 		TemplateCost: m.templateCost.snapshot(),
 		Simulate:     m.simulate.snapshot(),
+		HeapRun:      m.heapRun.snapshot(),
+		HeapWorkload: m.heapWorkload.snapshot(),
+		RangeQuery:   m.rangeQuery.snapshot(),
 
 		Rejected429:     m.rejected429.Load(),
 		Inflight:        m.inflight.Load(),
@@ -243,6 +259,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()
+	}
+	if m.tenants != nil {
+		s.Tenants = m.tenants.snapshot()
 	}
 	if m.domain != nil {
 		d := m.domain.Snapshot()
@@ -325,6 +344,12 @@ func (m *Metrics) endpoint(name string) *endpointMetrics {
 		return &m.templateCost
 	case "simulate":
 		return &m.simulate
+	case "heap_run":
+		return &m.heapRun
+	case "heap_workload":
+		return &m.heapWorkload
+	case "range_query":
+		return &m.rangeQuery
 	default:
 		return nil
 	}

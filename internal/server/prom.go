@@ -50,6 +50,9 @@ func writeServerMetrics(e *dm.Expo, m *Metrics) {
 		{"color", &m.color},
 		{"template_cost", &m.templateCost},
 		{"simulate", &m.simulate},
+		{"heap_run", &m.heapRun},
+		{"heap_workload", &m.heapWorkload},
+		{"range_query", &m.rangeQuery},
 	}
 	for _, ep := range endpoints {
 		e.Counter(promPrefix+"_endpoint_requests_total", []dm.Label{{Name: "endpoint", Value: ep.name}}, ep.em.requests.Load())
@@ -62,6 +65,22 @@ func writeServerMetrics(e *dm.Expo, m *Metrics) {
 	}
 	for _, ep := range endpoints {
 		writeHistogram(e, promPrefix+"_endpoint_latency_us", []dm.Label{{Name: "endpoint", Value: ep.name}}, &ep.em.latencyUS)
+	}
+
+	// Per-tenant admission series, sorted by tenant name. The table is
+	// bounded (MaxTenants, overflow in "other"), so the label cardinality
+	// is too.
+	if m.tenants != nil {
+		tenants := m.tenants.snapshot()
+		for _, tn := range tenants {
+			e.Counter(promPrefix+"_tenant_requests_total", []dm.Label{{Name: "tenant", Value: tn.Tenant}}, tn.Requests)
+		}
+		for _, tn := range tenants {
+			e.Counter(promPrefix+"_tenant_rejected_total", []dm.Label{{Name: "tenant", Value: tn.Tenant}}, tn.Rejected)
+		}
+		for _, tn := range tenants {
+			e.GaugeInt(promPrefix+"_tenant_inflight", []dm.Label{{Name: "tenant", Value: tn.Tenant}}, tn.Inflight)
+		}
 	}
 
 	e.Counter(promPrefix+"_rejected_429_total", nil, m.rejected429.Load())

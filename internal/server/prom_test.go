@@ -38,6 +38,15 @@ func populateDeterministic(s *Server) {
 	m.color.observe(400, 100*time.Microsecond)
 	m.templateCost.observe(200, 1500*time.Microsecond)
 	m.simulate.observe(500, 9*time.Microsecond)
+	m.heapRun.observe(200, 700*time.Microsecond)
+	m.heapWorkload.observe(200, 2500*time.Microsecond)
+	m.rangeQuery.observe(400, 60*time.Microsecond)
+	ta := m.tenants.get("alpha")
+	ta.requests.Store(9)
+	ta.rejected.Store(1)
+	ta.inflight.Store(2)
+	tb := m.tenants.get(anonTenant)
+	tb.requests.Store(4)
 	m.rejected429.Store(2)
 	m.batchesFlushed.Store(4)
 	m.batchesRejected.Store(1)
@@ -184,6 +193,14 @@ var endpointSeries = map[string]string{
 	"latency_us": "pmsd_endpoint_latency_us_count",
 }
 
+// tenantSeries maps TenantSnapshot fields to their tenant-labeled series.
+var tenantSeries = map[string]string{
+	"tenant":   "pmsd_tenant_requests_total", // the label itself rides every series
+	"requests": "pmsd_tenant_requests_total",
+	"rejected": "pmsd_tenant_rejected_total",
+	"inflight": "pmsd_tenant_inflight",
+}
+
 // storeSeries maps StoreSnapshot fields to their series.
 var storeSeries = map[string]string{
 	"hits":        "pmsd_store_hits_total",
@@ -263,6 +280,18 @@ func TestExpositionCoversSnapshotFields(t *testing.T) {
 				if series != "" {
 					if _, ok := sc.Value(series, dm.Label{Name: "endpoint", Value: tag}); !ok {
 						t.Errorf("series %s missing endpoint=%q sample", series, tag)
+					}
+				}
+			}
+		case f.Type == reflect.TypeOf([]TenantSnapshot(nil)):
+			tt := reflect.TypeOf(TenantSnapshot{})
+			for j := 0; j < tt.NumField(); j++ {
+				inner := jsonTag(tt.Field(j))
+				series := tenantSeries[inner]
+				requireSeries(tag+"."+inner, series)
+				if series != "" {
+					if _, ok := sc.Value(series, dm.Label{Name: "tenant", Value: "alpha"}); !ok {
+						t.Errorf("series %s missing tenant=\"alpha\" sample", series)
 					}
 				}
 			}

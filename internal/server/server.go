@@ -22,6 +22,7 @@
 //     under pprof labels keyed by mapping spec.
 //
 // Endpoints: POST /v1/color, POST /v1/template-cost, POST /v1/simulate,
+// POST /v1/heap/run, POST /v1/heap/workload, POST /v1/range,
 // GET /debug/vars, GET /debug/requests, GET /healthz, /debug/pprof/*.
 package server
 
@@ -71,9 +72,23 @@ type Config struct {
 	// queries, which enumerate every instance (default 20).
 	MaxFamilyLevels int
 	// MaxSimBatches / MaxSimItems bound one /v1/simulate replay
-	// (defaults 4096 / 1<<20).
+	// (defaults 4096 / 1<<20). MaxSimItems also caps the total items of
+	// one /v1/range request, which walks every node in every range.
 	MaxSimBatches int
 	MaxSimItems   int
+	// MaxHeapOps bounds one /v1/heap/* operation sequence (default 65536).
+	MaxHeapOps int
+	// MaxRangeQueries bounds the ranges of one /v1/range request
+	// (default 1024).
+	MaxRangeQueries int
+	// TenantMaxInflight caps one tenant's admitted-but-unfinished
+	// requests (default MaxInflight: per-tenant fairness off, counters
+	// still tracked). Set below MaxInflight so one hot tenant cannot
+	// starve the rest.
+	TenantMaxInflight int
+	// MaxTenants bounds the per-tenant accounting table; tenants beyond
+	// it are lumped into the "other" bucket (default 64).
+	MaxTenants int
 	// DisableDomainMetrics turns off the model-level accounting layer
 	// (per-module loads, family conflict histograms, the theorem-bound
 	// monitor). On by default: recording is a handful of atomic adds per
@@ -147,6 +162,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxSimItems <= 0 {
 		c.MaxSimItems = 1 << 20
 	}
+	if c.MaxHeapOps <= 0 {
+		c.MaxHeapOps = 1 << 16
+	}
+	if c.MaxRangeQueries <= 0 {
+		c.MaxRangeQueries = 1024
+	}
+	if c.TenantMaxInflight <= 0 {
+		c.TenantMaxInflight = c.MaxInflight
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 64
+	}
 	if c.TraceSampleRate == 0 {
 		c.TraceSampleRate = 1
 	}
@@ -193,6 +220,7 @@ func New(cfg Config) *Server {
 	// to at most one queued unit, so admission is the only shed point.
 	p := newPool(cfg.Workers, cfg.MaxInflight, cfg.WorkerDelay, cfg.workerHook)
 	met.queueDepth = p.depth
+	met.tenants = newTenantTable(cfg.MaxTenants)
 	s := &Server{
 		cfg:  cfg,
 		met:  met,
@@ -231,6 +259,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/color", s.instrument("color", s.handleColor))
 	mux.HandleFunc("POST /v1/template-cost", s.instrument("template_cost", s.handleTemplateCost))
 	mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("POST /v1/heap/run", s.instrument("heap_run", s.handleHeapRun))
+	mux.HandleFunc("POST /v1/heap/workload", s.instrument("heap_workload", s.handleHeapWorkload))
+	mux.HandleFunc("POST /v1/range", s.instrument("range_query", s.handleRange))
 	mux.HandleFunc("GET /debug/vars", s.met.varsHandler)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
@@ -382,18 +413,34 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.trc.Snapshot())
 }
 
-// admit reserves one inflight slot, or reports why not. release must be
-// called exactly once when the reply is written.
-func (s *Server) admit() (release func(), err *apiError) {
+// admit reserves one inflight slot globally and one against the
+// request's tenant cap, or reports why not. release must be called
+// exactly once when the reply is written. A request shed at either
+// layer counts on rejected429 and the tenant's rejected counter, so
+// fairness pressure is attributable per tenant.
+func (s *Server) admit(r *http.Request) (release func(), err *apiError) {
+	tc := s.met.tenants.get(sanitizeTenant(r.Header.Get(TenantHeader)))
+	tc.requests.Add(1)
 	if s.draining.Load() {
 		return nil, errDraining
 	}
 	if n := s.met.inflight.Add(1); n > int64(s.cfg.MaxInflight) {
 		s.met.inflight.Add(-1)
 		s.met.rejected429.Add(1)
+		tc.rejected.Add(1)
 		return nil, errOverloaded
 	}
-	return func() { s.met.inflight.Add(-1) }, nil
+	if n := tc.inflight.Add(1); n > int64(s.cfg.TenantMaxInflight) {
+		tc.inflight.Add(-1)
+		s.met.inflight.Add(-1)
+		s.met.rejected429.Add(1)
+		tc.rejected.Add(1)
+		return nil, errOverloaded
+	}
+	return func() {
+		tc.inflight.Add(-1)
+		s.met.inflight.Add(-1)
+	}, nil
 }
 
 // runTask executes fn on the worker pool and waits for completion.
@@ -481,7 +528,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	release, aerr := s.admit()
+	release, aerr := s.admit(r)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
@@ -679,7 +726,7 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	release, aerr := s.admit()
+	release, aerr := s.admit(r)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
@@ -744,7 +791,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	release, aerr := s.admit()
+	release, aerr := s.admit(r)
 	if aerr != nil {
 		writeError(w, aerr)
 		return

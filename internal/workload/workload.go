@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/heapsim"
@@ -121,6 +122,70 @@ func HeapOps(mix HeapMix, n int, keys *KeyStream, seed int64) ([]heapsim.Op, err
 		}
 	}
 	return ops, nil
+}
+
+// ZipfWeights returns n integer weights following a Zipf(s) rank decay
+// (weight of rank i proportional to 1/(i+1)^s, scaled so the smallest
+// is at least 1). Used to shape multi-tenant traffic and template mixes
+// where a few categories dominate, the long tail trickles.
+func ZipfWeights(n int, s float64) []int {
+	const scale = 1000
+	w := make([]int, n)
+	for i := range w {
+		w[i] = int(scale / math.Pow(float64(i+1), s))
+		if w[i] < 1 {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// WeightedPicker draws category indices with fixed integer weights from
+// a seeded stream: category i is drawn with probability weight[i]/total.
+type WeightedPicker struct {
+	cum   []int // cumulative weights
+	total int
+	rng   *rand.Rand
+}
+
+// NewWeightedPicker builds a seeded picker over the given weights.
+func NewWeightedPicker(weights []int, seed int64) (*WeightedPicker, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("workload: no weights")
+	}
+	p := &WeightedPicker{cum: make([]int, len(weights)), rng: rand.New(rand.NewSource(seed))}
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("workload: negative weight %d at %d", w, i)
+		}
+		p.total += w
+		p.cum[i] = p.total
+	}
+	if p.total == 0 {
+		return nil, fmt.Errorf("workload: all weights zero")
+	}
+	return p, nil
+}
+
+// Next returns the next category index.
+func (p *WeightedPicker) Next() int {
+	r := p.rng.Intn(p.total)
+	for i, c := range p.cum {
+		if r < c {
+			return i
+		}
+	}
+	return len(p.cum) - 1 // unreachable
+}
+
+// TenantNames returns n deterministic tenant identifiers
+// ("tenant-00", "tenant-01", …) for multi-tenant traffic shapes.
+func TenantNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%02d", i)
+	}
+	return names
 }
 
 // RangeSpec describes a range-query stream: spans drawn uniformly from

@@ -137,6 +137,70 @@ func TestRangesErrors(t *testing.T) {
 	}
 }
 
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(8, 1.2)
+	if len(w) != 8 {
+		t.Fatalf("%d weights", len(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatalf("weights not decaying: %v", w)
+		}
+		if w[i] < 1 {
+			t.Fatalf("weight %d at rank %d below 1", w[i], i)
+		}
+	}
+	if w[0] <= 2*w[len(w)-1] {
+		t.Errorf("weights %v not skewed enough for a Zipf head", w)
+	}
+}
+
+func TestWeightedPicker(t *testing.T) {
+	a, err := NewWeightedPicker([]int{700, 200, 100}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewWeightedPicker([]int{700, 200, 100}, 3)
+	counts := make([]int, 3)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		ia, ib := a.Next(), b.Next()
+		if ia != ib {
+			t.Fatalf("nondeterministic at draw %d", i)
+		}
+		counts[ia]++
+	}
+	// 70/20/10 within generous tolerance.
+	if counts[0] < 6300 || counts[0] > 7700 {
+		t.Errorf("category 0 drawn %d of %d, want ≈ 7000", counts[0], n)
+	}
+	if counts[2] < 500 || counts[2] > 1500 {
+		t.Errorf("category 2 drawn %d of %d, want ≈ 1000", counts[2], n)
+	}
+}
+
+func TestWeightedPickerErrors(t *testing.T) {
+	if _, err := NewWeightedPicker(nil, 1); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := NewWeightedPicker([]int{0, 0}, 1); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+	if _, err := NewWeightedPicker([]int{1, -1}, 1); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestTenantNames(t *testing.T) {
+	names := TenantNames(3)
+	want := []string{"tenant-00", "tenant-01", "tenant-02"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v", names)
+		}
+	}
+}
+
 // The generated heap workload must replay cleanly through the simulator.
 func TestHeapOpsReplay(t *testing.T) {
 	keys, err := NewKeyStream(Zipf, 1<<16, 5)

@@ -65,6 +65,25 @@ body=$(curl -s -X POST "$BASE/v1/simulate" \
     -d '{"mapping":'"$MAPPING"',"batches":[[0,1,2,3],[7,7,7]]}')
 echo "$body" | grep -q '"cycles":' || fail "simulate reply malformed: $body"
 
+# The workload endpoints run before the /metrics scrape below, so the
+# bound monitor's zero-violation check covers their P- and C-template
+# charges too. Each carries an X-Tenant identity for the tenant series.
+body=$(curl -s -X POST "$BASE/v1/heap/run" -H 'X-Tenant: smoke-a' \
+    -d '{"mapping":'"$MAPPING"',"ops":[{"op":"insert","key":9},{"op":"insert","key":3},{"op":"delete-min"}]}')
+echo "$body" | grep -q '"final_len":1' || fail "heap run reply malformed: $body"
+
+body=$(curl -s -X POST "$BASE/v1/heap/workload" -H 'X-Tenant: smoke-a' \
+    -d '{"mapping":'"$MAPPING"',"n":64,"dist":"zipf","seed":7}')
+echo "$body" | grep -q '"total_cycles":' || fail "heap workload reply malformed: $body"
+
+body=$(curl -s -X POST "$BASE/v1/range" -H 'X-Tenant: smoke-b' \
+    -d '{"mapping":'"$MAPPING"',"ranges":[[5,60],[100,140]]}')
+echo "$body" | grep -q '"total_items":97' || fail "range reply malformed: $body"
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/range" \
+    -d '{"mapping":'"$MAPPING"',"ranges":[[60,5]]}')
+[ "$code" = 400 ] || fail "inverted range returned $code, want 400"
+
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/color" -d 'not json')
 [ "$code" = 400 ] || fail "malformed body returned $code, want 400"
 
@@ -98,6 +117,11 @@ echo "   bound_checks=$checks violations=0"
 kernel=$(echo "$METRICS" | sed -n 's/^pmsd_kernel_batches_total \([0-9]*\)$/\1/p')
 [ "${kernel:-0}" -gt 0 ] || fail "batch kernel never engaged (pmsd_kernel_batches_total=$kernel): $METRICS"
 echo "   kernel_batches=$kernel"
+# The identified workload requests above must appear in the per-tenant
+# admission series.
+echo "$METRICS" | grep -q '^pmsd_tenant_requests_total{tenant="smoke-a"} 2$' || fail "no smoke-a tenant series in /metrics: $METRICS"
+echo "$METRICS" | grep -q '^pmsd_tenant_requests_total{tenant="smoke-b"} 1$' || fail "no smoke-b tenant series in /metrics: $METRICS"
+echo "   tenant series: smoke-a=2 smoke-b=1"
 
 echo "== pmsstat"
 # The monitor must parse the live exposition and render a clean frame.
