@@ -13,12 +13,13 @@
 #   make bench-retrieval rewrite BENCH_pr6.json from a pmsd -retrieval-bench run
 #   make bench-store    rewrite BENCH_pr7.json from a pmsd -store-bench run
 #   make bench-replay   rewrite BENCH_pr8.json from a pmsd -replay-bench run
+#   make bench-controller rewrite BENCH_pr9.json from a pmsd -controller-bench run
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics bench-retrieval bench-store bench-replay
+.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics bench-retrieval bench-store bench-replay bench-controller
 
-check: vet race bench-smoke server-smoke fuzz-smoke bench-replay
+check: vet race bench-smoke server-smoke fuzz-smoke bench-replay bench-controller
 
 vet:
 	$(GO) vet ./...
@@ -105,3 +106,12 @@ bench-store:
 bench-replay:
 	$(GO) run ./cmd/pmsd -replay-bench -requests 4000 -clients 16 -tenants 8 \
 	    -levels 14 -bench-out $(CURDIR)/BENCH_pr8.json
+
+# Adaptive-controller snapshot: the S-heavy → P-heavy phase-shift
+# workload against the controller and against each static mapping it
+# arbitrates between. The claims under test: the controller migrates to
+# COLOR during the S phase, its observed conflicts undercut every static
+# choice at comparable p99, and the bound monitor stays at zero.
+bench-controller:
+	$(GO) run ./cmd/pmsd -controller-bench -requests 2400 -clients 8 \
+	    -levels 12 -bench-out $(CURDIR)/BENCH_pr9.json

@@ -87,6 +87,19 @@
 //	pmsd -addr :8080 -record /tmp/run.pmstrc
 //	pmsd -replay /tmp/run.pmstrc
 //	pmsd -replay-bench -requests 4000 -tenants 8 -bench-out BENCH_pr8.json
+//
+// The adaptive mapping controller (-controller) closes the loop on the
+// paper's COLOR vs LABEL-TREE vs arithmetic trade-off per registry
+// entry: it classifies each entry's live template mix, shadow-scores
+// candidate mappings by replaying sampled traffic through the batch
+// kernels, and migrates the entry when a candidate beats the serving
+// mapping by a hysteresis margin — persisting the decision through the
+// mapstore manifest so -store-warm restarts re-serve the migrated
+// algorithm. Controller-bench mode runs the S-heavy → P-heavy
+// phase-shift comparison against each static mapping:
+//
+//	pmsd -addr :8080 -controller -controller-interval 2s -shadow-sample 0.25
+//	pmsd -controller-bench -bench-out BENCH_pr9.json
 package main
 
 import (
@@ -131,6 +144,11 @@ func main() {
 	levels := flag.Int("levels", 20, "loadgen: tree levels of the queried mapping")
 	mExp := flag.Int("m", 4, "loadgen: canonical COLOR exponent (modules = 2^m - 1)")
 	benchOut := flag.String("bench-out", "", "loadgen/chaos-bench: write the JSON comparison snapshot to this file")
+
+	controller := flag.Bool("controller", false, "enable the adaptive mapping controller (classify live template mix, shadow-score candidates, migrate registry entries)")
+	controllerInterval := flag.Duration("controller-interval", 2*time.Second, "controller: policy tick interval")
+	shadowSample := flag.Float64("shadow-sample", 0.25, "controller: fraction of template traffic sampled for shadow scoring (0 disables sampling)")
+	controllerBench := flag.Bool("controller-bench", false, "run the S-heavy → P-heavy phase-shift comparison: adaptive controller vs each static mapping")
 
 	storeDir := flag.String("store-dir", "", "disk-tier store directory (empty disables the tier)")
 	storeBudget := flag.Int64("store-budget", 1024, "disk-tier byte budget, in MiB")
@@ -250,6 +268,22 @@ func main() {
 
 		DisableDomainMetrics: *noDomainMetrics,
 		DisableBatchKernel:   *disableKernel,
+
+		Controller:         *controller,
+		ControllerInterval: *controllerInterval,
+		ShadowSampleRate:   *shadowSample,
+	}
+	if *controllerInterval <= 0 {
+		fail("-controller-interval must be positive, got %v", *controllerInterval)
+	}
+	if *shadowSample < 0 || *shadowSample > 1 {
+		fail("-shadow-sample must be a probability in [0,1], got %g", *shadowSample)
+	}
+	if *shadowSample == 0 {
+		cfg.ShadowSampleRate = -1 // Config treats 0 as "default"; negative disables
+	}
+	if *controller && *noDomainMetrics {
+		fail("-controller needs the domain accounting layer; drop -no-domain-metrics")
 	}
 	if *flush == 0 {
 		cfg.FlushWindow = -1 // Config treats 0 as "default"; negative disables
@@ -367,6 +401,41 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("snapshot written to %s\n", *benchOut)
+		}
+		return
+	}
+
+	if *controllerBench {
+		res, err := server.RunControllerBench(server.ControllerBenchConfig{
+			Levels:   *levels,
+			Requests: *requests,
+			Clients:  *clients,
+			Seed:     *seed,
+			Server:   cfg,
+		})
+		for _, sc := range []server.ControllerBenchScenario{
+			res.Controller, res.StaticLevelcyclic, res.StaticMod,
+		} {
+			fmt.Printf("%-20s %-24s → %-16s S-phase %6d conflicts (p99 %.0fus), P-phase %6d (p99 %.0fus), total %6d, migrations %d, violations %d\n",
+				sc.Mode+":", sc.RequestedKey, sc.EffectiveKey,
+				sc.SPhase.Conflicts, sc.SPhase.P99us,
+				sc.PPhase.Conflicts, sc.PPhase.P99us,
+				sc.TotalConflicts, sc.Migrations, sc.BoundViolations)
+		}
+		fmt.Printf("controller beats levelcyclic: %v, beats mod: %v (p99 ratio vs best static %.2f)\n",
+			res.BeatsLevelcyclic, res.BeatsMod, res.P99RatioVsBestStatic)
+		if *benchOut != "" {
+			data, merr := json.MarshalIndent(res, "", "  ")
+			if merr != nil {
+				log.Fatal(merr)
+			}
+			if werr := os.WriteFile(*benchOut, append(data, '\n'), 0o644); werr != nil {
+				log.Fatal(werr)
+			}
+			fmt.Printf("snapshot written to %s\n", *benchOut)
+		}
+		if err != nil {
+			log.Fatal(err)
 		}
 		return
 	}

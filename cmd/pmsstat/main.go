@@ -181,9 +181,25 @@ func render(prev, cur *metrics.Scrape, elapsed time.Duration, barWidth int) stri
 	if violations > 0 {
 		status = "VIOLATION"
 	}
-	w("bound monitor checks %.0f  skipped %.0f  violations %.0f  [%s]\n\n",
+	w("bound monitor checks %.0f  skipped %.0f  violations %.0f  [%s]\n",
 		val(cur, "pmsd_bound_checks_total"), val(cur, "pmsd_bound_checks_skipped_total"),
 		violations, status)
+
+	// Adaptive mapping controller: decision/migration counters plus one
+	// dwell row per policy-managed spec. Gated on the series so scrapes
+	// from a pmsd predating the controller render unchanged.
+	if decisions, ok := cur.Value("pmsd_controller_decisions_total"); ok {
+		w("controller    decisions %.0f (%s)  migrations %.0f  shadow evals %.0f\n",
+			decisions, rate(prev, cur, elapsed, "pmsd_controller_decisions_total"),
+			val(cur, "pmsd_controller_migrations_total"),
+			val(cur, "pmsd_controller_shadow_evals_total"))
+		for _, s := range cur.Series("pmsd_controller_dwell_seconds") {
+			spec := s.Label("spec")
+			w("  %-24s dwell %.0fs  migrations %.0f\n", spec, s.Value,
+				val(cur, "pmsd_controller_migrations", metrics.Label{Name: "spec", Value: spec}))
+		}
+	}
+	w("\n")
 
 	// Template-family conflict rates from the cumulative histograms.
 	if fams := familyRows(cur); len(fams) > 0 {

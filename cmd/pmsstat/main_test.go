@@ -63,6 +63,16 @@ pmsd_store_bytes 3145728
 pmsd_store_spills_total 6
 # TYPE pmsd_store_corrupt_total counter
 pmsd_store_corrupt_total 0
+# TYPE pmsd_controller_decisions_total counter
+pmsd_controller_decisions_total 12
+# TYPE pmsd_controller_migrations_total counter
+pmsd_controller_migrations_total 1
+# TYPE pmsd_controller_shadow_evals_total counter
+pmsd_controller_shadow_evals_total 36
+# TYPE pmsd_controller_dwell_seconds gauge
+pmsd_controller_dwell_seconds{spec="levelcyclic/H=12/M=15"} 42
+# TYPE pmsd_controller_migrations gauge
+pmsd_controller_migrations{spec="levelcyclic/H=12/M=15"} 1
 # TYPE pmsd_template_conflicts histogram
 pmsd_template_conflicts_bucket{family="S",le="0"} 4
 pmsd_template_conflicts_bucket{family="S",le="1"} 8
@@ -117,6 +127,8 @@ func TestRenderRatesAndGauges(t *testing.T) {
 		"acquire hits 70  disk hits 20  materializes 10",
 		"disk tier     entries 4 (3.0 MiB)  spills 6  corrupt 0  tier hit ratio 0.900",
 		"checks 10  skipped 1  violations 0  [ok]",
+		"controller    decisions 12 (1.2/s)  migrations 1  shadow evals 36",
+		"levelcyclic/H=12/M=15    dwell 42s  migrations 1",
 		"S  observations 8  mean 0.500  max bucket le=1",
 		"m0         1200 (60.0/s) " + strings.Repeat("#", 20),
 		"m2          800 (40.0/s) " + strings.Repeat("#", 13),

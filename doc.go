@@ -24,7 +24,12 @@
 // with per-tenant admission — and internal/replay records live traffic
 // into checksummed PMSTRC1 traces that replay deterministically
 // (pmsd -record / -replay / -replay-bench; see README "Workloads" and
-// EXPERIMENTS.md E23). DESIGN.md maps every paper result to the
+// EXPERIMENTS.md E23). internal/controller is the adaptive mapping
+// policy loop over the paper's central trade-off: it classifies each
+// registry entry's live template mix, shadow-scores candidate mappings
+// on sampled traffic, and migrates entries under hysteresis (pmsd
+// -controller; see README "Adaptive mapping" and EXPERIMENTS.md E24).
+// DESIGN.md maps every paper result to the
 // module and experiment that reproduces it; EXPERIMENTS.md records
 // claimed-versus-measured numbers.
 package repro

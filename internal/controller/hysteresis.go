@@ -1,0 +1,155 @@
+// Hysteresis: the pure decision core of the controller. Decide is a
+// function of (config, per-entry state, clock, scores) with no side
+// effects, so the no-flip-flap guarantees are provable by direct
+// property tests rather than by driving a live server.
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Decision actions.
+const (
+	ActionHold    = "hold"
+	ActionMigrate = "migrate"
+)
+
+// Config holds the controller's policy knobs. The zero value of each
+// field selects its documented default; negative MinImprovement or
+// MinDelta disables that margin (not recommended outside tests).
+type Config struct {
+	// MinDwell is the minimum time between migrations of one entry.
+	// Within the dwell window every decision is a hold, whatever the
+	// scores say. Default 30s.
+	MinDwell time.Duration
+	// MinSamples is the minimum number of replayed sample instances
+	// required before any migration. Default 16.
+	MinSamples int
+	// MinImprovement is the fractional per-sample conflict reduction a
+	// challenger must show over the serving mapping. Default 0.25.
+	MinImprovement float64
+	// MinDelta is the absolute per-sample conflict reduction required in
+	// addition to the fraction, so near-zero costs cannot flip on noise.
+	// Default 0.05.
+	MinDelta float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinDwell == 0 {
+		c.MinDwell = 30 * time.Second
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 16
+	}
+	if c.MinImprovement == 0 {
+		c.MinImprovement = 0.25
+	}
+	if c.MinDelta == 0 {
+		c.MinDelta = 0.05
+	}
+	return c
+}
+
+// State is the per-entry hysteresis memory.
+type State struct {
+	// Current is the candidate key currently served for the entry.
+	Current string
+	// LastMigration is when the entry last switched (zero: never).
+	LastMigration time.Time
+	// Migrations counts switches over the entry's lifetime.
+	Migrations int64
+
+	// PrevObs / PrevConf are the cumulative mix counters at the previous
+	// tick; the classifier diffs against them to form windows.
+	PrevObs  [metrics.NumFamilies]int64
+	PrevConf [metrics.NumFamilies]int64
+}
+
+// Decision is the outcome of one policy evaluation.
+type Decision struct {
+	Action string
+	Target Candidate // set when Action == ActionMigrate
+	Reason string
+}
+
+func hold(reason string) Decision { return Decision{Action: ActionHold, Reason: reason} }
+
+// Decide applies hysteresis to one entry's shadow scores. A migration
+// requires all of:
+//
+//   - the entry has dwelt at least MinDwell since its last migration;
+//   - the challenger replayed at least MinSamples instances;
+//   - the challenger's per-sample conflict cost undercuts the serving
+//     mapping's by at least MinImprovement (relative) AND MinDelta
+//     (absolute).
+//
+// Ties among qualifying challengers break toward the lower closed-form
+// bound sum, then the lexicographically smaller key, so the decision is
+// deterministic for a given score set. The double margin is what makes
+// the loop flip-flap-free: immediately after a migration the roles
+// swap, so the retired mapping must now beat the new one by the same
+// margin — an oscillation smaller than the margin can never cross both
+// thresholds, and one larger is rate-limited to once per dwell.
+func Decide(cfg Config, st State, now time.Time, current Score, candidates []Score) Decision {
+	cfg = cfg.withDefaults()
+	if !st.LastMigration.IsZero() && now.Sub(st.LastMigration) < cfg.MinDwell {
+		return hold("within dwell window")
+	}
+	best := current
+	haveBest := false
+	for _, sc := range candidates {
+		if sc.Candidate.Key == current.Candidate.Key {
+			continue
+		}
+		if sc.Samples < cfg.MinSamples {
+			continue
+		}
+		if !undercuts(cfg, current, sc) {
+			continue
+		}
+		if !haveBest || better(sc, best) {
+			best = sc
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		return hold(fmt.Sprintf("no challenger beats %s by the margin", current.Candidate.Key))
+	}
+	return Decision{
+		Action: ActionMigrate,
+		Target: best.Candidate,
+		Reason: fmt.Sprintf("%s replays %.3f conflicts/sample vs %.3f serving",
+			best.Candidate.Key, best.PerSample, current.PerSample),
+	}
+}
+
+// undercuts reports whether the challenger beats the serving score by
+// both margins.
+func undercuts(cfg Config, current, challenger Score) bool {
+	gain := current.PerSample - challenger.PerSample
+	if gain < cfg.MinDelta {
+		return false
+	}
+	if current.PerSample <= 0 {
+		// A serving mapping already at zero replayed conflicts cannot be
+		// improved upon; MinDelta above already rejected this, but keep
+		// the invariant explicit.
+		return false
+	}
+	return gain/current.PerSample >= cfg.MinImprovement
+}
+
+// better orders two qualifying challengers: lower replayed cost, then
+// lower closed-form bound sum, then lower key.
+func better(a, b Score) bool {
+	if a.PerSample != b.PerSample {
+		return a.PerSample < b.PerSample
+	}
+	if a.Bound != b.Bound {
+		return a.Bound < b.Bound
+	}
+	return a.Candidate.Key < b.Candidate.Key
+}

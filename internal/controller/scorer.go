@@ -1,0 +1,82 @@
+// Shadow scoring: replay sampled live template traffic against a
+// candidate mapping using the same batch kernels the serving hot path
+// uses, so a shadow score predicts exactly what the serving layer would
+// observe after a migration. The closed-form Theorem 3/4/6 bounds ride
+// along as a secondary signal (and deterministic tie-break): where a
+// bound applies it caps what the candidate can ever cost, sampled
+// traffic or not.
+package controller
+
+import (
+	"repro/internal/coloring"
+	"repro/internal/metrics"
+	"repro/internal/template"
+	"repro/internal/tree"
+)
+
+// Score is the shadow cost of one candidate over a replayed sample set.
+type Score struct {
+	Candidate Candidate
+	// Samples counts the instances actually replayed (samples that do
+	// not fit the candidate's tree are skipped, not charged).
+	Samples int
+	// Conflicts totals the replayed conflicts, counted exactly as the
+	// serving path counts them (max per-module load - 1 per instance).
+	Conflicts int64
+	// PerSample is Conflicts / Samples (0 for an empty replay).
+	PerSample float64
+	// Bound sums the closed-form conflict bounds over the samples where
+	// one applies; Bounded counts those samples.
+	Bound   int64
+	Bounded int
+}
+
+// ScoreCandidate replays samples against the candidate's mapping m.
+func ScoreCandidate(c Candidate, m coloring.Mapping, samples []template.Instance) Score {
+	sc := Score{Candidate: c}
+	if m == nil || len(samples) == 0 {
+		return sc
+	}
+	counter := coloring.NewCounter(m.Modules())
+	t := m.Tree()
+	var nodes []tree.Node
+	var dst []int
+	for _, in := range samples {
+		if in.Validate(t) != nil {
+			continue
+		}
+		nodes = appendInstanceNodes(nodes[:0], in)
+		if cap(dst) < len(nodes) {
+			dst = make([]int, len(nodes))
+		}
+		d := dst[:len(nodes)]
+		coloring.ColorBatch(m, d, nodes)
+		counter.Reset()
+		for _, col := range d {
+			counter.Add(col)
+		}
+		sc.Samples++
+		sc.Conflicts += int64(counter.Conflicts())
+		if bound, ok := metrics.ConflictBound(metrics.BoundQuery{
+			Alg: c.Alg, M: c.M, Levels: c.Levels,
+			Kind: in.Kind.String(), Size: in.Size,
+		}); ok {
+			sc.Bound += int64(bound)
+			sc.Bounded++
+		}
+	}
+	if sc.Samples > 0 {
+		sc.PerSample = float64(sc.Conflicts) / float64(sc.Samples)
+	}
+	return sc
+}
+
+// appendInstanceNodes collects the instance's node set into buf without
+// a fresh allocation per sample.
+func appendInstanceNodes(buf []tree.Node, in template.Instance) []tree.Node {
+	in.Walk(func(n tree.Node) bool {
+		buf = append(buf, n)
+		return true
+	})
+	return buf
+}

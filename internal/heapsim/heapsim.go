@@ -273,7 +273,12 @@ func RunObserved(sys *pms.System, ops []Op, obs PathObserver) (WorkloadResult, e
 			if h.Len() == 0 {
 				continue
 			}
+			// Go's % keeps the dividend's sign, so a negative Slot must be
+			// normalized into [0, Len) or the keys lookup below panics.
 			slot := op.Slot % h.Len()
+			if slot < 0 {
+				slot += h.Len()
+			}
 			if h.keys[slot] < op.Key {
 				continue
 			}

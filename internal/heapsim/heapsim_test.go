@@ -354,3 +354,45 @@ func TestHeapifyBeatsRepeatedInsert(t *testing.T) {
 		t.Errorf("Heapify %d cycles not cheaper than %d inserts' %d", bulkCycles, len(keys), incCycles)
 	}
 }
+
+// A decrease-key aimed at a negative slot must normalize into the live
+// heap instead of indexing keys[] with a negative value (Go's % keeps
+// the dividend's sign). Regression test for the /v1/heap/run crash path.
+func TestRunNegativeSlotDecreaseKey(t *testing.T) {
+	ops := []Op{
+		{Kind: OpInsert, Key: 10},
+		{Kind: OpInsert, Key: 20},
+		{Kind: OpInsert, Key: 30},
+		{Kind: OpDecreaseKey, Slot: -1, Key: 5},
+		{Kind: OpDecreaseKey, Slot: -7, Key: 1},
+	}
+	res, err := Run(newSys(t, 8), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLen != 3 {
+		t.Errorf("FinalLen = %d, want 3", res.FinalLen)
+	}
+	// -1 mod 3 normalizes to slot 2, -7 to slot 2 again; at least one of
+	// the decreases applies (keys are all above the new values).
+	if res.Ops < 4 {
+		t.Errorf("applied %d ops, want >= 4", res.Ops)
+	}
+}
+
+// A decrease-key as the very first operation (empty heap) is skipped,
+// never a division by zero or a negative index.
+func TestRunDecreaseKeyOnEmptyHeap(t *testing.T) {
+	ops := []Op{
+		{Kind: OpDecreaseKey, Slot: -1, Key: 5},
+		{Kind: OpDecreaseKey, Slot: 0, Key: 5},
+		{Kind: OpInsert, Key: 10},
+	}
+	res, err := Run(newSys(t, 8), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1 || res.FinalLen != 1 {
+		t.Errorf("Ops = %d FinalLen = %d, want 1 and 1", res.Ops, res.FinalLen)
+	}
+}

@@ -40,6 +40,12 @@ type manifestEntry struct {
 
 type manifest struct {
 	Entries []manifestEntry `json:"entries"`
+	// Decisions persists the adaptive controller's migration choices:
+	// requested spec key → JSON-encoded effective mapping spec. A warm
+	// start re-applies them so a restarted pmsd keeps serving the
+	// migrated algorithm. The field is optional, so manifests written by
+	// older processes decode cleanly.
+	Decisions map[string]string `json:"decisions,omitempty"`
 }
 
 // encodeManifest frames the manifest JSON with magic and checksum.

@@ -100,11 +100,12 @@ type Store struct {
 	disableMmap bool
 	now         func() time.Time
 
-	mu      sync.Mutex
-	entries map[string]*entry
-	loaded  map[string]coloring.Mapping // decoded-entry cache, dropped on GC
-	regions [][]byte                    // live mmap regions; unmapped only at Close
-	bytes   int64
+	mu        sync.Mutex
+	entries   map[string]*entry
+	loaded    map[string]coloring.Mapping // decoded-entry cache, dropped on GC
+	regions   [][]byte                    // live mmap regions; unmapped only at Close
+	bytes     int64
+	decisions map[string]string // requested key → effective spec JSON
 	closing bool // no new work accepted; queued spills still drain
 	closed  bool
 
@@ -144,6 +145,7 @@ func Open(opts Options) (*Store, error) {
 		now:         opts.now,
 		entries:     make(map[string]*entry),
 		loaded:      make(map[string]coloring.Mapping),
+		decisions:   make(map[string]string),
 		spillCh:     make(chan spillReq, opts.SpillQueue),
 	}
 
@@ -155,6 +157,9 @@ func Open(opts Options) (*Store, error) {
 		} else {
 			for _, me := range man.Entries {
 				heat[me.Key] = me
+			}
+			for from, to := range man.Decisions {
+				s.decisions[from] = to
 			}
 		}
 	}
@@ -444,6 +449,37 @@ func (s *Store) Hottest(n int) []string {
 	return keys
 }
 
+// SetDecision durably records one controller migration decision:
+// requested spec key → JSON-encoded effective spec. An empty effective
+// value deletes the decision (the entry migrated back to what the
+// client asked for). The manifest is rewritten synchronously so a crash
+// after a migration still warm-starts onto the chosen mapping.
+func (s *Store) SetDecision(fromKey, effectiveSpecJSON string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing || s.closed {
+		return fmt.Errorf("mapstore: store closed")
+	}
+	if effectiveSpecJSON == "" {
+		delete(s.decisions, fromKey)
+	} else {
+		s.decisions[fromKey] = effectiveSpecJSON
+	}
+	return s.writeManifestLocked()
+}
+
+// Decisions returns the persisted migration decisions as requested-key →
+// effective-spec-JSON pairs; a warm start re-applies them.
+func (s *Store) Decisions() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.decisions))
+	for from, to := range s.decisions {
+		out[from] = to
+	}
+	return out
+}
+
 // Stats snapshots the counters.
 func (s *Store) Stats() Stats {
 	st := Stats{
@@ -549,6 +585,12 @@ func (s *Store) gcLocked(keep *entry) {
 // writeManifestLocked persists the heat manifest atomically.
 func (s *Store) writeManifestLocked() error {
 	man := manifest{Entries: make([]manifestEntry, 0, len(s.entries))}
+	if len(s.decisions) > 0 {
+		man.Decisions = make(map[string]string, len(s.decisions))
+		for from, to := range s.decisions {
+			man.Decisions[from] = to
+		}
+	}
 	for _, e := range s.entries {
 		man.Entries = append(man.Entries, manifestEntry{
 			Key: e.key, File: e.file, Bytes: e.bytes, Hits: e.hits, LastAccess: e.lastAccess,

@@ -28,6 +28,8 @@
 package metrics
 
 import (
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/obsv"
@@ -49,6 +51,10 @@ const DefaultMaxModules = 1024
 // S, L, P elementary templates plus the composite C template.
 const familyCount = 4
 
+// NumFamilies exports the family count for callers sizing per-family
+// arrays against Families (the adaptive controller's mix windows).
+const NumFamilies = familyCount
+
 // Families lists the template-family labels in histogram index order.
 var Families = [familyCount]string{"S", "L", "P", "C"}
 
@@ -61,6 +67,26 @@ func FamilyIndex(family string) int {
 		}
 	}
 	return -1
+}
+
+// DefaultMaxSpecs bounds the per-spec attribution table (and therefore
+// the per-spec series cardinality of the Prometheus exposition). One
+// slot is reserved for OverflowSpec, which absorbs observations for
+// every spec beyond the bound.
+const DefaultMaxSpecs = 64
+
+// OverflowSpec is the spec key that absorbs observations once the
+// bounded per-spec table is full, mirroring the serving layer's
+// overflow-tenant convention.
+const OverflowSpec = "other"
+
+// specStats accumulates one registry entry's live template mix:
+// per-family observation counts and conflict sums, keyed by the entry's
+// normalized mapping-spec key. The adaptive controller classifies a
+// spec's workload from exactly these counters.
+type specStats struct {
+	observations [familyCount]atomic.Int64
+	conflicts    [familyCount]atomic.Int64
 }
 
 // stripe is one counter bank. The trailing pad keeps adjacent stripes'
@@ -85,6 +111,10 @@ type Domain struct {
 
 	families [familyCount]obsv.Histogram
 
+	maxSpecs int
+	specsMu  sync.RWMutex
+	specs    map[string]*specStats
+
 	boundChecks     atomic.Int64
 	boundViolations atomic.Int64
 	boundSkipped    atomic.Int64
@@ -96,7 +126,11 @@ func NewDomain(maxModules int) *Domain {
 	if maxModules <= 0 {
 		maxModules = DefaultMaxModules
 	}
-	d := &Domain{maxModules: maxModules}
+	d := &Domain{
+		maxModules: maxModules,
+		maxSpecs:   DefaultMaxSpecs,
+		specs:      make(map[string]*specStats),
+	}
 	for i := range d.stripes {
 		d.stripes[i].accesses = make([]atomic.Int64, maxModules)
 	}
@@ -164,6 +198,89 @@ func (d *Domain) ObserveFamily(family string, conflicts int) {
 	}
 }
 
+// ObserveSpec attributes one template-cost observation to a registry
+// entry: the conflict count of a costed instance of the given family
+// (S|L|P|C), keyed by the entry's normalized spec key. The table is
+// bounded at DefaultMaxSpecs; observations beyond the bound land on the
+// OverflowSpec key. Unknown family labels and empty keys are ignored.
+func (d *Domain) ObserveSpec(key, family string, conflicts int) {
+	if d == nil || key == "" {
+		return
+	}
+	fi := FamilyIndex(family)
+	if fi < 0 {
+		return
+	}
+	st := d.spec(key)
+	st.observations[fi].Add(1)
+	if conflicts > 0 {
+		st.conflicts[fi].Add(int64(conflicts))
+	}
+}
+
+// spec returns (creating on first use) the stats slot for key, spilling
+// to the reserved OverflowSpec slot once the table is full.
+func (d *Domain) spec(key string) *specStats {
+	d.specsMu.RLock()
+	st := d.specs[key]
+	d.specsMu.RUnlock()
+	if st != nil {
+		return st
+	}
+	d.specsMu.Lock()
+	defer d.specsMu.Unlock()
+	if st = d.specs[key]; st != nil {
+		return st
+	}
+	// Reserve the last slot for the overflow key so attribution never
+	// silently drops once the table saturates.
+	if key != OverflowSpec && len(d.specs) >= d.maxSpecs-1 {
+		key = OverflowSpec
+		if st = d.specs[key]; st != nil {
+			return st
+		}
+	}
+	st = &specStats{}
+	d.specs[key] = st
+	return st
+}
+
+// SpecCounters returns the live per-family observation and conflict
+// counters attributed to one spec key, and whether the key has a slot.
+// The controller's classifier diffs successive reads to form windows.
+func (d *Domain) SpecCounters(key string) (obs, conf [familyCount]int64, ok bool) {
+	if d == nil {
+		return obs, conf, false
+	}
+	d.specsMu.RLock()
+	st := d.specs[key]
+	d.specsMu.RUnlock()
+	if st == nil {
+		return obs, conf, false
+	}
+	for i := 0; i < familyCount; i++ {
+		obs[i] = st.observations[i].Load()
+		conf[i] = st.conflicts[i].Load()
+	}
+	return obs, conf, true
+}
+
+// SpecKeys returns the spec keys currently holding attribution slots,
+// sorted, so the controller can enumerate live entries.
+func (d *Domain) SpecKeys() []string {
+	if d == nil {
+		return nil
+	}
+	d.specsMu.RLock()
+	keys := make([]string, 0, len(d.specs))
+	for k := range d.specs {
+		keys = append(keys, k)
+	}
+	d.specsMu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
 // CheckBound compares an observed conflict count against the closed-form
 // theorem bound for its query, when one applies. Returns true when the
 // observation violated an applicable bound (the counter that must stay
@@ -195,9 +312,24 @@ type FamilySnapshot struct {
 	Buckets map[string]int64 `json:"buckets,omitempty"` // upper bound → count
 }
 
+// SpecFamily is one family's share of a spec's attributed mix.
+type SpecFamily struct {
+	Family       string `json:"family"`
+	Observations int64  `json:"observations"`
+	Conflicts    int64  `json:"conflicts"`
+}
+
+// SpecSnapshot is the exported per-spec template mix of one registry
+// entry: which families its live traffic exercises and how many
+// conflicts each family has accumulated.
+type SpecSnapshot struct {
+	Key      string       `json:"key"`
+	Families []SpecFamily `json:"families"`
+}
+
 // DomainSnapshot is the exported form of a Domain: per-module loads, the
-// derived load-balance gauges, family conflict histograms and the bound
-// monitor counters.
+// derived load-balance gauges, family conflict histograms, per-spec mix
+// attribution and the bound monitor counters.
 type DomainSnapshot struct {
 	// ModuleAccesses[i] is the access count of module i, trimmed to the
 	// highest touched module.
@@ -222,6 +354,10 @@ type DomainSnapshot struct {
 	Conflicts int64 `json:"conflicts"`
 
 	Families []FamilySnapshot `json:"families,omitempty"`
+
+	// Specs attributes the family mix per registry entry (bounded table;
+	// the "other" key absorbs overflow), sorted by key.
+	Specs []SpecSnapshot `json:"specs,omitempty"`
 
 	BoundChecks     int64 `json:"bound_checks"`
 	BoundViolations int64 `json:"bound_violations"`
@@ -282,6 +418,26 @@ func (d *Domain) Snapshot() DomainSnapshot {
 			}
 		}
 		s.Families = append(s.Families, fs)
+	}
+	for _, key := range d.SpecKeys() {
+		obs, conf, ok := d.SpecCounters(key)
+		if !ok {
+			continue
+		}
+		sp := SpecSnapshot{Key: key}
+		for i := 0; i < familyCount; i++ {
+			if obs[i] == 0 && conf[i] == 0 {
+				continue
+			}
+			sp.Families = append(sp.Families, SpecFamily{
+				Family:       Families[i],
+				Observations: obs[i],
+				Conflicts:    conf[i],
+			})
+		}
+		if len(sp.Families) > 0 {
+			s.Specs = append(s.Specs, sp)
+		}
 	}
 	s.BoundChecks = d.boundChecks.Load()
 	s.BoundViolations = d.boundViolations.Load()

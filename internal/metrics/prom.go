@@ -178,6 +178,18 @@ func WriteDomainSnapshot(e *Expo, prefix string, d *Domain, s DomainSnapshot) {
 			e.Histogram(prefix+"_template_conflicts", []Label{{"family", fam}}, h)
 		}
 	}
+	for _, sp := range s.Specs {
+		for _, f := range sp.Families {
+			e.Counter(prefix+"_spec_template_observations_total",
+				[]Label{{"spec", sp.Key}, {"family", f.Family}}, f.Observations)
+		}
+	}
+	for _, sp := range s.Specs {
+		for _, f := range sp.Families {
+			e.Counter(prefix+"_spec_template_conflicts_total",
+				[]Label{{"spec", sp.Key}, {"family", f.Family}}, f.Conflicts)
+		}
+	}
 	e.Counter(prefix+"_bound_checks_total", nil, s.BoundChecks)
 	e.Counter(prefix+"_bound_violations_total", nil, s.BoundViolations)
 	e.Counter(prefix+"_bound_checks_skipped_total", nil, s.BoundSkipped)

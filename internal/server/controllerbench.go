@@ -1,0 +1,324 @@
+// Controller benchmark: drives the S-heavy → P-heavy phase-shift
+// workload against three servers — the adaptive controller plus the two
+// static mappings it arbitrates between — and records the conflict and
+// latency evidence for the controller's claim: after the migration its
+// observed conflicts undercut every static choice at comparable p99,
+// with the theorem-bound monitor at zero violations throughout. This is
+// the `make bench-controller` entry recorded in BENCH_pr9.json.
+//
+// The scenario is built on the Section 4 canonical sizes for m = 4
+// (K = 7, N = 11, M = 15): the S phase posts 7-node subtrees that COLOR
+// serves conflict-free (Theorem 3) while LEVEL-CYCLIC pays 3 conflicts
+// each (a subtree packs whole levels into single modules) and MOD pays
+// scattered residue collisions; the P phase posts ≤ 8-node paths that
+// both COLOR and LEVEL-CYCLIC serve conflict-free. A controller fronting
+// the levelcyclic spec therefore migrates to COLOR during the S phase
+// and keeps it through the P phase, beating levelcyclic (which bleeds
+// through all of phase S) and mod (which bleeds through both phases).
+//
+// Ticks are driven synchronously between request rounds rather than by
+// the wall-clock loop, so the recorded migration point is reproducible.
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	dm "repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// ControllerBenchConfig parameterizes one phase-shift comparison.
+type ControllerBenchConfig struct {
+	// Levels is the tree height of every spec (default 12 — deep enough
+	// for the Theorem 3 path bound at m=4, N=11).
+	Levels int
+	// Requests is the per-phase request budget (default 2400).
+	Requests int
+	// Clients is the number of concurrent drivers (default 8).
+	Clients int
+	// Rounds splits each phase into tick-separated rounds (default 4).
+	Rounds int
+	// Seed seeds the per-client key streams.
+	Seed int64
+	// Server tunes the serving side; controller knobs are bench-owned.
+	Server Config
+}
+
+func (c ControllerBenchConfig) withDefaults() ControllerBenchConfig {
+	if c.Levels <= 0 {
+		c.Levels = 12
+	}
+	if c.Requests <= 0 {
+		c.Requests = 2400
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ControllerBenchPhase is one phase of one scenario.
+type ControllerBenchPhase struct {
+	Requests  int64   `json:"requests"`
+	Conflicts int64   `json:"conflicts"` // spec-attributed, this phase only
+	P99us     float64 `json:"p99_us"`
+}
+
+// ControllerBenchScenario is one measured server run.
+type ControllerBenchScenario struct {
+	Mode         string `json:"mode"`
+	RequestedKey string `json:"requested_key"`
+	// EffectiveKey is the mapping served at the end of the run — for the
+	// controller scenario, the post-migration algorithm.
+	EffectiveKey    string               `json:"effective_key"`
+	Migrations      int64                `json:"migrations"`
+	Decisions       int64                `json:"decisions"`
+	SPhase          ControllerBenchPhase `json:"s_phase"`
+	PPhase          ControllerBenchPhase `json:"p_phase"`
+	TotalConflicts  int64                `json:"total_conflicts"`
+	BoundChecks     int64                `json:"bound_checks"`
+	BoundViolations int64                `json:"bound_violations"`
+	Errors          int64                `json:"errors"`
+}
+
+// ControllerBenchResult is the three-scenario comparison.
+type ControllerBenchResult struct {
+	Controller        ControllerBenchScenario `json:"controller"`
+	StaticLevelcyclic ControllerBenchScenario `json:"static_levelcyclic"`
+	StaticMod         ControllerBenchScenario `json:"static_mod"`
+	// BeatsLevelcyclic / BeatsMod: the controller's total observed
+	// conflicts are strictly below the static run's.
+	BeatsLevelcyclic bool `json:"controller_beats_levelcyclic"`
+	BeatsMod         bool `json:"controller_beats_mod"`
+	// ViolationsTotal sums bound violations across all three runs (the
+	// invariant: 0 — migration never breaks a theorem bound check).
+	ViolationsTotal int64 `json:"bound_violations_total"`
+	// P99RatioVsBestStatic compares the controller run's worst phase p99
+	// against the best static run's worst phase p99 (≈1: comparable).
+	P99RatioVsBestStatic float64 `json:"p99_ratio_vs_best_static"`
+}
+
+// specConflicts sums the family conflicts attributed to key.
+func specConflicts(d *dm.DomainSnapshot, key string) int64 {
+	if d == nil {
+		return 0
+	}
+	for _, sp := range d.Specs {
+		if sp.Key != key {
+			continue
+		}
+		var total int64
+		for _, f := range sp.Families {
+			total += f.Conflicts
+		}
+		return total
+	}
+	return 0
+}
+
+// drivePhase posts one phase's request budget (kind "template-S" or
+// "template-P") across cfg.Clients concurrent drivers, one round's
+// worth per call.
+func drivePhase(base string, client *http.Client, cfg ControllerBenchConfig,
+	mapping MappingSpec, kind string, seed int64) (ok, errs int64, lats []time.Duration) {
+	lg := LoadGenConfig{Mapping: mapping}
+	space := tree.New(cfg.Levels).Nodes()
+	perClient := cfg.Requests / cfg.Rounds / cfg.Clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			keys, err := workload.NewKeyStream(workload.Uniform, space, seed+int64(id))
+			if err != nil {
+				mu.Lock()
+				errs += int64(perClient)
+				mu.Unlock()
+				return
+			}
+			mine := make([]time.Duration, 0, perClient)
+			var myOK, myErr int64
+			var body bytes.Buffer
+			for i := 0; i < perClient; i++ {
+				n := tree.FromHeapIndex(keys.Next())
+				body.Reset()
+				path := encodeLoadRequest(&body, lg, kind, n, space, int64(id*perClient+i))
+				t0 := time.Now()
+				resp, err := client.Post(base+path, "application/json", bytes.NewReader(body.Bytes()))
+				if err != nil {
+					myErr++
+					continue
+				}
+				_ = resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					myOK++
+					mine = append(mine, time.Since(t0))
+				} else {
+					myErr++
+				}
+			}
+			mu.Lock()
+			ok += myOK
+			errs += myErr
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	return ok, errs, lats
+}
+
+// runControllerScenario boots one server, drives the two phases round by
+// round (ticking the controller between rounds when enabled), and
+// returns the measured scenario.
+func runControllerScenario(cfg ControllerBenchConfig, mode string,
+	requested MappingSpec, adaptive bool) (ControllerBenchScenario, error) {
+	srvCfg := cfg.Server
+	srvCfg.Addr = "127.0.0.1:0"
+	if srvCfg.Workers == 0 {
+		srvCfg.Workers = 4
+	}
+	if srvCfg.MaxInflight == 0 {
+		srvCfg.MaxInflight = 4096
+	}
+	if adaptive {
+		srvCfg.Controller = true
+		// The wall-clock loop stays parked; ControllerTick below drives
+		// policy at reproducible points. Every template instance is
+		// sampled so the first round already clears MinSamples.
+		srvCfg.ControllerInterval = time.Hour
+		srvCfg.ControllerMinDwell = time.Millisecond
+		srvCfg.ControllerMinSamples = 8
+		srvCfg.ShadowSampleRate = 1
+	}
+	srv := New(srvCfg)
+	if err := srv.Start(); err != nil {
+		return ControllerBenchScenario{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	base := "http://" + srv.Addr()
+	transport := &http.Transport{MaxIdleConns: cfg.Clients * 2, MaxIdleConnsPerHost: cfg.Clients * 2}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	defer transport.CloseIdleConnections()
+
+	sc := ControllerBenchScenario{Mode: mode, RequestedKey: requested.Key()}
+	runPhase := func(kind string, seed int64) (ControllerBenchPhase, error) {
+		var ph ControllerBenchPhase
+		var lats []time.Duration
+		for r := 0; r < cfg.Rounds; r++ {
+			ok, errs, l := drivePhase(base, client, cfg, requested, kind, seed+int64(r)*7919)
+			ph.Requests += ok
+			sc.Errors += errs
+			lats = append(lats, l...)
+			if adaptive {
+				srv.ControllerTick(time.Now())
+			}
+		}
+		if ph.Requests == 0 {
+			return ph, fmt.Errorf("controller bench: %s/%s phase served no requests", mode, kind)
+		}
+		report.SortDurations(lats)
+		ph.P99us = report.PercentileUS(lats, 99)
+		return ph, nil
+	}
+
+	sPhase, err := runPhase("template-S", cfg.Seed)
+	if err != nil {
+		return sc, err
+	}
+	mid := srv.Metrics().Snapshot()
+	sPhase.Conflicts = specConflicts(mid.Domain, sc.RequestedKey)
+
+	pPhase, err := runPhase("template-P", cfg.Seed+104729)
+	if err != nil {
+		return sc, err
+	}
+	snap := srv.Metrics().Snapshot()
+	total := specConflicts(snap.Domain, sc.RequestedKey)
+	pPhase.Conflicts = total - sPhase.Conflicts
+
+	sc.SPhase, sc.PPhase = sPhase, pPhase
+	sc.TotalConflicts = total
+	sc.Migrations = snap.ControllerMigrations
+	sc.Decisions = snap.ControllerDecisions
+	sc.EffectiveKey = srv.reg.Resolve(requested).Key()
+	if snap.Domain != nil {
+		sc.BoundChecks = snap.Domain.BoundChecks
+		sc.BoundViolations = snap.Domain.BoundViolations
+	}
+	return sc, nil
+}
+
+// RunControllerBench runs the three scenarios and assembles the
+// comparison. It returns the result even when a claim fails, alongside
+// the error, so a bench snapshot survives for inspection.
+func RunControllerBench(cfg ControllerBenchConfig) (ControllerBenchResult, error) {
+	cfg = cfg.withDefaults()
+	const modules = 15 // 2^4 - 1: the m=4 canonical module count
+	levelcyclic := MappingSpec{Alg: "levelcyclic", Levels: cfg.Levels, Modules: modules}
+	mod := MappingSpec{Alg: "mod", Levels: cfg.Levels, Modules: modules}
+
+	var res ControllerBenchResult
+	var err error
+	if res.Controller, err = runControllerScenario(cfg, "controller", levelcyclic, true); err != nil {
+		return res, err
+	}
+	if res.StaticLevelcyclic, err = runControllerScenario(cfg, "static_levelcyclic", levelcyclic, false); err != nil {
+		return res, err
+	}
+	if res.StaticMod, err = runControllerScenario(cfg, "static_mod", mod, false); err != nil {
+		return res, err
+	}
+
+	res.BeatsLevelcyclic = res.Controller.TotalConflicts < res.StaticLevelcyclic.TotalConflicts
+	res.BeatsMod = res.Controller.TotalConflicts < res.StaticMod.TotalConflicts
+	res.ViolationsTotal = res.Controller.BoundViolations +
+		res.StaticLevelcyclic.BoundViolations + res.StaticMod.BoundViolations
+
+	worst := func(sc ControllerBenchScenario) float64 {
+		if sc.SPhase.P99us > sc.PPhase.P99us {
+			return sc.SPhase.P99us
+		}
+		return sc.PPhase.P99us
+	}
+	bestStatic := worst(res.StaticLevelcyclic)
+	if w := worst(res.StaticMod); w < bestStatic {
+		bestStatic = w
+	}
+	if bestStatic > 0 {
+		res.P99RatioVsBestStatic = worst(res.Controller) / bestStatic
+	}
+
+	switch {
+	case res.Controller.Migrations < 1:
+		err = fmt.Errorf("controller bench: no migration under the S-heavy phase")
+	case res.ViolationsTotal != 0:
+		err = fmt.Errorf("controller bench: %d bound violations", res.ViolationsTotal)
+	case !res.BeatsLevelcyclic || !res.BeatsMod:
+		err = fmt.Errorf("controller bench: controller conflicts %d vs levelcyclic %d, mod %d — not strictly best",
+			res.Controller.TotalConflicts, res.StaticLevelcyclic.TotalConflicts, res.StaticMod.TotalConflicts)
+	}
+	return res, err
+}

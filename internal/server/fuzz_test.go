@@ -37,6 +37,8 @@ func FuzzRequestDecoding(f *testing.F) {
 		`{"node":` + strings.Repeat(`{"index":`, 100) + `0` + strings.Repeat(`}`, 100) + `}`,
 		`{"mapping":{"alg":"color","levels":8,"m":2},"ops":[{"op":"insert","key":5},{"op":"delete-min"}]}`,
 		`{"mapping":{"alg":"color","levels":8,"m":2},"ops":[{"op":"decrease-key","slot":-1}]}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"ops":[{"op":"insert","key":5},{"op":"decrease-key","slot":-9223372036854775808,"key":1}]}`,
+		`{"mapping":{"alg":"color","levels":8,"m":2},"ops":[{"op":"decrease-key","slot":0,"key":1},{"op":"insert","key":5}]}`,
 		`{"mapping":{"alg":"color","levels":8,"m":2},"ops":[{"op":"pop"}]}`,
 		`{"mapping":{"alg":"color","levels":8,"m":2},"n":4,"dist":"zipf","seed":1}`,
 		`{"mapping":{"alg":"color","levels":8,"m":2},"n":-1}`,

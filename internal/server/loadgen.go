@@ -40,7 +40,10 @@ type LoadGenConfig struct {
 	// template costs (the path with per-node domain accounting), which is
 	// what the metrics-overhead bench prices; "mix" draws the request kind
 	// per call from a Zipf-weighted mix over color, template-cost, range
-	// and heap workloads — the composite scenario the replay bench records.
+	// and heap workloads — the composite scenario the replay bench records;
+	// "phase-shift" posts S-heavy template costs for the first half of each
+	// client's budget and P-heavy ones for the second — the mid-run mix
+	// flip the adaptive mapping controller reacts to.
 	Endpoint string
 	// Tenants, when positive, stamps each request with an X-Tenant header
 	// drawn Zipf-skewed over that many tenant names, so a few tenants are
@@ -86,6 +89,34 @@ func encodeLoadRequest(body *bytes.Buffer, cfg LoadGenConfig, kind string, n tre
 			Mapping: cfg.Mapping,
 			Kind:    "P",
 			Size:    int64(n.Level) + 1,
+			Anchor:  &NodeRef{Index: n.Index, Level: n.Level},
+		})
+		return "/v1/template-cost"
+	case "template-S":
+		// A 3-level subtree (7 nodes) — the S-heavy phase shape, lifted
+		// root-ward when the drawn anchor sits too deep for the subtree
+		// to fit.
+		anchor := n
+		if lift := n.Level - (cfg.Mapping.Levels - 3); lift > 0 {
+			anchor = n.Ancestor(lift)
+		}
+		_ = enc.Encode(TemplateCostRequest{
+			Mapping: cfg.Mapping,
+			Kind:    "S",
+			Size:    7,
+			Anchor:  &NodeRef{Index: anchor.Index, Level: anchor.Level},
+		})
+		return "/v1/template-cost"
+	case "template-P":
+		// A short root-ward path (≤ 8 nodes) — the P-heavy phase shape.
+		size := int64(n.Level) + 1
+		if size > 8 {
+			size = 8
+		}
+		_ = enc.Encode(TemplateCostRequest{
+			Mapping: cfg.Mapping,
+			Kind:    "P",
+			Size:    size,
 			Anchor:  &NodeRef{Index: n.Index, Level: n.Level},
 		})
 		return "/v1/template-cost"
@@ -217,6 +248,12 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 				kind := cfg.Endpoint
 				if kindPick != nil {
 					kind = mixKinds[kindPick.Next()]
+				}
+				if cfg.Endpoint == "phase-shift" {
+					kind = "template-S"
+					if i >= perClient/2 {
+						kind = "template-P"
+					}
 				}
 				body.Reset()
 				path := encodeLoadRequest(&body, cfg, kind, n, space, int64(id)*int64(perClient)+int64(i))

@@ -147,6 +147,15 @@ type Metrics struct {
 	registryAcquireDiskHits     atomic.Int64
 	registryAcquireMaterializes atomic.Int64
 
+	// Controller counters: decisions is every policy evaluation event
+	// (hold or migrate), migrations counts entry switches, shadowEvals
+	// counts candidate replays. controller renders the per-spec state
+	// when the controller runs; nil otherwise.
+	controllerDecisions   atomic.Int64
+	controllerMigrations  atomic.Int64
+	controllerShadowEvals atomic.Int64
+	controller            func() *ControllerSnapshot
+
 	// store is the attached disk tier; nil when pmsd runs memory-only.
 	// Its counters live in the mapstore package and are snapshotted on
 	// scrape.
@@ -196,6 +205,13 @@ type MetricsSnapshot struct {
 	RegistryAcquireHits         int64 `json:"registry_acquire_hits"`
 	RegistryAcquireDiskHits     int64 `json:"registry_acquire_disk_hits"`
 	RegistryAcquireMaterializes int64 `json:"registry_acquire_materializes"`
+
+	ControllerDecisions   int64 `json:"controller_decisions"`
+	ControllerMigrations  int64 `json:"controller_migrations"`
+	ControllerShadowEvals int64 `json:"controller_shadow_evals"`
+	// Controller is the adaptive-mapping policy state; omitted when the
+	// controller is disabled.
+	Controller *ControllerSnapshot `json:"controller,omitempty"`
 
 	// Store is the disk-tier snapshot; omitted when no store is attached.
 	Store *StoreSnapshot `json:"store,omitempty"`
@@ -251,6 +267,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RegistryAcquireDiskHits:     m.registryAcquireDiskHits.Load(),
 		RegistryAcquireMaterializes: m.registryAcquireMaterializes.Load(),
 
+		ControllerDecisions:   m.controllerDecisions.Load(),
+		ControllerMigrations:  m.controllerMigrations.Load(),
+		ControllerShadowEvals: m.controllerShadowEvals.Load(),
+
 		SimBatches:   m.simBatches.Load(),
 		SimRequests:  m.simRequests.Load(),
 		SimCycles:    m.simCycles.Load(),
@@ -270,6 +290,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	if m.store != nil {
 		ss := storeSnapshot(m.store.Stats())
 		s.Store = &ss
+	}
+	if m.controller != nil {
+		s.Controller = m.controller()
 	}
 	return s
 }

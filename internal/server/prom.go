@@ -11,6 +11,7 @@ package server
 
 import (
 	"net/http"
+	"sort"
 
 	"repro/internal/mapstore"
 	dm "repro/internal/metrics"
@@ -105,6 +106,33 @@ func writeServerMetrics(e *dm.Expo, m *Metrics) {
 	e.Counter(promPrefix+"_registry_acquire_hits_total", nil, m.registryAcquireHits.Load())
 	e.Counter(promPrefix+"_registry_acquire_disk_hits_total", nil, m.registryAcquireDiskHits.Load())
 	e.Counter(promPrefix+"_registry_acquire_materializes_total", nil, m.registryAcquireMaterializes.Load())
+
+	// Controller series: the counters are written unconditionally (zeros
+	// when the controller is off) for dashboard stability; the per-spec
+	// dwell and shadow-score gauges only exist while it runs.
+	e.Counter(promPrefix+"_controller_decisions_total", nil, m.controllerDecisions.Load())
+	e.Counter(promPrefix+"_controller_migrations_total", nil, m.controllerMigrations.Load())
+	e.Counter(promPrefix+"_controller_shadow_evals_total", nil, m.controllerShadowEvals.Load())
+	if m.controller != nil {
+		cs := m.controller()
+		for _, en := range cs.Entries {
+			e.GaugeInt(promPrefix+"_controller_migrations", []dm.Label{{Name: "spec", Value: en.Spec}}, en.Migrations)
+		}
+		for _, en := range cs.Entries {
+			e.Gauge(promPrefix+"_controller_dwell_seconds", []dm.Label{{Name: "spec", Value: en.Spec}}, en.DwellSeconds)
+		}
+		for _, en := range cs.Entries {
+			cands := make([]string, 0, len(en.Scores))
+			for ck := range en.Scores {
+				cands = append(cands, ck)
+			}
+			sort.Strings(cands)
+			for _, ck := range cands {
+				e.Gauge(promPrefix+"_controller_shadow_score",
+					[]dm.Label{{Name: "spec", Value: en.Spec}, {Name: "candidate", Value: ck}}, en.Scores[ck])
+			}
+		}
+	}
 
 	// Disk-tier series are written unconditionally (zeros when pmsd runs
 	// memory-only) so dashboards keep a stable shape across deployments.

@@ -87,6 +87,9 @@ func populateDeterministic(s *Server) {
 	d.ObserveFamily("S", 1)
 	d.ObserveFamily("P", 3)
 	d.ObserveFamily("C", 9)
+	d.ObserveSpec("color/H=10/m=3", "S", 1)
+	d.ObserveSpec("color/H=10/m=3", "P", 0)
+	d.ObserveSpec("mod/H=10/M=7", "C", 4)
 	// One applicable bound check (Theorem 4: S(7) on color m=3) and one
 	// inapplicable (mod mapping has no theorem).
 	d.CheckBound(dm.BoundQuery{Alg: "color", M: 3, Levels: 10, Kind: "S", Size: 7}, 1)
@@ -178,6 +181,12 @@ var serverSeries = map[string]string{
 	"registry_acquire_hits":         "pmsd_registry_acquire_hits_total",
 	"registry_acquire_disk_hits":    "pmsd_registry_acquire_disk_hits_total",
 	"registry_acquire_materializes": "pmsd_registry_acquire_materializes_total",
+	"controller_decisions":          "pmsd_controller_decisions_total",
+	"controller_migrations":         "pmsd_controller_migrations_total",
+	"controller_shadow_evals":       "pmsd_controller_shadow_evals_total",
+	// The per-spec controller gauges only exist while the controller
+	// runs; the decisions counter stands in for the snapshot pointer.
+	"controller": "pmsd_controller_decisions_total",
 	"sim_batches":                   "pmsd_sim_batches_total",
 	"sim_requests":                  "pmsd_sim_requests_total",
 	"sim_cycles":                    "pmsd_sim_cycles_total",
@@ -230,6 +239,7 @@ var domainSeries = map[string]string{
 	"bound_checks":         "pmsd_bound_checks_total",
 	"bound_violations":     "pmsd_bound_violations_total",
 	"bound_checks_skipped": "pmsd_bound_checks_skipped_total",
+	"specs":                "pmsd_spec_template_observations_total",
 }
 
 func jsonTag(f reflect.StructField) string {

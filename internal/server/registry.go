@@ -32,6 +32,13 @@ type Registry struct {
 	shards         [registryShards]registryShard
 	met            *Metrics
 	store          *mapstore.Store // nil without a disk tier
+
+	// overrides redirects a client-requested spec key to the spec the
+	// adaptive controller migrated it to. Handlers resolve exactly once
+	// per request, so registry lookups, family attribution and
+	// theorem-bound queries all agree on the effective algorithm.
+	ovMu      sync.RWMutex
+	overrides map[string]MappingSpec
 }
 
 type registryShard struct {
@@ -60,6 +67,7 @@ func NewRegistry(budgetBytes int64, met *Metrics) *Registry {
 		perShardBudget: budgetBytes / registryShards,
 		seed:           maphash.MakeSeed(),
 		met:            met,
+		overrides:      make(map[string]MappingSpec),
 	}
 	for i := range r.shards {
 		r.shards[i].items = make(map[string]*regEntry)
@@ -297,4 +305,126 @@ func (r *Registry) Len() int {
 		r.shards[i].mu.Unlock()
 	}
 	return total
+}
+
+// Resolve maps a validated client spec to the spec actually served,
+// following a controller-installed redirect when one exists. A spec
+// without a redirect resolves to itself.
+func (r *Registry) Resolve(spec MappingSpec) MappingSpec {
+	r.ovMu.RLock()
+	eff, ok := r.overrides[spec.Key()]
+	r.ovMu.RUnlock()
+	if ok {
+		return eff
+	}
+	return spec
+}
+
+// SetOverride installs (or, when to's key equals fromKey, removes) the
+// redirect for one requested key. Used by the controller's migration
+// path and by warm starts re-applying persisted decisions.
+func (r *Registry) SetOverride(fromKey string, to MappingSpec) {
+	r.ovMu.Lock()
+	if to.Key() == fromKey {
+		delete(r.overrides, fromKey)
+	} else {
+		r.overrides[fromKey] = to
+	}
+	r.ovMu.Unlock()
+}
+
+// Overrides returns the current redirect table as requested-key →
+// effective-key pairs (for /debug/vars and tests).
+func (r *Registry) Overrides() map[string]string {
+	r.ovMu.RLock()
+	out := make(map[string]string, len(r.overrides))
+	for k, v := range r.overrides {
+		out[k] = v.Key()
+	}
+	r.ovMu.RUnlock()
+	return out
+}
+
+// Migrate retires the entry under fromKey and admits the mapping for
+// spec `to` in its place, flipping the redirect so later requests for
+// fromKey resolve to the new spec. The byte budget never transiently
+// holds both artifacts: the candidate is built (or disk-loaded)
+// *uncharged*, the retired entry is uncharged first, and only then is
+// the candidate committed — under the normal single-flight window, so a
+// racing client build for the same key is honored rather than
+// duplicated. The retired mapping is spilled to the disk tier (when one
+// is attached), never silently dropped.
+//
+// prebuilt, when non-nil, is used as the candidate's mapping (the
+// controller passes its shadow-scored copy so migration pays no second
+// materialization); otherwise the store is probed and then the spec is
+// built.
+func (r *Registry) Migrate(fromKey string, to MappingSpec, prebuilt coloring.Mapping) (coloring.Mapping, error) {
+	toKey := to.Key()
+	m := prebuilt
+	var bytes int64
+	if m != nil {
+		bytes = sizeOf(m)
+	}
+	if m == nil && r.store != nil {
+		if sm, ok := r.store.Get(toKey); ok {
+			m, bytes = sm, sizeOf(sm)
+		}
+	}
+	if m == nil {
+		var err error
+		m, bytes, err = to.build()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Retire the old artifact first: uncharge its bytes exactly once and
+	// collect it for the disk spill. The artifact to retire lives under
+	// the entry's *current effective* key — fromKey itself only until the
+	// first migration, the previous migration target afterwards. An
+	// in-flight build for that key is left alone — it finishes, commits,
+	// and ages out via the LRU (its waiters still get a correct mapping;
+	// only new requests redirect).
+	retireKey := fromKey
+	r.ovMu.RLock()
+	if cur, ok := r.overrides[fromKey]; ok {
+		retireKey = cur.Key()
+	}
+	r.ovMu.RUnlock()
+	var retired *regEntry
+	if retireKey != toKey {
+		sh := r.shardFor(retireKey)
+		sh.mu.Lock()
+		if old, ok := sh.items[retireKey]; ok && old.done() && old.err == nil {
+			sh.lru.Remove(old.elem)
+			delete(sh.items, retireKey)
+			sh.bytes -= old.bytes
+			r.met.registryBytes.Add(-old.bytes)
+			retired = old
+		}
+		sh.mu.Unlock()
+	}
+
+	// Admit the candidate under the single-flight window: a racing
+	// placeholder (or an already-resident entry) wins and our prebuilt
+	// copy is simply returned to the caller uncached.
+	tsh := r.shardFor(toKey)
+	tsh.mu.Lock()
+	if _, raced := tsh.items[toKey]; raced {
+		tsh.mu.Unlock()
+	} else {
+		e := &regEntry{key: toKey, ready: make(chan struct{})}
+		e.elem = tsh.lru.PushFront(e)
+		tsh.items[toKey] = e
+		tsh.mu.Unlock()
+		victims := r.commitLocked(tsh, e, m, bytes)
+		r.spill(victims)
+	}
+
+	r.SetOverride(fromKey, to)
+	if retired != nil {
+		r.spill([]*regEntry{retired})
+	}
+	return m, nil
 }

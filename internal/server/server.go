@@ -28,6 +28,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -115,6 +116,25 @@ type Config struct {
 	// mappings into it for the next process's warm start. The server
 	// takes ownership and closes it during Shutdown.
 	Store *mapstore.Store
+	// Controller enables the adaptive mapping controller: a per-spec
+	// policy loop that classifies the live template mix, shadow-scores
+	// candidate mappings against sampled traffic, and migrates registry
+	// entries under hysteresis. Requires domain metrics (the mix
+	// classifier reads the per-spec counters).
+	Controller bool
+	// ControllerInterval is the policy tick period (default 2s).
+	ControllerInterval time.Duration
+	// ShadowSampleRate is the fraction of observed template instances
+	// recorded into the per-spec shadow replay reservoirs (default 0.25;
+	// negative records nothing, idling the controller).
+	ShadowSampleRate float64
+	// ControllerMinDwell is the minimum time between migrations of one
+	// spec (default 3× ControllerInterval). ControllerMinSamples and
+	// ControllerMinImprovement pass through to the hysteresis core
+	// (defaults 16 and 0.25).
+	ControllerMinDwell       time.Duration
+	ControllerMinSamples     int
+	ControllerMinImprovement float64
 	// Middleware, when set, wraps the route mux on the listener path
 	// (Start / the http.Server built by New). The fault-injection harness
 	// hooks in here; Handler() itself stays unwrapped so tests can reach
@@ -183,6 +203,15 @@ func (c Config) withDefaults() Config {
 	if c.TraceSlowest <= 0 {
 		c.TraceSlowest = 32
 	}
+	if c.ControllerInterval <= 0 {
+		c.ControllerInterval = 2 * time.Second
+	}
+	if c.ShadowSampleRate == 0 {
+		c.ShadowSampleRate = 0.25
+	}
+	if c.ControllerMinDwell <= 0 {
+		c.ControllerMinDwell = 3 * c.ControllerInterval
+	}
 	return c
 }
 
@@ -200,7 +229,8 @@ type Server struct {
 	pool     *pool
 	coal     *coalescer
 	trc      *obsv.Tracer
-	dom      *dm.Domain // nil when domain metrics are disabled
+	dom      *dm.Domain        // nil when domain metrics are disabled
+	ctl      *serverController // nil when the controller is disabled
 	httpSrv  *http.Server
 	listener net.Listener
 	draining atomic.Bool
@@ -233,6 +263,11 @@ func New(cfg Config) *Server {
 		s.dom = dm.NewDomain(0)
 	}
 	met.domain = s.dom
+	if cfg.Controller && s.dom != nil {
+		s.ctl = newServerController(s)
+		met.controller = s.ctl.snapshot
+		s.ctl.start()
+	}
 	h := http.Handler(s.Handler())
 	if cfg.Middleware != nil {
 		h = cfg.Middleware(h)
@@ -302,6 +337,11 @@ func (s *Server) Addr() string {
 // mappings are invalid once the store unmaps its regions.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Stop the controller loop first: a migration mid-drain would race
+	// the registry flush and the store close below.
+	if s.ctl != nil {
+		s.ctl.stopLoop()
+	}
 	s.coal.shutdown()
 	err := s.httpSrv.Shutdown(ctx)
 	// Even if ctx expired above, admitted handlers may still be talking to
@@ -332,6 +372,17 @@ func (s *Server) WarmStart(n int) int {
 		if s.reg.Preadmit(key) {
 			admitted++
 		}
+	}
+	// Re-apply persisted controller decisions before serving traffic, so
+	// a restart keeps serving the migrated mapping — from the preadmitted
+	// disk copy, not a rematerialization.
+	for from, raw := range s.cfg.Store.Decisions() {
+		var spec MappingSpec
+		if err := json.Unmarshal([]byte(raw), &spec); err != nil || spec.Validate() != nil {
+			continue
+		}
+		s.reg.SetOverride(from, spec)
+		s.reg.Preadmit(spec.Key())
 	}
 	return admitted
 }
@@ -527,6 +578,9 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Serve through the controller's effective mapping (candidates keep
+	// the requested Levels, so node validation above still applies).
+	spec := s.resolveSpec(w, req.Mapping)
 
 	release, aerr := s.admit(r)
 	if aerr != nil {
@@ -537,7 +591,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	tr := obsv.FromContext(r.Context())
 
 	if req.Node != nil {
-		out, ok := s.coal.enqueue(req.Mapping, req.Node.Node(), tr)
+		out, ok := s.coal.enqueue(spec, req.Node.Node(), tr)
 		if !ok {
 			writeError(w, errDraining)
 			return
@@ -553,8 +607,8 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 
 	var resp ColorResponse
 	var taskErr error
-	if aerr := s.runTask(tr, req.Mapping, func() {
-		m, err := s.acquireTraced(req.Mapping, tr)
+	if aerr := s.runTask(tr, spec, func() {
+		m, err := s.acquireTraced(spec, tr)
 		if err != nil {
 			taskErr = err
 			return
@@ -621,6 +675,11 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t := tree.New(req.Mapping.Levels)
+	// Observations are attributed to the *requested* key — the stable
+	// policy identity across migrations — while the served mapping and
+	// its theorem bounds come from the effective spec.
+	reqKey := req.Mapping.Key()
+	spec := s.resolveSpec(w, req.Mapping)
 
 	// Pre-validate per mode, before taking a queue slot.
 	var mode func(m coloring.Mapping) (TemplateCostResponse, error)
@@ -653,10 +712,14 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 				rec.Batch(int64(resp.Conflicts))
 			}
 			s.dom.ObserveFamily("C", resp.Conflicts)
+			s.dom.ObserveSpec(reqKey, "C", resp.Conflicts)
 			s.dom.CheckBound(dm.BoundQuery{
-				Alg: req.Mapping.Alg, M: req.Mapping.M, Levels: req.Mapping.Levels,
+				Alg: spec.Alg, M: spec.M, Levels: spec.Levels,
 				Kind: "C", Total: comp.Size(), Parts: len(comp.Parts),
 			}, resp.Conflicts)
+			for _, p := range comp.Parts {
+				s.sample(req.Mapping, p)
+			}
 			return resp, nil
 		}
 	case req.Anchor != nil:
@@ -679,10 +742,12 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 				rec.Batch(int64(resp.Conflicts))
 			}
 			s.dom.ObserveFamily(req.Kind, resp.Conflicts)
+			s.dom.ObserveSpec(reqKey, req.Kind, resp.Conflicts)
 			s.dom.CheckBound(dm.BoundQuery{
-				Alg: req.Mapping.Alg, M: req.Mapping.M, Levels: req.Mapping.Levels,
+				Alg: spec.Alg, M: spec.M, Levels: spec.Levels,
 				Kind: req.Kind, Size: inst.Size,
 			}, resp.Conflicts)
+			s.sample(req.Mapping, inst)
 			return resp, nil
 		}
 	default:
@@ -710,10 +775,12 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 			// skipped — the enumeration touches every node of the tree and
 			// would drown the served access distribution.
 			s.dom.ObserveFamily(req.Kind, cost)
+			s.dom.ObserveSpec(reqKey, req.Kind, cost)
 			s.dom.CheckBound(dm.BoundQuery{
-				Alg: req.Mapping.Alg, M: req.Mapping.M, Levels: req.Mapping.Levels,
+				Alg: spec.Alg, M: spec.M, Levels: spec.Levels,
 				Kind: req.Kind, Size: req.Size,
 			}, cost)
+			s.sample(req.Mapping, witness)
 			return TemplateCostResponse{
 				Conflicts: cost,
 				Items:     req.Size,
@@ -736,8 +803,8 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 	tr := obsv.FromContext(r.Context())
 	var resp TemplateCostResponse
 	var taskErr error
-	if aerr := s.runTask(tr, req.Mapping, func() {
-		m, err := s.acquireTraced(req.Mapping, tr)
+	if aerr := s.runTask(tr, spec, func() {
+		m, err := s.acquireTraced(spec, tr)
 		if err != nil {
 			taskErr = err
 			return
@@ -775,6 +842,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("%d batches above limit %d", len(req.Batches), s.cfg.MaxSimBatches))
 		return
 	}
+	spec := s.resolveSpec(w, req.Mapping)
 	t := tree.New(req.Mapping.Levels)
 	items := 0
 	for _, batch := range req.Batches {
@@ -801,8 +869,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	tr := obsv.FromContext(r.Context())
 	var resp SimulateResponse
 	var taskErr error
-	if aerr := s.runTask(tr, req.Mapping, func() {
-		m, err := s.acquireTraced(req.Mapping, tr)
+	if aerr := s.runTask(tr, spec, func() {
+		m, err := s.acquireTraced(spec, tr)
 		if err != nil {
 			taskErr = err
 			return

@@ -27,6 +27,7 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/pms"
 	"repro/internal/rangequery"
+	"repro/internal/template"
 	"repro/internal/tree"
 	"repro/internal/workload"
 )
@@ -204,7 +205,13 @@ func (s *Server) handleHeapWorkload(w http.ResponseWriter, r *http.Request) {
 // acquire the mapping, replay the sequence on an instrumented heap, and
 // feed every P-template path charge into the domain accounting layer
 // (family histogram + theorem-bound monitor).
-func (s *Server) runHeap(w http.ResponseWriter, r *http.Request, spec MappingSpec, ops []heapsim.Op) {
+func (s *Server) runHeap(w http.ResponseWriter, r *http.Request, reqSpec MappingSpec, ops []heapsim.Op) {
+	// Attribution rides the requested key (the stable policy identity);
+	// the served mapping and its theorem bounds come from the effective
+	// spec the controller may have migrated the entry to.
+	reqKey := reqSpec.Key()
+	spec := s.resolveSpec(w, reqSpec)
+
 	release, aerr := s.admit(r)
 	if aerr != nil {
 		writeError(w, aerr)
@@ -225,13 +232,26 @@ func (s *Server) runHeap(w http.ResponseWriter, r *http.Request, spec MappingSpe
 		defer endCompute()
 		sys := pms.NewSystem(m)
 		sys.SetAccounting(s.dom.Recorder())
+		var opIdx int64
 		obs := func(pathLen int, cycles int64) {
 			conflicts := int(cycles - 1)
 			s.dom.ObserveFamily("P", conflicts)
+			s.dom.ObserveSpec(reqKey, "P", conflicts)
 			s.dom.CheckBound(dm.BoundQuery{
 				Alg: spec.Alg, M: spec.M, Levels: spec.Levels,
 				Kind: "P", Size: int64(pathLen),
 			}, conflicts)
+			if pathLen > 0 {
+				// The reservoir wants instances, not lengths; a sweep of
+				// anchors across the path's deepest level reproduces the
+				// heap's level-crossing access shape for shadow replay.
+				lvl := pathLen - 1
+				width := int64(1) << uint(lvl)
+				s.sample(reqSpec, template.Instance{
+					Kind: template.Path, Anchor: tree.V(opIdx%width, lvl), Size: int64(pathLen),
+				})
+				opIdx++
+			}
 		}
 		res, err := heapsim.RunObserved(sys, ops, obs)
 		if err != nil {
@@ -279,6 +299,8 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("%d ranges above limit %d", len(req.Ranges), s.cfg.MaxRangeQueries))
 		return
 	}
+	reqKey := req.Mapping.Key()
+	spec := s.resolveSpec(w, req.Mapping)
 	// The key space is the in-order positions 0 … Nodes()-1; each query
 	// walks every node in its range, so the total is capped like one
 	// simulate trace.
@@ -306,8 +328,8 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	tr := obsv.FromContext(r.Context())
 	var resp RangeResponse
 	var taskErr error
-	if aerr := s.runTask(tr, req.Mapping, func() {
-		m, err := s.acquireTraced(req.Mapping, tr)
+	if aerr := s.runTask(tr, spec, func() {
+		m, err := s.acquireTraced(spec, tr)
 		if err != nil {
 			taskErr = err
 			return
@@ -326,8 +348,9 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 			// The composite's conflicts are what Theorem 6 bounds:
 			// 4·ceil(D/M) + c for D items across c parts.
 			s.dom.ObserveFamily("C", qr.Conflicts)
+			s.dom.ObserveSpec(reqKey, "C", qr.Conflicts)
 			s.dom.CheckBound(dm.BoundQuery{
-				Alg: req.Mapping.Alg, M: req.Mapping.M, Levels: req.Mapping.Levels,
+				Alg: spec.Alg, M: spec.M, Levels: spec.Levels,
 				Kind: "C", Total: qr.Items, Parts: qr.Parts,
 			}, qr.Conflicts)
 			resp.Results = append(resp.Results, RangeQueryResult{

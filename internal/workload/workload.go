@@ -128,8 +128,16 @@ func HeapOps(mix HeapMix, n int, keys *KeyStream, seed int64) ([]heapsim.Op, err
 // (weight of rank i proportional to 1/(i+1)^s, scaled so the smallest
 // is at least 1). Used to shape multi-tenant traffic and template mixes
 // where a few categories dominate, the long tail trickles.
+//
+// The scale grows with n^s: a fixed scale would floor every rank past
+// scale^(1/s) to the same clamped weight of 1, silently flattening the
+// intended Zipf tail into a uniform one. With the adaptive scale the
+// last rank's unclamped weight is ~1, so the decay spans all n ranks.
 func ZipfWeights(n int, s float64) []int {
-	const scale = 1000
+	scale := 1000.0
+	if tail := math.Pow(float64(n), s); tail > scale {
+		scale = tail
+	}
 	w := make([]int, n)
 	for i := range w {
 		w[i] = int(scale / math.Pow(float64(i+1), s))

@@ -155,6 +155,32 @@ func TestZipfWeights(t *testing.T) {
 	}
 }
 
+// The fixed-scale implementation clamped every rank past scale^(1/s)
+// (~316 for scale 1000, s = 1.2) to weight 1, flattening the tail into
+// uniform. The adaptive scale must keep the decay going across all n
+// ranks: weights stay non-increasing, and the region past the old
+// crossover still contains strictly decreasing values.
+func TestZipfWeightsTailKeepsDecaying(t *testing.T) {
+	const n, s = 10000, 1.2
+	w := ZipfWeights(n, s)
+	for i := 1; i < n; i++ {
+		if w[i] > w[i-1] {
+			t.Fatalf("weights not monotone at rank %d: %d > %d", i, w[i], w[i-1])
+		}
+		if w[i] < 1 {
+			t.Fatalf("weight below 1 at rank %d", i)
+		}
+	}
+	oldCrossover := 316 // floor(1000^(1/1.2))
+	if w[oldCrossover] <= w[n/2] {
+		t.Errorf("tail flat past old crossover: w[%d]=%d, w[%d]=%d",
+			oldCrossover, w[oldCrossover], n/2, w[n/2])
+	}
+	if w[n/2] <= w[n-1] {
+		t.Errorf("deep tail flat: w[%d]=%d, w[%d]=%d", n/2, w[n/2], n-1, w[n-1])
+	}
+}
+
 func TestWeightedPicker(t *testing.T) {
 	a, err := NewWeightedPicker([]int{700, 200, 100}, 3)
 	if err != nil {

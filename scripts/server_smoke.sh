@@ -217,4 +217,78 @@ echo "   warm restart: materializes=0 acquire_hits=$hits"
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || fail "warm pmsd exited non-zero on SIGTERM"
 
+echo "== adaptive controller: migration under S-heavy traffic"
+# A controller-enabled pmsd over a fresh store directory. The requested
+# mapping is levelcyclic over the m=4 canonical module count (15), which
+# pays 3 conflicts per 7-node subtree; under S-heavy traffic the
+# controller must shadow-score COLOR m=4 (conflict-free, Theorem 3) and
+# migrate the entry within a few policy ticks, with the bound monitor
+# staying at zero across the switch.
+CTRLSTORE="$WORKDIR/ctrl-store"
+CTRLSPEC='{"alg":"levelcyclic","levels":12,"modules":15}'
+SUBTREE='{"mapping":'"$CTRLSPEC"',"kind":"S","size":7,"anchor":{"index":3,"level":3}}'
+"$WORKDIR/pmsd" -addr 127.0.0.1:0 -store-dir "$CTRLSTORE" \
+    -controller -controller-interval 100ms -shadow-sample 1 \
+    >"$WORKDIR/pmsd-ctrl1.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*pmsd listening on \([0-9.:]*\).*/\1/p' "$WORKDIR/pmsd-ctrl1.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "${ADDR:-}" ] || fail "controller pmsd never reported its listen address: $(cat "$WORKDIR/pmsd-ctrl1.log")"
+BASE="http://$ADDR"
+for i in $(seq 0 23); do
+    body=$(curl -s -X POST "$BASE/v1/template-cost" \
+        -d '{"mapping":'"$CTRLSPEC"',"kind":"S","size":7,"anchor":{"index":'"$((i % 8))"',"level":3}}')
+    echo "$body" | grep -q '"conflicts":' || fail "controller subtree reply malformed: $body"
+done
+migrated=""
+for _ in $(seq 1 100); do
+    METRICS=$(curl -s "$BASE/metrics")
+    if echo "$METRICS" | grep -q '^pmsd_controller_migrations_total [1-9]'; then
+        migrated=1
+        break
+    fi
+    # Keep the entry's observation window warm so an idle tick cannot
+    # stall the probe.
+    curl -s -o /dev/null -X POST "$BASE/v1/template-cost" -d "$SUBTREE"
+    sleep 0.1
+done
+[ -n "$migrated" ] || fail "controller never migrated: $(echo "$METRICS" | grep ^pmsd_controller)"
+echo "$METRICS" | grep -q '^pmsd_bound_violations_total 0$' || fail "bound monitor tripped across the migration: $METRICS"
+# The migrated entry redirects on the wire: requests for the levelcyclic
+# spec answer with the effective COLOR mapping in the response header.
+hdr=$(curl -s -D - -o /dev/null -X POST "$BASE/v1/template-cost" -d "$SUBTREE" \
+    | tr -d '\r' | sed -n 's/^X-Effective-Mapping: //p')
+[ "$hdr" = "color/H=12/m=4" ] || fail "effective-mapping header '$hdr', want color/H=12/m=4: $(cat "$WORKDIR/pmsd-ctrl1.log")"
+echo "   migrated: effective=$hdr violations=0"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "controller pmsd exited non-zero on SIGTERM"
+
+echo "== adaptive controller: decision survives warm restart"
+# Relaunch over the same store directory: the persisted decision must
+# re-apply the override and serve the flushed COLOR artifact from disk
+# without a single rematerialization.
+"$WORKDIR/pmsd" -addr 127.0.0.1:0 -store-dir "$CTRLSTORE" -store-warm 16 \
+    >"$WORKDIR/pmsd-ctrl2.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*pmsd listening on \([0-9.:]*\).*/\1/p' "$WORKDIR/pmsd-ctrl2.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "${ADDR:-}" ] || fail "restarted controller pmsd never reported its listen address: $(cat "$WORKDIR/pmsd-ctrl2.log")"
+BASE="http://$ADDR"
+hdr=$(curl -s -D - -o /dev/null -X POST "$BASE/v1/template-cost" -d "$SUBTREE" \
+    | tr -d '\r' | sed -n 's/^X-Effective-Mapping: //p')
+[ "$hdr" = "color/H=12/m=4" ] || fail "restart lost the migration (header '$hdr'): $(cat "$WORKDIR/pmsd-ctrl2.log")"
+VARS=$(curl -s "$BASE/debug/vars")
+mat=$(echo "$VARS" | grep -o '"registry_acquire_materializes":[0-9]*' | cut -d: -f2)
+[ "${mat:-1}" = 0 ] || fail "restart paid $mat rematerializations for the migrated mapping: $VARS"
+curl -s "$BASE/metrics" | grep -q '^pmsd_bound_violations_total 0$' || fail "bound monitor not at zero after controller warm restart"
+echo "   warm restart: effective=$hdr materializes=0"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "restarted controller pmsd exited non-zero on SIGTERM"
+
 echo "server-smoke: OK"
