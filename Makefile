@@ -14,12 +14,13 @@
 #   make bench-store    rewrite BENCH_pr7.json from a pmsd -store-bench run
 #   make bench-replay   rewrite BENCH_pr8.json from a pmsd -replay-bench run
 #   make bench-controller rewrite BENCH_pr9.json from a pmsd -controller-bench run
+#   make bench-forensics rewrite BENCH_pr10.json from a pmsd -forensics-bench run
 
 GO ?= go
 
-.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics bench-retrieval bench-store bench-replay bench-controller
+.PHONY: check vet test race bench-smoke bench bench-snapshot server-smoke bench-serving fuzz-smoke bench-chaos bench-obs bench-metrics bench-retrieval bench-store bench-replay bench-controller bench-forensics
 
-check: vet race bench-smoke server-smoke fuzz-smoke bench-replay bench-controller
+check: vet race bench-smoke server-smoke fuzz-smoke bench-replay bench-controller bench-forensics
 
 vet:
 	$(GO) vet ./...
@@ -115,3 +116,14 @@ bench-replay:
 bench-controller:
 	$(GO) run ./cmd/pmsd -controller-bench -requests 2400 -clients 8 \
 	    -levels 12 -bench-out $(CURDIR)/BENCH_pr9.json
+
+# Flight-recorder overhead snapshot: the identical mixed workload with
+# the recorder off vs on (rings + watchdog ticking), written to
+# BENCH_pr10.json. Clients match the worker count so the comparison runs
+# below saturation: at saturation p50 measures queue depth and amplifies
+# scheduler noise past the effect being priced. The claims under test:
+# <3% p50 serving cost with the recorder on, and zero theorem-bound
+# violations across both runs.
+bench-forensics:
+	$(GO) run ./cmd/pmsd -forensics-bench -requests 12000 -clients 4 -dist zipf \
+	    -bench-out $(CURDIR)/BENCH_pr10.json

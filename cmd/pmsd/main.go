@@ -100,6 +100,21 @@
 //
 //	pmsd -addr :8080 -controller -controller-interval 2s -shadow-sample 0.25
 //	pmsd -controller-bench -bench-out BENCH_pr9.json
+//
+// Forensics (internal/flightrec): an always-on flight recorder keeps
+// bounded rings of per-request events, periodic metric frames and
+// controller decisions, an SLO watchdog evaluates rolling windows
+// (p99 latency, error rate, per-tenant rejection share, migration
+// churn, and the must-be-zero theorem-bound rule), and on breach the
+// rings freeze into a checksummed PMSINC1 incident snapshot bundling a
+// replayable PMSTRC1 request window. GET /debug/snapshot serves a
+// manual snapshot; pmsdoctor analyzes and replays incident files.
+// Logs are structured (log/slog); -log-format picks text or json.
+// Forensics-bench mode prices the recorder on the serving hot path by
+// running the mixed workload with the recorder off and fully on:
+//
+//	pmsd -addr :8080 -flightrec-dir /var/lib/pmsd/incidents -slo-error-rate 5 -slo-p99 50ms
+//	pmsd -forensics-bench -requests 12000 -clients 32 -dist zipf -bench-out BENCH_pr10.json
 package main
 
 import (
@@ -107,7 +122,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -117,6 +132,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/faultinject"
+	"repro/internal/flightrec"
 	"repro/internal/mapstore"
 	"repro/internal/replay"
 	"repro/internal/server"
@@ -176,6 +192,21 @@ func main() {
 	chaosPartial := flag.Float64("chaos-partial", 0, "chaos: per-request partial-body probability")
 	hedgeDelay := flag.Duration("hedge-delay", 5*time.Millisecond, "chaos-bench: hedged-read delay for the hedged run")
 
+	logFormat := flag.String("log-format", "text", "structured log format: text|json")
+	noFlightRec := flag.Bool("no-flightrec", false, "disable the always-on flight recorder and SLO watchdog")
+	flightDir := flag.String("flightrec-dir", "", "directory for watchdog-triggered incident snapshots (empty: breaches are logged and counted but never written)")
+	flightEvents := flag.Int("flightrec-events", 0, "flight-recorder event ring size (0 = default 4096)")
+	flightWindow := flag.Int("flightrec-window", 0, "replayable request-window ring size bundled into incidents (0 = default 2048)")
+	sloWindow := flag.Duration("slo-window", 0, "SLO: rolling evaluation window (0 = default 10s)")
+	sloInterval := flag.Duration("slo-interval", 0, "SLO: watchdog tick cadence (0 = default 1s)")
+	sloP99 := flag.Duration("slo-p99", 0, "SLO: p99 total-latency target (0 disables the rule)")
+	sloErrorRate := flag.Float64("slo-error-rate", 0, "SLO: max 5xx share of a window, percent (0 disables the rule)")
+	sloTenantReject := flag.Float64("slo-tenant-reject", 0, "SLO: max single-tenant 429 share of a window, percent (0 disables the rule)")
+	sloMaxMigrations := flag.Int("slo-max-migrations", 0, "SLO: max controller migrations per window (0 disables the rule)")
+	sloMinRequests := flag.Int("slo-min-requests", 0, "SLO: min events in a window before rate/percentile rules may breach (0 = default 20)")
+	sloSnapshotEvery := flag.Duration("slo-snapshot-every", 0, "SLO: min interval between watchdog incident snapshots (0 = default 30s)")
+	forensicsBench := flag.Bool("forensics-bench", false, "price the flight recorder (off vs fully on) on the mixed serving workload")
+
 	recordFile := flag.String("record", "", "serve mode: record mutating requests into this PMSTRC1 trace file on shutdown")
 	replayFile := flag.String("replay", "", "replay a PMSTRC1 trace against a fresh deterministic in-process server, print the digest, exit")
 	replayBench := flag.Bool("replay-bench", false, "record a Zipf multi-tenant mixed workload, replay it twice, verify determinism")
@@ -193,6 +224,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 		flag.Usage()
 		os.Exit(2)
+	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fail("-log-format must be text or json, got %q", *logFormat)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+	fatal := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
 	}
 	if *workers < 0 {
 		fail("-workers must be non-negative, got %d", *workers)
@@ -272,6 +318,34 @@ func main() {
 		Controller:         *controller,
 		ControllerInterval: *controllerInterval,
 		ShadowSampleRate:   *shadowSample,
+
+		DisableFlightRec: *noFlightRec,
+		FlightRecDir:     *flightDir,
+		FlightRecEvents:  *flightEvents,
+		FlightRecWindow:  *flightWindow,
+		SLO: flightrec.SLOConfig{
+			Window:               *sloWindow,
+			Interval:             *sloInterval,
+			MinRequests:          *sloMinRequests,
+			P99TargetUS:          sloP99.Microseconds(),
+			ErrorRatePct:         *sloErrorRate,
+			TenantRejectSharePct: *sloTenantReject,
+			MaxMigrations:        *sloMaxMigrations,
+			SnapshotMinInterval:  *sloSnapshotEvery,
+		},
+		Logger: logger,
+	}
+	if *flightEvents < 0 || *flightWindow < 0 {
+		fail("-flightrec-events and -flightrec-window must be non-negative")
+	}
+	if *sloWindow < 0 || *sloInterval < 0 || *sloP99 < 0 || *sloSnapshotEvery < 0 {
+		fail("-slo-window, -slo-interval, -slo-p99 and -slo-snapshot-every must be non-negative")
+	}
+	if *sloErrorRate < 0 || *sloErrorRate > 100 || *sloTenantReject < 0 || *sloTenantReject > 100 {
+		fail("-slo-error-rate and -slo-tenant-reject are percentages in [0,100]")
+	}
+	if *sloMaxMigrations < 0 || *sloMinRequests < 0 {
+		fail("-slo-max-migrations and -slo-min-requests must be non-negative")
 	}
 	if *controllerInterval <= 0 {
 		fail("-controller-interval must be positive, got %v", *controllerInterval)
@@ -306,7 +380,7 @@ func main() {
 		tr0 := time.Now()
 		res, checks, violations, err := server.ReplayFile(cfg, *replayFile)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("replayed %d requests in %.3fs\n", res.Requests, time.Since(tr0).Seconds())
 		for status, n := range res.StatusCounts {
@@ -333,7 +407,7 @@ func main() {
 			TracePath: *recordFile,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("recorded %d requests (%d dropped, %d bytes on the wire, %d tenants, live %.0f req/s)\n",
 			res.Recorded, res.Dropped, res.TraceBytes, res.Tenants, res.RecordRPS)
@@ -344,10 +418,10 @@ func main() {
 		if *benchOut != "" {
 			data, err := json.MarshalIndent(res, "", "  ")
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Printf("snapshot written to %s\n", *benchOut)
 		}
@@ -382,7 +456,7 @@ func main() {
 		}
 		cmp, err := client.RunChaosBenchComparison(cb)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("unhedged: p50 %.0fus p95 %.0fus p99 %.0fus (%d ok, %d errors, %d retries)\n",
 			cmp.Unhedged.P50us, cmp.Unhedged.P95us, cmp.Unhedged.P99us,
@@ -395,10 +469,10 @@ func main() {
 		if *benchOut != "" {
 			data, err := json.MarshalIndent(cmp, "", "  ")
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Printf("snapshot written to %s\n", *benchOut)
 		}
@@ -427,15 +501,15 @@ func main() {
 		if *benchOut != "" {
 			data, merr := json.MarshalIndent(res, "", "  ")
 			if merr != nil {
-				log.Fatal(merr)
+				fatal(merr)
 			}
 			if werr := os.WriteFile(*benchOut, append(data, '\n'), 0o644); werr != nil {
-				log.Fatal(werr)
+				fatal(werr)
 			}
 			fmt.Printf("snapshot written to %s\n", *benchOut)
 		}
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		return
 	}
@@ -447,7 +521,7 @@ func main() {
 			Seed:   *seed,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for _, cw := range rep.ColdWarm {
 			fmt.Printf("%-32s cold %8.2fms, warm %8.3fms, speedup %6.1fx (%d bytes on disk)\n",
@@ -459,10 +533,10 @@ func main() {
 		if *benchOut != "" {
 			data, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Printf("snapshot written to %s\n", *benchOut)
 		}
@@ -479,7 +553,7 @@ func main() {
 			Seed:         *seed,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		for _, k := range rep.Kernels {
 			fmt.Printf("%-32s batch %-5d kernel %6.2f ns/node, per-node %6.2f ns/node, speedup %5.2fx\n",
@@ -494,17 +568,17 @@ func main() {
 		if *benchOut != "" {
 			data, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Printf("snapshot written to %s\n", *benchOut)
 		}
 		return
 	}
 
-	if *loadgen || *traceBench || *metricsBench {
+	if *loadgen || *traceBench || *metricsBench || *forensicsBench {
 		var distribution workload.Distribution
 		switch *dist {
 		case "uniform":
@@ -526,14 +600,17 @@ func main() {
 		// service time is what coalescing amortizes across a batch,
 		// mirroring the paper's cycle model where a parallel access costs
 		// max-module-load cycles however many nodes it touches. The
-		// metrics bench skips the modeled delay: a millisecond of injected
-		// service time would drown the few atomic adds being priced.
+		// metrics bench skips the modeled delay: a millisecond of
+		// injected service time would drown the few atomic adds being
+		// priced. The forensics bench keeps it, like the trace bench:
+		// the recorder's price is quoted against the serving path as
+		// modeled, not against a zero-latency memory.
 		if cfg.WorkerDelay == 0 && !*metricsBench {
 			cfg.WorkerDelay = *accessTime
 		}
 		if cfg.Workers == 0 {
 			cfg.Workers = 2 // scarce memory ports by default, so capacity binds
-			if *metricsBench {
+			if *metricsBench || *forensicsBench {
 				cfg.Workers = 4
 			}
 		}
@@ -546,10 +623,35 @@ func main() {
 			Server:   cfg,
 		}
 
+		if *forensicsBench {
+			cmp, err := server.RunForensicsOverheadComparison(lg)
+			if err != nil {
+				fatal(err)
+			}
+			for _, r := range []server.LoadGenResult{cmp.Off, cmp.On} {
+				fmt.Printf("%-12s p50 %.0fus p95 %.0fus p99 %.0fus (%.0f req/s, %d ok)\n",
+					r.Mode+":", r.P50us, r.P95us, r.P99us, r.ReqPerSec, r.Requests)
+			}
+			fmt.Printf("p50 overhead with flight recorder: %+.2f%%\n", cmp.OnP50OverheadPct)
+			fmt.Printf("events %d (evicted %d), window recorded %d, breaches %d, bound violations %d\n",
+				cmp.Events, cmp.EventsEvicted, cmp.WindowRecorded, cmp.Breaches, cmp.BoundViolations)
+			if *benchOut != "" {
+				data, err := json.MarshalIndent(cmp, "", "  ")
+				if err != nil {
+					fatal(err)
+				}
+				if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("snapshot written to %s\n", *benchOut)
+			}
+			return
+		}
+
 		if *metricsBench {
 			cmp, err := server.RunMetricsOverheadComparison(lg)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			for _, r := range []server.LoadGenResult{cmp.Off, cmp.On} {
 				fmt.Printf("%-12s p50 %.0fus p95 %.0fus p99 %.0fus (%.0f req/s, %d ok)\n",
@@ -561,10 +663,10 @@ func main() {
 			if *benchOut != "" {
 				data, err := json.MarshalIndent(cmp, "", "  ")
 				if err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				fmt.Printf("snapshot written to %s\n", *benchOut)
 			}
@@ -574,7 +676,7 @@ func main() {
 		if *traceBench {
 			cmp, err := server.RunTraceOverheadComparison(lg)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			for _, r := range []server.LoadGenResult{cmp.Off, cmp.Sampled, cmp.Full} {
 				fmt.Printf("%-18s p50 %.0fus p95 %.0fus p99 %.0fus (%.0f req/s, %d ok)\n",
@@ -585,10 +687,10 @@ func main() {
 			if *benchOut != "" {
 				data, err := json.MarshalIndent(cmp, "", "  ")
 				if err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				fmt.Printf("snapshot written to %s\n", *benchOut)
 			}
@@ -597,7 +699,7 @@ func main() {
 
 		cmp, err := server.RunLoadGenComparison(lg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("batched: %.0f req/s (%d ok, %d rejected, mean batch %.2f, %d coalesced)\n",
 			cmp.Batched.ReqPerSec, cmp.Batched.Requests, cmp.Batched.Rejected,
@@ -608,10 +710,10 @@ func main() {
 		if *benchOut != "" {
 			data, err := json.MarshalIndent(cmp, "", "  ")
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Printf("snapshot written to %s\n", *benchOut)
 		}
@@ -621,7 +723,12 @@ func main() {
 	if *chaos {
 		inj := faultinject.New(chaosCfg)
 		cfg.Middleware = inj.Middleware
-		log.Printf("pmsd CHAOS MODE: %s", inj)
+		// Stamp the fault schedule into incident snapshots so pmsdoctor
+		// -replay can rebuild the exact same chaos during reproduction.
+		if ccJSON, err := json.Marshal(chaosCfg); err == nil {
+			cfg.FlightRecMeta = map[string]string{server.ChaosConfigMetaKey: string(ccJSON)}
+		}
+		logger.Info("pmsd CHAOS MODE: "+inj.String(), "seed", *chaosSeed)
 	}
 	var rec *replay.Recorder
 	if *recordFile != "" {
@@ -635,7 +742,7 @@ func main() {
 			}
 			return rec.Middleware(next)
 		}
-		log.Printf("pmsd recording mutating requests to %s", *recordFile)
+		logger.Info("pmsd recording mutating requests to "+*recordFile, "file", *recordFile)
 	}
 	if *storeDir != "" {
 		st, err := mapstore.Open(mapstore.Options{
@@ -644,38 +751,42 @@ func main() {
 			TTL:         *storeTTL,
 		})
 		if err != nil {
-			log.Fatalf("store: %v", err)
+			fatal(fmt.Errorf("store: %w", err))
 		}
 		cfg.Store = st
-		log.Printf("pmsd store at %s (budget %d MiB)", *storeDir, *storeBudget)
+		logger.Info("pmsd store at "+*storeDir, "dir", *storeDir, "budget_mib", *storeBudget)
 	}
 	srv := server.New(cfg)
 	if cfg.Store != nil && *storeWarm > 0 {
 		if admitted := srv.WarmStart(*storeWarm); admitted > 0 {
-			log.Printf("pmsd warm start: %d mappings pre-admitted from the store", admitted)
+			logger.Info(fmt.Sprintf("pmsd warm start: %d mappings pre-admitted from the store", admitted), "admitted", admitted)
 		}
 	}
 	if err := srv.Start(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("pmsd listening on %s (%s)", srv.Addr(), cfg)
+	// The message keeps the "pmsd listening on ADDR" shape the smoke
+	// scripts grep; the structured attrs carry the same facts for json.
+	logger.Info(fmt.Sprintf("pmsd listening on %s (%s)", srv.Addr(), cfg),
+		"addr", srv.Addr(), "workers", cfg.Workers, "max_inflight", cfg.MaxInflight,
+		"flightrec", !cfg.DisableFlightRec, "flightrec_dir", cfg.FlightRecDir)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("pmsd draining")
+	logger.Info("pmsd draining")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Fatalf("shutdown: %v", err)
+		fatal(fmt.Errorf("shutdown: %w", err))
 	}
 	if rec != nil {
 		stats := rec.Stats()
 		trace := rec.Close()
 		if err := trace.Save(*recordFile); err != nil {
-			log.Fatalf("saving trace: %v", err)
+			fatal(fmt.Errorf("saving trace: %w", err))
 		}
-		log.Printf("pmsd trace saved to %s (%d recorded, %d dropped)", *recordFile, stats.Recorded, stats.Dropped)
+		logger.Info("pmsd trace saved to "+*recordFile, "recorded", stats.Recorded, "dropped", stats.Dropped)
 	}
-	log.Printf("pmsd stopped")
+	logger.Info("pmsd stopped")
 }

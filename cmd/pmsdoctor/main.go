@@ -1,0 +1,127 @@
+// Command pmsdoctor is the offline analyzer for pmsd incident
+// snapshots (PMSINC1 files written by the SLO watchdog, or fetched
+// live from GET /debug/snapshot). It decodes an incident's frozen
+// rings — per-request events, metric frames, controller decisions,
+// slowest traces and the replayable PMSTRC1 request window — and
+// prints the correlated report: breach timeline, top (tenant, spec,
+// endpoint) triples by conflict and latency attribution, stage
+// histogram movement between the baseline and freeze frames, and the
+// controller decision audit.
+//
+//	pmsdoctor /var/lib/pmsd/incidents/incident-0000000123456789.pmsinc
+//	pmsdoctor -dir /var/lib/pmsd/incidents            # every incident, oldest first
+//	pmsdoctor -once -dir /var/lib/pmsd/incidents      # newest incident only
+//
+// With -replay, pmsdoctor re-drives the incident's bundled request
+// window against two fresh in-process deterministic servers — with the
+// incident's recorded chaos schedule rebuilt, when pmsd ran under
+// -chaos — and reports whether the incident reproduces: both replays
+// digest-identical, and every count-based rule that fired originally
+// fires again over the replayed events. A non-reproducing incident
+// exits nonzero:
+//
+//	pmsdoctor -replay -once -dir /var/lib/pmsd/incidents
+//
+// -json emits the report (and the replay verdict) as JSON instead of
+// the text document.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/flightrec"
+	"repro/internal/server"
+)
+
+func main() {
+	dir := flag.String("dir", "", "incident directory to scan for *.pmsinc files")
+	once := flag.Bool("once", false, "with -dir: analyze only the newest incident")
+	doReplay := flag.Bool("replay", false, "re-drive each incident's bundled trace and verify it reproduces (exit 1 when it does not)")
+	asJSON := flag.Bool("json", false, "emit reports (and replay verdicts) as JSON")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pmsdoctor: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	paths := flag.Args()
+	if *dir != "" {
+		found, err := filepath.Glob(filepath.Join(*dir, "*.pmsinc"))
+		if err != nil {
+			fail("scanning %s: %v", *dir, err)
+		}
+		// Incident names embed the creation timestamp zero-padded, so the
+		// lexical order is the chronological one.
+		sort.Strings(found)
+		if *once && len(found) > 0 {
+			found = found[len(found)-1:]
+		}
+		paths = append(paths, found...)
+	}
+	if len(paths) == 0 {
+		fail("no incident files (pass paths or -dir DIR; with -once the newest is picked)")
+	}
+
+	exit := 0
+	for _, path := range paths {
+		inc, err := flightrec.ReadIncident(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmsdoctor: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		rep := flightrec.Analyze(inc)
+		if *asJSON {
+			out := struct {
+				Path   string                       `json:"path"`
+				Report *flightrec.Report            `json:"report"`
+				Replay *server.IncidentReplayResult `json:"replay,omitempty"`
+			}{Path: path, Report: rep}
+			if *doReplay {
+				verdict, err := server.ReplayIncident(server.Config{}, inc)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pmsdoctor: %s: replay: %v\n", path, err)
+					exit = 1
+				} else {
+					out.Replay = &verdict
+					if !verdict.Reproduced {
+						exit = 1
+					}
+				}
+			}
+			data, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				fail("encoding report: %v", err)
+			}
+			fmt.Printf("%s\n", data)
+			continue
+		}
+		fmt.Printf("== %s\n", path)
+		fmt.Print(rep.Render())
+		if *doReplay {
+			verdict, err := server.ReplayIncident(server.Config{}, inc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pmsdoctor: %s: replay: %v\n", path, err)
+				exit = 1
+				continue
+			}
+			fmt.Printf("replay: %d records -> %d requests, deterministic=%v\n",
+				verdict.Records, verdict.Requests, verdict.Deterministic)
+			fmt.Printf("  digest      %s\n", verdict.Digest)
+			fmt.Printf("  digest(2nd) %s\n", verdict.DigestRerun)
+			fmt.Printf("  chaos applied: %v\n", verdict.ChaosApplied)
+			fmt.Printf("  original rules %v, replay rules %v\n", verdict.OriginalRules, verdict.ReplayRules)
+			fmt.Printf("  bound checks %d, violations %d\n", verdict.BoundChecks, verdict.BoundViolations)
+			fmt.Printf("  reproduced: %v\n", verdict.Reproduced)
+			if !verdict.Reproduced {
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

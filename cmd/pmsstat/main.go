@@ -199,6 +199,24 @@ func render(prev, cur *metrics.Scrape, elapsed time.Duration, barWidth int) stri
 				val(cur, "pmsd_controller_migrations", metrics.Label{Name: "spec", Value: spec}))
 		}
 	}
+
+	// SLO watchdog / flight recorder: gated on the series so scrapes
+	// from a pmsd predating the forensics layer render unchanged.
+	if breaches, ok := cur.Value("pmsd_slo_breaches_total"); ok {
+		status := "ok"
+		if breaches > val(cur, "pmsd_slo_recoveries_total") {
+			status = "BREACHED"
+		}
+		w("slo watchdog  breaches %.0f (%s)  recoveries %.0f  snapshots %.0f (rate-limited %.0f)  events %.0f  [%s]\n",
+			breaches, rate(prev, cur, elapsed, "pmsd_slo_breaches_total"),
+			val(cur, "pmsd_slo_recoveries_total"),
+			val(cur, "pmsd_flightrec_snapshots_total"),
+			val(cur, "pmsd_flightrec_snapshots_rate_limited_total"),
+			val(cur, "pmsd_flightrec_events_total"), status)
+		for _, s := range cur.Series("pmsd_slo_rule_breaches_total") {
+			w("  rule %-18s breaches %.0f\n", s.Label("rule"), s.Value)
+		}
+	}
 	w("\n")
 
 	// Template-family conflict rates from the cumulative histograms.

@@ -73,6 +73,18 @@ pmsd_controller_shadow_evals_total 36
 pmsd_controller_dwell_seconds{spec="levelcyclic/H=12/M=15"} 42
 # TYPE pmsd_controller_migrations gauge
 pmsd_controller_migrations{spec="levelcyclic/H=12/M=15"} 1
+# TYPE pmsd_flightrec_events_total counter
+pmsd_flightrec_events_total 140
+# TYPE pmsd_flightrec_snapshots_total counter
+pmsd_flightrec_snapshots_total 1
+# TYPE pmsd_flightrec_snapshots_rate_limited_total counter
+pmsd_flightrec_snapshots_rate_limited_total 2
+# TYPE pmsd_slo_breaches_total counter
+pmsd_slo_breaches_total 3
+# TYPE pmsd_slo_recoveries_total counter
+pmsd_slo_recoveries_total 3
+# TYPE pmsd_slo_rule_breaches_total counter
+pmsd_slo_rule_breaches_total{rule="error_rate"} 3
 # TYPE pmsd_template_conflicts histogram
 pmsd_template_conflicts_bucket{family="S",le="0"} 4
 pmsd_template_conflicts_bucket{family="S",le="1"} 8
@@ -129,6 +141,8 @@ func TestRenderRatesAndGauges(t *testing.T) {
 		"checks 10  skipped 1  violations 0  [ok]",
 		"controller    decisions 12 (1.2/s)  migrations 1  shadow evals 36",
 		"levelcyclic/H=12/M=15    dwell 42s  migrations 1",
+		"slo watchdog  breaches 3 (0.3/s)  recoveries 3  snapshots 1 (rate-limited 2)  events 140  [ok]",
+		"rule error_rate",
 		"S  observations 8  mean 0.500  max bucket le=1",
 		"m0         1200 (60.0/s) " + strings.Repeat("#", 20),
 		"m2          800 (40.0/s) " + strings.Repeat("#", 13),
@@ -165,5 +179,20 @@ func TestRenderNoStore(t *testing.T) {
 	out := render(nil, parse(t, expoT0), 0, 10)
 	if strings.Contains(out, "disk tier") {
 		t.Errorf("storeless scrape must not render a disk-tier line:\n%s", out)
+	}
+}
+
+// TestRenderSLOGating: scrapes predating the flight recorder carry no
+// pmsd_slo_* series and must not render the watchdog line; an active
+// breach (more breaches than recoveries) flags BREACHED.
+func TestRenderSLOGating(t *testing.T) {
+	out := render(nil, parse(t, expoT0), 0, 10)
+	if strings.Contains(out, "slo watchdog") {
+		t.Errorf("pre-forensics scrape must not render an slo line:\n%s", out)
+	}
+	sc := parse(t, "pmsd_slo_breaches_total 2\npmsd_slo_recoveries_total 1\n")
+	out = render(nil, sc, 0, 10)
+	if !strings.Contains(out, "[BREACHED]") {
+		t.Errorf("active breach must render [BREACHED]:\n%s", out)
 	}
 }

@@ -29,6 +29,13 @@
 // registry entry's live template mix, shadow-scores candidate mappings
 // on sampled traffic, and migrates entries under hysteresis (pmsd
 // -controller; see README "Adaptive mapping" and EXPERIMENTS.md E24).
+// internal/flightrec is the forensics layer: an always-on black-box
+// recorder (bounded event/frame/decision rings) with an SLO watchdog
+// whose rules include the theorem-bound monitor as a must-be-zero
+// invariant; breaches freeze checksummed PMSINC1 incident snapshots
+// bundling a replayable worst-window trace, decoded and re-driven
+// offline by cmd/pmsdoctor (pmsd -flightrec-dir / -slo-*,
+// GET /debug/snapshot; see README "Forensics" and EXPERIMENTS.md E25).
 // DESIGN.md maps every paper result to the
 // module and experiment that reproduces it; EXPERIMENTS.md records
 // claimed-versus-measured numbers.

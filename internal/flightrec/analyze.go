@@ -1,0 +1,305 @@
+// Offline incident analysis: Analyze correlates an incident's event
+// journal, metric frames and controller decisions into a Report, and
+// Render prints it as the pmsdoctor text report. Both are pure — no
+// clocks, no I/O — so tests pin the output.
+package flightrec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// timelineSlices is how many buckets the event span is divided into for
+// the breach-window timeline.
+const timelineSlices = 12
+
+// TimelineSlice is one bucket of the incident timeline.
+type TimelineSlice struct {
+	StartUS   int64   `json:"start_us"`
+	Requests  int     `json:"requests"`
+	Errors5xx int     `json:"errors_5xx"`
+	Rejects   int     `json:"rejects_429"`
+	P99US     float64 `json:"p99_us"`
+	Conflicts int64   `json:"conflicts"` // delta attributed to this slice
+}
+
+// TripleStat aggregates the events of one (tenant, effective spec,
+// endpoint) identity triple.
+type TripleStat struct {
+	Tenant    string  `json:"tenant"`
+	Spec      string  `json:"spec"`
+	Endpoint  string  `json:"endpoint"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	Conflicts int64   `json:"conflicts"` // attributed cumulative-counter delta
+	TotalUS   int64   `json:"total_us"`  // summed latency (attribution mass)
+	MaxUS     int64   `json:"max_us"`
+	MeanUS    float64 `json:"mean_us"`
+}
+
+// StageDiff is one obsv stage's movement between the pre-window
+// baseline frame and the freeze frame.
+type StageDiff struct {
+	Stage       string  `json:"stage"`
+	CountDelta  int64   `json:"count_delta"`
+	MeanUSBase  float64 `json:"mean_us_base"`
+	MeanUSFinal float64 `json:"mean_us_final"`
+}
+
+// Report is the correlated analysis of one incident.
+type Report struct {
+	Meta     IncidentMeta    `json:"meta"`
+	Events   int             `json:"events"`
+	SpanUS   int64           `json:"span_us"`
+	Timeline []TimelineSlice `json:"timeline,omitempty"`
+	Triples  []TripleStat    `json:"triples,omitempty"`
+	Stages   []StageDiff     `json:"stages,omitempty"`
+	// Decisions is the controller audit trail, oldest first.
+	Decisions []Decision `json:"decisions,omitempty"`
+	// TraceRecords is the bundled replay window's length.
+	TraceRecords int `json:"trace_records"`
+}
+
+// Analyze builds the correlated report from a decoded incident.
+func Analyze(inc *Incident) *Report {
+	rep := &Report{Meta: inc.Meta, Events: len(inc.Events), Decisions: inc.Decisions}
+	if inc.Trace != nil {
+		rep.TraceRecords = len(inc.Trace.Records)
+	}
+	if len(inc.Events) > 0 {
+		first, last := inc.Events[0].TS, inc.Events[len(inc.Events)-1].TS
+		rep.SpanUS = last - first
+		rep.Timeline = buildTimeline(inc.Events, first, last)
+		rep.Triples = buildTriples(inc.Events)
+	}
+	rep.Stages = buildStageDiffs(inc.Frames)
+	return rep
+}
+
+func buildTimeline(events []Event, firstUS, lastUS int64) []TimelineSlice {
+	span := lastUS - firstUS
+	if span <= 0 {
+		span = 1
+	}
+	n := timelineSlices
+	if len(events) < n {
+		n = len(events)
+	}
+	slices := make([]TimelineSlice, n)
+	width := span/int64(n) + 1
+	lats := make([][]int64, n)
+	var prevConflicts int64
+	if len(events) > 0 {
+		prevConflicts = events[0].Conflicts
+	}
+	for i := range events {
+		ev := &events[i]
+		s := int((ev.TS - firstUS) / width)
+		if s >= n {
+			s = n - 1
+		}
+		sl := &slices[s]
+		if sl.Requests == 0 {
+			sl.StartUS = firstUS + int64(s)*width
+		}
+		sl.Requests++
+		if ev.Status >= 500 {
+			sl.Errors5xx++
+		}
+		if ev.Status == 429 {
+			sl.Rejects++
+		}
+		if d := ev.Conflicts - prevConflicts; d > 0 {
+			sl.Conflicts += d
+		}
+		prevConflicts = ev.Conflicts
+		lats[s] = append(lats[s], ev.TotalUS)
+	}
+	for s := range slices {
+		if len(lats[s]) == 0 {
+			continue
+		}
+		sort.Slice(lats[s], func(i, j int) bool { return lats[s][i] < lats[s][j] })
+		idx := (99*len(lats[s]) + 99) / 100
+		slices[s].P99US = float64(lats[s][idx-1])
+	}
+	return slices
+}
+
+func buildTriples(events []Event) []TripleStat {
+	type key struct{ tenant, spec, endpoint string }
+	agg := map[key]*TripleStat{}
+	var prevConflicts int64
+	if len(events) > 0 {
+		prevConflicts = events[0].Conflicts
+	}
+	for i := range events {
+		ev := &events[i]
+		k := key{ev.Tenant, ev.Effective, ev.Endpoint}
+		t := agg[k]
+		if t == nil {
+			t = &TripleStat{Tenant: ev.Tenant, Spec: ev.Effective, Endpoint: ev.Endpoint}
+			agg[k] = t
+		}
+		t.Requests++
+		if ev.Status >= 400 {
+			t.Errors++
+		}
+		// Attribute the cumulative conflict movement since the previous
+		// event to this event's triple: exact under sequential replay,
+		// approximate under live concurrency — good enough to rank.
+		if d := ev.Conflicts - prevConflicts; d > 0 {
+			t.Conflicts += d
+		}
+		prevConflicts = ev.Conflicts
+		t.TotalUS += ev.TotalUS
+		if ev.TotalUS > t.MaxUS {
+			t.MaxUS = ev.TotalUS
+		}
+	}
+	out := make([]TripleStat, 0, len(agg))
+	for _, t := range agg {
+		t.MeanUS = float64(t.TotalUS) / float64(t.Requests)
+		out = append(out, *t)
+	}
+	// Rank by conflict attribution first, latency mass second — the
+	// "who did it" ordering of the report.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Conflicts != out[j].Conflicts {
+			return out[i].Conflicts > out[j].Conflicts
+		}
+		if out[i].TotalUS != out[j].TotalUS {
+			return out[i].TotalUS > out[j].TotalUS
+		}
+		a, b := &out[i], &out[j]
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		if a.Spec != b.Spec {
+			return a.Spec < b.Spec
+		}
+		return a.Endpoint < b.Endpoint
+	})
+	return out
+}
+
+func buildStageDiffs(frames []MetricFrame) []StageDiff {
+	if len(frames) < 2 {
+		return nil
+	}
+	base, final := frames[0], frames[len(frames)-1]
+	names := make([]string, 0, len(final.Stages))
+	for name := range final.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []StageDiff
+	for _, name := range names {
+		f := final.Stages[name]
+		b := base.Stages[name]
+		d := StageDiff{Stage: name, CountDelta: f.Count - b.Count}
+		if b.Count > 0 {
+			d.MeanUSBase = float64(b.SumUS) / float64(b.Count)
+		}
+		if f.Count > 0 {
+			d.MeanUSFinal = float64(f.SumUS) / float64(f.Count)
+		}
+		if d.CountDelta == 0 && d.MeanUSBase == d.MeanUSFinal {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Render prints the report as the pmsdoctor text document.
+func (rep *Report) Render() string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	created := time.UnixMicro(rep.Meta.CreatedUS).UTC().Format(time.RFC3339)
+	w("incident %s  reason=%s  events=%d  span=%s  trace_records=%d\n",
+		created, rep.Meta.Reason, rep.Events,
+		time.Duration(rep.SpanUS)*time.Microsecond, rep.TraceRecords)
+	if len(rep.Meta.Breaches) == 0 {
+		w("breaches: none (manual snapshot)\n")
+	} else {
+		w("breaches:\n")
+		for _, br := range rep.Meta.Breaches {
+			detail := ""
+			if br.Detail != "" {
+				detail = "  detail=" + br.Detail
+			}
+			w("  %-17s value=%.2f threshold=%.2f window=%s requests=%d%s\n",
+				br.Rule, br.Value, br.Threshold,
+				time.Duration(br.WindowUS)*time.Microsecond, br.Requests, detail)
+		}
+	}
+	c := rep.Meta.Counters
+	w("recorder: events=%d evicted=%d frames=%d decisions=%d breaches=%d snapshots=%d\n",
+		c.Events, c.EventsEvicted, c.Frames, c.Decisions, c.Breaches, c.Snapshots)
+	w("\n")
+
+	if len(rep.Timeline) > 0 {
+		w("timeline (%d slices)\n", len(rep.Timeline))
+		w("  %-10s %8s %6s %6s %10s %10s\n", "t+", "reqs", "5xx", "429", "p99_us", "conflicts")
+		t0 := rep.Timeline[0].StartUS
+		for _, sl := range rep.Timeline {
+			w("  %-10s %8d %6d %6d %10.0f %10d\n",
+				time.Duration(sl.StartUS-t0)*time.Microsecond,
+				sl.Requests, sl.Errors5xx, sl.Rejects, sl.P99US, sl.Conflicts)
+		}
+		w("\n")
+	}
+
+	if len(rep.Triples) > 0 {
+		w("top (tenant, spec, endpoint) by conflict and latency attribution\n")
+		n := len(rep.Triples)
+		if n > 10 {
+			n = 10
+		}
+		for _, t := range rep.Triples[:n] {
+			spec := t.Spec
+			if spec == "" {
+				spec = "-"
+			}
+			tenant := t.Tenant
+			if tenant == "" {
+				tenant = "-"
+			}
+			w("  %-12s %-26s %-14s reqs=%-6d errs=%-5d conflicts=%-8d mean=%.0fus max=%dus\n",
+				tenant, spec, t.Endpoint, t.Requests, t.Errors, t.Conflicts, t.MeanUS, t.MaxUS)
+		}
+		if len(rep.Triples) > n {
+			w("  (%d more)\n", len(rep.Triples)-n)
+		}
+		w("\n")
+	}
+
+	if len(rep.Stages) > 0 {
+		w("stage histogram movement (baseline frame -> freeze frame)\n")
+		for _, s := range rep.Stages {
+			w("  %-28s +%-8d mean %8.1fus -> %8.1fus\n",
+				s.Stage, s.CountDelta, s.MeanUSBase, s.MeanUSFinal)
+		}
+		w("\n")
+	}
+
+	if len(rep.Decisions) > 0 {
+		w("controller decision audit (%d)\n", len(rep.Decisions))
+		for _, d := range rep.Decisions {
+			w("  %-24s %-10s %s -> %s  %s\n", d.Spec, d.Action, orDash(d.From), orDash(d.To), d.Reason)
+		}
+		w("\n")
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

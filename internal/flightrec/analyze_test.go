@@ -1,0 +1,86 @@
+// Analyzer pins: Analyze and Render are pure, so the report for a
+// fixed incident is asserted line by line.
+package flightrec
+
+import (
+	"strings"
+	"testing"
+)
+
+// analyzeIncident is a deterministic two-phase incident: a healthy
+// first half, then a conflict-heavy error storm attributed to one
+// (tenant, spec, endpoint) triple.
+func analyzeIncident() *Incident {
+	inc := sampleIncident()
+	inc.Events = nil
+	// Healthy phase: tenant good on the requested mapping.
+	for i := 0; i < 6; i++ {
+		inc.Events = append(inc.Events, Event{
+			TS: int64(1000 + i*100), Tenant: "good", Endpoint: "color",
+			Effective: "color/H=12/M=15", Status: 200, TotalUS: 100, Conflicts: int64(i),
+		})
+	}
+	// Storm phase: tenant noisy drives conflicts and 5xx on simulate.
+	for i := 0; i < 6; i++ {
+		inc.Events = append(inc.Events, Event{
+			TS: int64(1600 + i*100), Tenant: "noisy", Endpoint: "simulate",
+			Effective: "mod/M=15", Status: 500, TotalUS: 4000, Conflicts: int64(5 + i*20),
+		})
+	}
+	return inc
+}
+
+func TestAnalyzeAttribution(t *testing.T) {
+	rep := Analyze(analyzeIncident())
+	if rep.Events != 12 || rep.SpanUS != 1100 {
+		t.Fatalf("events=%d span=%d, want 12/1100", rep.Events, rep.SpanUS)
+	}
+	if len(rep.Triples) != 2 {
+		t.Fatalf("triples %v, want 2", rep.Triples)
+	}
+	top := rep.Triples[0]
+	if top.Tenant != "noisy" || top.Spec != "mod/M=15" || top.Endpoint != "simulate" {
+		t.Errorf("top triple %+v, want the noisy/mod/simulate storm", top)
+	}
+	if top.Errors != 6 || top.Conflicts != 100 {
+		t.Errorf("top triple errors=%d conflicts=%d, want 6/100", top.Errors, top.Conflicts)
+	}
+	if rep.TraceRecords != 2 {
+		t.Errorf("trace records %d, want 2", rep.TraceRecords)
+	}
+	// The stage diff comes from the sample incident's two frames.
+	if len(rep.Stages) != 1 || rep.Stages[0].Stage != "batch_compute" {
+		t.Errorf("stage diffs %+v, want the batch_compute movement", rep.Stages)
+	}
+}
+
+func TestRenderPin(t *testing.T) {
+	out := Analyze(analyzeIncident()).Render()
+	for _, want := range []string{
+		"reason=watchdog  events=12  span=1.1ms  trace_records=2",
+		"breaches:",
+		"error_rate        value=42.50 threshold=5.00 window=10s requests=80",
+		"recorder: events=80 evicted=0 frames=0 decisions=0 breaches=1 snapshots=0",
+		"timeline (12 slices)",
+		"top (tenant, spec, endpoint) by conflict and latency attribution",
+		"noisy        mod/M=15                   simulate       reqs=6      errs=6     conflicts=100      mean=4000us max=4000us",
+		"good         color/H=12/M=15            color          reqs=6      errs=0     conflicts=5        mean=100us max=100us",
+		"stage histogram movement (baseline frame -> freeze frame)",
+		"controller decision audit (1)",
+		"color/H=12/M=15          migrate    color/H=12/M=15 -> mod/M=15  shadow score",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderManualSnapshot(t *testing.T) {
+	inc := sampleIncident()
+	inc.Meta.Reason = "manual"
+	inc.Meta.Breaches = nil
+	out := Analyze(inc).Render()
+	if !strings.Contains(out, "breaches: none (manual snapshot)") {
+		t.Errorf("manual snapshot report:\n%s", out)
+	}
+}

@@ -1,0 +1,34 @@
+// FuzzDecodeIncident holds the PMSINC1 decoder to the same bar as
+// mapstore's FuzzDecodeEntry and replay's FuzzDecode: arbitrary bytes
+// — truncations, bit flips, lying lengths, stale versions — never
+// panic and never allocate past the section caps; anything that does
+// decode must re-encode cleanly.
+package flightrec
+
+import (
+	"testing"
+)
+
+func FuzzDecodeIncident(f *testing.F) {
+	good, err := EncodeIncident(sampleIncident())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("PMSINC1\n"))
+	f.Add(good[:len(good)/2])
+	flipped := append([]byte(nil), good...)
+	flipped[9] ^= 0xff // version field
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inc, err := DecodeIncident(data)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeIncident(inc); err != nil {
+			t.Fatalf("decoded incident failed to re-encode: %v", err)
+		}
+	})
+}

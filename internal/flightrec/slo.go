@@ -1,0 +1,220 @@
+// SLO rule definitions and the pure evaluation core. The watchdog's
+// Tick wraps evaluate() with live ring reads and state transitions;
+// EvaluateStatic exposes the same rules over a fixed event set so
+// pmsdoctor -replay can re-judge a replayed incident window with the
+// incident's own SLO config and confirm the original rule fires again.
+package flightrec
+
+import (
+	"sort"
+	"time"
+)
+
+// Rule names as they appear in breaches, metrics labels and reports.
+const (
+	RuleP99Latency     = "p99_latency"
+	RuleErrorRate      = "error_rate"
+	RuleBoundViolation = "bound_violations"
+	RuleTenantRejects  = "tenant_rejects"
+	RuleMigrationChurn = "migration_churn"
+)
+
+// SLOConfig names the service-level objectives the watchdog holds pmsd
+// to. A rule is enabled by setting its threshold positive; the
+// bound-violations rule is on by default (the paper's closed-form
+// guarantees make zero the only acceptable value) and disabled with
+// DisableBoundRule.
+type SLOConfig struct {
+	// Window is the rolling evaluation window (default 10s).
+	Window time.Duration `json:"window"`
+	// Interval is the watchdog tick cadence (default 1s).
+	Interval time.Duration `json:"interval"`
+	// MinRequests gates the rate/percentile rules: windows with fewer
+	// events never breach them (default 20).
+	MinRequests int `json:"min_requests"`
+
+	// P99TargetUS breaches when the window's p99 total latency exceeds
+	// it (µs; 0 disables).
+	P99TargetUS int64 `json:"p99_target_us,omitempty"`
+	// ErrorRatePct breaches when 5xx responses exceed this share of the
+	// window's requests, in percent (0 disables).
+	ErrorRatePct float64 `json:"error_rate_pct,omitempty"`
+	// TenantRejectSharePct breaches when any single tenant's 429
+	// rejections exceed this share of the window's requests (0 disables).
+	TenantRejectSharePct float64 `json:"tenant_reject_share_pct,omitempty"`
+	// MaxMigrations breaches when the controller migrates more than this
+	// many times inside one window (0 disables).
+	MaxMigrations int `json:"max_migrations,omitempty"`
+	// DisableBoundRule turns off the bound_violations must-be-zero rule.
+	DisableBoundRule bool `json:"disable_bound_rule,omitempty"`
+
+	// SnapshotMinInterval rate-limits successive watchdog-written
+	// incident snapshots (default 30s).
+	SnapshotMinInterval time.Duration `json:"snapshot_min_interval"`
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = 20
+	}
+	if c.SnapshotMinInterval <= 0 {
+		c.SnapshotMinInterval = 30 * time.Second
+	}
+	return c
+}
+
+// Breach is one rule firing: the observed value, the threshold it
+// crossed, and the window it was observed over.
+type Breach struct {
+	Rule      string  `json:"rule"`
+	TS        int64   `json:"ts_us"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	WindowUS  int64   `json:"window_us"`
+	Requests  int     `json:"requests"`
+	Detail    string  `json:"detail,omitempty"` // e.g. the offending tenant
+}
+
+// ruleResult is one rule's evaluation: breached or not, with the breach
+// record populated either way (Value is meaningful even under threshold,
+// which is what makes recovery observable).
+type ruleResult struct {
+	Rule     string
+	Breached bool
+	Breach   Breach
+}
+
+// windowCounters carries the delta-rule inputs the event stream alone
+// cannot provide: counter movement across the window as sampled by the
+// watchdog ticks.
+type windowCounters struct {
+	ViolationsDelta int64
+	MigrationsDelta int64
+}
+
+// evaluate runs every enabled rule over one window. Pure: no clocks, no
+// recorder state.
+func evaluate(events []Event, wc windowCounters, cfg SLOConfig, nowUS int64) []ruleResult {
+	var out []ruleResult
+	windowUS := cfg.Window.Microseconds()
+	n := len(events)
+	mk := func(rule string, value, threshold float64, detail string) Breach {
+		return Breach{
+			Rule: rule, TS: nowUS, Value: value, Threshold: threshold,
+			WindowUS: windowUS, Requests: n, Detail: detail,
+		}
+	}
+
+	if cfg.P99TargetUS > 0 {
+		p99 := p99TotalUS(events)
+		out = append(out, ruleResult{
+			Rule:     RuleP99Latency,
+			Breached: n >= cfg.MinRequests && p99 > float64(cfg.P99TargetUS),
+			Breach:   mk(RuleP99Latency, p99, float64(cfg.P99TargetUS), ""),
+		})
+	}
+	if cfg.ErrorRatePct > 0 {
+		errs := 0
+		for i := range events {
+			if events[i].Status >= 500 {
+				errs++
+			}
+		}
+		pct := 0.0
+		if n > 0 {
+			pct = float64(errs) / float64(n) * 100
+		}
+		out = append(out, ruleResult{
+			Rule:     RuleErrorRate,
+			Breached: n >= cfg.MinRequests && pct > cfg.ErrorRatePct,
+			Breach:   mk(RuleErrorRate, pct, cfg.ErrorRatePct, ""),
+		})
+	}
+	if !cfg.DisableBoundRule {
+		out = append(out, ruleResult{
+			Rule:     RuleBoundViolation,
+			Breached: wc.ViolationsDelta > 0,
+			Breach:   mk(RuleBoundViolation, float64(wc.ViolationsDelta), 0, ""),
+		})
+	}
+	if cfg.TenantRejectSharePct > 0 {
+		rejects := map[string]int{}
+		for i := range events {
+			if events[i].Status == 429 {
+				rejects[events[i].Tenant]++
+			}
+		}
+		worstTenant, worst := "", 0
+		for t, c := range rejects {
+			if c > worst {
+				worstTenant, worst = t, c
+			}
+		}
+		pct := 0.0
+		if n > 0 {
+			pct = float64(worst) / float64(n) * 100
+		}
+		out = append(out, ruleResult{
+			Rule:     RuleTenantRejects,
+			Breached: n >= cfg.MinRequests && pct > cfg.TenantRejectSharePct,
+			Breach:   mk(RuleTenantRejects, pct, cfg.TenantRejectSharePct, worstTenant),
+		})
+	}
+	if cfg.MaxMigrations > 0 {
+		out = append(out, ruleResult{
+			Rule:     RuleMigrationChurn,
+			Breached: wc.MigrationsDelta > int64(cfg.MaxMigrations),
+			Breach:   mk(RuleMigrationChurn, float64(wc.MigrationsDelta), float64(cfg.MaxMigrations), ""),
+		})
+	}
+	return out
+}
+
+// p99TotalUS is the 99th-percentile total latency of the events
+// (nearest-rank over a sorted copy; 0 when empty).
+func p99TotalUS(events []Event) float64 {
+	if len(events) == 0 {
+		return 0
+	}
+	lats := make([]int64, len(events))
+	for i := range events {
+		lats[i] = events[i].TotalUS
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := (99*len(lats) + 99) / 100
+	if idx > len(lats) {
+		idx = len(lats)
+	}
+	return float64(lats[idx-1])
+}
+
+// EvaluateStatic judges a fixed event set (a replayed incident window)
+// against an SLO config: the rate/percentile rules run over all events,
+// and the delta rules read the final cumulative counters directly
+// (a fresh replay server starts from zero, so cumulative == delta).
+// It returns the rules that breach. Pure and deterministic for the
+// count-based rules; the latency rule depends on replay wall time.
+func EvaluateStatic(events []Event, final MetricFrame, cfg SLOConfig) []Breach {
+	cfg = cfg.withDefaults()
+	nowUS := int64(0)
+	if n := len(events); n > 0 {
+		nowUS = events[n-1].TS
+	}
+	results := evaluate(events, windowCounters{
+		ViolationsDelta: final.BoundViolations,
+		MigrationsDelta: final.ControllerMigrations,
+	}, cfg, nowUS)
+	var fired []Breach
+	for _, res := range results {
+		if res.Breached {
+			fired = append(fired, res.Breach)
+		}
+	}
+	return fired
+}

@@ -303,6 +303,36 @@ func (d *Domain) CheckBound(q BoundQuery, observed int) (violated bool) {
 	return false
 }
 
+// Counters reads the aggregate conflict and bound-monitor counters
+// without building a full Snapshot: a handful of atomic loads, cheap
+// enough for per-request use (the flight recorder stamps them onto
+// every event). Nil-safe.
+func (d *Domain) Counters() (conflicts, boundChecks, boundViolations int64) {
+	if d == nil {
+		return 0, 0, 0
+	}
+	for i := range d.stripes {
+		conflicts += d.stripes[i].conflicts.Load()
+	}
+	return conflicts, d.boundChecks.Load(), d.boundViolations.Load()
+}
+
+// AccessTotals sums the per-module access counters (plus overflow)
+// across stripes without the rest of Snapshot's work. Nil-safe.
+func (d *Domain) AccessTotals() (accesses, overflow int64) {
+	if d == nil {
+		return 0, 0
+	}
+	for i := range d.stripes {
+		st := &d.stripes[i]
+		for mod := range st.accesses {
+			accesses += st.accesses[mod].Load()
+		}
+		overflow += st.overflow.Load()
+	}
+	return accesses, overflow
+}
+
 // FamilySnapshot is the exported form of one family conflict histogram.
 type FamilySnapshot struct {
 	Family  string           `json:"family"`

@@ -80,6 +80,11 @@ const (
 	numStages
 )
 
+// NumStages is the number of serving-path stages, exported so external
+// aggregators (the flight recorder's per-event stage vectors) can size
+// fixed arrays that index by Stage.
+const NumStages = int(numStages)
+
 // String names the stage as it appears in snapshots.
 func (s Stage) String() string {
 	switch s {
@@ -271,9 +276,15 @@ type SpanSnapshot struct {
 }
 
 // TraceSnapshot is one complete trace as served by /debug/requests.
+// Tenant and Mapping carry the same identity fields the flight
+// recorder stamps on its per-request events, so a slowest-trace entry
+// and the matching flight-recorder event correlate on more than the
+// request ID alone.
 type TraceSnapshot struct {
 	ID       string         `json:"request_id"`
 	Endpoint string         `json:"endpoint"`
+	Tenant   string         `json:"tenant,omitempty"`
+	Mapping  string         `json:"mapping,omitempty"` // effective mapping key after controller overrides
 	Status   int            `json:"status"`
 	TotalUS  int64          `json:"total_us"`
 	Client   *ClientInfo    `json:"client,omitempty"`
@@ -289,10 +300,13 @@ type Trace struct {
 	endpoint string
 	start    time.Time
 
-	mu     sync.Mutex
-	spans  []SpanSnapshot
-	client *ClientInfo
-	done   bool
+	mu      sync.Mutex
+	spans   []SpanSnapshot
+	stageUS [numStages]int64
+	tenant  string
+	mapping string
+	client  *ClientInfo
+	done    bool
 }
 
 // ID returns the trace's request ID ("" on a nil trace).
@@ -313,6 +327,40 @@ func (t *Trace) SetClient(ci ClientInfo) {
 	t.mu.Unlock()
 }
 
+// SetTenant stamps the (sanitized) tenant identity onto the trace.
+func (t *Trace) SetTenant(tenant string) {
+	if t == nil || tenant == "" {
+		return
+	}
+	t.mu.Lock()
+	t.tenant = tenant
+	t.mu.Unlock()
+}
+
+// SetMapping stamps the effective mapping key — the spec actually
+// served after controller overrides — onto the trace.
+func (t *Trace) SetMapping(key string) {
+	if t == nil || key == "" {
+		return
+	}
+	t.mu.Lock()
+	t.mapping = key
+	t.mu.Unlock()
+}
+
+// StageTotalsUS returns the per-stage microsecond totals accumulated by
+// RecordSpan so far, indexed by Stage. Nil-safe (zeroes on a nil trace).
+func (t *Trace) StageTotalsUS() [NumStages]int64 {
+	var out [NumStages]int64
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	out = t.stageUS
+	t.mu.Unlock()
+	return out
+}
+
 // RecordSpan records one stage span measured by the caller. start may
 // come from another goroutine's clock reading; a zero start is ignored.
 // The duration also feeds the tracer's lock-free per-stage histogram.
@@ -324,6 +372,7 @@ func (t *Trace) RecordSpan(stage Stage, start time.Time, d time.Duration) {
 	t.tracer.stages[stage].Observe(us)
 	t.mu.Lock()
 	if !t.done {
+		t.stageUS[stage] += us
 		t.spans = append(t.spans, SpanSnapshot{
 			Stage:   stage.String(),
 			StartUS: start.Sub(t.start).Microseconds(),
@@ -362,6 +411,8 @@ func (t *Trace) Finish(status int) {
 	snap := TraceSnapshot{
 		ID:       t.id,
 		Endpoint: t.endpoint,
+		Tenant:   t.tenant,
+		Mapping:  t.mapping,
 		Status:   status,
 		TotalUS:  total.Microseconds(),
 		Client:   t.client,

@@ -1,0 +1,156 @@
+// WindowRecorder keeps the last N captured requests instead of draining
+// to an unbounded tape like Recorder: it is the flight recorder's trace
+// source, always on in front of the serving chain, so that when the SLO
+// watchdog freezes an incident the most recent window of traffic is
+// available as a PMSTRC1 trace without ever growing memory with uptime.
+// Unlike Recorder it has no background drainer — the ring is the storage
+// — so it starts no goroutines and needs no Close.
+package replay
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// WindowConfig tunes a WindowRecorder. Zero values take defaults.
+type WindowConfig struct {
+	// Window is how many most-recent requests are retained (default 2048).
+	Window int
+	// MaxBody bounds one captured body (default 1 MiB); larger bodies
+	// skip capture, same as Recorder.
+	MaxBody int64
+	// Seed is stamped into snapshot traces so a replayed incident names
+	// the workload seed it was cut from.
+	Seed int64
+}
+
+func (c WindowConfig) withDefaults() WindowConfig {
+	if c.Window <= 0 {
+		c.Window = 2048
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	return c
+}
+
+// WindowRecorder is a bounded last-N request ring. Safe for arbitrary
+// concurrency; the ring overwrites its oldest entry when full (counted,
+// never dropped silently).
+type WindowRecorder struct {
+	cfg WindowConfig
+
+	mu        sync.Mutex
+	ring      []Record
+	next      int // ring write cursor
+	n         int // live entries (≤ len(ring))
+	recorded  int64
+	overwrote int64
+}
+
+// NewWindowRecorder builds a window recorder; it is ready immediately
+// and owns no goroutines.
+func NewWindowRecorder(cfg WindowConfig) *WindowRecorder {
+	cfg = cfg.withDefaults()
+	return &WindowRecorder{cfg: cfg, ring: make([]Record, cfg.Window)}
+}
+
+// capturedBody replays a captured body to the handler: one allocation
+// in place of the NopCloser+Reader pair, on the hot path per request.
+type capturedBody struct{ bytes.Reader }
+
+func (*capturedBody) Close() error { return nil }
+
+// Middleware captures POST bodies into the ring and passes every request
+// through untouched, mirroring Recorder.Middleware's capture rules so a
+// window snapshot replays under identical admission accounting. The
+// capture is allocation-conscious: when the declared Content-Length is
+// trusted (non-chunked, within MaxBody) the body is read once into an
+// exactly-sized buffer that the ring then owns.
+func (w *WindowRecorder) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.Body == nil {
+			next.ServeHTTP(rw, r)
+			return
+		}
+		var body []byte
+		if n := r.ContentLength; n >= 0 && n <= w.cfg.MaxBody {
+			body = make([]byte, n)
+			if _, err := io.ReadFull(r.Body, body); err != nil {
+				// Short or broken body: hand the handler what was read;
+				// it will surface the decode error. Nothing is recorded.
+				cb := &capturedBody{}
+				cb.Reset(body)
+				r.Body = cb
+				next.ServeHTTP(rw, r)
+				return
+			}
+		} else {
+			// Chunked or oversized: fall back to a bounded drain so the
+			// ring never retains more than MaxBody per record.
+			all, err := io.ReadAll(io.LimitReader(r.Body, w.cfg.MaxBody+1))
+			cb := &capturedBody{}
+			cb.Reset(all)
+			r.Body = cb
+			if err != nil || int64(len(all)) > w.cfg.MaxBody {
+				next.ServeHTTP(rw, r)
+				return
+			}
+			body = all
+		}
+		cb := &capturedBody{}
+		cb.Reset(body)
+		r.Body = cb
+		w.offer(Record{Path: r.URL.Path, Tenant: r.Header.Get(TenantHeader), Body: body})
+		next.ServeHTTP(rw, r)
+	})
+}
+
+func (w *WindowRecorder) offer(r Record) {
+	w.mu.Lock()
+	if w.n == len(w.ring) {
+		w.overwrote++
+	} else {
+		w.n++
+	}
+	w.ring[w.next] = r
+	w.next = (w.next + 1) % len(w.ring)
+	w.recorded++
+	w.mu.Unlock()
+}
+
+// WindowStats reports the recorder's counters: total requests captured
+// and how many were overwritten by newer traffic.
+type WindowStats struct {
+	Recorded  int64 `json:"recorded"`
+	Overwrote int64 `json:"overwrote"`
+}
+
+// Stats reads the counters. Nil-safe.
+func (w *WindowRecorder) Stats() WindowStats {
+	if w == nil {
+		return WindowStats{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WindowStats{Recorded: w.recorded, Overwrote: w.overwrote}
+}
+
+// Snapshot copies the current window, oldest first, as a replayable
+// trace. The ring keeps recording; the snapshot is independent storage.
+// Nil-safe (a nil recorder snapshots an empty trace).
+func (w *WindowRecorder) Snapshot() *Trace {
+	if w == nil {
+		return &Trace{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Record, 0, w.n)
+	start := (w.next - w.n + len(w.ring)) % len(w.ring)
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.ring[(start+i)%len(w.ring)])
+	}
+	return &Trace{Seed: w.cfg.Seed, Records: out}
+}

@@ -12,6 +12,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/baseline"
 	"repro/internal/coloring"
@@ -102,9 +104,34 @@ func (sp MappingSpec) Validate() error {
 	return nil
 }
 
+// keyCache memoizes MappingSpec.Key: the canonical key is formatted on
+// every serving request (registry resolve, flight-recorder events) and
+// the Sprintf allocations feed GC pressure on the hot path. The cache
+// is bounded — past keyCacheMax distinct specs, new ones format
+// directly, so a spec-churning client cannot grow the map.
+var (
+	keyCache     sync.Map // MappingSpec -> string
+	keyCacheSize atomic.Int64
+)
+
+const keyCacheMax = 512
+
 // Key returns the canonical registry key. Fields irrelevant to the chosen
 // algorithm are normalized away so equivalent specs share a cache entry.
 func (sp MappingSpec) Key() string {
+	if v, ok := keyCache.Load(sp); ok {
+		return v.(string)
+	}
+	k := sp.formatKey()
+	if keyCacheSize.Load() < keyCacheMax {
+		if _, loaded := keyCache.LoadOrStore(sp, k); !loaded {
+			keyCacheSize.Add(1)
+		}
+	}
+	return k
+}
+
+func (sp MappingSpec) formatKey() string {
 	switch sp.Alg {
 	case "color":
 		return fmt.Sprintf("color/H=%d/m=%d", sp.Levels, sp.M)

@@ -25,7 +25,9 @@ import (
 
 	"repro/internal/coloring"
 	ctl "repro/internal/controller"
+	"repro/internal/flightrec"
 	dm "repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/template"
 )
 
@@ -130,10 +132,20 @@ func (s *Server) sample(spec MappingSpec, in template.Instance) {
 // resolveSpec follows a controller migration for a validated client
 // spec. When the served mapping differs from the requested one the
 // response advertises it, so probes and clients can observe the switch.
-func (s *Server) resolveSpec(w http.ResponseWriter, spec MappingSpec) MappingSpec {
+// The requested/effective pair is also stamped onto the request's trace
+// and flight-recorder scratch, so forensics can attribute by the
+// mapping actually served.
+func (s *Server) resolveSpec(w http.ResponseWriter, r *http.Request, spec MappingSpec) MappingSpec {
 	eff := s.reg.Resolve(spec)
 	if eff != spec {
 		w.Header().Set(EffectiveMappingHeader, eff.Key())
+	}
+	if tr := obsv.FromContext(r.Context()); tr != nil {
+		tr.SetMapping(eff.Key())
+	}
+	if fs := flightFromContext(r.Context()); fs != nil {
+		fs.requested = spec.Key()
+		fs.effective = eff.Key()
 	}
 	return eff
 }
@@ -327,6 +339,14 @@ func (h ctrlHost) Event(ev ctl.Event) {
 	if ev.Action == ctl.ActionMigrate {
 		met.controllerMigrations.Add(1)
 	}
+	h.c.s.fr.RecordDecision(flightrec.Decision{
+		TS:     h.c.s.cfg.flightNow().UnixMicro(),
+		Spec:   ev.Key,
+		Action: ev.Action,
+		From:   ev.From,
+		To:     ev.To,
+		Reason: ev.Reason,
+	})
 
 	st := &h.c.status
 	st.mu.Lock()

@@ -1,0 +1,241 @@
+// Flight-recorder wiring: the always-on capture path that feeds
+// internal/flightrec from the serving stack.
+//
+// The capture middleware sits OUTERMOST — outside even the
+// fault-injection middleware — because chaos answers (500 bursts, 429s,
+// connection resets) never reach instrument()'s writer; the black box
+// must see the response the client saw, not the one the handlers
+// intended. Identity that only the inner layers know (endpoint name,
+// request ID, requested/effective mapping, per-stage timings) travels
+// outward through a pooled flightScratch carried on the request
+// context: instrument() and resolveSpec() fill it in, and the
+// middleware folds it into the Event after the handler chain returns.
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/flightrec"
+	"repro/internal/obsv"
+)
+
+// flightEndpoints are the endpoint names aggregated into metric frames,
+// matching Metrics.endpoint.
+var flightEndpoints = []string{
+	"color", "template_cost", "simulate", "heap_run", "heap_workload", "range_query",
+}
+
+// flightScratch carries per-request identity from the inner layers
+// (instrument, resolveSpec) out to the capture middleware.
+type flightScratch struct {
+	endpoint  string
+	requestID string
+	requested string
+	effective string
+	traced    bool
+	stages    [obsv.NumStages]int64
+}
+
+type flightCtxKey struct{}
+
+// The writer and scratch are pooled as one unit: the capture layer is
+// always on, so every saved allocation is saved on every request.
+var flightPool = sync.Pool{New: func() any { return new(flightWriter) }}
+
+// flightFromContext returns the request's scratch, or nil outside the
+// capture middleware (bare-Handler tests, replay harnesses).
+func flightFromContext(ctx context.Context) *flightScratch {
+	fs, _ := ctx.Value(flightCtxKey{}).(*flightScratch)
+	return fs
+}
+
+// flightWriter records the status actually sent to the client and
+// carries the request's scratch. It forwards Flush so the chaos
+// injector's drip mode still streams through the wrapper.
+type flightWriter struct {
+	http.ResponseWriter
+	status int
+	fs     flightScratch
+}
+
+func (w *flightWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *flightWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// hijackableFlightWriter is handed out when the underlying writer
+// supports hijacking, so the chaos injector's connection-reset mode
+// still reaches the TCP connection through the wrapper. A hijacked
+// request has no HTTP status on the wire; the event records 0.
+type hijackableFlightWriter struct{ *flightWriter }
+
+func (w hijackableFlightWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	w.flightWriter.status = 0
+	return w.ResponseWriter.(http.Hijacker).Hijack()
+}
+
+var pathCleaner = strings.NewReplacer("/", "_", "-", "_")
+
+// endpointForPath maps a /v1 route to its metrics endpoint name. The
+// fallback covers requests the chaos layer answered before routing.
+func endpointForPath(path string) string {
+	switch path {
+	case "/v1/color":
+		return "color"
+	case "/v1/template-cost":
+		return "template_cost"
+	case "/v1/simulate":
+		return "simulate"
+	case "/v1/heap/run":
+		return "heap_run"
+	case "/v1/heap/workload":
+		return "heap_workload"
+	case "/v1/range":
+		return "range_query"
+	}
+	return pathCleaner.Replace(strings.TrimPrefix(path, "/v1/"))
+}
+
+// flightMiddleware is the outermost capture layer: one Event per served
+// /v1 request, whatever layer answered it.
+func (s *Server) flightMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		fw := flightPool.Get().(*flightWriter)
+		*fw = flightWriter{ResponseWriter: w, status: http.StatusOK}
+		fs := &fw.fs
+		var outer http.ResponseWriter = fw
+		if _, ok := w.(http.Hijacker); ok {
+			outer = hijackableFlightWriter{fw}
+		}
+		next.ServeHTTP(outer, r.WithContext(context.WithValue(r.Context(), flightCtxKey{}, fs)))
+
+		ev := flightrec.Event{
+			TS:        s.cfg.flightNow().UnixMicro(),
+			RequestID: fs.requestID,
+			Tenant:    sanitizeTenant(r.Header.Get(TenantHeader)),
+			Endpoint:  fs.endpoint,
+			Requested: fs.requested,
+			Effective: fs.effective,
+			Status:    fw.status,
+			TotalUS:   time.Since(start).Microseconds(),
+			StagesUS:  fs.stages,
+		}
+		if ev.RequestID == "" {
+			ev.RequestID = r.Header.Get(obsv.HeaderRequestID)
+		}
+		if ev.Endpoint == "" {
+			// The handler chain never ran (chaos short-circuit, 404):
+			// attribute by path.
+			ev.Endpoint = endpointForPath(r.URL.Path)
+		}
+		ev.Conflicts, ev.BoundChecks, ev.BoundViolations = s.dom.Counters()
+		fw.ResponseWriter = nil
+		flightPool.Put(fw)
+		s.fr.RecordEvent(ev)
+		if s.logger.Enabled(r.Context(), slog.LevelDebug) {
+			s.logger.Debug("request",
+				"request_id", ev.RequestID, "tenant", ev.Tenant, "endpoint", ev.Endpoint,
+				"mapping", ev.Effective, "status", ev.Status, "total_us", ev.TotalUS)
+		}
+	})
+}
+
+// metricFrame assembles the cumulative counter surface the flight
+// recorder frames and the watchdog's delta rules read.
+func (s *Server) metricFrame() flightrec.MetricFrame {
+	m := s.met
+	f := flightrec.MetricFrame{
+		Rejected429:          m.rejected429.Load(),
+		ControllerDecisions:  m.controllerDecisions.Load(),
+		ControllerMigrations: m.controllerMigrations.Load(),
+		Endpoints:            make(map[string]flightrec.EndpointFrame, len(flightEndpoints)),
+	}
+	for _, name := range flightEndpoints {
+		em := m.endpoint(name)
+		ef := flightrec.EndpointFrame{
+			Requests:  em.requests.Load(),
+			Errors5xx: em.errors5xx.Load(),
+			Errors4xx: em.errors4xx.Load(),
+		}
+		f.Requests += ef.Requests
+		f.Errors5xx += ef.Errors5xx
+		if ef.Requests != 0 {
+			f.Endpoints[name] = ef
+		}
+	}
+	f.Conflicts, f.BoundChecks, f.BoundViolations = s.dom.Counters()
+	f.Accesses, _ = s.dom.AccessTotals()
+	if ts := m.tenants.snapshot(); len(ts) > 0 {
+		f.Tenants = make(map[string]flightrec.TenantFrame, len(ts))
+		for _, t := range ts {
+			f.Tenants[t.Tenant] = flightrec.TenantFrame{Requests: t.Requests, Rejected: t.Rejected}
+		}
+	}
+	stages := make(map[string]flightrec.StageFrame)
+	s.trc.ForEachStage(func(st obsv.Stage, h *obsv.Histogram) {
+		count, sum, buckets := h.Load()
+		if count == 0 {
+			return
+		}
+		stages[st.String()] = flightrec.StageFrame{Count: count, SumUS: sum, Buckets: buckets}
+	})
+	if len(stages) > 0 {
+		f.Stages = stages
+	}
+	return f
+}
+
+// handleFlightSnapshot serves GET /debug/snapshot: a manual freeze of
+// the flight recorder, streamed as a PMSINC1 incident document (the
+// same bytes the watchdog writes on a breach). No server state changes;
+// the rings keep recording.
+func (s *Server) handleFlightSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.fr == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "flight recorder disabled"})
+		return
+	}
+	inc := s.fr.Freeze(s.cfg.flightNow(), "manual", nil)
+	data, err := flightrec.EncodeIncident(inc)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=incident-%016d.pmsinc", inc.Meta.CreatedUS))
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	_, _ = w.Write(data)
+}
+
+// FlightRecorder exposes the flight recorder (nil when disabled).
+func (s *Server) FlightRecorder() *flightrec.Recorder { return s.fr }
+
+// FlightTick runs one watchdog pass at the given instant and returns
+// the rules that newly breached. Deterministic-clock tests and the
+// incident replayer drive the watchdog through this instead of the
+// background loop (Config.flightManual suppresses the loop).
+func (s *Server) FlightTick(now time.Time) []flightrec.Breach {
+	if s.fr == nil {
+		return nil
+	}
+	return s.fr.Tick(now)
+}

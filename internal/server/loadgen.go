@@ -52,6 +52,11 @@ type LoadGenConfig struct {
 	// Server tunes the serving side under test. Addr is ignored; the
 	// server always binds an ephemeral localhost port.
 	Server Config
+
+	// observeServer, when set, runs against the booted server after the
+	// load completes and before shutdown; benches snapshot internal
+	// counters (flight recorder rings) through it.
+	observeServer func(*Server)
 }
 
 func (c LoadGenConfig) withDefaults() LoadGenConfig {
@@ -318,6 +323,9 @@ func RunLoadGen(cfg LoadGenConfig, mode string) (LoadGenResult, error) {
 		res.MeanBatchSize = float64(snap.BatchSize.Sum) / float64(snap.BatchesFlushed)
 	}
 	res.Domain = snap.Domain
+	if cfg.observeServer != nil {
+		cfg.observeServer(srv)
+	}
 	return res, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/mapstore"
 	dm "repro/internal/metrics"
 	"repro/internal/pms"
@@ -172,6 +173,9 @@ type Metrics struct {
 
 	queueDepth func() int // wired to the worker pool at server construction
 	domain     *dm.Domain // wired at server construction; nil when disabled
+	// flight reads the flight recorder's counter surface; nil when the
+	// recorder is disabled.
+	flight func() flightrec.CountersSnapshot
 }
 
 // MetricsSnapshot is the /debug/vars JSON document.
@@ -226,6 +230,10 @@ type MetricsSnapshot struct {
 	// conflict histograms, bound monitor); omitted when accounting is
 	// disabled.
 	Domain *dm.DomainSnapshot `json:"domain,omitempty"`
+
+	// FlightRec is the flight recorder / SLO watchdog counter surface;
+	// omitted when the recorder is disabled.
+	FlightRec *flightrec.CountersSnapshot `json:"flightrec,omitempty"`
 }
 
 func (em *endpointMetrics) snapshot() EndpointSnapshot {
@@ -293,6 +301,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	if m.controller != nil {
 		s.Controller = m.controller()
+	}
+	if m.flight != nil {
+		fc := m.flight()
+		s.FlightRec = &fc
 	}
 	return s
 }

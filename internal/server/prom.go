@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"sort"
 
+	"repro/internal/flightrec"
 	"repro/internal/mapstore"
 	dm "repro/internal/metrics"
 	"repro/internal/obsv"
@@ -131,6 +132,34 @@ func writeServerMetrics(e *dm.Expo, m *Metrics) {
 				e.Gauge(promPrefix+"_controller_shadow_score",
 					[]dm.Label{{Name: "spec", Value: en.Spec}, {Name: "candidate", Value: ck}}, en.Scores[ck])
 			}
+		}
+	}
+
+	// Flight recorder / SLO watchdog series: written unconditionally
+	// (zeros when the recorder is off) like the controller counters. The
+	// per-rule breach counter carries a rule label per fired rule.
+	var fc flightrec.CountersSnapshot
+	if m.flight != nil {
+		fc = m.flight()
+	}
+	e.Counter(promPrefix+"_flightrec_events_total", nil, fc.Events)
+	e.Counter(promPrefix+"_flightrec_events_evicted_total", nil, fc.EventsEvicted)
+	e.Counter(promPrefix+"_flightrec_frames_total", nil, fc.Frames)
+	e.Counter(promPrefix+"_flightrec_decisions_total", nil, fc.Decisions)
+	e.Counter(promPrefix+"_flightrec_snapshots_total", nil, fc.Snapshots)
+	e.Counter(promPrefix+"_flightrec_snapshot_errors_total", nil, fc.SnapshotErrors)
+	e.Counter(promPrefix+"_flightrec_snapshots_rate_limited_total", nil, fc.SnapshotsRateLimited)
+	e.Counter(promPrefix+"_slo_breaches_total", nil, fc.Breaches)
+	e.Counter(promPrefix+"_slo_recoveries_total", nil, fc.Recoveries)
+	if len(fc.RuleBreaches) > 0 {
+		rules := make([]string, 0, len(fc.RuleBreaches))
+		for rule := range fc.RuleBreaches {
+			rules = append(rules, rule)
+		}
+		sort.Strings(rules)
+		for _, rule := range rules {
+			e.Counter(promPrefix+"_slo_rule_breaches_total",
+				[]dm.Label{{Name: "rule", Value: rule}}, fc.RuleBreaches[rule])
 		}
 	}
 

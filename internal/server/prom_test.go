@@ -187,11 +187,15 @@ var serverSeries = map[string]string{
 	// The per-spec controller gauges only exist while the controller
 	// runs; the decisions counter stands in for the snapshot pointer.
 	"controller": "pmsd_controller_decisions_total",
-	"sim_batches":                   "pmsd_sim_batches_total",
-	"sim_requests":                  "pmsd_sim_requests_total",
-	"sim_cycles":                    "pmsd_sim_cycles_total",
-	"sim_conflicts":                 "pmsd_sim_conflicts_total",
-	"sim_idle_steps":                "pmsd_sim_idle_steps_total",
+	// The flight recorder's counter surface fans out into several
+	// pmsd_flightrec_* / pmsd_slo_* series; the events counter stands in
+	// for the snapshot pointer.
+	"flightrec":      "pmsd_flightrec_events_total",
+	"sim_batches":    "pmsd_sim_batches_total",
+	"sim_requests":   "pmsd_sim_requests_total",
+	"sim_cycles":     "pmsd_sim_cycles_total",
+	"sim_conflicts":  "pmsd_sim_conflicts_total",
+	"sim_idle_steps": "pmsd_sim_idle_steps_total",
 }
 
 // endpointSeries maps EndpointSnapshot fields to their labeled series.

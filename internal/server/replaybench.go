@@ -69,6 +69,11 @@ func replayServerConfig(base Config) Config {
 	c.MaxBatch = 1
 	c.FlushWindow = -1
 	c.TraceSampleRate = -1
+	// Replay servers keep the flight recorder for event capture but never
+	// run its background watchdog (timer nondeterminism) or write
+	// incidents of their own.
+	c.FlightRecDir = ""
+	c.flightManual = true
 	return c
 }
 

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -39,10 +40,12 @@ import (
 	"time"
 
 	"repro/internal/coloring"
+	"repro/internal/flightrec"
 	"repro/internal/mapstore"
 	dm "repro/internal/metrics"
 	"repro/internal/obsv"
 	"repro/internal/pms"
+	"repro/internal/replay"
 	"repro/internal/template"
 	"repro/internal/tree"
 )
@@ -140,9 +143,35 @@ type Config struct {
 	// hooks in here; Handler() itself stays unwrapped so tests can reach
 	// the bare routes.
 	Middleware func(http.Handler) http.Handler
+	// DisableFlightRec turns off the always-on flight recorder and SLO
+	// watchdog (internal/flightrec). On by default: recording an event is
+	// one mutex push per request, priced by -forensics-bench.
+	DisableFlightRec bool
+	// FlightRecDir is where watchdog-triggered incident snapshots land;
+	// empty disables automatic writes (GET /debug/snapshot still works).
+	FlightRecDir string
+	// FlightRecEvents sizes the flight recorder's event ring
+	// (default 4096).
+	FlightRecEvents int
+	// FlightRecWindow sizes the replayable request-window ring bundled
+	// into incidents (default 2048 requests).
+	FlightRecWindow int
+	// FlightRecMeta is stamped into every incident snapshot; pmsd records
+	// the chaos-injector config here so pmsdoctor -replay can rebuild it.
+	FlightRecMeta map[string]string
+	// SLO configures the watchdog rules and tick cadence.
+	SLO flightrec.SLOConfig
+	// Logger receives the server's structured log lines
+	// (default slog.Default()).
+	Logger *slog.Logger
 
 	// workerHook runs before each pool task; tests use it to gate workers.
 	workerHook func()
+	// flightManual suppresses the background watchdog loop; tests and the
+	// incident replayer drive Server.FlightTick with their own clocks.
+	flightManual bool
+	// flightNow is the flight recorder's clock (default time.Now).
+	flightNow func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +241,12 @@ func (c Config) withDefaults() Config {
 	if c.ControllerMinDwell <= 0 {
 		c.ControllerMinDwell = 3 * c.ControllerInterval
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.flightNow == nil {
+		c.flightNow = time.Now
+	}
 	return c
 }
 
@@ -229,8 +264,11 @@ type Server struct {
 	pool     *pool
 	coal     *coalescer
 	trc      *obsv.Tracer
-	dom      *dm.Domain        // nil when domain metrics are disabled
-	ctl      *serverController // nil when the controller is disabled
+	dom      *dm.Domain             // nil when domain metrics are disabled
+	ctl      *serverController      // nil when the controller is disabled
+	fr       *flightrec.Recorder    // nil when the flight recorder is disabled
+	frWindow *replay.WindowRecorder // nil when the flight recorder is disabled
+	logger   *slog.Logger
 	httpSrv  *http.Server
 	listener net.Listener
 	draining atomic.Bool
@@ -268,13 +306,39 @@ func New(cfg Config) *Server {
 		met.controller = s.ctl.snapshot
 		s.ctl.start()
 	}
+	s.logger = cfg.Logger
+	if !cfg.DisableFlightRec {
+		s.frWindow = replay.NewWindowRecorder(replay.WindowConfig{Window: cfg.FlightRecWindow})
+		s.fr = flightrec.New(flightrec.Config{
+			Events: cfg.FlightRecEvents,
+			SLO:    cfg.SLO,
+			Dir:    cfg.FlightRecDir,
+			Meta:   cfg.FlightRecMeta,
+			Frame:  s.metricFrame,
+			Traces: func() []obsv.TraceSnapshot { return s.trc.Snapshot().Slowest },
+			Window: s.frWindow.Snapshot,
+			Now:    cfg.flightNow,
+			Logger: cfg.Logger,
+		})
+		met.flight = s.fr.Counters
+	}
 	h := http.Handler(s.Handler())
 	if cfg.Middleware != nil {
 		h = cfg.Middleware(h)
 	}
+	// Capture wraps OUTERMOST — outside the chaos middleware — so flight
+	// events record the response the client saw; the window recorder sits
+	// just inside it, so the replayable trace includes requests chaos
+	// answered for itself.
+	if s.fr != nil {
+		h = s.flightMiddleware(s.frWindow.Middleware(h))
+	}
 	s.httpSrv = &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if s.fr != nil && !cfg.flightManual {
+		s.fr.Start()
 	}
 	return s
 }
@@ -300,6 +364,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/vars", s.met.varsHandler)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/snapshot", s.handleFlightSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -337,7 +402,10 @@ func (s *Server) Addr() string {
 // mappings are invalid once the store unmaps its regions.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	// Stop the controller loop first: a migration mid-drain would race
+	// Stop the watchdog first: a mid-drain tick would snapshot a server
+	// that is half shut down.
+	s.fr.Stop()
+	// Stop the controller loop next: a migration mid-drain would race
 	// the registry flush and the store close below.
 	if s.ctl != nil {
 		s.ctl.stopLoop()
@@ -447,6 +515,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK, traced: tr != nil}
 		if tr != nil {
 			tr.SetClient(clientInfoFromHeaders(r.Header))
+			tr.SetTenant(sanitizeTenant(r.Header.Get(TenantHeader)))
 			r = r.WithContext(obsv.WithTrace(r.Context(), tr))
 		}
 		h(sw, r)
@@ -455,6 +524,14 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			tr.Finish(sw.status)
 		}
 		em.observe(sw.status, time.Since(start))
+		if fs := flightFromContext(r.Context()); fs != nil {
+			fs.endpoint = name
+			fs.requestID = id
+			if tr != nil {
+				fs.traced = true
+				fs.stages = tr.StageTotalsUS()
+			}
+		}
 	}
 }
 
@@ -580,7 +657,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	}
 	// Serve through the controller's effective mapping (candidates keep
 	// the requested Levels, so node validation above still applies).
-	spec := s.resolveSpec(w, req.Mapping)
+	spec := s.resolveSpec(w, r, req.Mapping)
 
 	release, aerr := s.admit(r)
 	if aerr != nil {
@@ -679,7 +756,7 @@ func (s *Server) handleTemplateCost(w http.ResponseWriter, r *http.Request) {
 	// policy identity across migrations — while the served mapping and
 	// its theorem bounds come from the effective spec.
 	reqKey := req.Mapping.Key()
-	spec := s.resolveSpec(w, req.Mapping)
+	spec := s.resolveSpec(w, r, req.Mapping)
 
 	// Pre-validate per mode, before taking a queue slot.
 	var mode func(m coloring.Mapping) (TemplateCostResponse, error)
@@ -842,7 +919,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("%d batches above limit %d", len(req.Batches), s.cfg.MaxSimBatches))
 		return
 	}
-	spec := s.resolveSpec(w, req.Mapping)
+	spec := s.resolveSpec(w, r, req.Mapping)
 	t := tree.New(req.Mapping.Levels)
 	items := 0
 	for _, batch := range req.Batches {

@@ -210,7 +210,7 @@ func (s *Server) runHeap(w http.ResponseWriter, r *http.Request, reqSpec Mapping
 	// the served mapping and its theorem bounds come from the effective
 	// spec the controller may have migrated the entry to.
 	reqKey := reqSpec.Key()
-	spec := s.resolveSpec(w, reqSpec)
+	spec := s.resolveSpec(w, r, reqSpec)
 
 	release, aerr := s.admit(r)
 	if aerr != nil {
@@ -300,7 +300,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqKey := req.Mapping.Key()
-	spec := s.resolveSpec(w, req.Mapping)
+	spec := s.resolveSpec(w, r, req.Mapping)
 	// The key space is the in-order positions 0 … Nodes()-1; each query
 	// walks every node in its range, so the total is capped like one
 	// simulate trace.

@@ -138,6 +138,20 @@ TRACES=$(curl -s "$BASE/debug/requests")
 echo "$TRACES" | grep -q '"coalesce_wait"' || fail "no coalesce_wait stage in /debug/requests: $TRACES"
 echo "$TRACES" | grep -q '"request_id":' || fail "no slowest traces retained: $TRACES"
 
+echo "== flight recorder snapshot"
+# The always-on recorder captured every request above: GET /debug/snapshot
+# must serve a decodable PMSINC1 incident, and pmsdoctor must render a
+# report from it. The flight counters also show up on /metrics.
+go build -o "$WORKDIR/pmsdoctor" ./cmd/pmsdoctor
+mkdir -p "$WORKDIR/manual-inc"
+curl -s "$BASE/debug/snapshot" -o "$WORKDIR/manual-inc/incident-manual.pmsinc"
+[ -s "$WORKDIR/manual-inc/incident-manual.pmsinc" ] || fail "/debug/snapshot served an empty incident"
+"$WORKDIR/pmsdoctor" -once -dir "$WORKDIR/manual-inc" >"$WORKDIR/doctor-manual.out" \
+    || fail "pmsdoctor rejected the manual snapshot: $(cat "$WORKDIR/doctor-manual.out")"
+grep -q 'reason=manual' "$WORKDIR/doctor-manual.out" || fail "pmsdoctor report missing the manual reason: $(cat "$WORKDIR/doctor-manual.out")"
+curl -s "$BASE/metrics" | grep -q '^pmsd_flightrec_events_total [1-9]' || fail "flight recorder captured no events"
+echo "   manual snapshot decoded by pmsdoctor"
+
 echo "== backpressure burst"
 # 12 concurrent requests against max-inflight 4: the overflow must get
 # 429 while the admitted requests still finish with 200.
@@ -290,5 +304,52 @@ curl -s "$BASE/metrics" | grep -q '^pmsd_bound_violations_total 0$' || fail "bou
 echo "   warm restart: effective=$hdr materializes=0"
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || fail "restarted controller pmsd exited non-zero on SIGTERM"
+
+echo "== forensics: forced SLO breach and incident round-trip"
+# A chaos-mode pmsd with a deliberately tight error-rate SLO. A short
+# sequential 5xx storm must trip the watchdog, which freezes the rings
+# into a PMSINC1 incident on disk; pmsdoctor then analyzes it and
+# -replay re-drives the bundled window under the recorded chaos schedule
+# to confirm the breach reproduces deterministically.
+INCDIR="$WORKDIR/incidents"
+"$WORKDIR/pmsd" -addr 127.0.0.1:0 -chaos -chaos-seed 7 -chaos-error 0.9 -chaos-burst 4 \
+    -chaos-latency 0 -flightrec-dir "$INCDIR" -slo-error-rate 5 -slo-interval 200ms \
+    -max-batch 1 >"$WORKDIR/pmsd-forensics.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/.*pmsd listening on \([0-9.:]*\).*/\1/p' "$WORKDIR/pmsd-forensics.log")"
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+[ -n "${ADDR:-}" ] || fail "forensics pmsd never reported its listen address: $(cat "$WORKDIR/pmsd-forensics.log")"
+BASE="http://$ADDR"
+# Strictly sequential traffic, so the recorded window replays against
+# the rebuilt chaos schedule index-for-index.
+for i in $(seq 0 39); do
+    curl -s -o /dev/null -H 'X-Tenant: smoke-chaos' -X POST "$BASE/v1/color" \
+        -d '{"mapping":'"$MAPPING"',"node":{"index":'"$((i % 8))"',"level":3}}'
+done
+inc=""
+for _ in $(seq 1 50); do
+    inc=$(ls "$INCDIR"/*.pmsinc 2>/dev/null | head -1 || true)
+    [ -n "$inc" ] && break
+    sleep 0.1
+done
+[ -n "$inc" ] || fail "watchdog never wrote an incident: $(cat "$WORKDIR/pmsd-forensics.log")"
+METRICS=$(curl -s "$BASE/metrics")
+echo "$METRICS" | grep -q '^pmsd_slo_breaches_total [1-9]' || fail "no SLO breach counted: $METRICS"
+echo "$METRICS" | grep -q '^pmsd_bound_violations_total 0$' || fail "bound monitor tripped under chaos: $METRICS"
+"$WORKDIR/pmsstat" -addr "$ADDR" -once >"$WORKDIR/pmsstat-slo.out"
+grep -q 'slo watchdog' "$WORKDIR/pmsstat-slo.out" || fail "pmsstat frame missing the SLO watchdog line: $(cat "$WORKDIR/pmsstat-slo.out")"
+grep -q 'rule error_rate' "$WORKDIR/pmsstat-slo.out" || fail "pmsstat frame missing the breached rule: $(cat "$WORKDIR/pmsstat-slo.out")"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "forensics pmsd exited non-zero on SIGTERM"
+"$WORKDIR/pmsdoctor" -once -dir "$INCDIR" >"$WORKDIR/doctor-breach.out" \
+    || fail "pmsdoctor rejected the watchdog incident: $(cat "$WORKDIR/doctor-breach.out")"
+grep -q 'error_rate' "$WORKDIR/doctor-breach.out" || fail "pmsdoctor report missing the error_rate breach: $(cat "$WORKDIR/doctor-breach.out")"
+"$WORKDIR/pmsdoctor" -replay -once -dir "$INCDIR" >"$WORKDIR/doctor-replay.out" \
+    || fail "incident did not reproduce under -replay: $(cat "$WORKDIR/doctor-replay.out")"
+grep -q 'reproduced: true' "$WORKDIR/doctor-replay.out" || fail "replay verdict not reproduced: $(cat "$WORKDIR/doctor-replay.out")"
+echo "   breach captured, analyzed, and reproduced deterministically"
 
 echo "server-smoke: OK"
